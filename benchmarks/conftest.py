@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each test both *checks* the behaviour it reproduces (assertions) and
+*measures* it (the ``benchmark`` fixture), so the harness doubles as
+the paper's figure reproduction and as a BEAST-style quantitative
+suite. EXPERIMENTS.md maps each test to its experiment id.
+"""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.sentinel import Sentinel
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+@pytest.fixture()
+def system():
+    s = Sentinel(name="bench")
+    yield s
+    s.close()

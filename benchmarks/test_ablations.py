@@ -1,0 +1,137 @@
+"""Ablations of the design choices the paper calls out explicitly.
+
+* ABL-SHARE — "common event sub-expressions are represented only once
+  in the event graph ... reducing the total number of nodes": sharing
+  on vs off, node counts and detection work.
+* ABL-CTXCOUNT — "introduction of this mechanism [per-context
+  counters] helps avoid detecting events in the continuous and
+  cumulative modes as they have significant storage requirements":
+  counter-gated detection vs rules forcing all four contexts active.
+* ABL-FLUSH — "if these events ... are not flushed when a transaction
+  is aborted (or committed), these events can participate in composite
+  events for another transaction": flush rules on vs off, counting
+  cross-transaction contaminations.
+"""
+
+import pytest
+
+from repro.bench import EventStream, ReactiveSchema
+from repro.core.detector import LocalEventDetector
+from repro.sentinel import FLUSH_ON_ABORT_RULE, FLUSH_ON_COMMIT_RULE, Sentinel
+
+
+@pytest.mark.parametrize("sharing", [True, False], ids=["shared", "unshared"])
+def test_abl_share_node_count_and_detection(sharing, benchmark):
+    det = LocalEventDetector(sharing=sharing)
+    det.explicit_event("a")
+    det.explicit_event("b")
+    hits = []
+    # Twenty rules over the same expression.
+    for i in range(20):
+        expr = det.and_("a", "b")
+        det.rule(f"r{i}", expr, lambda o: True, hits.append)
+    nodes = len(det.graph)
+    print(f"\nABL-SHARE [{'on' if sharing else 'off'}]: "
+          f"{nodes} graph nodes for 20 identical rules")
+    if sharing:
+        assert nodes == 3  # a, b, one AND
+    else:
+        assert nodes == 22  # a, b, twenty ANDs
+
+    def fire_pair():
+        det.flush()  # rounds must not pair with earlier rounds' events
+        hits.clear()
+        det.raise_event("a")
+        det.raise_event("b")
+        return len(hits)
+
+    fired = benchmark(fire_pair)
+    assert fired == 20  # same semantics either way
+    det.shutdown()
+
+
+@pytest.mark.parametrize(
+    "mode", ["gated", "all_contexts"], ids=["counter-gated", "all-contexts"]
+)
+def test_abl_ctxcount_detection_work(mode, benchmark):
+    """One recent-context rule; the ablation forces the other three
+    contexts active anyway (what a counter-less design would do)."""
+    det = LocalEventDetector()
+    schema = ReactiveSchema(n_classes=1, n_methods=2)
+    leaves = schema.install(det)
+    expr = det.graph.and_(leaves[0], leaves[1])
+    det.rule("r", expr, lambda o: True, lambda o: None, context="recent")
+    if mode == "all_contexts":
+        from repro.core.contexts import ParameterContext
+
+        for ctx in (ParameterContext.CHRONICLE, ParameterContext.CONTINUOUS,
+                    ParameterContext.CUMULATIVE):
+            expr.add_context(ctx)
+    stream = EventStream(schema, length=400, seed=3)
+
+    def run_stream():
+        det.flush()
+        before = det.graph.stats.detections
+        stream.pump(det)
+        return det.graph.stats.detections - before
+
+    detections = benchmark(run_stream)
+    print(f"\nABL-CTXCOUNT [{mode}]: {detections} node detections "
+          f"for 400 events")
+    det.shutdown()
+
+
+@pytest.mark.parametrize("flush", [True, False], ids=["flush-on", "flush-off"])
+def test_abl_flush_cross_transaction_contamination(flush, benchmark):
+    system = Sentinel(name=f"ablflush-{flush}", activate=False,
+                      flush_on_boundaries=flush)
+    system.explicit_event("a")
+    system.explicit_event("b")
+    contaminated = []
+    system.rule("pair", system.detector.and_("a", "b"), lambda o: True,
+                contaminated.append)
+
+    def split_pair_across_transactions():
+        system.detector.flush()  # isolate benchmark rounds
+        contaminated.clear()
+        with system.transaction():
+            system.raise_event("a")
+        with system.transaction():
+            system.raise_event("b")
+        return len(contaminated)
+
+    crossings = benchmark(split_pair_across_transactions)
+    print(f"\nABL-FLUSH [{'on' if flush else 'off'}]: "
+          f"{crossings} cross-transaction detections (want 0 when on)")
+    if flush:
+        assert crossings == 0
+    else:
+        assert crossings == 1  # the contamination the paper warns about
+    system.close()
+
+
+def test_abl_flush_rules_are_deactivatable(benchmark):
+    """The flush behaviour is implemented as rules, per the paper, and
+    turning them off at runtime changes semantics immediately."""
+    system = Sentinel(name="ablflush-toggle", activate=False)
+    system.explicit_event("a")
+    system.explicit_event("b")
+    hits = []
+    system.rule("pair", system.detector.and_("a", "b"), lambda o: True,
+                hits.append)
+
+    def toggle_and_probe():
+        hits.clear()
+        system.rules.disable(FLUSH_ON_COMMIT_RULE)
+        with system.transaction():
+            system.raise_event("a")
+        with system.transaction():
+            system.raise_event("b")
+        spanned = len(hits)
+        system.rules.enable(FLUSH_ON_COMMIT_RULE)
+        system.detector.flush()
+        return spanned
+
+    spanned = benchmark(toggle_and_probe)
+    assert spanned == 1
+    system.close()

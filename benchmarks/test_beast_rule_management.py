@@ -1,0 +1,100 @@
+"""BEAST-RM — rule management benchmarks.
+
+* RM-1: rule firing throughput vs the number of rules on one event
+  (subscriber-list dispatch).
+* RM-2: nested rule execution depth scaling (depth-first execution).
+* RM-3: immediate vs deferred coupling cost per transaction (the
+  deferred path adds the A* rewrite machinery and system events).
+* RM-4: rule enable/disable cost (context counter propagation).
+"""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.sentinel import Sentinel
+
+
+@pytest.mark.parametrize("n_rules", [1, 10, 100])
+def test_rm1_fanout(n_rules, benchmark):
+    det = LocalEventDetector()
+    det.explicit_event("e")
+    counter = {"fired": 0}
+    for i in range(n_rules):
+        det.rule(
+            f"r{i}", "e", lambda o: True,
+            lambda o: counter.__setitem__("fired", counter["fired"] + 1),
+        )
+
+    benchmark(lambda: det.raise_event("e"))
+    assert counter["fired"] >= n_rules
+    det.shutdown()
+
+
+@pytest.mark.parametrize("depth", [1, 8, 32])
+def test_rm2_nesting_depth(depth, benchmark):
+    det = LocalEventDetector()
+    det.explicit_event("lvl")
+
+    def action(occ):
+        level = occ.params.value("d")
+        if level < depth:
+            det.raise_event("lvl", d=level + 1)
+
+    det.rule("nest", "lvl", lambda o: True, action)
+
+    benchmark(lambda: det.raise_event("lvl", d=1))
+    assert det.scheduler.stats.max_depth_seen == depth
+    det.shutdown()
+
+
+@pytest.mark.parametrize("coupling", ["immediate", "deferred"])
+def test_rm3_coupling_cost(coupling, benchmark):
+    system = Sentinel(name=f"rm3-{coupling}", activate=False)
+    system.explicit_event("e")
+    fired = []
+    system.rule("r", "e", lambda o: True, fired.append, coupling=coupling)
+
+    def transaction_with_three_events():
+        with system.transaction():
+            for i in range(3):
+                system.raise_event("e", n=i)
+
+    benchmark(transaction_with_three_events)
+    assert fired
+    if coupling == "deferred":
+        # Net effect: one execution per transaction, three constituents.
+        assert len(fired[-1].params.by_event("e")) == 3
+    system.close()
+
+
+def test_rm4_enable_disable_cost(benchmark):
+    """Enable/disable propagates context counters through the subtree."""
+    det = LocalEventDetector()
+    for name in ("a", "b", "c", "d"):
+        det.explicit_event(name)
+    deep = det.seq(det.and_("a", "b"), det.or_("c", "d"))
+    det.rule("r", deep, lambda o: True, lambda o: None)
+
+    def toggle():
+        det.rules.disable("r")
+        det.rules.enable("r")
+
+    benchmark(toggle)
+    det.shutdown()
+
+
+def test_rm5_rule_definition_cost(benchmark):
+    """Defining (and deleting) a rule on a shared expression."""
+    det = LocalEventDetector()
+    det.explicit_event("a")
+    det.explicit_event("b")
+    shared = det.and_("a", "b")
+    counter = iter(range(10**9))
+
+    def define_and_delete():
+        name = f"r{next(counter)}"
+        det.rule(name, shared, lambda o: True, lambda o: None)
+        det.rules.delete(name)
+
+    benchmark(define_and_delete)
+    det.shutdown()

@@ -1,0 +1,76 @@
+"""Overheads of the optional features: snapshots, combinators, scopes.
+
+Optional features must be pay-as-you-go; these benchmarks check the
+price of turning each one on.
+"""
+
+import pytest
+
+from repro.core import conditions as when
+from repro.core.detector import LocalEventDetector
+
+
+class Payload:
+    def __init__(self):
+        self.a = 1
+        self.b = "text"
+        self.c = 3.14
+        self.d = [1, 2, 3]
+
+
+@pytest.mark.parametrize("snapshot", [False, True],
+                         ids=["plain", "snapshot"])
+def test_snapshot_capture_overhead(snapshot, benchmark):
+    det = LocalEventDetector()
+    det.primitive_event("e", "Payload", "end", "touch",
+                        snapshot_state=snapshot)
+    det.rule("r", "e", lambda o: True, lambda o: None)
+    obj = Payload()
+    benchmark(lambda: det.notify(obj, "Payload", "touch", "end"))
+    det.shutdown()
+
+
+@pytest.mark.parametrize(
+    "kind", ["lambda", "combinator", "composed"],
+)
+def test_condition_style_overhead(kind, benchmark):
+    det = LocalEventDetector()
+    det.explicit_event("e")
+    if kind == "lambda":
+        condition = lambda occ: occ.params.value("n") > 5  # noqa: E731
+    elif kind == "combinator":
+        condition = when.param_above("n", 5)
+    else:
+        condition = when.all_of(
+            when.param_above("n", 5),
+            when.negate(when.param_above("n", 1000)),
+        )
+    det.rule("r", "e", condition, lambda o: None)
+    benchmark(lambda: det.raise_event("e", n=10))
+    det.shutdown()
+
+
+@pytest.mark.parametrize("scope", ["public", "private"])
+def test_scope_has_no_dispatch_cost(scope, benchmark):
+    det = LocalEventDetector()
+    det.explicit_event("e")
+    det.rule("r", "e", lambda o: True, lambda o: None,
+             scope=scope, owner="owner" if scope != "public" else None)
+    benchmark(lambda: det.raise_event("e"))
+    det.shutdown()
+
+
+@pytest.mark.parametrize("named", [False, True], ids=["int", "named-class"])
+def test_named_priority_resolution_overhead(named, benchmark):
+    det = LocalEventDetector()
+    det.explicit_event("e")
+    if named:
+        det.priorities.define("normal", 5)
+        priority = "normal"
+    else:
+        priority = 5
+    for i in range(5):
+        det.rule(f"r{i}", "e", lambda o: True, lambda o: None,
+                 priority=priority)
+    benchmark(lambda: det.raise_event("e"))
+    det.shutdown()

@@ -1,0 +1,127 @@
+"""FIG-3 — rule execution using threads (paper Figure 3).
+
+Figure 3's pseudocode packages each triggered rule's condition+action
+pair as the body of a prioritized thread running inside a
+subtransaction (``cond_action``). This experiment reproduces the
+observable contract — priority assignment, thread(-pool) reuse,
+condition gating inside the subtransaction — and measures dispatch cost
+for the serial and threaded executors.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.core.scheduler import SerialExecutor, ThreadedExecutor
+from repro.transactions.nested import NestedTransactionManager, TxnState
+
+
+def build(executor):
+    ntm = NestedTransactionManager()
+    det = LocalEventDetector(executor=executor, txn_manager=ntm)
+    det.explicit_event("e")
+    return det, ntm
+
+
+def test_fig3_cond_action_packaging(benchmark):
+    """Condition gates the action inside a committed subtransaction."""
+    det, ntm = build(SerialExecutor())
+    observed = []
+
+    def condition(occ):
+        return occ.params.value("go")
+
+    def action(occ):
+        sub = det.current_transaction()
+        observed.append((sub.label, sub.depth))
+
+    det.rule("R", "e", condition, action)
+    top = ntm.begin_top(label="app")
+    det.set_current_transaction(top)
+
+    def trigger_pair():
+        observed.clear()
+        det.raise_event("e", go=False)  # condition false: no action
+        det.raise_event("e", go=True)  # condition true: action runs
+        return list(observed)
+
+    result = benchmark(trigger_pair)
+    assert result == [("rule:R", 1)]
+    # every completed rule subtransaction committed
+    committed = [t for t in ntm.tree(top) if t.state is TxnState.COMMITTED]
+    assert committed
+    print("\nFIG-3: cond_action ran as a committed depth-1 subtransaction")
+    det.shutdown()
+
+
+def test_fig3_priority_assignment(benchmark):
+    """``priority = assign_priority()``: classes run high to low."""
+    det, ntm = build(SerialExecutor())
+    order = []
+    for priority in (1, 10, 5):
+        det.rule(
+            f"p{priority}", "e", lambda o: True,
+            lambda o, p=priority: order.append(p), priority=priority,
+        )
+
+    def fire():
+        order.clear()
+        det.raise_event("e")
+        return list(order)
+
+    result = benchmark(fire)
+    assert result == [10, 5, 1]
+    det.shutdown()
+
+
+def test_fig3_thread_pool_reuse(benchmark):
+    """``get_thread()`` from a pool of free threads: worker threads are
+    reused across batches rather than created per rule."""
+    det, __ = build(ThreadedExecutor(max_workers=4))
+    thread_names = set()
+
+    def record(occ):
+        thread_names.add(threading.current_thread().name)
+
+    for i in range(4):
+        det.rule(f"r{i}", "e", lambda o: True, record, priority=5)
+
+    def batch():
+        det.raise_event("e")
+
+    benchmark(batch)
+    # All executions came from the fixed pool.
+    assert thread_names
+    assert all(n.startswith("sentinel-rule") for n in thread_names)
+    assert len(thread_names) <= 4
+    det.shutdown()
+
+
+@pytest.mark.parametrize("executor_kind", ["serial", "threaded"])
+def test_fig3_dispatch_cost(executor_kind, benchmark):
+    """Dispatch cost per 10-rule batch, serial vs threaded executor.
+
+    The paper chose threads for concurrency and scheduling control, not
+    raw speed; expect the threaded executor to pay a coordination cost
+    on trivial rules (the crossover favors threads only when rule
+    bodies block on I/O or locks).
+    """
+    executor = (
+        SerialExecutor() if executor_kind == "serial"
+        else ThreadedExecutor(max_workers=8)
+    )
+    det, ntm = build(executor)
+    counter = {"fired": 0}
+    for i in range(10):
+        det.rule(
+            f"r{i}", "e", lambda o: True,
+            lambda o: counter.__setitem__("fired", counter["fired"] + 1),
+            priority=5,
+        )
+    top = ntm.begin_top()
+    det.set_current_transaction(top)
+
+    benchmark(lambda: det.raise_event("e"))
+    assert counter["fired"] >= 10
+    det.shutdown()

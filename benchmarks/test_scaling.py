@@ -1,0 +1,82 @@
+"""Scaling benchmarks: how detection cost grows with structure size.
+
+Establishes the shapes a designer cares about: expression depth, event
+population (class-index effectiveness), and rule population spread over
+distinct events (vs RM-1's single-event fan-out).
+"""
+
+import pytest
+
+from repro.bench import ReactiveSchema
+from repro.core.detector import LocalEventDetector
+
+
+@pytest.mark.parametrize("depth", [1, 4, 16])
+def test_expression_depth_scaling(depth, benchmark):
+    """Left-deep SEQ chain of the given depth; one full match each round."""
+    det = LocalEventDetector()
+    leaves = [det.explicit_event(f"l{i}") for i in range(depth + 1)]
+    expr = leaves[0]
+    for leaf in leaves[1:]:
+        expr = det.graph.seq(expr, leaf)
+    hits = []
+    det.rule("r", expr, lambda o: True, hits.append)
+
+    def full_match():
+        det.flush()
+        for i in range(depth + 1):
+            det.raise_event(f"l{i}")
+
+    benchmark(full_match)
+    assert hits
+    det.shutdown()
+
+
+@pytest.mark.parametrize("population", [10, 100, 1000])
+def test_event_population_scaling(population, benchmark):
+    """Notification routing cost with many declared events on many
+    classes: the per-class primitive index keeps dispatch O(events of
+    one class), not O(all events)."""
+    det = LocalEventDetector()
+    schema = ReactiveSchema(n_classes=population // 10 or 1, n_methods=10)
+    schema.install(det)
+    det.rule("r", schema.event_name(0, 0), lambda o: True, lambda o: None)
+
+    benchmark(lambda: schema.signal(det, 0, 0))
+    det.shutdown()
+
+
+@pytest.mark.parametrize("n_rules", [10, 100])
+def test_rules_on_distinct_events_scaling(n_rules, benchmark):
+    """Unlike RM-1 (fan-out on one event), rules spread across distinct
+    events must not slow each other's dispatch down."""
+    det = LocalEventDetector()
+    for i in range(n_rules):
+        node = det.explicit_event(f"e{i}")
+        det.rule(f"r{i}", node, lambda o: True, lambda o: None)
+
+    benchmark(lambda: det.raise_event("e0"))
+    det.shutdown()
+
+
+@pytest.mark.parametrize("contexts", [1, 4])
+def test_simultaneous_context_scaling(contexts, benchmark):
+    """One expression watched in 1 vs all 4 contexts at once."""
+    from repro.core.contexts import ParameterContext
+
+    det = LocalEventDetector()
+    det.explicit_event("a")
+    det.explicit_event("b")
+    node = det.and_("a", "b")
+    all_contexts = list(ParameterContext)[:contexts]
+    for i, ctx in enumerate(all_contexts):
+        det.rule(f"r{i}", node, lambda o: True, lambda o: None,
+                 context=ctx.value)
+
+    def pair():
+        det.flush()
+        det.raise_event("a")
+        det.raise_event("b")
+
+    benchmark(pair)
+    det.shutdown()

@@ -1,0 +1,115 @@
+"""Substrate microbenchmarks: the Exodus-equivalent storage manager.
+
+Not part of the paper's contribution, but the architecture bottoms out
+here (top-level concurrency control and recovery), so the harness
+reports its costs: record operations, durable commit, abort (logged
+undo), and crash recovery as a function of log length.
+"""
+
+import pytest
+
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with StorageManager(tmp_path / "db") as sm:
+        yield sm
+
+
+def test_insert_throughput(store, benchmark):
+    txn = store.begin()
+    record = {"symbol": "IBM", "price": 100.0, "volume": 5000}
+    benchmark(store.insert, txn, record)
+    store.commit(txn)
+
+
+def test_read_throughput(store, benchmark):
+    txn = store.begin()
+    rid = store.insert(txn, {"k": "v" * 100})
+    store.commit(txn)
+    txn2 = store.begin()
+    result = benchmark(store.read, txn2, rid)
+    assert result["k"] == "v" * 100
+    store.commit(txn2)
+
+
+def test_update_throughput(store, benchmark):
+    txn = store.begin()
+    rid = store.insert(txn, 0)
+    counter = iter(range(10**9))
+    benchmark(lambda: store.update(txn, rid, next(counter)))
+    store.commit(txn)
+
+
+def test_commit_latency_with_wal_flush(store, benchmark):
+    """Commit forces the log: the durability point of the system."""
+
+    def insert_and_commit():
+        txn = store.begin()
+        store.insert(txn, {"payload": "x" * 200})
+        store.commit(txn)
+
+    benchmark(insert_and_commit)
+
+
+def test_abort_cost_scales_with_updates(store, benchmark):
+    txn0 = store.begin()
+    rid = store.insert(txn0, 0)
+    store.commit(txn0)
+
+    def update_ten_then_abort():
+        txn = store.begin()
+        for i in range(10):
+            store.update(txn, rid, i)
+        store.abort(txn)
+
+    benchmark(update_ten_then_abort)
+    check = store.begin()
+    assert store.read(check, rid) == 0
+    store.commit(check)
+
+
+@pytest.mark.parametrize("committed_txns", [10, 100])
+def test_recovery_time_vs_log_length(tmp_path, committed_txns, benchmark):
+    directory = tmp_path / f"recov{committed_txns}"
+    sm = StorageManager(directory)
+    rids = []
+    for i in range(committed_txns):
+        txn = sm.begin()
+        rids.append(sm.insert(txn, {"i": i}))
+        sm.commit(txn)
+    sm.simulate_crash()
+
+    def recover_once():
+        recovered = StorageManager(directory)
+        report = recovered.last_recovery
+        recovered.close()
+        return report
+
+    report = benchmark(recover_once)
+    assert report.records_scanned >= committed_txns
+    print(f"\nrecovery after {committed_txns} txns: "
+          f"scanned={report.records_scanned} redone={report.redone}")
+
+
+def test_buffer_pool_hit_vs_miss(tmp_path, benchmark):
+    """Reads inside the pool vs reads that evict (pool smaller than data)."""
+    sm = StorageManager(tmp_path / "pool", pool_size=4)
+    txn = sm.begin()
+    rids = [sm.insert(txn, "x" * 2000) for __ in range(32)]  # > pool
+    sm.commit(txn)
+    reader = sm.begin()
+    cursor = iter(range(10**9))
+
+    def scan_round_robin():
+        rid = rids[next(cursor) % len(rids)]
+        return sm.read(reader, rid)
+
+    benchmark(scan_round_robin)
+    stats = sm.buffer_pool.stats
+    print(f"\nbuffer pool: hits={stats.hits} misses={stats.misses} "
+          f"hit_rate={stats.hit_rate():.2f} evictions={stats.evictions}")
+    assert stats.evictions > 0
+    sm.commit(reader)
+    sm.close()

@@ -1,0 +1,121 @@
+"""Subsystem benchmarks: pre-processor, global detection, event log,
+debugger overhead.
+
+These quantify the costs of the architecture's separable modules — the
+parts Figure 1 draws as boxes around the kernel.
+"""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.debugger import TraceRecorder
+from repro.eventlog import EventLog, attach_logger, replay
+from repro.globaldet import GlobalEventDetector
+from repro.sentinel import Sentinel
+from repro.snoop.codegen import generate
+from repro.snoop.parser import parse
+
+BIG_SPEC = "\n".join(
+    [
+        "class C%d : public REACTIVE {" % i
+        + "\n    event end(e1) int m1(int x)"
+        + "\n    event begin(e2) && end(e3) void m2(float y)"
+        + "\n    event pair = e1 ^ e2"
+        + "\n    rule R%d(pair, cond, act, CHRONICLE, IMMEDIATE, %d)" % (i, i)
+        + "\n}"
+        for i in range(10)
+    ]
+)
+
+
+class TestPreprocessor:
+    def test_parse_throughput(self, benchmark):
+        spec = benchmark(parse, BIG_SPEC)
+        assert len(spec.classes) == 10
+
+    def test_codegen_throughput(self, benchmark):
+        tree = parse(BIG_SPEC)
+        source = benchmark(generate, tree)
+        assert source.count("detector.rule(") == 10
+
+
+class TestGlobalDetection:
+    def test_cross_application_event_round(self, benchmark):
+        ged = GlobalEventDetector()
+        apps = []
+        for i in range(4):
+            system = Sentinel(name=f"app{i}", activate=False)
+            system.explicit_event("tick")
+            endpoint = ged.register(system)
+            endpoint.export_event("tick")
+            apps.append((system, endpoint))
+        # Global event: ticks from app0 and app1 in sequence.
+        expr = ged.seq("app0.tick", "app1.tick")
+        hits = []
+        ged.detector.rule("watch", expr, lambda o: True, hits.append)
+
+        def one_round():
+            apps[0][0].raise_event("tick")
+            apps[1][0].raise_event("tick")
+            ged.run_to_fixpoint()
+
+        benchmark(one_round)
+        assert hits
+        for system, __ in apps:
+            system.close()
+        ged.shutdown()
+
+
+class TestEventLog:
+    def _record(self, n):
+        det = LocalEventDetector()
+        det.primitive_event("e", "C", "end", "m")
+        log = attach_logger(det)
+        for i in range(n):
+            det.notify(f"obj{i % 8}", "C", "m", "end", {"n": i})
+        det.shutdown()
+        return log
+
+    def test_logging_overhead(self, benchmark):
+        det = LocalEventDetector()
+        det.primitive_event("e", "C", "end", "m")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        attach_logger(det)
+        benchmark(lambda: det.notify("o", "C", "m", "end", {"n": 1}))
+        det.shutdown()
+
+    def test_replay_throughput_500_events(self, benchmark):
+        log = self._record(500)
+        det = LocalEventDetector()
+        det.primitive_event("e", "C", "end", "m")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        report = benchmark(lambda: replay(log, det, mode="collect"))
+        assert report.events_replayed == 500
+        det.shutdown()
+
+
+class TestDebuggerOverhead:
+    def _run(self, det, n=50):
+        for i in range(n):
+            det.raise_event("e", n=i)
+
+    def test_without_tracer(self, benchmark):
+        det = LocalEventDetector()
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        benchmark(self._run, det)
+        det.shutdown()
+
+    def test_with_tracer(self, benchmark):
+        det = LocalEventDetector()
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        recorder = TraceRecorder(det).attach()
+
+        def run_and_reset():
+            self._run(det)
+            recorder.clear()
+
+        benchmark(run_and_reset)
+        recorder.detach()
+        det.shutdown()

@@ -1,0 +1,108 @@
+"""Cooperative workflow across applications: the global event detector.
+
+The paper motivates inter-application (global) events with "cooperative
+transactions and workflow applications". Here an *orders* application
+and a *warehouse* application run as separate Sentinel instances (each
+an Exodus client with its own local detector, Fig. 2); a global
+composite event — an order placed in one application AND a stock-out
+recorded in the other — triggers a detached procurement rule back in
+the warehouse.
+
+Run:  python examples/inventory_workflow.py
+"""
+
+from repro import Reactive, Sentinel, event, set_current_detector
+from repro.globaldet import GlobalEventDetector
+
+
+class OrderBook(Reactive):
+    def __init__(self):
+        self.orders = []
+
+    @event(end="order_placed")
+    def place_order(self, sku, qty):
+        self.orders.append((sku, qty))
+
+
+class Warehouse(Reactive):
+    def __init__(self):
+        self.stock = {}
+
+    @event(end="stock_out")
+    def record_stock_out(self, sku):
+        self.stock[sku] = 0
+
+    @event(end="restocked")
+    def restock(self, sku, qty):
+        self.stock[sku] = self.stock.get(sku, 0) + qty
+
+
+def main():
+    ged = GlobalEventDetector()
+    orders_app = Sentinel(name="orders", activate=False)
+    warehouse_app = Sentinel(name="warehouse", activate=False)
+
+    # Local event interfaces.
+    set_current_detector(orders_app.detector)
+    order_events = OrderBook.register_events(orders_app.detector)
+    warehouse_events = Warehouse.register_events(warehouse_app.detector)
+
+    # Register both applications with the global detector and export
+    # the events that participate in the inter-application rule.
+    orders_ep = ged.register(orders_app)
+    warehouse_ep = ged.register(warehouse_app)
+    g_order = orders_ep.export_event("OrderBook_order_placed")
+    g_stockout = warehouse_ep.export_event("Warehouse_stock_out")
+
+    # Global composite: an order and a stock-out (any order of arrival).
+    shortage = ged.and_(g_order, g_stockout, name="shortage")
+
+    # Deliver detections into the warehouse app as a local explicit
+    # event, and react there with a DETACHED rule (its own top-level
+    # transaction, independent of whoever triggered it).
+    warehouse_ep.subscribe_global(shortage, "procurement_needed")
+
+    procurement_log = []
+
+    def procure(occurrence):
+        sku = occurrence.params.value("sku")
+        warehouse.restock(sku, 100)
+        procurement_log.append(sku)
+        print(f"    [warehouse] detached procurement: +100 units of {sku}")
+
+    set_current_detector(warehouse_app.detector)
+    warehouse_app.rule(
+        "Procure", "procurement_needed", lambda occ: True, procure,
+        coupling="detached",
+    )
+
+    # --- the cooperating applications at work -------------------------------
+    book = OrderBook()
+    warehouse = Warehouse()
+
+    print("orders app: customer orders 5 of SKU-7")
+    set_current_detector(orders_app.detector)
+    with orders_app.transaction():
+        book.place_order("SKU-7", 5)
+
+    print("warehouse app: picker reports SKU-7 shelf empty")
+    set_current_detector(warehouse_app.detector)
+    with warehouse_app.transaction():
+        warehouse.record_stock_out("SKU-7")
+
+    print("global detector: pumping inter-application events")
+    ged.run_to_fixpoint()
+    warehouse_app.wait_detached()
+
+    print(f"procurement log: {procurement_log}")
+    print(f"warehouse stock after workflow: {warehouse.stock}")
+    assert procurement_log == ["SKU-7"]
+    assert warehouse.stock["SKU-7"] == 100
+
+    orders_app.close()
+    warehouse_app.close()
+    ged.shutdown()
+
+
+if __name__ == "__main__":
+    main()

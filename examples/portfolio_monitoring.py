@@ -1,0 +1,124 @@
+"""Portfolio monitoring: composite events, contexts, and temporal rules.
+
+A richer scenario in the domain the paper's examples live in — stock
+trading. Demonstrates:
+
+* the Snoop spec language driving the whole setup (pre-processor path),
+* the SEQ and NOT operators,
+* the same event detected in two parameter contexts at once,
+* temporal events (P operator) against a simulated clock,
+* rule priorities.
+
+Run:  python examples/portfolio_monitoring.py
+"""
+
+from repro import Sentinel, SimulatedClock
+from repro.snoop import build_spec
+
+
+class Stock:
+    """A plain class — the Snoop builder instruments it (post-processor)."""
+
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    def set_price(self, price):
+        self.price = price
+
+    def sell_stock(self, qty):
+        return qty
+
+
+SPEC = """
+# Declared exactly like the paper's class-level interface.
+class Stock : public REACTIVE {
+    event begin(px) && end(px_done) void set_price(float price)
+    event end(sold) int sell_stock(int qty)
+
+    # a drop is a price change followed by a sale
+    event drop_then_sell = px ; sold
+    rule PanicSale(drop_then_sell, is_panic, report_panic, CHRONICLE, IMMEDIATE, 10)
+}
+
+# No sale between the end of one price update and the start of the
+# next: a quiet market interval for the class.
+event quiet = not(Stock.sold)[Stock.px_done, Stock.px]
+rule QuietMarket(quiet, always_true, report_quiet, RECENT, IMMEDIATE, 1)
+"""
+
+
+def main():
+    clock = SimulatedClock()
+    system = Sentinel(name="portfolio", clock=clock)
+    reports = []
+
+    def is_panic(occ):
+        return occ.params.value("qty") >= 100
+
+    namespace = {
+        "Stock": Stock,
+        "is_panic": is_panic,
+        "report_panic": lambda occ: reports.append(
+            f"PANIC: {occ.params.value('qty')} shares dumped after a "
+            f"price move to {occ.params.value('price')}"
+        ),
+        "always_true": lambda occ: True,
+        "report_quiet": lambda occ: reports.append("quiet market interval"),
+    }
+    build_spec(SPEC, system.detector, namespace)
+
+    # A second view of the SAME event expression in a different context:
+    # the multi-context single-graph feature of the paper (§3.2.2).
+    system.rule(
+        "PanicAudit",
+        system.event("Stock_drop_then_sell"),
+        lambda occ: True,
+        lambda occ: reports.append(
+            "audit: cumulative panic-window activity "
+            f"({len(occ.params)} constituent events)"
+        ),
+        context="cumulative",
+        priority=1,
+    )
+
+    # Heartbeat valuation every 10 virtual minutes while the market is
+    # open: P(open, 10, close).
+    system.explicit_event("market_open")
+    system.explicit_event("market_close")
+    ticker = system.detector.periodic(
+        "market_open", 10.0, "market_close", name="valuation_tick"
+    )
+    system.rule(
+        "Valuation", ticker, lambda occ: True,
+        lambda occ: reports.append(
+            f"valuation snapshot at t={occ.params.value('time'):g}"
+        ),
+    )
+
+    ibm = Stock("IBM", 100.0)
+    with system.transaction():
+        system.raise_event("market_open")
+
+        ibm.set_price(95.0)  # px
+        ibm.sell_stock(500)  # sold -> PanicSale + PanicAudit
+
+        system.advance_time(25.0)  # two valuation ticks (t=10, t=20)
+
+        ibm.set_price(94.0)
+        ibm.set_price(93.5)  # px..px_done with no sale -> QuietMarket
+
+        system.raise_event("market_close")
+
+    print("reports, in rule-priority order within each event:")
+    for line in reports:
+        print("  -", line)
+
+    expected_kinds = {"PANIC", "audit", "valuation", "quiet"}
+    seen = {r.split()[0].rstrip(":") for r in reports}
+    assert expected_kinds <= seen, (expected_kinds, seen)
+    system.close()
+
+
+if __name__ == "__main__":
+    main()

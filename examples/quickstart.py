@@ -1,0 +1,82 @@
+"""Quickstart: the paper's STOCK example, end to end.
+
+Reproduces §3.1-3.2 of the ICDE'95 paper: the STOCK class declares
+primitive events on its methods, a composite event ``e4 = e1 ^ e2`` is
+defined, and rule R1 is attached in the CUMULATIVE context with
+DEFERRED coupling and priority 10 — so it runs once, at commit,
+seeing every constituent occurrence of the transaction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Reactive, Sentinel, event
+
+
+class Stock(Reactive):
+    """A reactive class: method events declared exactly as in the paper.
+
+    ``event end(e1) int sell_stock(int qty)``
+    ``event begin(e2) && end(e3) void set_price(float price)``
+    """
+
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    @event(end="e1")
+    def sell_stock(self, qty):
+        print(f"    [app] sold {qty} shares of {self.symbol}")
+        return qty
+
+    @event(begin="e2", end="e3")
+    def set_price(self, price):
+        print(f"    [app] {self.symbol} price {self.price} -> {price}")
+        self.price = price
+
+
+def main():
+    system = Sentinel(name="quickstart")
+    events = system.register_class(Stock)  # Stock_e1, Stock_e2, Stock_e3
+
+    # event e4 = e1 ^ e2  (both a sale and a price change, any order)
+    e4 = system.detector.and_(events["e1"], events["e2"], name="Stock_e4")
+
+    def cond1(occurrence):
+        # Conditions are side-effect free; they see the parameter list.
+        total_qty = sum(occurrence.params.values("qty"))
+        print(f"    [R1 condition] cumulative quantity sold: {total_qty}")
+        return total_qty > 0
+
+    def action1(occurrence):
+        symbols = occurrence.params.instances()
+        prices = occurrence.params.values("price")
+        print(f"    [R1 action] fired with prices={prices}, objects={symbols}")
+
+    # rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW)
+    system.rule("R1", e4, cond1, action1,
+                context="cumulative", coupling="deferred",
+                priority=10, trigger_mode="now")
+
+    print("transaction 1: trade IBM and DEC")
+    ibm = Stock("IBM", 100.0)
+    dec = Stock("DEC", 50.0)
+    with system.transaction():
+        ibm.sell_stock(300)
+        ibm.set_price(101.5)
+        dec.sell_stock(120)
+        dec.set_price(49.0)
+        print("    (R1 is deferred: nothing fired yet)")
+    print("  -> commit ran R1 exactly once with the cumulative parameters\n")
+
+    print("transaction 2: price changes only (no sale)")
+    with system.transaction():
+        ibm.set_price(102.0)
+    print("  -> R1 did not fire: its event needs e1 ^ e2\n")
+
+    print(f"rule R1 statistics: triggered={system.rules.get('R1').triggered_count}, "
+          f"executed={system.rules.get('R1').executed_count}")
+    system.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""The rule debugger: traces, visualizations, and breakpoints.
+
+Reproduces the Sentinel rule debugger's three views ("interaction among
+rules, among events and rules, and among rules and database objects")
+as text, plus breakpoint-driven stepping through a rule cascade.
+
+Run:  python examples/rule_debugging.py
+"""
+
+from repro import Reactive, Sentinel, event
+from repro.debugger import (
+    BreakAction,
+    BreakpointManager,
+    TraceRecorder,
+    render_event_graph,
+    render_rule_interactions,
+    render_timeline,
+)
+
+
+class Thermostat(Reactive):
+    def __init__(self, room):
+        self.room = room
+        self.temperature = 20.0
+
+    @event(end="reading")
+    def report(self, temperature):
+        self.temperature = temperature
+
+
+class Hvac(Reactive):
+    def __init__(self):
+        self.cooling = False
+
+    @event(end="cooling_started")
+    def start_cooling(self):
+        self.cooling = True
+
+
+def main():
+    system = Sentinel(name="building")
+    thermostat_events = Thermostat.register_events(system.detector)
+    hvac_events = Hvac.register_events(system.detector)
+    hvac = Hvac()
+
+    # Rule cascade: a hot reading starts cooling; cooling triggers an
+    # audit entry — rule-triggers-rule, visible in the interaction graph.
+    system.rule(
+        "CoolDown", thermostat_events["reading"],
+        lambda occ: occ.params.value("temperature") > 28.0,
+        lambda occ: hvac.start_cooling(),
+        priority=10,
+    )
+    audit = []
+    system.rule(
+        "AuditCooling", hvac_events["cooling_started"],
+        lambda occ: True,
+        lambda occ: audit.append("cooling event recorded"),
+    )
+
+    recorder = TraceRecorder(system.detector).attach()
+
+    print("=== event graph ===")
+    print(render_event_graph(system.graph))
+
+    lobby = Thermostat("lobby")
+    with system.transaction():
+        lobby.report(22.0)  # condition false
+        lobby.report(31.5)  # cascade: CoolDown -> AuditCooling
+
+    print("=== execution timeline ===")
+    print(render_timeline(recorder))
+    print("=== rule interactions ===")
+    print(render_rule_interactions(recorder))
+    print(f"=== objects touched ===\n{recorder.objects_touched()}\n")
+    assert ("CoolDown", "AuditCooling") in recorder.rule_edges()
+
+    # Breakpoints: veto the next CoolDown without touching the rules.
+    print("=== breakpoint: skipping the next CoolDown ===")
+    manager = BreakpointManager(
+        system.detector,
+        handler=lambda ctx: (
+            print(f"  breakpoint hit: {ctx.rule.name} at depth {ctx.depth}"),
+            BreakAction.SKIP,
+        )[1],
+    ).attach()
+    manager.break_on_rule("CoolDown", one_shot=True)
+    hvac.cooling = False
+    with system.transaction():
+        lobby.report(35.0)  # would normally cool; breakpoint skips it
+    print(f"  cooling after skipped rule: {hvac.cooling}")
+    assert hvac.cooling is False
+
+    manager.detach()
+    recorder.detach()
+    system.close()
+
+
+if __name__ == "__main__":
+    main()

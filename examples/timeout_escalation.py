@@ -1,0 +1,81 @@
+"""Timeouts and escalation: NOT + PLUS, the classic absence pattern.
+
+Active databases answer "what if something *doesn't* happen?" — the
+hardest pattern for passive polling systems. Here a support-desk app
+escalates any ticket not acknowledged within its SLA window:
+
+    timeout = not(acknowledged)[opened, plus(opened, SLA)]
+
+Run:  python examples/timeout_escalation.py
+"""
+
+from repro import Reactive, Sentinel, SimulatedClock, event
+from repro.core import conditions as when
+
+SLA = 30.0  # virtual minutes
+
+
+class Ticket(Reactive):
+    def __init__(self, number):
+        self.number = number
+        self.state = "new"
+
+    @event(end="opened")
+    def open(self, severity):
+        self.state = "open"
+
+    @event(end="acknowledged")
+    def acknowledge(self, agent):
+        self.state = "acknowledged"
+
+
+def main():
+    system = Sentinel(name="helpdesk", clock=SimulatedClock())
+    events = Ticket.register_events(system.detector)
+
+    # The absence window: opened, then SLA minutes with no ack.
+    deadline = system.detector.plus(events["opened"], SLA)
+    timeout = system.detector.not_(
+        events["opened"], events["acknowledged"], deadline, name="sla_miss"
+    )
+
+    escalations = []
+    system.rule(
+        "Escalate", timeout,
+        when.param_at_least("severity", 2),  # only sev-2 and up escalate
+        lambda occ: escalations.append(
+            f"ticket escalated (severity "
+            f"{occ.params.value('severity')}) after {SLA:g}m silence"
+        ),
+        context="chronicle",
+    )
+
+    print("ticket 101 (severity 3): never acknowledged")
+    t101 = Ticket(101)
+    t101.open(severity=3)
+    system.advance_time(SLA + 1)
+    print(f"  escalations: {escalations}")
+    assert len(escalations) == 1
+
+    print("ticket 102 (severity 3): acknowledged in time")
+    escalations.clear()
+    t102 = Ticket(102)
+    t102.open(severity=3)
+    system.advance_time(10.0)
+    t102.acknowledge(agent="amy")
+    system.advance_time(SLA)
+    print(f"  escalations: {escalations}")
+    assert escalations == []
+
+    print("ticket 103 (severity 1): ignored but below the policy bar")
+    t103 = Ticket(103)
+    t103.open(severity=1)
+    system.advance_time(SLA + 1)
+    print(f"  escalations: {escalations}")
+    assert escalations == []
+
+    system.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Workload generation for the benchmark harness.
+
+The paper reports no quantitative evaluation, so the benchmarks adopt
+the BEAST methodology (the designer's benchmark for active DBMSs from
+the same research community): synthetic reactive schemas, event
+streams, and rule populations with controllable shape. Everything here
+is seeded and deterministic.
+"""
+
+from repro.bench.workload import (
+    EventStream,
+    ReactiveSchema,
+    RulePopulation,
+    make_expression,
+)
+
+__all__ = [
+    "ReactiveSchema",
+    "EventStream",
+    "RulePopulation",
+    "make_expression",
+]

@@ -1,0 +1,144 @@
+"""Synthetic schemas, event streams, and rule populations."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.detector import LocalEventDetector
+from repro.core.events.base import EventNode
+
+
+@dataclass
+class ReactiveSchema:
+    """A synthetic schema: ``n_classes`` classes x ``n_methods`` methods.
+
+    Creating it against a detector defines one class-level primitive
+    event per method, named ``C<i>_m<j>``.
+    """
+
+    n_classes: int = 4
+    n_methods: int = 4
+
+    def class_name(self, i: int) -> str:
+        return f"C{i}"
+
+    def method_name(self, j: int) -> str:
+        return f"m{j}"
+
+    def event_name(self, i: int, j: int) -> str:
+        return f"C{i}_m{j}"
+
+    def install(self, detector: LocalEventDetector) -> list[EventNode]:
+        """Create every class-level primitive event of the schema."""
+        nodes = []
+        for i in range(self.n_classes):
+            for j in range(self.n_methods):
+                nodes.append(
+                    detector.primitive_event(
+                        self.event_name(i, j),
+                        self.class_name(i),
+                        "end",
+                        self.method_name(j),
+                    )
+                )
+        return nodes
+
+    def signal(self, detector: LocalEventDetector, i: int, j: int,
+               **params) -> None:
+        """Simulate one method invocation of class ``i``, method ``j``."""
+        detector.notify(
+            f"obj-{i}", self.class_name(i), self.method_name(j), "end", params
+        )
+
+
+@dataclass
+class EventStream:
+    """A deterministic pseudo-random stream of method invocations."""
+
+    schema: ReactiveSchema
+    length: int = 1000
+    seed: int = 42
+
+    def __iter__(self):
+        rng = random.Random(self.seed)
+        for sequence in range(self.length):
+            i = rng.randrange(self.schema.n_classes)
+            j = rng.randrange(self.schema.n_methods)
+            yield i, j, {"n": sequence}
+
+    def pump(self, detector: LocalEventDetector) -> int:
+        """Signal the entire stream; returns the number of invocations."""
+        count = 0
+        for i, j, params in self:
+            self.schema.signal(detector, i, j, **params)
+            count += 1
+        return count
+
+
+def make_expression(
+    detector: LocalEventDetector,
+    operator: str,
+    leaves: list[EventNode],
+    period: float = 5.0,
+) -> EventNode:
+    """Build one composite expression of the named operator kind.
+
+    ``operator`` is one of AND/OR/SEQ/NOT/A/A*/P/P*/PLUS; binary
+    operators fold the leaf list left-associatively, ternary operators
+    use the first three leaves.
+    """
+    graph = detector.graph
+    if operator in ("AND", "OR", "SEQ"):
+        build = {"AND": graph.and_, "OR": graph.or_, "SEQ": graph.seq}[operator]
+        node = leaves[0]
+        for leaf in leaves[1:]:
+            node = build(node, leaf)
+        return node
+    if operator == "NOT":
+        return graph.not_(leaves[0], leaves[1], leaves[2])
+    if operator == "A":
+        return graph.aperiodic(leaves[0], leaves[1], leaves[2])
+    if operator == "A*":
+        return graph.aperiodic_star(leaves[0], leaves[1], leaves[2])
+    if operator == "P":
+        return graph.periodic(leaves[0], period, leaves[1])
+    if operator == "P*":
+        return graph.periodic_star(leaves[0], period, leaves[1])
+    if operator == "PLUS":
+        return graph.plus(leaves[0], period)
+    raise ValueError(f"unknown operator {operator!r}")
+
+
+@dataclass
+class RulePopulation:
+    """Attach ``n_rules`` trivial rules to an event (fan-out workloads)."""
+
+    n_rules: int = 10
+    context: str = "recent"
+    priority_spread: int = 1  # rules get priority (index % spread)
+    condition: Optional[Callable] = None
+
+    fired: int = 0
+
+    def install(self, detector: LocalEventDetector, event: EventNode,
+                tag: str = "pop") -> list[str]:
+        """Attach the counting rules to ``event``; returns their names."""
+        names = []
+
+        def action(occ) -> None:
+            self.fired += 1
+
+        for index in range(self.n_rules):
+            name = f"{tag}-{index}"
+            detector.rule(
+                name,
+                event,
+                self.condition or (lambda occ: True),
+                action,
+                context=self.context,
+                priority=index % max(1, self.priority_spread),
+            )
+            names.append(name)
+        return names

@@ -1,0 +1,171 @@
+"""Command-line tools for the Sentinel specification language.
+
+The original pre-processor was a standalone tool run over application
+sources; this CLI exposes the same pipeline:
+
+* ``check``   — parse a spec file, report the events and rules it defines.
+* ``codegen`` — emit the generated Python (the pre-processor's output).
+* ``graph``   — build the spec and render the event graph as ASCII.
+* ``replay``  — run a JSON-lines event log (``repro.eventlog`` format)
+  through a spec in collect mode and report which rules would fire.
+
+Conditions and actions referenced by the spec are stubbed (always-true
+conditions, counting actions), so specs can be validated without the
+application code.
+
+Usage::
+
+    python -m repro check myspec.sentinel
+    python -m repro codegen myspec.sentinel
+    python -m repro graph myspec.sentinel
+    python -m repro replay myspec.sentinel events.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Optional
+
+from repro.core.detector import LocalEventDetector
+from repro.debugger.visualize import render_event_graph
+from repro.errors import SentinelError
+from repro.eventlog import EventLog, replay as replay_log
+from repro.snoop import ast as snoop_ast
+from repro.snoop.builder import SpecBuilder
+from repro.snoop.codegen import generate
+from repro.snoop.parser import parse
+
+
+def _stub_namespace(spec: snoop_ast.Spec) -> dict:
+    """Always-true conditions and no-op actions for every reference."""
+    namespace: dict = {}
+    rules = list(spec.rules)
+    for class_def in spec.classes:
+        rules.extend(class_def.rules)
+    for rule in rules:
+        namespace.setdefault(rule.condition, lambda occ: True)
+        namespace.setdefault(rule.action, lambda occ: None)
+    return namespace
+
+
+def _load_spec(path: str) -> snoop_ast.Spec:
+    source = Path(path).read_text()
+    return parse(source)
+
+
+def _build(spec: snoop_ast.Spec) -> tuple[LocalEventDetector, SpecBuilder]:
+    detector = LocalEventDetector(name="cli")
+    builder = SpecBuilder(detector, _stub_namespace(spec)).build(spec)
+    return detector, builder
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Parse and validate a spec; print its inventory and warnings."""
+    spec = _load_spec(args.spec)
+    detector, builder = _build(spec)
+    print(f"{args.spec}: OK")
+    print(f"  classes:          {len(spec.classes)}")
+    print(f"  primitive events: "
+          f"{sum(1 for n in detector.graph.nodes() if not n.children)}")
+    print(f"  event graph:      {len(detector.graph)} nodes "
+          f"({detector.graph.stats.shared_hits} shared)")
+    print(f"  rules:            {len(builder.rules)}")
+    for name in sorted(builder.rules):
+        rule = builder.rules[name]
+        print(f"    {name}: on {rule.event.display_name} "
+              f"[{rule.context.value}, {rule.coupling.value}, "
+              f"p{rule.priority}]")
+    from repro.core.events.analysis import analyze_graph
+
+    warnings = analyze_graph(detector.graph)
+    for warning in warnings:
+        print(f"  warning: {warning}")
+    detector.shutdown()
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Emit the generated Python for a spec (pre-processor output)."""
+    spec = _load_spec(args.spec)
+    source = generate(spec)
+    if args.output:
+        Path(args.output).write_text(source)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(source)
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    """Render a spec's event graph as ASCII."""
+    spec = _load_spec(args.spec)
+    detector, __ = _build(spec)
+    sys.stdout.write(render_event_graph(detector.graph))
+    detector.shutdown()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay an event log against a spec in collect mode."""
+    spec = _load_spec(args.spec)
+    detector, builder = _build(spec)
+    log = EventLog(args.log)
+    report = replay_log(log, detector, mode="collect")
+    counts = Counter(report.triggered_rules())
+    print(f"replayed {report.events_replayed} events from {args.log}")
+    if not counts:
+        print("no rules would have fired")
+    for name, count in counts.most_common():
+        print(f"  {name}: {count} firing(s)")
+    detector.shutdown()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sentinel specification-language tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and validate a spec file")
+    check.add_argument("spec")
+    check.set_defaults(func=cmd_check)
+
+    codegen = sub.add_parser("codegen", help="emit generated Python")
+    codegen.add_argument("spec")
+    codegen.add_argument("-o", "--output", default=None)
+    codegen.set_defaults(func=cmd_codegen)
+
+    graph = sub.add_parser("graph", help="render the event graph")
+    graph.add_argument("spec")
+    graph.set_defaults(func=cmd_graph)
+
+    rep = sub.add_parser("replay", help="replay an event log (collect mode)")
+    rep.add_argument("spec")
+    rep.add_argument("log")
+    rep.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except SentinelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Clock abstractions used to timestamp event occurrences.
+
+Snoop's temporal operators (``P``, ``P*``, ``PLUS``) and the interval
+semantics of every composite operator require a notion of time. The
+original Sentinel used wall-clock time from the host; for a reproducible
+library we route all time through a small ``Clock`` interface with three
+implementations:
+
+* :class:`LogicalClock` — a monotone counter advanced on every event.
+  This is the default: Snoop's detection semantics only need a total
+  order on occurrences.
+* :class:`SimulatedClock` — manually advanced virtual time, used by
+  tests and benchmarks of the periodic operators.
+* :class:`WallClock` — real time, for online applications.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of timestamps for event occurrences.
+
+    Timestamps are floats; the only requirement Snoop places on them is
+    that they be non-decreasing within one detector.
+    """
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time without advancing the clock."""
+
+    @abstractmethod
+    def tick(self) -> float:
+        """Advance the clock (if it is discrete) and return the new time."""
+
+
+class LogicalClock(Clock):
+    """A thread-safe monotone counter.
+
+    ``tick`` is called by the event detector once per primitive
+    occurrence, so each occurrence gets a distinct timestamp and
+    sequence comparisons (``SEQ``) are unambiguous.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start + 1)
+        self._current = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._current
+
+    def tick(self) -> float:
+        with self._lock:
+            self._current = float(next(self._counter))
+            return self._current
+
+
+class SimulatedClock(Clock):
+    """Virtual time advanced explicitly by the caller.
+
+    Used to test and benchmark the periodic operators deterministically:
+    ``advance(5.0)`` moves time forward and lets the detector fire any
+    periodic events that became due.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._current = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._current
+
+    def tick(self) -> float:
+        return self.advance(1.0)
+
+    def advance(self, delta: float) -> float:
+        """Move virtual time forward by ``delta`` (must be positive)."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta})")
+        with self._lock:
+            self._current += delta
+            return self._current
+
+    def set(self, value: float) -> float:
+        """Jump to an absolute time (must not be in the past)."""
+        with self._lock:
+            if value < self._current:
+                raise ValueError(
+                    f"cannot move time backwards ({value} < {self._current})"
+                )
+            self._current = float(value)
+            return self._current
+
+
+class WallClock(Clock):
+    """Real time via ``time.monotonic`` (never goes backwards)."""
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def tick(self) -> float:
+        return self.now()

@@ -1,0 +1,45 @@
+"""Sentinel core: events, contexts, rules, detection, and scheduling.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.contexts` — the four parameter contexts.
+* :mod:`repro.core.params` — occurrences and parameter lists.
+* :mod:`repro.core.events` — the Snoop operators and the event graph.
+* :mod:`repro.core.detector` — the local composite event detector.
+* :mod:`repro.core.rules` — ECA rules and the rule manager.
+* :mod:`repro.core.scheduler` — prioritized/concurrent rule execution.
+* :mod:`repro.core.reactive` — the REACTIVE base class and method wrappers.
+* :mod:`repro.core.deferred` — the deferred -> immediate A* rewrite.
+"""
+
+from repro.core.contexts import ParameterContext
+from repro.core.params import (
+    CompositeOccurrence,
+    EventModifier,
+    Occurrence,
+    ParamList,
+    PrimitiveOccurrence,
+)
+from repro.core.detector import LocalEventDetector
+from repro.core.rules import CouplingMode, Rule, RuleManager, TriggerMode
+from repro.core.scheduler import RuleScheduler, SerialExecutor, ThreadedExecutor
+from repro.core.reactive import Reactive, event
+
+__all__ = [
+    "ParameterContext",
+    "EventModifier",
+    "Occurrence",
+    "PrimitiveOccurrence",
+    "CompositeOccurrence",
+    "ParamList",
+    "LocalEventDetector",
+    "Rule",
+    "RuleManager",
+    "CouplingMode",
+    "TriggerMode",
+    "RuleScheduler",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "Reactive",
+    "event",
+]

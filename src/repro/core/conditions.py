@@ -1,0 +1,205 @@
+"""Condition combinators: declarative building blocks for rule conditions.
+
+Conditions in Sentinel are side-effect-free boolean functions over the
+triggering occurrence's parameter list. These helpers cover the common
+shapes so applications rarely need hand-written lambdas:
+
+    from repro.core import conditions as when
+
+    system.rule(
+        "BigIBMSale", events["sold"],
+        when.all_of(
+            when.param_at_least("qty", 1000),
+            when.param_equals("symbol", "IBM"),
+        ),
+        action,
+    )
+
+Every combinator returns a plain ``condition(occurrence) -> bool``
+callable, so they compose freely with hand-written conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.params import Occurrence
+
+Condition = Callable[[Occurrence], bool]
+
+
+def always(occurrence: Occurrence) -> bool:
+    """True for every occurrence (event-action rules)."""
+    return True
+
+
+def never(occurrence: Occurrence) -> bool:
+    """False for every occurrence (rules parked without disabling)."""
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Parameter predicates
+# ---------------------------------------------------------------------------
+
+
+def param_equals(name: str, value: Any,
+                 event: Optional[str] = None) -> Condition:
+    """Latest value of parameter ``name`` equals ``value``."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        try:
+            return occurrence.params.value(name, event) == value
+        except KeyError:
+            return False
+
+    return condition
+
+
+def param_above(name: str, threshold: Any,
+                event: Optional[str] = None) -> Condition:
+    """Latest value of ``name`` is strictly greater than ``threshold``."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        try:
+            return occurrence.params.value(name, event) > threshold
+        except KeyError:
+            return False
+
+    return condition
+
+
+def param_at_least(name: str, threshold: Any,
+                   event: Optional[str] = None) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        try:
+            return occurrence.params.value(name, event) >= threshold
+        except KeyError:
+            return False
+
+    return condition
+
+
+def param_below(name: str, threshold: Any,
+                event: Optional[str] = None) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        try:
+            return occurrence.params.value(name, event) < threshold
+        except KeyError:
+            return False
+
+    return condition
+
+
+def param_matches(name: str, predicate: Callable[[Any], bool],
+                  event: Optional[str] = None) -> Condition:
+    """Latest value of ``name`` satisfies an arbitrary predicate."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        try:
+            return bool(predicate(occurrence.params.value(name, event)))
+        except KeyError:
+            return False
+
+    return condition
+
+
+def total_above(name: str, threshold: Any,
+                event: Optional[str] = None) -> Condition:
+    """Sum of every recorded value of ``name`` exceeds ``threshold``
+    (useful with the cumulative context)."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        values = occurrence.params.values(name, event)
+        return bool(values) and sum(values) > threshold
+
+    return condition
+
+
+def count_at_least(event: str, n: int) -> Condition:
+    """At least ``n`` constituent occurrences of ``event``."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        return len(occurrence.params.by_event(event)) >= n
+
+    return condition
+
+
+def same_instance(*event_names: str) -> Condition:
+    """Every named constituent event was signaled by the same object.
+
+    With no names, checks *all* constituents. This is the common join
+    condition for instance correlation over class-level events.
+    """
+
+    def condition(occurrence: Occurrence) -> bool:
+        identities = set()
+        for primitive in occurrence.params:
+            if event_names and primitive.event_name not in event_names:
+                continue
+            identities.add(primitive.instance)
+        return len(identities) == 1
+
+    return condition
+
+
+def same_param(name: str, *event_names: str) -> Condition:
+    """The named events agree on the value of parameter ``name``."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        values = []
+        for event in event_names:
+            try:
+                values.append(occurrence.params.value(name, event))
+            except KeyError:
+                return False
+        return len(set(values)) == 1
+
+    return condition
+
+
+# ---------------------------------------------------------------------------
+# Boolean composition
+# ---------------------------------------------------------------------------
+
+
+def all_of(*conditions: Condition) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        return all(c(occurrence) for c in conditions)
+
+    return condition
+
+
+def any_of(*conditions: Condition) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        return any(c(occurrence) for c in conditions)
+
+    return condition
+
+
+def negate(inner: Condition) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        return not inner(occurrence)
+
+    return condition
+
+
+# ---------------------------------------------------------------------------
+# Time predicates
+# ---------------------------------------------------------------------------
+
+
+def within(duration: float) -> Condition:
+    """The composite's whole interval fits inside ``duration`` ticks."""
+
+    def condition(occurrence: Occurrence) -> bool:
+        return (occurrence.end - occurrence.start) <= duration
+
+    return condition
+
+
+def spans_longer_than(duration: float) -> Condition:
+    def condition(occurrence: Occurrence) -> bool:
+        return (occurrence.end - occurrence.start) > duration
+
+    return condition

@@ -1,0 +1,61 @@
+"""Deferred-coupling rewrite: ``E`` -> ``A*(begin_txn, E, pre_commit_txn)``.
+
+From the paper: "a rule in deferred mode with an (arbitrary) event E is
+transformed by the Sentinel pre-processor to A*(begin_transaction, E,
+pre_commit_transaction). This causes a deferred rule to be executed
+exactly once even though its event may be triggered a number of times
+in the course of that transaction execution. This formulation handles
+the net effect variant of deferred rule execution."
+
+The transaction events are primitive events of the ``$SYSTEM`` class,
+signaled by the Sentinel facade around every top-level transaction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.events.base import EventNode
+from repro.core.params import EventModifier
+
+if TYPE_CHECKING:
+    from repro.core.detector import LocalEventDetector
+
+#: Class name used for the REACTIVE system class's transaction events.
+SYSTEM_CLASS = "$SYSTEM"
+
+BEGIN_TRANSACTION = "begin_transaction"
+PRE_COMMIT_TRANSACTION = "pre_commit_transaction"
+COMMIT_TRANSACTION = "commit_transaction"
+ABORT_TRANSACTION = "abort_transaction"
+
+#: (event name, method on the system class, modifier) for each
+#: transaction event. ``begin`` is "always signaled at the beginning of
+#: a transaction and the pre-commit is signaled before the commit".
+SYSTEM_EVENTS = (
+    (BEGIN_TRANSACTION, "beginTransaction", EventModifier.END),
+    (PRE_COMMIT_TRANSACTION, "commitTransaction", EventModifier.BEGIN),
+    (COMMIT_TRANSACTION, "commitTransaction", EventModifier.END),
+    (ABORT_TRANSACTION, "abortTransaction", EventModifier.END),
+)
+
+
+def ensure_system_events(detector: "LocalEventDetector") -> None:
+    """Define the transaction events on ``detector`` (idempotent)."""
+    for name, method, modifier in SYSTEM_EVENTS:
+        if not detector.graph.has(name):
+            detector.graph.primitive(name, SYSTEM_CLASS, modifier, method)
+
+
+def rewrite_deferred(
+    detector: "LocalEventDetector", rule_name: str, event: EventNode
+) -> EventNode:
+    """Build the ``A*(begin_txn, E, pre_commit_txn)`` event for a rule."""
+    ensure_system_events(detector)
+    graph = detector.graph
+    return graph.aperiodic_star(
+        graph.get(BEGIN_TRANSACTION),
+        event,
+        graph.get(PRE_COMMIT_TRANSACTION),
+        name=f"$deferred:{rule_name}",
+    )

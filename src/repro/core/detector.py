@@ -1,0 +1,493 @@
+"""The local composite event detector.
+
+One detector exists per application ("the event detector is implemented
+as a class and hence we have a single instance of this class per
+application"). It owns the event graph, the rule manager, and the rule
+scheduler, and is the single entry point for signaling:
+
+* ``notify`` — primitive (method) events, called from wrapper methods;
+* ``raise_event`` — explicit events raised by the application;
+* ``advance_time`` / ``poll`` — temporal events;
+* ``signal_system_event`` — the transaction events of the system class.
+
+Detection is *immediate-coupled to the application*: when ``notify``
+returns, every immediate rule triggered (transitively) by that event
+has run — the application "waits for the signaling of a composite event
+that is detected in the immediate mode". Nested triggering is handled
+by re-entrance: an action's method calls notify, whose own rule batch
+runs before the action continues (depth-first execution).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.clock import Clock, LogicalClock, SimulatedClock
+from repro.core.contexts import ParameterContext
+from repro.core.events.graph import EventGraph
+from repro.core.events.primitive import (
+    ExplicitEventNode,
+    PrimitiveEventNode,
+    TemporalEventNode,
+)
+from repro.core.params import EventModifier, PrimitiveOccurrence, atomic
+from repro.core.rules import CouplingMode, Rule, RuleManager
+from repro.core.scheduler import (
+    RuleActivation,
+    RuleScheduler,
+    SerialExecutor,
+    ThreadedExecutor,
+)
+from repro.errors import EventError, UnknownEvent
+from repro.transactions.nested import NestedTransaction, NestedTransactionManager
+
+if TYPE_CHECKING:
+    from repro.core.events.base import EventNode
+
+
+@dataclass
+class DetectorStats:
+    notifications: int = 0
+    suppressed: int = 0
+    triggers: int = 0
+    detached_dispatches: int = 0
+
+
+class LocalEventDetector:
+    """Per-application composite event detection and rule execution."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        executor: Optional[SerialExecutor | ThreadedExecutor] = None,
+        txn_manager: Optional[NestedTransactionManager] = None,
+        sharing: bool = True,
+        error_policy: str = "raise",
+        name: str = "app",
+    ):
+        self.name = name
+        self.clock = clock if clock is not None else LogicalClock()
+        self.graph = EventGraph(self.clock, sharing=sharing)
+        self.graph.set_emitter(self._on_trigger)
+        self.rules = RuleManager(self)
+        from repro.core.priorities import PriorityScheme
+
+        #: named priority classes (paper §3.1); rules may use ints or names
+        self.priorities = PriorityScheme()
+        self.txn_manager = txn_manager
+        self.scheduler = RuleScheduler(
+            self,
+            executor=executor,
+            txn_manager=txn_manager,
+            error_policy=error_policy,
+        )
+        self.stats = DetectorStats()
+        self._local = threading.local()
+        #: names of events forwarded to the global event detector
+        self._global_events: set[str] = set()
+        self._global_listeners: list[Callable[[PrimitiveOccurrence], None]] = []
+        #: handler for DETACHED-coupled activations; the Sentinel facade
+        #: installs one that opens a fresh top-level transaction.
+        self.detached_handler: Optional[Callable[[RuleActivation], None]] = None
+        #: batch mode: record triggers instead of executing rules
+        self.collect_mode = False
+        self.collected: list[RuleActivation] = []
+        #: called with every primitive occurrence (event logging)
+        self.occurrence_listeners: list[
+            Callable[[PrimitiveOccurrence], None]
+        ] = []
+        #: called with (rule, occurrence) on every rule trigger (debugger)
+        self.trigger_listeners: list[Callable[[Rule, Any], None]] = []
+
+    # =====================================================================
+    # Event definition API
+    # =====================================================================
+
+    def primitive_event(
+        self,
+        name: str,
+        class_or_instance: Any,
+        modifier: EventModifier | str,
+        method_name: str,
+        snapshot_state: bool = False,
+    ) -> PrimitiveEventNode:
+        """Define a primitive event, paper §3.1 style.
+
+        ``class_or_instance`` is a class name / class (class-level
+        event: fires for every instance) or an object (instance-level:
+        fires only for that object). ``method_name`` is matched against
+        the invoked method. With ``snapshot_state=True`` every
+        occurrence carries a copy of the object's state at signal time
+        (see :class:`~repro.core.params.PrimitiveOccurrence`).
+        """
+        if isinstance(class_or_instance, str):
+            class_name, instance = class_or_instance, None
+        elif isinstance(class_or_instance, type):
+            class_name, instance = class_or_instance.__name__, None
+        else:
+            class_name = type(class_or_instance).__name__
+            instance = class_or_instance
+        return self.graph.primitive(
+            name, class_name, modifier, method_name, instance=instance,
+            snapshot_state=snapshot_state,
+        )
+
+    def explicit_event(self, name: str) -> ExplicitEventNode:
+        return self.graph.explicit(name)
+
+    def rule_execution_event(self, name: str, rule_name: str,
+                             modifier: EventModifier | str = "end",
+                             ) -> PrimitiveEventNode:
+        """A primitive event on the execution of a rule (meta-rules).
+
+        "Since the rule class can be both reactive and notifiable,
+        methods of the rule class can themselves be event generators":
+        the begin/end of ``rule_name``'s condition-action execution
+        signal this event.
+        """
+        from repro.core.scheduler import RULE_CLASS
+
+        return self.graph.primitive(name, RULE_CLASS, modifier, rule_name)
+
+    def temporal_event(self, name: str, at: Optional[float] = None,
+                       every: Optional[float] = None) -> TemporalEventNode:
+        return self.graph.temporal(name, at=at, every=every)
+
+    def event(self, name: str) -> "EventNode":
+        """Look up a previously defined (named) event."""
+        return self.graph.get(name)
+
+    def define(self, name: str, node: "EventNode") -> "EventNode":
+        """Name an event expression for reuse."""
+        return self.graph.define(name, node)
+
+    # Operator passthroughs so applications rarely need graph access.
+    def and_(self, left, right, name=None):
+        return self.graph.and_(self._n(left), self._n(right), name)
+
+    def or_(self, left, right, name=None):
+        return self.graph.or_(self._n(left), self._n(right), name)
+
+    def seq(self, left, right, name=None):
+        return self.graph.seq(self._n(left), self._n(right), name)
+
+    def not_(self, initiator, forbidden, terminator, name=None):
+        return self.graph.not_(
+            self._n(initiator), self._n(forbidden), self._n(terminator), name
+        )
+
+    def aperiodic(self, initiator, middle, terminator, name=None):
+        return self.graph.aperiodic(
+            self._n(initiator), self._n(middle), self._n(terminator), name
+        )
+
+    def aperiodic_star(self, initiator, middle, terminator, name=None):
+        return self.graph.aperiodic_star(
+            self._n(initiator), self._n(middle), self._n(terminator), name
+        )
+
+    def periodic(self, initiator, period, terminator, name=None):
+        return self.graph.periodic(
+            self._n(initiator), period, self._n(terminator), name
+        )
+
+    def periodic_star(self, initiator, period, terminator, name=None):
+        return self.graph.periodic_star(
+            self._n(initiator), period, self._n(terminator), name
+        )
+
+    def plus(self, initiator, delay, name=None):
+        return self.graph.plus(self._n(initiator), delay, name)
+
+    def _n(self, event) -> "EventNode":
+        return self.graph.get(event) if isinstance(event, str) else event
+
+    # =====================================================================
+    # Rule definition API
+    # =====================================================================
+
+    def rule(self, name, event, condition, action, context="recent",
+             coupling="immediate", priority=1, trigger_mode="now",
+             enabled=True, scope="public", owner=None) -> Rule:
+        """Define a rule (paper §3.1 ``rule_spec``)."""
+        return self.rules.create(
+            name, event, condition, action,
+            context=context, coupling=coupling, priority=priority,
+            trigger_mode=trigger_mode, enabled=enabled,
+            scope=scope, owner=owner,
+        )
+
+    # =====================================================================
+    # Signaling
+    # =====================================================================
+
+    def notify(
+        self,
+        instance: Any,
+        class_name: str,
+        method_name: str,
+        modifier: EventModifier | str,
+        arguments: dict[str, Any] | tuple = (),
+        txn_id: Optional[int] = None,
+    ) -> list[PrimitiveOccurrence]:
+        """Signal a method invocation (the wrapper methods' Notify call).
+
+        Returns the primitive occurrences generated — one per matching
+        primitive event node (a single ``set_price`` call can fire both
+        a class-level and an instance-level event).
+        """
+        self.stats.notifications += 1
+        if self._is_suppressed():
+            self.stats.suppressed += 1
+            return []
+        if isinstance(modifier, str):
+            modifier = EventModifier.parse(modifier)
+        if isinstance(arguments, dict):
+            arguments = tuple(arguments.items())
+        arguments = tuple((k, atomic(v)) for k, v in arguments)
+        at = self.clock.tick()
+        if txn_id is None:
+            current = self.current_transaction()
+            txn_id = current.top_level_id if current is not None else None
+        occurrences: list[PrimitiveOccurrence] = []
+        # Inheritance property: a method invocation on a subclass
+        # instance matches events declared on any ancestor class.
+        candidates = [class_name]
+        if instance is not None:
+            mro_names = [c.__name__ for c in type(instance).__mro__]
+            if class_name in mro_names:
+                candidates = mro_names
+
+        def propagate() -> None:
+            nodes = [
+                node
+                for candidate in candidates
+                for node in self.graph.primitives_for(candidate)
+            ]
+            for node in nodes:
+                if not node.matches(
+                    node.class_name, method_name, modifier, instance
+                ):
+                    continue
+                occurrence = PrimitiveOccurrence(
+                    event_name=node.display_name,
+                    at=at,
+                    class_name=class_name,
+                    instance=self._identity(instance),
+                    method_name=method_name,
+                    modifier=modifier,
+                    arguments=arguments,
+                    txn_id=txn_id,
+                    state_snapshot=self._snapshot(node, instance),
+                )
+                occurrences.append(occurrence)
+                for listener in self.occurrence_listeners:
+                    listener(occurrence)
+                node.occur(occurrence)
+                if node.display_name in self._global_events:
+                    self._forward_global(occurrence)
+
+        self._dispatch(propagate)
+        return occurrences
+
+    def raise_event(self, name: str, txn_id: Optional[int] = None,
+                    **params: Any) -> PrimitiveOccurrence:
+        """Raise an explicit (abstract) event with keyword parameters."""
+        node = self.graph.get(name)
+        if not isinstance(node, ExplicitEventNode):
+            raise EventError(
+                f"{name!r} is not an explicit event; only explicit events "
+                f"can be raised directly"
+            )
+        at = self.clock.tick()
+        if txn_id is None:
+            current = self.current_transaction()
+            txn_id = current.top_level_id if current is not None else None
+        occurrence = PrimitiveOccurrence(
+            event_name=name,
+            at=at,
+            class_name="$EXPLICIT",
+            arguments=tuple((k, atomic(v)) for k, v in params.items()),
+            txn_id=txn_id,
+        )
+        self._dispatch(lambda: self._raise(node, occurrence))
+        return occurrence
+
+    def _raise(self, node: ExplicitEventNode, occ: PrimitiveOccurrence) -> None:
+        for listener in self.occurrence_listeners:
+            listener(occ)
+        node.occur(occ)
+        if node.display_name in self._global_events:
+            self._forward_global(occ)
+
+    def signal_system_event(self, event_name: str,
+                            txn_id: Optional[int] = None) -> None:
+        """Signal one of the transaction events of the system class."""
+        from repro.core.deferred import SYSTEM_CLASS, SYSTEM_EVENTS
+
+        for name, method, modifier in SYSTEM_EVENTS:
+            if name == event_name:
+                self.notify(
+                    None, SYSTEM_CLASS, method, modifier,
+                    arguments={"txn_id": txn_id}, txn_id=txn_id,
+                )
+                return
+        raise UnknownEvent(f"unknown system event {event_name!r}")
+
+    # -- temporal --------------------------------------------------------------
+
+    def advance_time(self, delta: float) -> None:
+        """Advance a simulated clock and fire any due temporal events."""
+        if not isinstance(self.clock, SimulatedClock):
+            raise EventError(
+                "advance_time requires a SimulatedClock; use poll() with "
+                "real clocks"
+            )
+        self.clock.advance(delta)
+        self.poll()
+
+    def poll(self) -> None:
+        """Check temporal nodes against the current clock."""
+        now = self.clock.now()
+        self._dispatch(lambda: self.graph.poll(now))
+
+    # =====================================================================
+    # Dispatch machinery
+    # =====================================================================
+
+    def _frames(self) -> list[list[RuleActivation]]:
+        frames = getattr(self._local, "frames", None)
+        if frames is None:
+            frames = []
+            self._local.frames = frames
+        return frames
+
+    def _dispatch(self, propagate: Callable[[], None]) -> None:
+        """Run a propagation, then execute the rules it triggered.
+
+        The activation frame is popped *before* the scheduler runs, so
+        rules triggered from inside an action (via a nested notify) get
+        their own frame — depth-first nested execution.
+        """
+        frames = self._frames()
+        frame: list[RuleActivation] = []
+        frames.append(frame)
+        try:
+            propagate()
+        finally:
+            frames.pop()
+        self._run_frame(frame)
+
+    def _on_trigger(self, rule: Rule, occurrence) -> None:
+        """Graph emitter: a rule subscriber matched a detection."""
+        rule.triggered_count += 1
+        self.stats.triggers += 1
+        for listener in self.trigger_listeners:
+            listener(rule, occurrence)
+        activation = RuleActivation(
+            rule, occurrence, parent_txn=self.current_transaction()
+        )
+        frames = self._frames()
+        if frames:
+            frames[-1].append(activation)
+        else:
+            self._run_frame([activation])
+
+    def _run_frame(self, frame: list[RuleActivation]) -> None:
+        if not frame:
+            return
+        if self.collect_mode:
+            self.collected.extend(frame)
+            return
+        immediate = [
+            a for a in frame if a.rule.coupling is not CouplingMode.DETACHED
+        ]
+        detached = [
+            a for a in frame if a.rule.coupling is CouplingMode.DETACHED
+        ]
+        if immediate:
+            self.scheduler.run(immediate)
+        for activation in detached:
+            self.stats.detached_dispatches += 1
+            if self.detached_handler is not None:
+                self.detached_handler(activation)
+            else:
+                # No transaction infrastructure attached: run standalone.
+                activation.parent_txn = None
+                self.scheduler.run_one(activation)
+
+    # -- suppression (conditions are side-effect free) ---------------------------
+
+    def _is_suppressed(self) -> bool:
+        return getattr(self._local, "suppressed", False)
+
+    @contextmanager
+    def signals_suppressed(self):
+        """Ignore event signaling on this thread (condition evaluation)."""
+        previous = self._is_suppressed()
+        self._local.suppressed = True
+        try:
+            yield
+        finally:
+            self._local.suppressed = previous
+
+    # -- transaction context ---------------------------------------------------------
+
+    def current_transaction(self) -> Optional[NestedTransaction]:
+        return getattr(self._local, "txn", None)
+
+    def set_current_transaction(
+        self, txn: Optional[NestedTransaction]
+    ) -> None:
+        self._local.txn = txn
+
+    # -- global events -----------------------------------------------------------------
+
+    def mark_global(self, event_name: str) -> None:
+        """Forward occurrences of ``event_name`` to global listeners."""
+        self.graph.get(event_name)  # must exist
+        self._global_events.add(event_name)
+
+    def add_global_listener(
+        self, listener: Callable[[PrimitiveOccurrence], None]
+    ) -> None:
+        self._global_listeners.append(listener)
+
+    def _forward_global(self, occurrence: PrimitiveOccurrence) -> None:
+        for listener in self._global_listeners:
+            listener(occurrence)
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def flush(self, event_name: Optional[str] = None,
+              ctx: Optional[ParameterContext] = None) -> None:
+        """Discard pending detection state (transaction boundaries)."""
+        self.graph.flush(event_name, ctx)
+
+    def _snapshot(self, node: PrimitiveEventNode,
+                  instance: Any) -> Optional[tuple]:
+        """Copy the object's state for snapshot-enabled events."""
+        if not node.snapshot_state or instance is None:
+            return None
+        if hasattr(instance, "persistent_state"):
+            state = instance.persistent_state()
+        else:
+            state = {
+                k: v for k, v in vars(instance).items()
+                if not k.startswith("_")
+            }
+        return tuple((k, atomic(v)) for k, v in state.items())
+
+    def _identity(self, instance: Any) -> Any:
+        if instance is None:
+            return None
+        oid = getattr(instance, "oid", None)
+        if oid is not None:
+            return oid
+        return instance
+
+    def shutdown(self) -> None:
+        self.scheduler.shutdown()

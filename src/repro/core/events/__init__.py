@@ -1,0 +1,43 @@
+"""Event graph nodes: primitives plus the Snoop operators.
+
+Leaf nodes correspond to primitive or external events; internal nodes
+correspond to event sub-expressions (paper §3.2.2). Each node keeps a
+subscriber list — parent operator nodes and rules — and per-context
+detection state enabled by reference counters.
+"""
+
+from repro.core.events.base import EventNode
+from repro.core.events.primitive import (
+    ExplicitEventNode,
+    PrimitiveEventNode,
+    TemporalEventNode,
+)
+from repro.core.events.operators import (
+    AndNode,
+    AperiodicNode,
+    AperiodicStarNode,
+    NotNode,
+    OrNode,
+    PeriodicNode,
+    PeriodicStarNode,
+    PlusNode,
+    SeqNode,
+)
+from repro.core.events.graph import EventGraph
+
+__all__ = [
+    "EventNode",
+    "PrimitiveEventNode",
+    "TemporalEventNode",
+    "ExplicitEventNode",
+    "AndNode",
+    "OrNode",
+    "SeqNode",
+    "NotNode",
+    "AperiodicNode",
+    "AperiodicStarNode",
+    "PeriodicNode",
+    "PeriodicStarNode",
+    "PlusNode",
+    "EventGraph",
+]

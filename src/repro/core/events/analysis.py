@@ -1,0 +1,120 @@
+"""Static analysis of event expressions.
+
+The pre-processor can warn about constructs that parse and build but
+rarely mean what the author intended. Each check returns
+:class:`ExpressionWarning` entries; the CLI's ``check`` command prints
+them, and applications can call :func:`analyze` directly.
+
+Checks:
+
+* ``self-bracketing-window`` — a windowed operator whose initiator and
+  terminator are the same node (``A(e, x, e)``): port-delivery order
+  makes the window close/reopen ambiguously; use distinct events.
+* ``forbidden-equals-bound`` — ``NOT`` whose forbidden event is also
+  its initiator or terminator: every window is spoiled by the event
+  that opens/closes it.
+* ``middle-equals-bound`` — ``A``/``A*`` whose middle event equals a
+  window bound: occurrences do double duty.
+* ``or-of-identical`` — ``E | E`` fires twice per occurrence (both
+  ports deliver); usually a typo for a single subscription.
+* ``unreachable-not-window`` — ``NOT`` with identical initiator and
+  terminator can never satisfy strict ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.events.base import EventNode
+
+
+@dataclass(frozen=True)
+class ExpressionWarning:
+    code: str
+    node_label: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.node_label}: {self.message}"
+
+
+def analyze(root: EventNode) -> list[ExpressionWarning]:
+    """Collect warnings for ``root``'s whole expression tree."""
+    warnings: list[ExpressionWarning] = []
+    for node in _walk(root):
+        warnings.extend(_check_node(node))
+    return warnings
+
+
+def analyze_graph(graph) -> list[ExpressionWarning]:
+    """Analyze every expression in an event graph (deduplicated)."""
+    seen: set[tuple] = set()
+    warnings = []
+    for node in graph.nodes():
+        for warning in _check_node(node):
+            key = (warning.code, warning.node_label)
+            if key not in seen:
+                seen.add(key)
+                warnings.append(warning)
+    return warnings
+
+
+def _walk(root: EventNode) -> Iterator[EventNode]:
+    stack = [root]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children)
+
+
+def _check_node(node: EventNode) -> list[ExpressionWarning]:
+    warnings = []
+    operator = node.operator
+    children = node.children
+    if operator in ("A", "A*") and len(children) == 3:
+        initiator, middle, terminator = children
+        if initiator is terminator:
+            warnings.append(ExpressionWarning(
+                "self-bracketing-window", node.label,
+                "initiator and terminator are the same event; window "
+                "open/close order is ambiguous — use distinct events",
+            ))
+        if middle in (initiator, terminator):
+            warnings.append(ExpressionWarning(
+                "middle-equals-bound", node.label,
+                "the accumulated event is also a window bound; "
+                "occurrences will do double duty",
+            ))
+    elif operator == "NOT" and len(children) == 3:
+        initiator, forbidden, terminator = children
+        if initiator is terminator:
+            warnings.append(ExpressionWarning(
+                "unreachable-not-window", node.label,
+                "initiator and terminator are the same event; the "
+                "window can never complete",
+            ))
+        if forbidden in (initiator, terminator):
+            warnings.append(ExpressionWarning(
+                "forbidden-equals-bound", node.label,
+                "the forbidden event is also a window bound; every "
+                "window spoils itself",
+            ))
+    elif operator in ("P", "P*") and len(children) == 2:
+        if children[0] is children[1]:
+            warnings.append(ExpressionWarning(
+                "self-bracketing-window", node.label,
+                "initiator and terminator are the same event",
+            ))
+    elif operator == "OR" and len(children) == 2:
+        if children[0] is children[1]:
+            warnings.append(ExpressionWarning(
+                "or-of-identical", node.label,
+                "both operands are the same event; each occurrence "
+                "fires twice (once per port)",
+            ))
+    return warnings

@@ -1,0 +1,23 @@
+"""Snoop composite-event operators, one module per operator family."""
+
+from repro.core.events.operators.conjunction import AndNode, OrNode
+from repro.core.events.operators.sequence import SeqNode
+from repro.core.events.operators.negation import NotNode
+from repro.core.events.operators.aperiodic import AperiodicNode, AperiodicStarNode
+from repro.core.events.operators.periodic import (
+    PeriodicNode,
+    PeriodicStarNode,
+    PlusNode,
+)
+
+__all__ = [
+    "AndNode",
+    "OrNode",
+    "SeqNode",
+    "NotNode",
+    "AperiodicNode",
+    "AperiodicStarNode",
+    "PeriodicNode",
+    "PeriodicStarNode",
+    "PlusNode",
+]

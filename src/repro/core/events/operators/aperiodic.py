@@ -1,0 +1,177 @@
+"""Aperiodic operators: ``A(E1, E2, E3)`` and ``A*(E1, E2, E3)``.
+
+``A`` "monitors cumulative occurrences of an event type within a
+specified interval" — it signals for *each* E2 inside a window opened
+by E1 and closed by E3. ``A*`` accumulates the E2s and signals *once*
+when E3 closes the window; this is exactly the operator Sentinel uses
+to rewrite deferred rules: ``A*(begin_txn, E, pre_commit_txn)`` "causes
+a deferred rule to be executed exactly once even though its event may
+be triggered a number of times in the course of that transaction".
+
+Design choice (documented in DESIGN.md): ``A*`` signals at E3 only when
+at least one E2 accumulated — a transaction in which the deferred
+rule's event never occurred must not fire the rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.contexts import ParameterContext
+from repro.core.events.base import EventNode
+from repro.core.params import Occurrence
+
+if TYPE_CHECKING:
+    from repro.core.events.graph import EventGraph
+
+_INITIATOR, _MIDDLE, _TERMINATOR = 0, 1, 2
+
+
+class _Window:
+    """One open interval started by an E1 occurrence."""
+
+    __slots__ = ("initiator", "middles")
+
+    def __init__(self, initiator: Occurrence):
+        self.initiator = initiator
+        self.middles: list[Occurrence] = []
+
+
+class _AperiodicBase(EventNode):
+    """Shared window bookkeeping for A and A*."""
+
+    def __init__(
+        self,
+        graph: "EventGraph",
+        initiator: EventNode,
+        middle: EventNode,
+        terminator: EventNode,
+        name: Optional[str] = None,
+    ):
+        super().__init__(
+            graph, children=(initiator, middle, terminator), name=name
+        )
+
+    @property
+    def label(self) -> str:
+        e1, e2, e3 = (c.label for c in self.children)
+        return self.name or f"{self.operator}({e1}, {e2}, {e3})"
+
+    def _new_state(self, ctx: ParameterContext) -> list[_Window]:
+        return []
+
+    def _open_window(self, windows: list[_Window], occurrence: Occurrence,
+                     ctx: ParameterContext) -> None:
+        if ctx in (ParameterContext.RECENT, ParameterContext.CUMULATIVE):
+            # One window at a time: the newest initiator replaces it.
+            windows.clear()
+        windows.append(_Window(occurrence))
+
+
+class AperiodicNode(_AperiodicBase):
+    """``A(E1, E2, E3)`` — each E2 inside an open window signals."""
+
+    operator = "A"
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        windows = self.state(ctx)
+        if windows is None:
+            return
+        if port == _INITIATOR:
+            self._open_window(windows, occurrence, ctx)
+            return
+        if port == _MIDDLE:
+            live = [w for w in windows if w.initiator.end < occurrence.end]
+            if not live:
+                return
+            if ctx is ParameterContext.RECENT:
+                self.signal(
+                    self._compose((live[-1].initiator, occurrence)), ctx
+                )
+            elif ctx is ParameterContext.CHRONICLE:
+                self.signal(
+                    self._compose((live[0].initiator, occurrence)), ctx
+                )
+            elif ctx is ParameterContext.CONTINUOUS:
+                for window in live:
+                    self.signal(
+                        self._compose((window.initiator, occurrence)), ctx
+                    )
+            elif ctx is ParameterContext.CUMULATIVE:
+                window = live[-1]
+                window.middles.append(occurrence)
+                self.signal(
+                    self._compose(
+                        (window.initiator, *window.middles)
+                    ),
+                    ctx,
+                )
+            return
+        # Terminator closes windows; A itself does not signal at E3.
+        self._close(windows, occurrence, ctx)
+
+    def _close(self, windows: list[_Window], occurrence: Occurrence,
+               ctx: ParameterContext) -> None:
+        closable = [w for w in windows if w.initiator.end < occurrence.end]
+        if not closable:
+            return
+        if ctx is ParameterContext.CHRONICLE:
+            windows.remove(closable[0])
+        else:
+            for window in closable:
+                windows.remove(window)
+
+
+class AperiodicStarNode(_AperiodicBase):
+    """``A*(E1, E2, E3)`` — accumulate E2s, signal once at E3."""
+
+    operator = "A*"
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        windows = self.state(ctx)
+        if windows is None:
+            return
+        if port == _INITIATOR:
+            self._open_window(windows, occurrence, ctx)
+            return
+        if port == _MIDDLE:
+            live = [w for w in windows if w.initiator.end < occurrence.end]
+            if not live:
+                return
+            if ctx is ParameterContext.CONTINUOUS:
+                for window in live:
+                    window.middles.append(occurrence)
+            elif ctx is ParameterContext.CHRONICLE:
+                live[0].middles.append(occurrence)
+            else:  # recent / cumulative keep a single window
+                live[-1].middles.append(occurrence)
+            return
+        # Terminator: emit one occurrence per closing window with content.
+        closable = [w for w in windows if w.initiator.end < occurrence.end]
+        if not closable:
+            return
+        if ctx is ParameterContext.CHRONICLE:
+            closing = [closable[0]]
+        else:
+            closing = closable
+        if ctx is ParameterContext.CUMULATIVE and len(closing) > 1:
+            merged = _Window(closing[0].initiator)
+            for window in closing:
+                merged.middles.extend(window.middles)
+            closing = [merged]
+        for window in closing:
+            if window in windows:
+                windows.remove(window)
+            if window.middles:
+                self.signal(
+                    self._compose(
+                        (window.initiator, *window.middles, occurrence)
+                    ),
+                    ctx,
+                )
+        if ctx is not ParameterContext.CHRONICLE:
+            for window in closable:
+                if window in windows:
+                    windows.remove(window)

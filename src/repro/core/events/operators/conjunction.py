@@ -1,0 +1,104 @@
+"""AND (^) and OR (|) operators.
+
+``AND(E1, E2)`` occurs when both operands have occurred, in either
+order; it is symmetric, so either side can initiate and the other
+terminates. ``OR(E1, E2)`` occurs whenever either operand occurs and
+needs no stored state (identical in every context).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.contexts import ParameterContext
+from repro.core.events.base import EventNode
+from repro.core.params import Occurrence
+
+if TYPE_CHECKING:
+    from repro.core.events.graph import EventGraph
+
+
+class _AndState:
+    """Pending occurrences for each side of an AND."""
+
+    __slots__ = ("sides",)
+
+    def __init__(self):
+        self.sides: tuple[deque, deque] = (deque(), deque())
+
+
+class AndNode(EventNode):
+    """``E1 ^ E2`` — both events, any order."""
+
+    operator = "AND"
+
+    def __init__(self, graph: "EventGraph", left: EventNode, right: EventNode,
+                 name: Optional[str] = None):
+        super().__init__(graph, children=(left, right), name=name)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"({self.children[0].label} ^ {self.children[1].label})"
+
+    def _new_state(self, ctx: ParameterContext) -> _AndState:
+        return _AndState()
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        state = self.state(ctx)
+        if state is None:
+            return
+        mine, other = state.sides[port], state.sides[1 - port]
+        if ctx is ParameterContext.RECENT:
+            # Most recent occurrence of each side is kept (not consumed);
+            # every arrival pairs with the other side's latest.
+            mine.clear()
+            mine.append(occurrence)
+            if other:
+                self.signal(self._pair(port, occurrence, other[-1]), ctx)
+        elif ctx is ParameterContext.CHRONICLE:
+            mine.append(occurrence)
+            while state.sides[0] and state.sides[1]:
+                left = state.sides[0].popleft()
+                right = state.sides[1].popleft()
+                self.signal(self._compose((left, right)), ctx)
+        elif ctx is ParameterContext.CONTINUOUS:
+            # Every pending occurrence of the other side was an initiator;
+            # this arrival terminates all of them at once.
+            if other:
+                for initiator in other:
+                    self.signal(self._pair(port, occurrence, initiator), ctx)
+                other.clear()
+            else:
+                mine.append(occurrence)
+        elif ctx is ParameterContext.CUMULATIVE:
+            mine.append(occurrence)
+            if state.sides[0] and state.sides[1]:
+                constituents = tuple(state.sides[0]) + tuple(state.sides[1])
+                state.sides[0].clear()
+                state.sides[1].clear()
+                self.signal(self._compose(constituents), ctx)
+
+    def _pair(self, port: int, arrived: Occurrence, stored: Occurrence):
+        """Order constituents as (left, right) regardless of arrival side."""
+        left, right = (stored, arrived) if port == 1 else (arrived, stored)
+        return self._compose((left, right))
+
+
+class OrNode(EventNode):
+    """``E1 | E2`` — either event; stateless in every context."""
+
+    operator = "OR"
+
+    def __init__(self, graph: "EventGraph", left: EventNode, right: EventNode,
+                 name: Optional[str] = None):
+        super().__init__(graph, children=(left, right), name=name)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"({self.children[0].label} | {self.children[1].label})"
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        self.signal(self._compose((occurrence,)), ctx)

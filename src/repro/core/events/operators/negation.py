@@ -1,0 +1,84 @@
+"""NOT operator: ``NOT(E2)[E1, E3]`` — absence of E2 between E1 and E3.
+
+E1 initiates a window; if no E2 occurs before the next E3, the NOT event
+is detected at E3 with (E1, E3) as constituents. Any E2 occurrence
+spoils *every* pending window (it happened after each open E1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.contexts import ParameterContext
+from repro.core.events.base import EventNode
+from repro.core.params import Occurrence
+
+if TYPE_CHECKING:
+    from repro.core.events.graph import EventGraph
+
+_INITIATOR, _MIDDLE, _TERMINATOR = 0, 1, 2
+
+
+class NotNode(EventNode):
+    """``NOT(E2)[E1, E3]``.
+
+    Children are ordered ``(E1, E2, E3)``: initiator, forbidden event,
+    terminator.
+    """
+
+    operator = "NOT"
+
+    def __init__(
+        self,
+        graph: "EventGraph",
+        initiator: EventNode,
+        forbidden: EventNode,
+        terminator: EventNode,
+        name: Optional[str] = None,
+    ):
+        super().__init__(
+            graph, children=(initiator, forbidden, terminator), name=name
+        )
+
+    @property
+    def label(self) -> str:
+        e1, e2, e3 = (c.label for c in self.children)
+        return self.name or f"NOT({e2})[{e1}, {e3}]"
+
+    def _new_state(self, ctx: ParameterContext) -> deque:
+        return deque()  # unspoiled initiators
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        pending = self.state(ctx)
+        if pending is None:
+            return
+        if port == _INITIATOR:
+            if ctx is ParameterContext.RECENT:
+                pending.clear()
+            pending.append(occurrence)
+            return
+        if port == _MIDDLE:
+            # E2 spoils every open window.
+            pending.clear()
+            return
+        # Terminator (E3).
+        eligible = [e1 for e1 in pending if e1.end < occurrence.end]
+        if not eligible:
+            return
+        if ctx is ParameterContext.RECENT:
+            self.signal(self._compose((eligible[-1], occurrence)), ctx)
+        elif ctx is ParameterContext.CHRONICLE:
+            oldest = eligible[0]
+            pending.remove(oldest)
+            self.signal(self._compose((oldest, occurrence)), ctx)
+        elif ctx is ParameterContext.CONTINUOUS:
+            for e1 in eligible:
+                pending.remove(e1)
+            for e1 in eligible:
+                self.signal(self._compose((e1, occurrence)), ctx)
+        elif ctx is ParameterContext.CUMULATIVE:
+            for e1 in eligible:
+                pending.remove(e1)
+            self.signal(self._compose(tuple(eligible) + (occurrence,)), ctx)

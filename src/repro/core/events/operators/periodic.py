@@ -1,0 +1,178 @@
+"""Temporal composite operators: ``P``, ``P*``, and ``PLUS``.
+
+* ``P(E1, t, E3)`` — after an E1, signal every ``t`` time units until an
+  E3 closes the window.
+* ``P*(E1, t, E3)`` — accumulate the period boundaries and signal once
+  at E3.
+* ``PLUS(E1, t)`` — signal ``t`` time units after each E1.
+
+These nodes are *temporal*: the detector polls them whenever the clock
+advances (``detector.advance_time`` with a simulated clock, or
+``detector.poll`` for wall clocks).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.contexts import ParameterContext
+from repro.core.events.base import EventNode
+from repro.core.params import Occurrence, PrimitiveOccurrence
+
+if TYPE_CHECKING:
+    from repro.core.events.graph import EventGraph
+
+_INITIATOR, _TERMINATOR = 0, 1
+
+
+def _tick(name: str, when: float) -> PrimitiveOccurrence:
+    """Synthetic occurrence representing a period boundary."""
+    return PrimitiveOccurrence(
+        event_name=f"{name}$tick",
+        at=when,
+        class_name="$TEMPORAL",
+        arguments=(("time", when),),
+    )
+
+
+class _PeriodicWindow:
+    __slots__ = ("initiator", "next_due", "ticks")
+
+    def __init__(self, initiator: Occurrence, period: float):
+        self.initiator = initiator
+        self.next_due = initiator.end + period
+        self.ticks: list[PrimitiveOccurrence] = []
+
+
+class _PeriodicBase(EventNode):
+    is_temporal = True
+
+    def __init__(
+        self,
+        graph: "EventGraph",
+        initiator: EventNode,
+        period: float,
+        terminator: EventNode,
+        name: Optional[str] = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self.period = period
+        super().__init__(graph, children=(initiator, terminator), name=name)
+
+    @property
+    def label(self) -> str:
+        e1, e3 = (c.label for c in self.children)
+        return self.name or f"{self.operator}({e1}, {self.period:g}, {e3})"
+
+    def _new_state(self, ctx: ParameterContext) -> list[_PeriodicWindow]:
+        return []
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        windows = self.state(ctx)
+        if windows is None:
+            return
+        if port == _INITIATOR:
+            if ctx in (ParameterContext.RECENT, ParameterContext.CUMULATIVE):
+                windows.clear()
+            windows.append(_PeriodicWindow(occurrence, self.period))
+            return
+        # Terminator.
+        closable = [w for w in windows if w.initiator.end < occurrence.end]
+        if ctx is ParameterContext.CHRONICLE:
+            closable = closable[:1]
+        for window in closable:
+            windows.remove(window)
+            self._on_close(window, occurrence, ctx)
+
+    def _on_close(self, window: _PeriodicWindow, terminator: Occurrence,
+                  ctx: ParameterContext) -> None:
+        """Hook: P discards, P* emits the accumulation."""
+
+    def poll(self, now: float) -> None:
+        for ctx in list(self.active_contexts()):
+            windows = self.state(ctx)
+            if not windows:
+                continue
+            for window in list(windows):
+                while window.next_due <= now:
+                    due = window.next_due
+                    window.next_due = due + self.period
+                    self._on_tick(window, _tick(self.display_name, due), ctx)
+
+
+class PeriodicNode(_PeriodicBase):
+    """``P(E1, t, E3)`` — fire on every period boundary in the window."""
+
+    operator = "P"
+
+    def _on_tick(self, window: _PeriodicWindow, tick: PrimitiveOccurrence,
+                 ctx: ParameterContext) -> None:
+        self.signal(self._compose((window.initiator, tick)), ctx)
+
+
+class PeriodicStarNode(_PeriodicBase):
+    """``P*(E1, t, E3)`` — accumulate ticks, fire once at E3."""
+
+    operator = "P*"
+
+    def _on_tick(self, window: _PeriodicWindow, tick: PrimitiveOccurrence,
+                 ctx: ParameterContext) -> None:
+        window.ticks.append(tick)
+
+    def _on_close(self, window: _PeriodicWindow, terminator: Occurrence,
+                  ctx: ParameterContext) -> None:
+        if window.ticks:
+            self.signal(
+                self._compose(
+                    (window.initiator, *window.ticks, terminator)
+                ),
+                ctx,
+            )
+
+
+class PlusNode(EventNode):
+    """``PLUS(E1, t)`` — fire ``t`` time units after each E1."""
+
+    operator = "PLUS"
+    is_temporal = True
+
+    def __init__(self, graph: "EventGraph", initiator: EventNode,
+                 delay: float, name: Optional[str] = None):
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = delay
+        super().__init__(graph, children=(initiator,), name=name)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"({self.children[0].label} + {self.delay:g})"
+
+    def _new_state(self, ctx: ParameterContext) -> list[tuple[Occurrence, float]]:
+        return []  # (initiator, due-time) pairs
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        pending = self.state(ctx)
+        if pending is None:
+            return
+        if ctx is ParameterContext.RECENT:
+            pending.clear()
+        pending.append((occurrence, occurrence.end + self.delay))
+
+    def poll(self, now: float) -> None:
+        for ctx in list(self.active_contexts()):
+            pending = self.state(ctx)
+            if not pending:
+                continue
+            due = [entry for entry in pending if entry[1] <= now]
+            for entry in due:
+                pending.remove(entry)
+            for initiator, when in due:
+                self.signal(
+                    self._compose(
+                        (initiator, _tick(self.display_name, when))
+                    ),
+                    ctx,
+                )

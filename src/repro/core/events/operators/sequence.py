@@ -1,0 +1,72 @@
+"""SEQ (;) operator: ``E1 ; E2`` — E1 strictly before E2.
+
+E1 initiates, E2 terminates; detection requires ``e1.end < e2.start``.
+Context behaviour:
+
+* recent — the latest E1 pairs with each E2 and is kept;
+* chronicle — E1s queue FIFO, each E2 consumes the oldest;
+* continuous — each E1 opens its own detection, one E2 closes them all;
+* cumulative — all pending E1s fold into one occurrence at the next E2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.contexts import ParameterContext
+from repro.core.events.base import EventNode
+from repro.core.params import Occurrence
+
+if TYPE_CHECKING:
+    from repro.core.events.graph import EventGraph
+
+_LEFT, _RIGHT = 0, 1
+
+
+class SeqNode(EventNode):
+    """``E1 ; E2`` — sequence."""
+
+    operator = "SEQ"
+
+    def __init__(self, graph: "EventGraph", left: EventNode, right: EventNode,
+                 name: Optional[str] = None):
+        super().__init__(graph, children=(left, right), name=name)
+
+    @property
+    def label(self) -> str:
+        return self.name or f"({self.children[0].label} ; {self.children[1].label})"
+
+    def _new_state(self, ctx: ParameterContext) -> deque:
+        return deque()  # pending initiators (E1 occurrences)
+
+    def on_child(self, port: int, occurrence: Occurrence,
+                 ctx: ParameterContext) -> None:
+        pending = self.state(ctx)
+        if pending is None:
+            return
+        if port == _LEFT:
+            if ctx is ParameterContext.RECENT:
+                pending.clear()
+            pending.append(occurrence)
+            return
+        # Terminator: E2 arrived.
+        eligible = [e1 for e1 in pending if e1.end < occurrence.start]
+        if not eligible:
+            return
+        if ctx is ParameterContext.RECENT:
+            # Latest initiator pairs; it is NOT consumed.
+            self.signal(self._compose((eligible[-1], occurrence)), ctx)
+        elif ctx is ParameterContext.CHRONICLE:
+            oldest = eligible[0]
+            pending.remove(oldest)
+            self.signal(self._compose((oldest, occurrence)), ctx)
+        elif ctx is ParameterContext.CONTINUOUS:
+            for e1 in eligible:
+                pending.remove(e1)
+            for e1 in eligible:
+                self.signal(self._compose((e1, occurrence)), ctx)
+        elif ctx is ParameterContext.CUMULATIVE:
+            for e1 in eligible:
+                pending.remove(e1)
+            self.signal(self._compose(tuple(eligible) + (occurrence,)), ctx)

@@ -1,0 +1,72 @@
+"""Named priority classes for rule scheduling.
+
+From the paper (§3.1): "We use priority classes for specifying rule
+priority. An arbitrary number of priority classes can be defined and
+totally ordered. A rule is assigned to a priority class by indicating
+its number or the name of the class. ... This approach allows us to
+change rule priority categories based on the context or inherit
+priorities from users/applications."
+
+A :class:`PriorityScheme` maps class names to ranks (higher runs
+first). Rules may carry either a plain integer priority or a class
+name; the scheduler resolves both through the scheme at dispatch time,
+so re-ranking a class re-orders *future* executions of every rule in
+it without touching the rules ("change rule priority categories based
+on the context").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Union
+
+from repro.errors import RuleError
+
+Priority = Union[int, str]
+
+
+class PriorityScheme:
+    """A total order over named priority classes."""
+
+    def __init__(self):
+        self._ranks: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def define(self, name: str, rank: int) -> None:
+        """Create or re-rank a priority class (higher rank runs first)."""
+        if not isinstance(rank, int):
+            raise RuleError(f"priority rank must be an int, got {rank!r}")
+        with self._lock:
+            self._ranks[name] = rank
+
+    def define_ordered(self, names_high_to_low: list[str],
+                       top: int = 1000, step: int = 10) -> None:
+        """Define several classes at once, first name highest."""
+        for index, name in enumerate(names_high_to_low):
+            self.define(name, top - index * step)
+
+    def undefine(self, name: str) -> None:
+        with self._lock:
+            self._ranks.pop(name, None)
+
+    def rank(self, priority: Priority) -> int:
+        """Resolve a rule's priority (int passthrough, name lookup)."""
+        if isinstance(priority, bool):
+            raise RuleError("priority cannot be a bool")
+        if isinstance(priority, int):
+            return priority
+        with self._lock:
+            if priority not in self._ranks:
+                raise RuleError(
+                    f"priority class {priority!r} is not defined; "
+                    f"known classes: {sorted(self._ranks) or 'none'}"
+                )
+            return self._ranks[priority]
+
+    def known(self, name: str) -> bool:
+        with self._lock:
+            return name in self._ranks
+
+    def classes(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._ranks)

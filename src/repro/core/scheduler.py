@@ -1,0 +1,249 @@
+"""Rule scheduling: prioritized, concurrent, nested execution (Fig. 3).
+
+When one or more rules trigger, the application is suspended and the
+scheduler runs them: rules are grouped into *priority classes* (higher
+number runs first); execution is serial across classes and — with the
+threaded executor — concurrent within a class, which "combines the
+advantages of both integer priority schemes and precedes/follows
+schemes" (paper §3.1).
+
+Each rule execution is packaged as a *subtransaction* of the triggering
+transaction (Fig. 3's ``cond_action`` thread body): the condition runs
+with event signaling suppressed (conditions are side-effect-free and
+must not trigger rules), and if it returns true the action runs with
+signaling enabled, so actions can trigger further rules. Nested
+triggering is depth-first: the nested rules run to completion before
+the triggering action returns from its ``notify``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from itertools import groupby
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.params import Occurrence
+from repro.core.rules import Rule
+from repro.errors import RuleExecutionError
+from repro.transactions.nested import NestedTransaction, NestedTransactionManager
+
+if TYPE_CHECKING:
+    from repro.core.detector import LocalEventDetector
+
+#: pseudo-class under which rule executions signal primitive events
+#: (method name = rule name), enabling rules over rule executions.
+RULE_CLASS = "$RULE"
+
+
+@dataclass
+class RuleActivation:
+    """One triggering of one rule, waiting to be executed."""
+
+    rule: Rule
+    occurrence: Occurrence
+    #: transaction the rule subtransaction nests under (captured when
+    #: the trigger happened, so worker threads inherit the right parent)
+    parent_txn: Optional[NestedTransaction] = None
+    depth: int = 0
+
+    @property
+    def priority(self) -> int:
+        return self.rule.priority
+
+
+@dataclass
+class SchedulerStats:
+    executions: int = 0
+    condition_rejections: int = 0
+    failures: int = 0
+    max_depth_seen: int = 0
+    batches: int = 0
+
+
+class SerialExecutor:
+    """Deterministic executor: rules of one priority class run in
+    trigger order on the calling thread."""
+
+    def execute(self, activations: list[RuleActivation],
+                run_one: Callable[[RuleActivation], None]) -> None:
+        for activation in activations:
+            run_one(activation)
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadedExecutor:
+    """Concurrent executor: one priority class at a time, its rules on a
+    pool of reusable threads (the paper's "pool of free threads")."""
+
+    def __init__(self, max_workers: int = 8):
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sentinel-rule"
+        )
+
+    def execute(self, activations: list[RuleActivation],
+                run_one: Callable[[RuleActivation], None]) -> None:
+        if len(activations) == 1:
+            run_one(activations[0])
+            return
+        futures = [self._pool.submit(run_one, a) for a in activations]
+        wait(futures)
+        for future in futures:
+            exc = future.exception()
+            if exc is not None:
+                raise exc
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class RuleScheduler:
+    """Executes batches of rule activations with priority ordering."""
+
+    #: guard against runaway mutual triggering (rule A fires rule B
+    #: fires rule A ...). The paper supports "arbitrary levels" of
+    #: nesting; a production system still needs a backstop.
+    MAX_DEPTH = 64
+
+    def __init__(
+        self,
+        detector: "LocalEventDetector",
+        executor: Optional[SerialExecutor | ThreadedExecutor] = None,
+        txn_manager: Optional[NestedTransactionManager] = None,
+        error_policy: str = "raise",
+    ):
+        if error_policy not in ("raise", "abort_rule"):
+            raise ValueError(
+                f"error_policy must be 'raise' or 'abort_rule', "
+                f"got {error_policy!r}"
+            )
+        self._detector = detector
+        self.executor = executor or SerialExecutor()
+        self.txn_manager = txn_manager
+        self.error_policy = error_policy
+        self.stats = SchedulerStats()
+        self._local = threading.local()
+        self.errors: list[RuleExecutionError] = []
+        #: called with (phase, rule, occurrence, info) where phase is one
+        #: of "start", "condition", "done", "failed" — debugger hook.
+        self.listeners: list[Callable[[str, Rule, Occurrence, dict], None]] = []
+
+    # -- depth tracking (per thread) -------------------------------------------
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def current_rule(self) -> Optional[Rule]:
+        """The rule executing on this thread, if any (debugger use)."""
+        return getattr(self._local, "rule", None)
+
+    def _notify(self, phase: str, rule: Rule, occurrence: Occurrence,
+                **info) -> None:
+        for listener in self.listeners:
+            listener(phase, rule, occurrence, info)
+
+    # -- batch execution ------------------------------------------------------------
+
+    def run(self, activations: list[RuleActivation]) -> None:
+        """Run a batch: priority classes high-to-low, FIFO within one."""
+        if not activations:
+            return
+        self.stats.batches += 1
+        # Resolve named priority classes through the detector's scheme
+        # at dispatch time, so re-ranking a class takes effect
+        # immediately (paper §3.1).
+        rank = self._detector.priorities.rank
+        ordered = sorted(
+            activations, key=lambda a: -rank(a.rule.priority)
+        )  # stable: trigger order preserved within a class
+        for __, group in groupby(
+            ordered, key=lambda a: rank(a.rule.priority)
+        ):
+            self.executor.execute(list(group), self.run_one)
+
+    def run_one(self, activation: RuleActivation) -> None:
+        """Fig. 3's ``cond_action``: condition+action in a subtransaction."""
+        rule = activation.rule
+        depth = self._depth() + 1
+        if depth > self.MAX_DEPTH:
+            raise RuleExecutionError(
+                rule.name,
+                "nesting",
+                RecursionError(f"rule nesting exceeded {self.MAX_DEPTH}"),
+            )
+        self.stats.max_depth_seen = max(self.stats.max_depth_seen, depth)
+        sub = None
+        if self.txn_manager is not None and activation.parent_txn is not None:
+            sub = self.txn_manager.begin_sub(
+                activation.parent_txn, label=f"rule:{rule.name}"
+            )
+        previous_txn = self._detector.current_transaction()
+        previous_rule = self.current_rule()
+        self._detector.set_current_transaction(sub or activation.parent_txn)
+        self._local.depth = depth
+        self._local.rule = rule
+        self._notify("start", rule, activation.occurrence, depth=depth)
+        try:
+            # "The rule class can be both reactive and notifiable":
+            # executing a rule is itself a potential primitive event
+            # (class $RULE, method = rule name), enabling meta-rules.
+            self._signal_rule_event(rule, "begin")
+            self._evaluate(rule, activation.occurrence)
+            self._signal_rule_event(rule, "end")
+            if sub is not None:
+                sub.commit()
+            self._notify("done", rule, activation.occurrence, depth=depth)
+        except Exception as exc:
+            if sub is not None:
+                sub.abort()
+            error = exc if isinstance(exc, RuleExecutionError) else (
+                RuleExecutionError(rule.name, "execution", exc)
+            )
+            self.stats.failures += 1
+            self.errors.append(error)
+            self._notify("failed", rule, activation.occurrence,
+                         depth=depth, error=error)
+            if self.error_policy == "raise":
+                raise error from exc
+        finally:
+            self._local.depth = depth - 1
+            self._local.rule = previous_rule
+            self._detector.set_current_transaction(previous_txn)
+
+    def _signal_rule_event(self, rule: Rule, modifier: str) -> None:
+        detector = self._detector
+        if not detector.graph.primitives_for(RULE_CLASS):
+            return
+        detector.notify(
+            rule, RULE_CLASS, rule.name, modifier,
+            {"rule": rule.name, "priority": rule.priority},
+        )
+
+    def _evaluate(self, rule: Rule, occurrence: Occurrence) -> None:
+        # Conditions are side-effect free: suppress event signaling so a
+        # condition calling an event-generating method does not trigger
+        # rules (paper §3.2.1's global acknowledge flag).
+        with self._detector.signals_suppressed():
+            try:
+                satisfied = bool(rule.condition(occurrence))
+            except Exception as exc:
+                raise RuleExecutionError(rule.name, "condition", exc) from exc
+        self._notify("condition", rule, occurrence, satisfied=satisfied,
+                     depth=self._depth())
+        if not satisfied:
+            self.stats.condition_rejections += 1
+            return
+        try:
+            rule.action(occurrence)
+        except RuleExecutionError:
+            raise  # a nested rule failed; keep the original report
+        except Exception as exc:
+            raise RuleExecutionError(rule.name, "action", exc) from exc
+        rule.executed_count += 1
+        self.stats.executions += 1
+
+    def shutdown(self) -> None:
+        self.executor.shutdown()

@@ -1,0 +1,39 @@
+"""Rule debugger: visualize event/rule/object interactions.
+
+Reproduces the Sentinel rule debugger ([12] in the paper) as a trace
+recorder plus text renderers:
+
+* :mod:`repro.debugger.trace` — records notifications, detections,
+  triggers, and executions from a live detector.
+* :mod:`repro.debugger.visualize` — ASCII renderings of the event
+  graph, the execution timeline, and the rule interaction graph.
+"""
+
+from repro.debugger.trace import TraceEvent, TraceRecorder
+from repro.debugger.breakpoints import (
+    BreakAction,
+    BreakContext,
+    Breakpoint,
+    BreakpointHit,
+    BreakpointManager,
+)
+from repro.debugger.visualize import (
+    render_dot,
+    render_event_graph,
+    render_rule_interactions,
+    render_timeline,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "BreakAction",
+    "BreakContext",
+    "Breakpoint",
+    "BreakpointHit",
+    "BreakpointManager",
+    "render_dot",
+    "render_event_graph",
+    "render_timeline",
+    "render_rule_interactions",
+]

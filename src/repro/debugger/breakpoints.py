@@ -1,0 +1,193 @@
+"""Breakpoints on rule execution: the interactive half of the debugger.
+
+The original Sentinel debugger let a developer pause and inspect rule
+execution in a Motif GUI. As a library, the same capability is a hook:
+a :class:`BreakpointManager` attached to a detector invokes a callback
+whenever a matching rule is about to run, with full context (rule,
+occurrence, depth). The callback decides how to proceed:
+
+* ``CONTINUE`` — run the rule normally,
+* ``SKIP`` — suppress this execution (condition/action do not run),
+* ``ABORT`` — raise, aborting the rule's subtransaction.
+
+Breakpoints can match a rule name, every rule on an event, or a
+predicate over the occurrence.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.detector import LocalEventDetector
+from repro.core.params import Occurrence
+from repro.core.rules import Rule
+from repro.errors import RuleExecutionError, SentinelError
+
+
+class BreakAction(enum.Enum):
+    CONTINUE = "continue"
+    SKIP = "skip"
+    ABORT = "abort"
+
+
+class BreakpointHit(SentinelError):
+    """Raised inside the rule when the handler chooses ABORT."""
+
+
+@dataclass
+class Breakpoint:
+    """One breakpoint definition."""
+
+    rule_name: Optional[str] = None
+    event_name: Optional[str] = None
+    predicate: Optional[Callable[[Occurrence], bool]] = None
+    one_shot: bool = False
+    enabled: bool = True
+    hits: int = 0
+
+    def matches(self, rule: Rule, occurrence: Occurrence) -> bool:
+        if not self.enabled:
+            return False
+        if self.rule_name is not None and rule.name != self.rule_name:
+            return False
+        if (self.event_name is not None
+                and rule.event.display_name != self.event_name):
+            return False
+        if self.predicate is not None and not self.predicate(occurrence):
+            return False
+        return True
+
+
+@dataclass
+class BreakContext:
+    """What the handler sees when a breakpoint fires."""
+
+    rule: Rule
+    occurrence: Occurrence
+    depth: int
+    breakpoint: Breakpoint
+
+
+Handler = Callable[[BreakContext], BreakAction]
+
+
+def _default_handler(context: BreakContext) -> BreakAction:
+    return BreakAction.CONTINUE
+
+
+class BreakpointManager:
+    """Installs breakpoints by wrapping rule conditions at dispatch.
+
+    Implementation: a scheduler listener sees the ``start`` phase of
+    every execution; to *prevent* the condition/action from running we
+    wrap the rule's condition transiently. Wrapping happens through the
+    public condition attribute, so no scheduler changes are needed.
+    """
+
+    def __init__(self, detector: LocalEventDetector,
+                 handler: Optional[Handler] = None):
+        self._detector = detector
+        self.handler: Handler = handler or _default_handler
+        self.breakpoints: list[Breakpoint] = []
+        self._lock = threading.Lock()
+        self._attached = False
+        self.history: list[BreakContext] = []
+
+    # -- breakpoint management ----------------------------------------------------
+
+    def break_on_rule(self, rule_name: str, one_shot: bool = False) -> Breakpoint:
+        return self._add(Breakpoint(rule_name=rule_name, one_shot=one_shot))
+
+    def break_on_event(self, event_name: str,
+                       one_shot: bool = False) -> Breakpoint:
+        return self._add(Breakpoint(event_name=event_name, one_shot=one_shot))
+
+    def break_when(self, predicate: Callable[[Occurrence], bool],
+                   rule_name: Optional[str] = None) -> Breakpoint:
+        return self._add(Breakpoint(rule_name=rule_name, predicate=predicate))
+
+    def _add(self, bp: Breakpoint) -> Breakpoint:
+        with self._lock:
+            self.breakpoints.append(bp)
+        return bp
+
+    def remove(self, bp: Breakpoint) -> None:
+        with self._lock:
+            if bp in self.breakpoints:
+                self.breakpoints.remove(bp)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.breakpoints.clear()
+
+    # -- attachment ---------------------------------------------------------------
+
+    def attach(self) -> "BreakpointManager":
+        if not self._attached:
+            self._detector.scheduler.listeners.append(self._on_phase)
+            self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self._detector.scheduler.listeners.remove(self._on_phase)
+            self._attached = False
+
+    def __enter__(self) -> "BreakpointManager":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def _on_phase(self, phase: str, rule: Rule, occurrence: Occurrence,
+                  info: dict) -> None:
+        if phase != "start":
+            return
+        with self._lock:
+            matching = [
+                bp for bp in self.breakpoints if bp.matches(rule, occurrence)
+            ]
+        for bp in matching:
+            bp.hits += 1
+            if bp.one_shot:
+                self.remove(bp)
+            context = BreakContext(
+                rule=rule,
+                occurrence=occurrence,
+                depth=info.get("depth", 0),
+                breakpoint=bp,
+            )
+            self.history.append(context)
+            action = self.handler(context)
+            if action is BreakAction.SKIP:
+                self._skip(rule)
+            elif action is BreakAction.ABORT:
+                self._abort(rule)
+
+    @staticmethod
+    def _skip(rule: Rule) -> None:
+        """Suppress exactly one evaluation of the rule's condition."""
+        original = rule.condition
+
+        def skip_once(occurrence):
+            rule.condition = original
+            return False
+
+        rule.condition = skip_once
+
+    @staticmethod
+    def _abort(rule: Rule) -> None:
+        original = rule.condition
+
+        def abort_once(occurrence):
+            rule.condition = original
+            raise BreakpointHit(
+                f"rule {rule.name!r} aborted at breakpoint"
+            )
+
+        rule.condition = abort_once

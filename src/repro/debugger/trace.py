@@ -1,0 +1,139 @@
+"""Trace recording for the rule debugger.
+
+Attaches to a detector's hook points and records a chronological trace
+of everything the active system does: primitive occurrences, composite
+detections (per node, per context), rule triggers (with the triggering
+rule, capturing nested triggering), and rule executions with their
+outcome.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.detector import LocalEventDetector
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step in the recorded trace."""
+
+    seq: int
+    kind: str  # occurrence | detection | trigger | start | condition | done | failed
+    subject: str  # event or rule name
+    detail: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"#{self.seq} {self.kind} {self.subject} {self.detail}"
+
+
+class TraceRecorder:
+    """Records a detector's activity until detached."""
+
+    def __init__(self, detector: LocalEventDetector):
+        self._detector = detector
+        self.events: list[TraceEvent] = []
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._attached = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def attach(self) -> "TraceRecorder":
+        if self._attached:
+            return self
+        self._detector.occurrence_listeners.append(self._on_occurrence)
+        self._detector.graph.observers.append(self._on_detection)
+        self._detector.trigger_listeners.append(self._on_trigger)
+        self._detector.scheduler.listeners.append(self._on_execution)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self._detector.occurrence_listeners.remove(self._on_occurrence)
+        self._detector.graph.observers.remove(self._on_detection)
+        self._detector.trigger_listeners.remove(self._on_trigger)
+        self._detector.scheduler.listeners.remove(self._on_execution)
+        self._attached = False
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+    # -- hooks -------------------------------------------------------------------
+
+    def _record(self, kind: str, subject: str, **detail: Any) -> None:
+        with self._lock:
+            self.events.append(
+                TraceEvent(next(self._seq), kind, subject, detail)
+            )
+
+    def _on_occurrence(self, occurrence) -> None:
+        self._record(
+            "occurrence",
+            occurrence.event_name,
+            at=occurrence.at,
+            instance=occurrence.instance,
+            args=dict(occurrence.arguments),
+            txn=occurrence.txn_id,
+        )
+
+    def _on_detection(self, node, occurrence, ctx) -> None:
+        self._record(
+            "detection",
+            node.display_name,
+            operator=node.operator,
+            context=ctx.value,
+            interval=(occurrence.start, occurrence.end),
+        )
+
+    def _on_trigger(self, rule, occurrence) -> None:
+        triggering = self._detector.scheduler.current_rule()
+        self._record(
+            "trigger",
+            rule.name,
+            by=triggering.name if triggering else None,
+            event=rule.event.display_name,
+        )
+
+    def _on_execution(self, phase, rule, occurrence, info) -> None:
+        self._record(phase, rule.name, **info)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        with self._lock:
+            return [e for e in self.events if e.kind == kind]
+
+    def rule_edges(self) -> list[tuple[str, str]]:
+        """(triggering rule, triggered rule) pairs from nested triggering."""
+        edges = []
+        for entry in self.of_kind("trigger"):
+            if entry.detail.get("by"):
+                edges.append((entry.detail["by"], entry.subject))
+        return edges
+
+    def objects_touched(self) -> dict[str, list[str]]:
+        """instance identity -> event names it generated."""
+        result: dict[str, list[str]] = {}
+        for entry in self.of_kind("occurrence"):
+            instance = entry.detail.get("instance")
+            if instance is None:
+                continue
+            result.setdefault(str(instance), []).append(entry.subject)
+        return result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.events)

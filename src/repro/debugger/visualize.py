@@ -1,0 +1,156 @@
+"""ASCII renderings for the rule debugger.
+
+The original debugger drew the interactions "among rules, among events
+and rules, and among rules and database objects" in a Motif GUI; here
+the same three views render as text: the event graph (operator tree
+with subscriber annotations), the execution timeline, and the rule
+interaction graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.events.base import EventNode
+from repro.core.events.graph import EventGraph
+from repro.debugger.trace import TraceEvent, TraceRecorder
+
+
+def render_event_graph(graph: EventGraph,
+                       roots: Iterable[EventNode] | None = None) -> str:
+    """Render the operator DAG as indented trees, one per root.
+
+    Roots default to every node that has rule subscribers plus nodes
+    with no event subscribers (tops of expressions). Shared
+    sub-expressions are rendered once per parent with a ``(shared)``
+    marker after their first appearance.
+    """
+    if roots is None:
+        roots = [
+            node for node in graph.nodes()
+            if node.rule_subscribers or not node.event_subscribers
+        ]
+    lines: list[str] = []
+    seen: set[int] = set()
+    for root in roots:
+        _render_node(root, "", lines, seen)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_node(node: EventNode, indent: str, lines: list[str],
+                 seen: set[int]) -> None:
+    rules = ", ".join(r.name for r in node.rule_subscribers)
+    annotations = []
+    if rules:
+        annotations.append(f"rules: {rules}")
+    contexts = ", ".join(
+        f"{ctx.value}({node.context_count(ctx)})"
+        for ctx in node.active_contexts()
+    )
+    if contexts:
+        annotations.append(f"contexts: {contexts}")
+    shared = " (shared)" if id(node) in seen else ""
+    seen.add(id(node))
+    suffix = f"  [{'; '.join(annotations)}]" if annotations else ""
+    lines.append(f"{indent}{node.operator}: {node.display_name}{shared}{suffix}")
+    if not shared:
+        for child in node.children:
+            _render_node(child, indent + "    ", lines, seen)
+
+
+def render_dot(graph: EventGraph) -> str:
+    """Render the event graph in Graphviz DOT format.
+
+    Primitive/explicit/temporal leaves are boxes, operators are
+    ellipses, rules are house-shaped sinks. Paste into any DOT viewer.
+    """
+    lines = ["digraph sentinel_events {", "  rankdir=BT;"]
+    node_ids: dict[int, str] = {}
+    for index, node in enumerate(graph.nodes()):
+        node_id = f"n{index}"
+        node_ids[id(node)] = node_id
+        shape = "box" if not node.children else "ellipse"
+        label = node.display_name.replace('"', "'")
+        lines.append(
+            f'  {node_id} [label="{node.operator}\\n{label}" shape={shape}];'
+        )
+    rule_count = 0
+    for node in graph.nodes():
+        source = node_ids[id(node)]
+        for child in node.children:
+            lines.append(f"  {node_ids[id(child)]} -> {source};")
+        for rule in node.rule_subscribers:
+            rule_id = f"r{rule_count}"
+            rule_count += 1
+            lines.append(
+                f'  {rule_id} [label="rule {rule.name}" shape=house '
+                f"style=filled fillcolor=lightgrey];"
+            )
+            lines.append(f"  {source} -> {rule_id};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_timeline(trace: TraceRecorder | list[TraceEvent]) -> str:
+    """Render the recorded trace as one line per step, nesting rule
+    execution by depth."""
+    events = trace.events if isinstance(trace, TraceRecorder) else trace
+    lines = []
+    for entry in events:
+        depth = entry.detail.get("depth", 0)
+        indent = "    " * depth
+        if entry.kind == "occurrence":
+            args = entry.detail.get("args", {})
+            argtext = ", ".join(f"{k}={v!r}" for k, v in args.items())
+            lines.append(f"{indent}! {entry.subject}({argtext})")
+        elif entry.kind == "detection":
+            lines.append(
+                f"{indent}* {entry.subject} detected "
+                f"[{entry.detail.get('context')}]"
+            )
+        elif entry.kind == "trigger":
+            by = entry.detail.get("by")
+            origin = f" by {by}" if by else ""
+            lines.append(f"{indent}> rule {entry.subject} triggered{origin}")
+        elif entry.kind == "start":
+            lines.append(f"{indent}({entry.subject} begins")
+        elif entry.kind == "condition":
+            verdict = "true" if entry.detail.get("satisfied") else "false"
+            lines.append(f"{indent} {entry.subject} condition -> {verdict}")
+        elif entry.kind == "done":
+            lines.append(f"{indent}){entry.subject} committed")
+        elif entry.kind == "failed":
+            lines.append(f"{indent})!{entry.subject} ABORTED")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_rule_interactions(trace: TraceRecorder) -> str:
+    """Render the rule-triggers-rule graph as an adjacency listing."""
+    edges = trace.rule_edges()
+    executed = {e.subject for e in trace.of_kind("done")}
+    triggered = {e.subject for e in trace.of_kind("trigger")}
+    adjacency: dict[str, list[str]] = {}
+    for source, target in edges:
+        adjacency.setdefault(source, []).append(target)
+    lines = ["rule interaction graph:"]
+    roots = sorted(triggered - {t for __, t in edges})
+    for name in roots:
+        _render_interaction(name, adjacency, lines, "  ", set())
+    orphans = sorted(executed - triggered)
+    for name in orphans:
+        lines.append(f"  {name}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_interaction(name: str, adjacency: dict[str, list[str]],
+                        lines: list[str], indent: str,
+                        on_path: set[str]) -> None:
+    cycle = " (cycle)" if name in on_path else ""
+    lines.append(f"{indent}{name}{cycle}")
+    if cycle:
+        return
+    for target in adjacency.get(name, []):
+        _render_interaction(
+            target, adjacency, lines, indent + "  -> ", on_path | {name}
+        )

@@ -1,0 +1,173 @@
+"""Exception hierarchy for the Sentinel reproduction.
+
+Every error raised by the library derives from :class:`SentinelError` so
+applications can install a single catch-all handler around rule
+execution, mirroring the error discipline of the original system where
+Open OODB and Exodus errors were funneled through one reporting path.
+"""
+
+from __future__ import annotations
+
+
+class SentinelError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage-layer errors (the Exodus-simulator substrate).
+# ---------------------------------------------------------------------------
+
+
+class StorageError(SentinelError):
+    """Base class for storage-manager failures."""
+
+
+class PageError(StorageError):
+    """A slotted-page operation failed (overflow, bad slot, corruption)."""
+
+
+class BufferError_(StorageError):
+    """The buffer pool could not satisfy a request (all frames pinned)."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or an append/flush failed."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not be completed."""
+
+
+class RecordNotFound(StorageError):
+    """A record id does not name a live record."""
+
+
+# ---------------------------------------------------------------------------
+# Transaction-layer errors.
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(SentinelError):
+    """Base class for transaction-manager failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (by the user, a deadlock, or a rule)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockTimeout(TransactionError):
+    """A lock request could not be granted within its timeout."""
+
+
+class InvalidTransactionState(TransactionError):
+    """An operation was attempted on a finished or unknown transaction."""
+
+
+# ---------------------------------------------------------------------------
+# OODB-layer errors (the Open OODB simulator).
+# ---------------------------------------------------------------------------
+
+
+class OODBError(SentinelError):
+    """Base class for object-manager failures."""
+
+
+class ObjectNotFound(OODBError):
+    """No persistent object exists with the requested OID or name."""
+
+
+class NameConflict(OODBError):
+    """A persistent name is already bound to another object."""
+
+
+class TranslationError(OODBError):
+    """An object could not be translated to or from its stored form."""
+
+
+# ---------------------------------------------------------------------------
+# Event / rule errors (the Sentinel layer proper).
+# ---------------------------------------------------------------------------
+
+
+class EventError(SentinelError):
+    """Base class for event-specification and detection failures."""
+
+
+class UnknownEvent(EventError):
+    """An event name was referenced before being defined."""
+
+
+class DuplicateEvent(EventError):
+    """An event name was defined twice in the same detector."""
+
+
+class InvalidEventExpression(EventError):
+    """An event expression is structurally invalid (e.g. A with 2 args)."""
+
+
+class RuleError(SentinelError):
+    """Base class for rule-management failures."""
+
+
+class UnknownRule(RuleError):
+    """A rule name was referenced before being defined."""
+
+
+class DuplicateRule(RuleError):
+    """A rule name was registered twice with the same rule manager."""
+
+
+class RuleExecutionError(RuleError):
+    """A condition or action function raised; wraps the original error."""
+
+    def __init__(self, rule_name: str, phase: str, cause: BaseException):
+        # Truncate the cause text: nested rule failures wrap each other,
+        # and embedding full reprs would grow the message exponentially
+        # (each level re-escapes the inner quotes).
+        cause_text = repr(cause)
+        if len(cause_text) > 300:
+            cause_text = cause_text[:300] + "...(truncated)"
+        super().__init__(f"rule {rule_name!r} failed in {phase}: {cause_text}")
+        self.rule_name = rule_name
+        self.phase = phase
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
+# Snoop language errors.
+# ---------------------------------------------------------------------------
+
+
+class SnoopError(SentinelError):
+    """Base class for Snoop specification-language failures."""
+
+
+class SnoopSyntaxError(SnoopError):
+    """The Sentinel/Snoop source text failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SnoopSemanticError(SnoopError):
+    """The specification parsed but is semantically invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Global (inter-application) event detection errors.
+# ---------------------------------------------------------------------------
+
+
+class GlobalDetectorError(SentinelError):
+    """Base class for global event detector failures."""
+
+
+class UnknownApplication(GlobalDetectorError):
+    """A message referenced an application id that is not registered."""

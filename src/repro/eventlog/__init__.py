@@ -1,0 +1,17 @@
+"""Event logging and batch (after-the-fact) composite event detection.
+
+The detector "needs to support detection of events as they happen
+(online) when it is coupled to an application or over a stored
+event-log (in batch mode)" (paper §2.1). This package provides the
+stored event log and the replay machinery:
+
+* :mod:`repro.eventlog.log` — persistent/in-memory logs of primitive
+  occurrences.
+* :mod:`repro.eventlog.replay` — replaying a log through a detector,
+  either executing rules or merely collecting the triggers.
+"""
+
+from repro.eventlog.log import EventLog, LoggedEvent, attach_logger
+from repro.eventlog.replay import ReplayReport, replay
+
+__all__ = ["EventLog", "LoggedEvent", "attach_logger", "ReplayReport", "replay"]

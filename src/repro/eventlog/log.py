@@ -1,0 +1,144 @@
+"""Event logs: durable records of primitive occurrences.
+
+Each entry is the data the detector needs to reproduce a primitive
+event signal. Logs live in memory or as JSON-lines files (inspectable
+with standard tools); entries hold only simple data types, the same
+restriction the detector applies to event parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.core.detector import LocalEventDetector
+from repro.core.params import PrimitiveOccurrence
+from repro.errors import EventError
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """One replayable primitive occurrence."""
+
+    event_name: str
+    at: float
+    class_name: Optional[str]
+    instance: Optional[str]
+    method_name: Optional[str]
+    modifier: Optional[str]
+    arguments: list  # [name, value] pairs
+    txn_id: Optional[int]
+
+    @classmethod
+    def from_occurrence(cls, occ: PrimitiveOccurrence) -> "LoggedEvent":
+        return cls(
+            event_name=occ.event_name,
+            at=occ.at,
+            class_name=occ.class_name,
+            instance=str(occ.instance) if occ.instance is not None else None,
+            method_name=occ.method_name,
+            modifier=occ.modifier.value if occ.modifier else None,
+            arguments=[[k, _jsonable(v)] for k, v in occ.arguments],
+            txn_id=occ.txn_id,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "LoggedEvent":
+        data = json.loads(line)
+        return cls(**data)
+
+
+def _jsonable(value):
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    return value
+
+
+class EventLog:
+    """An append-only log of primitive occurrences.
+
+    With a ``path`` entries are appended to a JSON-lines file as they
+    arrive (and read back on iteration); without one the log is purely
+    in-memory.
+    """
+
+    def __init__(self, path: Optional[str | os.PathLike] = None):
+        self._path = Path(path) if path is not None else None
+        self._entries: list[LoggedEvent] = []
+        self._lock = threading.Lock()
+        if self._path is not None and self._path.exists():
+            with open(self._path) as f:
+                for line in f:
+                    line = line.strip()
+                    if line:
+                        self._entries.append(LoggedEvent.from_json(line))
+
+    def append(self, entry: LoggedEvent | PrimitiveOccurrence) -> None:
+        if isinstance(entry, PrimitiveOccurrence):
+            entry = LoggedEvent.from_occurrence(entry)
+        with self._lock:
+            self._entries.append(entry)
+            if self._path is not None:
+                with open(self._path, "a") as f:
+                    f.write(entry.to_json() + "\n")
+
+    def __iter__(self) -> Iterator[LoggedEvent]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            if self._path is not None and self._path.exists():
+                self._path.unlink()
+
+    def compact(self, keep_last: int) -> int:
+        """Drop all but the newest ``keep_last`` entries (log rotation).
+
+        Returns how many entries were discarded. File-backed logs are
+        rewritten atomically-enough for a single-writer log (write then
+        replace).
+        """
+        if keep_last < 0:
+            raise EventError(f"keep_last must be >= 0, got {keep_last}")
+        with self._lock:
+            dropped = max(0, len(self._entries) - keep_last)
+            if dropped == 0:
+                return 0
+            self._entries = self._entries[dropped:]
+            if self._path is not None:
+                temp = self._path.with_suffix(".rewrite")
+                with open(temp, "w") as f:
+                    for entry in self._entries:
+                        f.write(entry.to_json() + "\n")
+                temp.replace(self._path)
+            return dropped
+
+    def filter(self, event_name: Optional[str] = None,
+               txn_id: Optional[int] = None) -> list[LoggedEvent]:
+        with self._lock:
+            entries = list(self._entries)
+        if event_name is not None:
+            entries = [e for e in entries if e.event_name == event_name]
+        if txn_id is not None:
+            entries = [e for e in entries if e.txn_id == txn_id]
+        return entries
+
+
+def attach_logger(detector: LocalEventDetector,
+                  log: Optional[EventLog] = None) -> EventLog:
+    """Record every primitive occurrence of ``detector`` into ``log``."""
+    log = log if log is not None else EventLog()
+    detector.occurrence_listeners.append(log.append)
+    return log

@@ -1,0 +1,19 @@
+"""Global (inter-application) event detection — Figure 2's top half.
+
+Sentinel's architecture routes events marked *global* from each
+application's local detector to a global event detector, which detects
+composite events whose constituents come from different applications
+("especially useful for cooperative transactions and workflow
+applications") and dispatches detections back to subscriber
+applications for detached rule execution.
+
+* :mod:`repro.globaldet.channel` — queued transport between detectors.
+* :mod:`repro.globaldet.application` — the per-application endpoint.
+* :mod:`repro.globaldet.global_detector` — the global detector itself.
+"""
+
+from repro.globaldet.channel import Channel
+from repro.globaldet.application import Application
+from repro.globaldet.global_detector import GlobalEventDetector
+
+__all__ = ["Channel", "Application", "GlobalEventDetector"]

@@ -1,0 +1,102 @@
+"""Application endpoint for the global event detector.
+
+Each Open OODB application is a client of the Exodus server with its
+own local event detector (Fig. 2). :class:`Application` adapts a local
+detector (or a whole :class:`~repro.sentinel.Sentinel`) to the global
+detector: it exports local events (forwarding their occurrences up) and
+receives global detections back, re-raising them as local explicit
+events — which typically carry detached rules.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.detector import LocalEventDetector
+from repro.core.params import Occurrence, PrimitiveOccurrence
+from repro.errors import GlobalDetectorError
+from repro.globaldet.channel import Channel
+
+if TYPE_CHECKING:
+    from repro.globaldet.global_detector import GlobalEventDetector
+    from repro.sentinel import Sentinel
+
+
+class Application:
+    """One application registered with a global event detector."""
+
+    def __init__(
+        self,
+        name: str,
+        system: Union["Sentinel", LocalEventDetector],
+        ged: "GlobalEventDetector",
+        direct: bool = False,
+    ):
+        self.name = name
+        self._system = system
+        self.detector: LocalEventDetector = (
+            system if isinstance(system, LocalEventDetector)
+            else system.detector
+        )
+        self.ged = ged
+        #: downward channel: global detections -> this application
+        self.downlink = Channel(sink=self._on_global_detection, direct=direct)
+        self.detector.add_global_listener(self._forward)
+
+    # -- exporting local events -------------------------------------------------
+
+    def export_event(self, event_name: str) -> str:
+        """Make a local event visible globally as ``<app>.<event>``."""
+        self.detector.mark_global(event_name)
+        return self.ged.import_event(self, event_name)
+
+    def _forward(self, occurrence: PrimitiveOccurrence) -> None:
+        # All applications share the global detector's inbox so the
+        # cross-application arrival order is preserved.
+        self.ged.inbox.send((self.name, occurrence))
+
+    # -- receiving global detections --------------------------------------------------
+
+    def subscribe_global(self, global_event, local_event: str,
+                         context: str = "recent", condition=None) -> None:
+        """Deliver detections of ``global_event`` as ``local_event`` here.
+
+        ``local_event`` is (created as) a local explicit event; attach
+        rules to it — usually with DETACHED coupling, since the
+        triggering transaction lives in another application. ``context``
+        and ``condition`` configure the delivery rule at the global
+        detector (e.g. chronicle pairing plus a correlation condition).
+        """
+        self.detector.explicit_event(local_event)
+        self.ged.subscribe(self, global_event, local_event,
+                           context=context, condition=condition)
+
+    def _on_global_detection(self, message) -> None:
+        local_event, occurrence = message
+        params = _flatten_params(occurrence)
+        self.detector.raise_event(local_event, **params)
+
+    def drain(self) -> int:
+        """Deliver queued global detections into this application."""
+        return self.downlink.drain()
+
+    def __repr__(self) -> str:
+        return f"Application({self.name!r})"
+
+
+def _flatten_params(occurrence: Occurrence) -> dict:
+    """Merge the constituents' arguments for cross-application delivery.
+
+    Only simple data types cross applications (paper §3.2.2: "to avoid
+    these pitfalls, currently, we pass only simple data types as
+    parameters" across applications). Later values win on name clashes;
+    the constituent event names ride along under ``constituents``.
+    """
+    params: dict = {}
+    names = []
+    for primitive in occurrence.primitives():
+        names.append(primitive.event_name)
+        for key, value in primitive.arguments:
+            params[key] = value
+    params["constituents"] = ",".join(names)
+    return params

@@ -1,0 +1,66 @@
+"""Queued transport between local detectors and the global detector.
+
+The original deployment had one process per application; messages
+crossed address spaces. Here a :class:`Channel` is a thread-safe FIFO
+with two delivery disciplines:
+
+* **queued** (default) — messages accumulate until ``drain`` is called,
+  making inter-application tests deterministic;
+* **direct** — messages invoke the sink immediately on ``send``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Optional
+
+
+class Channel:
+    """FIFO message channel with pluggable delivery."""
+
+    def __init__(self, sink: Optional[Callable[[Any], None]] = None,
+                 direct: bool = False):
+        self._sink = sink
+        self._direct = direct
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self.sent = 0
+        self.delivered = 0
+
+    def connect(self, sink: Callable[[Any], None]) -> None:
+        self._sink = sink
+
+    def send(self, message: Any) -> None:
+        with self._lock:
+            self.sent += 1
+            if self._direct and self._sink is not None:
+                deliver_now = True
+            else:
+                self._queue.append(message)
+                deliver_now = False
+        if deliver_now:
+            self._sink(message)
+            with self._lock:
+                self.delivered += 1
+
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Deliver queued messages in order; returns how many."""
+        if self._sink is None:
+            return 0
+        count = 0
+        while limit is None or count < limit:
+            with self._lock:
+                if not self._queue:
+                    break
+                message = self._queue.popleft()
+            self._sink(message)
+            with self._lock:
+                self.delivered += 1
+            count += 1
+        return count
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)

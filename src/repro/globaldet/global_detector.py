@@ -1,0 +1,152 @@
+"""The global event detector (Fig. 2, top).
+
+Internally reuses the local-detector machinery: every imported
+application event becomes an explicit event named ``<app>.<event>`` in
+the global graph, so the full Snoop operator set works unchanged over
+inter-application events. A *global rule* is a subscription: when its
+(global composite) event is detected, the occurrence is shipped down
+the subscriber application's channel, where it is re-raised locally
+(detached rule execution, "Application n to execute detached rule").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.clock import Clock
+from repro.core.detector import LocalEventDetector
+from repro.core.events.base import EventNode
+from repro.core.params import PrimitiveOccurrence
+from repro.errors import GlobalDetectorError, UnknownApplication
+from repro.globaldet.application import Application
+
+if TYPE_CHECKING:
+    from repro.sentinel import Sentinel
+
+
+class GlobalEventDetector:
+    """Detects composite events spanning applications."""
+
+    def __init__(self, clock: Optional[Clock] = None, direct: bool = False):
+        self._direct = direct
+        # The global graph reuses a LocalEventDetector: its "rules" are
+        # the delivery subscriptions.
+        self.detector = LocalEventDetector(clock=clock, name="$GLOBAL")
+        self.applications: dict[str, Application] = {}
+        self._subscription_ids = itertools.count(1)
+        # Single inbox shared by all uplinks: cross-application arrival
+        # order is the global event order (one Exodus server, one wire).
+        from repro.globaldet.channel import Channel
+
+        self.inbox = Channel(sink=self._on_local_event, direct=direct)
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, system: Union["Sentinel", LocalEventDetector],
+                 name: Optional[str] = None) -> Application:
+        """Attach an application (a Sentinel instance or bare detector)."""
+        app_name = name or getattr(system, "name", None) or (
+            f"app{len(self.applications) + 1}"
+        )
+        if app_name in self.applications:
+            raise GlobalDetectorError(
+                f"application {app_name!r} is already registered"
+            )
+        app = Application(app_name, system, self, direct=self._direct)
+        self.applications[app_name] = app
+        return app
+
+    def import_event(self, app: Application, event_name: str) -> str:
+        """Create the global alias for a local event; returns its name."""
+        global_name = f"{app.name}.{event_name}"
+        self.detector.explicit_event(global_name)
+        return global_name
+
+    # -- composite events over global primitives -------------------------------------
+
+    def event(self, name: str) -> EventNode:
+        return self.detector.event(name)
+
+    def and_(self, left, right, name=None):
+        return self.detector.and_(left, right, name)
+
+    def or_(self, left, right, name=None):
+        return self.detector.or_(left, right, name)
+
+    def seq(self, left, right, name=None):
+        return self.detector.seq(left, right, name)
+
+    def not_(self, initiator, forbidden, terminator, name=None):
+        return self.detector.not_(initiator, forbidden, terminator, name)
+
+    def aperiodic(self, initiator, middle, terminator, name=None):
+        return self.detector.aperiodic(initiator, middle, terminator, name)
+
+    def aperiodic_star(self, initiator, middle, terminator, name=None):
+        return self.detector.aperiodic_star(initiator, middle, terminator, name)
+
+    # -- subscriptions --------------------------------------------------------------------
+
+    def subscribe(self, app: Application, global_event,
+                  local_event: str, context: str = "recent",
+                  condition=None) -> str:
+        """Ship detections of ``global_event`` to ``app``.
+
+        ``condition`` (optional) filters detections before delivery —
+        e.g. :func:`repro.core.conditions.same_param` to correlate
+        constituents from different applications on a shared key.
+        """
+        if app.name not in self.applications:
+            raise UnknownApplication(app.name)
+        rule_name = f"$deliver{next(self._subscription_ids)}:{app.name}"
+
+        def deliver(occurrence) -> None:
+            app.downlink.send((local_event, occurrence))
+
+        self.detector.rule(
+            rule_name, global_event,
+            condition if condition is not None else (lambda occ: True),
+            deliver,
+            context=context,
+        )
+        return rule_name
+
+    # -- event intake -------------------------------------------------------------------------
+
+    def _on_local_event(self, message) -> None:
+        app_name, occurrence = message
+        global_name = f"{app_name}.{occurrence.event_name}"
+        if not self.detector.graph.has(global_name):
+            return  # exported but never imported: drop silently
+        self.detector.raise_event(
+            global_name, **dict(occurrence.arguments)
+        )
+
+    # -- pumping -----------------------------------------------------------------------------
+
+    def pump(self) -> int:
+        """One round: uplinks into the global graph, then downlinks out.
+
+        Returns the number of messages moved; loop until 0 for a
+        fixpoint (a delivered global event may generate new local
+        events that are themselves global).
+        """
+        moved = self.inbox.drain()
+        for app in self.applications.values():
+            moved += app.downlink.drain()
+        return moved
+
+    def run_to_fixpoint(self, max_rounds: int = 100) -> int:
+        total = 0
+        for __ in range(max_rounds):
+            moved = self.pump()
+            total += moved
+            if moved == 0:
+                return total
+        raise GlobalDetectorError(
+            f"global event traffic did not quiesce in {max_rounds} rounds"
+        )
+
+    def shutdown(self) -> None:
+        self.detector.shutdown()

@@ -1,0 +1,35 @@
+"""Open OODB substrate: the passive object manager Sentinel extends.
+
+The Texas Instruments Open OODB Toolkit provided Sentinel's passive
+half: persistent C++ objects with OIDs, a name manager, an address-space
+manager (faulting/swizzling), object translation, and transaction
+bracketing over Exodus. This package reproduces those modules for
+Python objects:
+
+* :mod:`repro.oodb.object_model` — OIDs, the class registry, and the
+  persistence-capable object protocol.
+* :mod:`repro.oodb.translation` — object state <-> stored form.
+* :mod:`repro.oodb.address_space` — the live-object cache (one OID, one
+  Python object per session).
+* :mod:`repro.oodb.name_manager` — persistent name bindings.
+* :mod:`repro.oodb.persistence` — the persistence manager.
+* :mod:`repro.oodb.database` — the :class:`OpenOODB` facade with
+  transaction bracketing and the system-event hooks Sentinel plugs into.
+"""
+
+from repro.oodb.object_model import OID, ClassRegistry, Persistent
+from repro.oodb.address_space import AddressSpaceManager
+from repro.oodb.name_manager import NameManager
+from repro.oodb.persistence import PersistenceManager
+from repro.oodb.database import OpenOODB, OODBTransaction
+
+__all__ = [
+    "OID",
+    "ClassRegistry",
+    "Persistent",
+    "AddressSpaceManager",
+    "NameManager",
+    "PersistenceManager",
+    "OpenOODB",
+    "OODBTransaction",
+]

@@ -1,0 +1,67 @@
+"""Address-space manager: the live-object cache.
+
+Open OODB's address space manager guaranteed that within one
+application a persistent object has exactly one in-memory
+representation — faulting the same OID twice returns the same pointer.
+We reproduce that invariant with an OID -> object cache, which is also
+what makes instance-level events meaningful (the detector compares
+object identity).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.oodb.object_model import OID, Persistent
+
+
+class AddressSpaceManager:
+    """Cache of resident persistent objects, one per OID."""
+
+    def __init__(self):
+        self._resident: dict[OID, Persistent] = {}
+        self._lock = threading.RLock()
+
+    def lookup(self, oid: OID) -> Optional[Persistent]:
+        with self._lock:
+            return self._resident.get(oid)
+
+    def install(self, oid: OID, obj: Persistent) -> Persistent:
+        """Register ``obj`` as the resident copy of ``oid``.
+
+        If another object already claims the OID (a concurrent fault-in)
+        the existing one wins — one OID, one object.
+        """
+        with self._lock:
+            existing = self._resident.get(oid)
+            if existing is not None:
+                return existing
+            self._resident[oid] = obj
+            obj._oid = oid
+            return obj
+
+    def evict(self, oid: OID) -> None:
+        with self._lock:
+            obj = self._resident.pop(oid, None)
+            if obj is not None:
+                obj._oid = None
+
+    def clear(self) -> None:
+        """Drop every resident object (session shutdown)."""
+        with self._lock:
+            for obj in self._resident.values():
+                obj._oid = None
+            self._resident.clear()
+
+    def resident_oids(self) -> list[OID]:
+        with self._lock:
+            return sorted(self._resident)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._resident)
+
+    def __iter__(self) -> Iterator[Persistent]:
+        with self._lock:
+            return iter(list(self._resident.values()))

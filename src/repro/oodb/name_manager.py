@@ -1,0 +1,83 @@
+"""Name manager: persistent names as database entry points.
+
+Open OODB applications reach persistent objects through names bound in
+the name manager. Bindings are stored as records in the same heap as
+the objects themselves (so they are transactional) with an in-memory
+index for lookup; the index is journaled per transaction so aborts
+restore it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.errors import NameConflict, ObjectNotFound
+from repro.oodb.object_model import OID
+from repro.storage.heap import RecordId
+
+_BINDING_MARKER = "$name_binding"
+
+
+def binding_record(name: str, oid: OID) -> dict:
+    return {_BINDING_MARKER: name, "oid": oid.value}
+
+
+def is_binding_record(value) -> bool:
+    return isinstance(value, dict) and _BINDING_MARKER in value
+
+
+class NameManager:
+    """In-memory name index over stored binding records."""
+
+    def __init__(self):
+        self._bindings: dict[str, tuple[OID, RecordId]] = {}
+        self._lock = threading.RLock()
+
+    def load(self, name: str, oid: OID, rid: RecordId) -> None:
+        """Install a binding discovered while scanning the store."""
+        with self._lock:
+            self._bindings[name] = (oid, rid)
+
+    def bind(self, name: str, oid: OID, rid: RecordId) -> None:
+        with self._lock:
+            if name in self._bindings:
+                bound_oid, __ = self._bindings[name]
+                raise NameConflict(
+                    f"name {name!r} is already bound to {bound_oid}"
+                )
+            self._bindings[name] = (oid, rid)
+
+    def unbind(self, name: str) -> tuple[OID, RecordId]:
+        with self._lock:
+            if name not in self._bindings:
+                raise ObjectNotFound(f"no binding for name {name!r}")
+            return self._bindings.pop(name)
+
+    def lookup(self, name: str) -> OID:
+        with self._lock:
+            if name not in self._bindings:
+                raise ObjectNotFound(f"no binding for name {name!r}")
+            return self._bindings[name][0]
+
+    def lookup_rid(self, name: str) -> RecordId:
+        with self._lock:
+            if name not in self._bindings:
+                raise ObjectNotFound(f"no binding for name {name!r}")
+            return self._bindings[name][1]
+
+    def is_bound(self, name: str) -> bool:
+        with self._lock:
+            return name in self._bindings
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    def find_name(self, oid: OID) -> Optional[str]:
+        """Reverse lookup: first name bound to ``oid``, if any."""
+        with self._lock:
+            for name, (bound, __) in self._bindings.items():
+                if bound == oid:
+                    return name
+        return None

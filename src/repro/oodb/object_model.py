@@ -1,0 +1,110 @@
+"""Object model: OIDs, persistence-capable objects, and the class registry.
+
+The Open OODB model makes any C++ object *persistence-capable* once its
+class has been processed; objects become persistent when reachable from
+a persistent name. We reproduce the essentials:
+
+* :class:`OID` — immutable object identifier, a parameter of every
+  primitive event (the paper: "we include the identification of the
+  object (i.e., oid) as one of the event parameters").
+* :class:`Persistent` — base class marking instances as
+  persistence-capable; persistent state is the set of public, atomic
+  attributes (underscore-prefixed attributes are transient).
+* :class:`ClassRegistry` — maps stored class names back to Python
+  classes when objects are faulted in.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Type
+
+from repro.errors import TranslationError
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """Stable identity of a persistent object."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"oid:{self.value}"
+
+
+class Persistent:
+    """Base class for persistence-capable objects.
+
+    Instances carry a private ``_oid`` (``None`` while transient).
+    Attributes whose names start with ``_`` are never stored; everything
+    else must be a serializer-supported value or a reference to another
+    :class:`Persistent` object (stored as an OID reference).
+    """
+
+    _oid: Optional[OID] = None
+
+    @property
+    def oid(self) -> Optional[OID]:
+        return self._oid
+
+    @property
+    def is_persistent(self) -> bool:
+        return self._oid is not None
+
+    def persistent_state(self) -> dict[str, Any]:
+        """The attribute dict that gets stored. Override to customize."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        """Install stored attributes. Override to customize."""
+        for key, value in state.items():
+            setattr(self, key, value)
+
+
+class ClassRegistry:
+    """Maps class names to Python classes for fault-in.
+
+    Registration happens automatically the first time an instance of a
+    class is made persistent; classes loaded before their instances are
+    faulted in can be registered explicitly (mirroring the Open OODB
+    requirement that applications link the class definitions they use).
+    """
+
+    def __init__(self):
+        self._classes: dict[str, Type[Persistent]] = {}
+        self._lock = threading.Lock()
+
+    def register(self, cls: Type[Persistent], name: Optional[str] = None) -> str:
+        class_name = name or cls.__name__
+        with self._lock:
+            existing = self._classes.get(class_name)
+            if existing is not None and existing is not cls:
+                raise TranslationError(
+                    f"class name {class_name!r} already registered "
+                    f"to {existing.__module__}.{existing.__qualname__}"
+                )
+            self._classes[class_name] = cls
+        return class_name
+
+    def lookup(self, class_name: str) -> Type[Persistent]:
+        with self._lock:
+            cls = self._classes.get(class_name)
+        if cls is None:
+            raise TranslationError(
+                f"class {class_name!r} is not registered; import and "
+                f"register it before faulting in its instances"
+            )
+        return cls
+
+    def known(self, class_name: str) -> bool:
+        with self._lock:
+            return class_name in self._classes
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._classes)

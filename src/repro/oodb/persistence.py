@@ -1,0 +1,214 @@
+"""Persistence manager: OIDs, fault-in, and write-back.
+
+Objects are stored one record each::
+
+    {"$object": oid, "class": <name>, "state": {...}}
+
+The manager keeps an OID -> record-id index (rebuilt by scanning on
+open, maintained incrementally afterwards) and journals index changes
+per transaction so an abort restores the in-memory view.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ObjectNotFound
+from repro.oodb import translation
+from repro.oodb.address_space import AddressSpaceManager
+from repro.oodb.name_manager import NameManager, binding_record, is_binding_record
+from repro.oodb.object_model import OID, ClassRegistry, Persistent
+from repro.storage.heap import RecordId
+from repro.storage.manager import StorageManager, StorageTransaction
+
+_OBJECT_MARKER = "$object"
+
+
+@dataclass
+class IndexJournal:
+    """Per-transaction undo journal for the in-memory indexes."""
+
+    added_oids: list[OID] = field(default_factory=list)
+    removed_oids: list[tuple[OID, RecordId]] = field(default_factory=list)
+    bound_names: list[str] = field(default_factory=list)
+    unbound_names: list[tuple[str, OID, RecordId]] = field(default_factory=list)
+    touched_oids: set[OID] = field(default_factory=set)
+
+
+class PersistenceManager:
+    """Moves objects between the address space and the storage manager."""
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        registry: ClassRegistry,
+        address_space: AddressSpaceManager,
+        names: NameManager,
+    ):
+        self._storage = storage
+        self._registry = registry
+        self._space = address_space
+        self._names = names
+        self._oid_index: dict[OID, RecordId] = {}
+        self._next_oid = 1
+        self._lock = threading.RLock()
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Scan the store to rebuild the OID and name indexes."""
+        txn = self._storage.begin()
+        try:
+            for rid, value in self._storage.scan(txn):
+                if is_binding_record(value):
+                    self._names.load(value["$name_binding"], OID(value["oid"]), rid)
+                elif isinstance(value, dict) and _OBJECT_MARKER in value:
+                    oid = OID(value[_OBJECT_MARKER])
+                    self._oid_index[oid] = rid
+                    self._next_oid = max(self._next_oid, oid.value + 1)
+        finally:
+            self._storage.commit(txn)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def persist(
+        self,
+        txn: StorageTransaction,
+        journal: IndexJournal,
+        obj: Persistent,
+        name: Optional[str] = None,
+    ) -> OID:
+        """Make ``obj`` persistent; optionally bind ``name`` to it."""
+        if obj.is_persistent:
+            oid = obj.oid
+        else:
+            self._registry.register(type(obj))
+            with self._lock:
+                oid = OID(self._next_oid)
+                self._next_oid += 1
+            record = translation.encode_state(obj)
+            record[_OBJECT_MARKER] = oid.value
+            rid = self._storage.insert(txn, record)
+            with self._lock:
+                self._oid_index[oid] = rid
+            journal.added_oids.append(oid)
+            self._space.install(oid, obj)
+        if name is not None:
+            self.bind(txn, journal, name, oid)
+        journal.touched_oids.add(oid)
+        return oid
+
+    def fetch(self, txn: StorageTransaction, oid: OID) -> Persistent:
+        """Return the resident object for ``oid``, faulting it in if needed."""
+        resident = self._space.lookup(oid)
+        if resident is not None:
+            return resident
+        with self._lock:
+            rid = self._oid_index.get(oid)
+        if rid is None:
+            raise ObjectNotFound(str(oid))
+        record = self._storage.read(txn, rid)
+        obj = translation.decode_state(
+            record, self._registry, resolve_ref=lambda ref: self.fetch(txn, ref)
+        )
+        return self._space.install(oid, obj)
+
+    def save(
+        self, txn: StorageTransaction, journal: IndexJournal, obj: Persistent
+    ) -> None:
+        """Write ``obj``'s current state back to the store."""
+        if not obj.is_persistent:
+            raise ObjectNotFound("object is transient; persist() it first")
+        with self._lock:
+            rid = self._oid_index.get(obj.oid)
+        if rid is None:
+            raise ObjectNotFound(str(obj.oid))
+        record = translation.encode_state(obj)
+        record[_OBJECT_MARKER] = obj.oid.value
+        self._storage.update(txn, rid, record)
+        journal.touched_oids.add(obj.oid)
+
+    def remove(
+        self, txn: StorageTransaction, journal: IndexJournal, obj: Persistent
+    ) -> None:
+        """Delete ``obj`` from the store and evict it."""
+        if not obj.is_persistent:
+            raise ObjectNotFound("object is transient")
+        oid = obj.oid
+        with self._lock:
+            rid = self._oid_index.pop(oid, None)
+        if rid is None:
+            raise ObjectNotFound(str(oid))
+        self._storage.delete(txn, rid)
+        journal.removed_oids.append((oid, rid))
+        journal.touched_oids.add(oid)
+        self._space.evict(oid)
+
+    def extent(self, txn: StorageTransaction, class_name: str):
+        """Iterate every persistent instance of ``class_name``.
+
+        Rule conditions are "a simple or a complex query on the current
+        database state" (paper §1); the extent is the entry point for
+        such queries. Scan-based: cost is proportional to the store.
+        """
+        for __, value in self._storage.scan(txn):
+            if (
+                isinstance(value, dict)
+                and value.get("class") == class_name
+                and _OBJECT_MARKER in value
+            ):
+                yield self.fetch(txn, OID(value[_OBJECT_MARKER]))
+
+    # -- names ----------------------------------------------------------------------
+
+    def bind(
+        self, txn: StorageTransaction, journal: IndexJournal, name: str, oid: OID
+    ) -> None:
+        rid = self._storage.insert(txn, binding_record(name, oid))
+        self._names.bind(name, oid, rid)
+        journal.bound_names.append(name)
+
+    def unbind(
+        self, txn: StorageTransaction, journal: IndexJournal, name: str
+    ) -> None:
+        oid, rid = self._names.unbind(name)
+        self._storage.delete(txn, rid)
+        journal.unbound_names.append((name, oid, rid))
+
+    def lookup(self, txn: StorageTransaction, name: str) -> Persistent:
+        return self.fetch(txn, self._names.lookup(name))
+
+    # -- abort handling --------------------------------------------------------------
+
+    def rollback_indexes(self, journal: IndexJournal) -> None:
+        """Reverse the in-memory index effects of an aborted transaction.
+
+        Storage rollback is handled by the WAL; this keeps the OID
+        index, name index, and address space coherent with it. Every
+        object the transaction touched is evicted so later readers
+        re-fault the committed state.
+        """
+        with self._lock:
+            for oid in journal.added_oids:
+                self._oid_index.pop(oid, None)
+        for oid, rid in journal.removed_oids:
+            with self._lock:
+                self._oid_index[oid] = rid
+        for name in journal.bound_names:
+            if self._names.is_bound(name):
+                self._names.unbind(name)
+        for name, oid, rid in journal.unbound_names:
+            self._names.load(name, oid, rid)
+        for oid in journal.touched_oids:
+            self._space.evict(oid)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def known_oids(self) -> list[OID]:
+        with self._lock:
+            return sorted(self._oid_index)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._oid_index)

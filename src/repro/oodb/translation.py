@@ -1,0 +1,84 @@
+"""Object translation: live objects <-> stored records.
+
+The Open OODB "object translation" module converted between in-memory
+C++ object layouts and Exodus storage objects, rewriting embedded
+pointers. Here the stored form is a serializer dict::
+
+    {"class": <class name>, "state": {attr: value | {"$ref": oid}}}
+
+References to other :class:`Persistent` objects are stored as OID
+references and resolved lazily by the persistence manager on fault-in
+(our pointer swizzling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import TranslationError
+from repro.oodb.object_model import OID, ClassRegistry, Persistent
+
+_REF_KEY = "$ref"
+
+
+def encode_state(obj: Persistent) -> dict[str, Any]:
+    """Build the stored form of ``obj``'s persistent state."""
+    state = {}
+    for key, value in obj.persistent_state().items():
+        state[key] = _encode_value(key, value)
+    return {"class": type(obj).__name__, "state": state}
+
+
+def _encode_value(key: str, value: Any) -> Any:
+    if isinstance(value, Persistent):
+        if value.oid is None:
+            raise TranslationError(
+                f"attribute {key!r} references a transient object; "
+                f"make it persistent first (no persistence-by-reachability "
+                f"across a single save)"
+            )
+        return {_REF_KEY: value.oid.value}
+    if isinstance(value, OID):
+        return {_REF_KEY: value.value}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(key, v) for v in value]
+    if isinstance(value, dict):
+        if _REF_KEY in value:
+            raise TranslationError(
+                f"attribute {key!r} uses the reserved key {_REF_KEY!r}"
+            )
+        return {k: _encode_value(key, v) for k, v in value.items()}
+    return value
+
+
+def decode_state(
+    record: dict[str, Any],
+    registry: ClassRegistry,
+    resolve_ref: Callable[[OID], Any],
+) -> Persistent:
+    """Instantiate an object from its stored form.
+
+    ``resolve_ref`` maps an OID to a live object (typically the
+    persistence manager's ``fetch``), giving lazy-by-one-level
+    swizzling: referenced objects fault in when the referrer does.
+    """
+    if "class" not in record or "state" not in record:
+        raise TranslationError(f"malformed stored object: {record!r}")
+    cls = registry.lookup(record["class"])
+    obj = cls.__new__(cls)  # bypass __init__: state comes from the store
+    state = {
+        key: _decode_value(value, resolve_ref)
+        for key, value in record["state"].items()
+    }
+    obj.load_state(state)
+    return obj
+
+
+def _decode_value(value: Any, resolve_ref: Callable[[OID], Any]) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {_REF_KEY}:
+            return resolve_ref(OID(value[_REF_KEY]))
+        return {k: _decode_value(v, resolve_ref) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v, resolve_ref) for v in value]
+    return value

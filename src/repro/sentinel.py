@@ -1,0 +1,532 @@
+"""The Sentinel facade: an active OODBMS.
+
+Wires together every module of the architecture in Figure 1:
+
+* the Open OODB substrate (optional — omit ``directory`` for a purely
+  in-memory active system),
+* the nested transaction manager for rule subtransactions,
+* the local composite event detector with the Snoop event graph,
+* the rule scheduler (serial or threaded),
+* the system class's transaction events (``begin_transaction``,
+  ``pre_commit_transaction``, ``commit_transaction``,
+  ``abort_transaction``) signaled around every top-level transaction,
+* the flush-on-commit/abort rules — real, deactivatable rules, exactly
+  as the paper describes ("this is invoked as an action of a rule on
+  abort and commit events. However, these can be easily modified by
+  deactivating these rules if events across transaction boundaries need
+  to be detected"),
+* a detached-rule handler that runs DETACHED-coupled rules in their own
+  thread under a fresh top-level transaction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.clock import Clock
+from repro.core.deferred import (
+    ABORT_TRANSACTION,
+    BEGIN_TRANSACTION,
+    COMMIT_TRANSACTION,
+    PRE_COMMIT_TRANSACTION,
+    ensure_system_events,
+)
+from repro.core.detector import LocalEventDetector
+from repro.core.reactive import Reactive, set_current_detector
+from repro.core.rules import Rule
+from repro.core.scheduler import RuleActivation, SerialExecutor, ThreadedExecutor
+from repro.errors import InvalidTransactionState
+from repro.oodb.database import OODBTransaction, OpenOODB
+from repro.oodb.object_model import Persistent
+from repro.transactions.nested import NestedTransaction, NestedTransactionManager
+
+FLUSH_ON_COMMIT_RULE = "$flush_on_commit"
+FLUSH_ON_ABORT_RULE = "$flush_on_abort"
+
+
+class _SpecDocument(Persistent):
+    """A stored specification-language document."""
+
+    def __init__(self, spec_name: str, source: str):
+        self.spec_name = spec_name
+        self.source = source
+
+
+class SentinelTransaction:
+    """A top-level transaction of the active system.
+
+    Pairs the (optional) OODB transaction with the root of a nested
+    transaction tree under which all triggered rules execute.
+    """
+
+    def __init__(self, system: "Sentinel", root: NestedTransaction,
+                 oodb_txn: Optional[OODBTransaction]):
+        self._system = system
+        self.root = root
+        self.oodb = oodb_txn
+        self.finished = False
+
+    @property
+    def txn_id(self) -> int:
+        return self.oodb.txn_id if self.oodb is not None else self.root.txn_id
+
+    # Object operations pass through to the OODB transaction.
+    def persist(self, obj, name=None):
+        return self._require_db().persist(obj, name)
+
+    def fetch(self, oid):
+        return self._require_db().fetch(oid)
+
+    def lookup(self, name):
+        return self._require_db().lookup(name)
+
+    def save(self, obj):
+        return self._require_db().save(obj)
+
+    def mark_dirty(self, obj):
+        return self._require_db().mark_dirty(obj)
+
+    def remove(self, obj):
+        return self._require_db().remove(obj)
+
+    def extent(self, cls):
+        return self._require_db().extent(cls)
+
+    def bind(self, name, obj):
+        return self._require_db().bind(name, obj)
+
+    def unbind(self, name):
+        return self._require_db().unbind(name)
+
+    def _require_db(self) -> OODBTransaction:
+        if self.oodb is None:
+            raise InvalidTransactionState(
+                "no database attached; open Sentinel with a directory for "
+                "persistent objects"
+            )
+        return self.oodb
+
+    def commit(self) -> None:
+        self._system.commit(self)
+
+    def abort(self) -> None:
+        self._system.abort(self)
+
+
+class Sentinel:
+    """An active OODBMS instance (one application / Exodus client)."""
+
+    def __init__(
+        self,
+        directory: Optional[str | os.PathLike] = None,
+        clock: Optional[Clock] = None,
+        executor: Optional[SerialExecutor | ThreadedExecutor] = None,
+        sharing: bool = True,
+        error_policy: str = "raise",
+        name: str = "app",
+        flush_on_boundaries: bool = True,
+        pool_size: int = 128,
+        activate: bool = True,
+    ):
+        self.name = name
+        self.db: Optional[OpenOODB] = (
+            OpenOODB(directory, pool_size=pool_size)
+            if directory is not None
+            else None
+        )
+        self.txns = NestedTransactionManager()
+        self.detector = LocalEventDetector(
+            clock=clock,
+            executor=executor,
+            txn_manager=self.txns,
+            sharing=sharing,
+            error_policy=error_policy,
+            name=name,
+        )
+        ensure_system_events(self.detector)
+        self.detector.detached_handler = self._run_detached
+        self._detached_threads: list[threading.Thread] = []
+        self._local = threading.local()
+        self._closed = False
+        if flush_on_boundaries:
+            self._install_flush_rules()
+        if self.db is not None:
+            self.db.on_pre_commit.append(self._on_db_pre_commit)
+            self.db.registry.register(_SpecDocument)
+        if activate:
+            self.activate()
+
+    # -- plumbing convenience ---------------------------------------------------
+
+    @property
+    def rules(self):
+        return self.detector.rules
+
+    @property
+    def graph(self):
+        return self.detector.graph
+
+    @property
+    def clock(self):
+        return self.detector.clock
+
+    def activate(self) -> None:
+        """Route reactive-method notifications (this thread) to us."""
+        set_current_detector(self.detector)
+
+    @contextmanager
+    def active(self) -> Iterator["Sentinel"]:
+        """Scoped activation for multi-application code::
+
+            with orders_app.active():
+                book.place_order("SKU-7", 5)   # notifies orders_app
+        """
+        from repro.core.reactive import get_current_detector
+
+        previous = get_current_detector()
+        set_current_detector(self.detector)
+        try:
+            yield self
+        finally:
+            set_current_detector(previous)
+
+    def register_class(self, cls: type,
+                       prefix: Optional[str] = None) -> dict:
+        """Register a class with the active system.
+
+        Reactive classes get primitive event nodes for their declared
+        events (returned as a name -> node dict); persistent classes
+        are added to the translation registry. A class may be either
+        or both.
+        """
+        if self.db is not None and hasattr(cls, "persistent_state"):
+            self.db.registry.register(cls)
+        if hasattr(cls, "register_events"):
+            return cls.register_events(self.detector, prefix=prefix)
+        return {}
+
+    # Event / rule definition passthroughs.
+    def primitive_event(self, *args, **kwargs):
+        return self.detector.primitive_event(*args, **kwargs)
+
+    def explicit_event(self, *args, **kwargs):
+        return self.detector.explicit_event(*args, **kwargs)
+
+    def temporal_event(self, *args, **kwargs):
+        return self.detector.temporal_event(*args, **kwargs)
+
+    def event(self, name: str):
+        return self.detector.event(name)
+
+    def rule(self, *args, **kwargs) -> Rule:
+        return self.detector.rule(*args, **kwargs)
+
+    def raise_event(self, *args, **kwargs):
+        return self.detector.raise_event(*args, **kwargs)
+
+    def advance_time(self, delta: float) -> None:
+        self.detector.advance_time(delta)
+
+    # =====================================================================
+    # Transactions
+    # =====================================================================
+
+    def begin(self) -> SentinelTransaction:
+        """Start a top-level transaction; signals ``begin_transaction``."""
+        if self.current() is not None:
+            raise InvalidTransactionState(
+                "a Sentinel transaction is already active on this thread"
+            )
+        oodb_txn = self.db.begin() if self.db is not None else None
+        top_id = oodb_txn.txn_id if oodb_txn is not None else None
+        root = self.txns.begin_top(label=f"{self.name}-txn", top_level_id=top_id)
+        txn = SentinelTransaction(self, root, oodb_txn)
+        self._local.txn = txn
+        self.detector.set_current_transaction(root)
+        # "The begin transaction event is always signaled at the
+        # beginning of a transaction."
+        self.detector.signal_system_event(BEGIN_TRANSACTION, txn.txn_id)
+        return txn
+
+    def current(self) -> Optional[SentinelTransaction]:
+        return getattr(self._local, "txn", None)
+
+    def commit(self, txn: Optional[SentinelTransaction] = None) -> None:
+        """Commit: pre-commit (deferred rules), storage commit, commit
+        events (graph flush), then the rule transaction tree."""
+        txn = self._resolve(txn)
+        if txn.oodb is not None:
+            # The OODB pre-commit hook signals pre_commit_transaction,
+            # which fires deferred rules before the storage commit.
+            self.db.commit(txn.oodb)
+        else:
+            self.detector.signal_system_event(
+                PRE_COMMIT_TRANSACTION, txn.txn_id
+            )
+        # Commit-event rules (including graph flush) run while the rule
+        # transaction tree is still alive.
+        self.detector.signal_system_event(COMMIT_TRANSACTION, txn.txn_id)
+        txn.root.commit()
+        self._finish(txn)
+
+    def abort(self, txn: Optional[SentinelTransaction] = None) -> None:
+        """Abort: storage rollback, abort events (graph flush), tree abort."""
+        txn = self._resolve(txn)
+        if txn.oodb is not None and txn.oodb.is_active:
+            self.db.abort(txn.oodb)
+        self.detector.signal_system_event(ABORT_TRANSACTION, txn.txn_id)
+        txn.root.abort()
+        self._finish(txn)
+
+    def _on_db_pre_commit(self, oodb_txn: OODBTransaction) -> None:
+        txn = self.current()
+        if txn is not None and txn.oodb is oodb_txn:
+            self.detector.signal_system_event(
+                PRE_COMMIT_TRANSACTION, txn.txn_id
+            )
+
+    def _resolve(self, txn: Optional[SentinelTransaction]) -> SentinelTransaction:
+        txn = txn or self.current()
+        if txn is None or txn.finished:
+            raise InvalidTransactionState("no active Sentinel transaction")
+        return txn
+
+    def _finish(self, txn: SentinelTransaction) -> None:
+        txn.finished = True
+        if self.current() is txn:
+            self._local.txn = None
+        self.detector.set_current_transaction(None)
+
+    @contextmanager
+    def transaction(self) -> Iterator[SentinelTransaction]:
+        """Commit on success, abort on error."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if not txn.finished:
+                self.abort(txn)
+            raise
+        else:
+            if not txn.finished:
+                self.commit(txn)
+
+    # =====================================================================
+    # System rules
+    # =====================================================================
+
+    def _install_flush_rules(self) -> None:
+        """Flush the event graph when a transaction commits or aborts.
+
+        "Currently, we provide a mechanism to flush all events generated
+        by a transaction when it commits" — implemented, per the paper,
+        as rules on the commit/abort events; deactivate them
+        (``sentinel.rules.disable(FLUSH_ON_COMMIT_RULE)``) to let
+        composite events span transactions.
+        """
+
+        def flush_action(occurrence) -> None:
+            self.detector.flush()
+
+        self.detector.rule(
+            FLUSH_ON_COMMIT_RULE,
+            COMMIT_TRANSACTION,
+            lambda occ: True,
+            flush_action,
+            priority=-1_000_000,  # run after every user rule
+        )
+        self.detector.rule(
+            FLUSH_ON_ABORT_RULE,
+            ABORT_TRANSACTION,
+            lambda occ: True,
+            flush_action,
+            priority=-1_000_000,
+        )
+
+    # =====================================================================
+    # Detached rule execution
+    # =====================================================================
+
+    def _run_detached(self, activation: RuleActivation) -> None:
+        """Run a DETACHED-coupled rule in its own top-level transaction.
+
+        The paper left detached mode as future work; we provide the
+        natural semantics: a separate thread, a separate transaction
+        tree, no causal dependence on the triggering transaction.
+        """
+
+        def body() -> None:
+            self.activate()
+            root = self.txns.begin_top(label=f"detached:{activation.rule.name}")
+            activation.parent_txn = root
+            previous = self.detector.current_transaction()
+            self.detector.set_current_transaction(root)
+            try:
+                self.detector.scheduler.run_one(activation)
+                root.commit()
+            except Exception:
+                if root.state.value == "active":
+                    root.abort()
+                raise
+            finally:
+                self.detector.set_current_transaction(previous)
+
+        thread = threading.Thread(
+            target=body, name=f"detached-{activation.rule.name}", daemon=True
+        )
+        self._detached_threads.append(thread)
+        thread.start()
+
+    def wait_detached(self, timeout: float = 10.0) -> None:
+        """Join all detached-rule threads (tests and orderly shutdown)."""
+        for thread in self._detached_threads:
+            thread.join(timeout)
+        self._detached_threads = [
+            t for t in self._detached_threads if t.is_alive()
+        ]
+
+    # =====================================================================
+    # Persistent specifications (rules stored in the database)
+    # =====================================================================
+
+    SPEC_NAME_PREFIX = "$spec:"
+
+    def store_spec(self, name: str, source: str) -> None:
+        """Persist a specification document under ``name``.
+
+        Sentinel stored rule definitions in the OODB; here the durable
+        form is the specification *source* (conditions and actions are
+        code, so they rebind from a namespace at load time).
+        The spec is validated by parsing before it is stored.
+        """
+        from repro.snoop.parser import parse
+
+        parse(source)  # reject broken specs before they hit the store
+        db = self._require_db()
+        document = _SpecDocument(name, source)
+        with db.transaction() as txn:
+            binding = self.SPEC_NAME_PREFIX + name
+            if db.names.is_bound(binding):
+                existing = txn.lookup(binding)
+                existing.source = source
+                txn.mark_dirty(existing)
+            else:
+                txn.persist(document, name=binding)
+
+    def load_spec(self, name: str, namespace: Optional[dict] = None):
+        """Rebuild the events and rules of a stored specification."""
+        from repro.snoop.builder import build_spec
+
+        db = self._require_db()
+        with db.transaction() as txn:
+            document = txn.lookup(self.SPEC_NAME_PREFIX + name)
+            source = document.source
+        return build_spec(source, self.detector, namespace or {})
+
+    def stored_specs(self) -> list[str]:
+        """Names of the specification documents stored in the database."""
+        db = self._require_db()
+        prefix = self.SPEC_NAME_PREFIX
+        return sorted(
+            name[len(prefix):]
+            for name in db.names.names()
+            if name.startswith(prefix)
+        )
+
+    def drop_spec(self, name: str) -> None:
+        db = self._require_db()
+        with db.transaction() as txn:
+            binding = self.SPEC_NAME_PREFIX + name
+            document = txn.lookup(binding)
+            txn.unbind(binding)
+            txn.remove(document)
+
+    def _require_db(self) -> OpenOODB:
+        if self.db is None:
+            raise InvalidTransactionState(
+                "persistent specifications need a database directory"
+            )
+        return self.db
+
+    # =====================================================================
+    # Introspection
+    # =====================================================================
+
+    def report(self) -> dict:
+        """A status snapshot across every module (operations/debugging)."""
+        detector = self.detector
+        data = {
+            "name": self.name,
+            "events": {
+                "nodes": len(detector.graph),
+                "named": len(detector.graph.names()),
+                "shared_hits": detector.graph.stats.shared_hits,
+                "detections": detector.graph.stats.detections,
+                "propagations": detector.graph.stats.propagations,
+            },
+            "notifications": {
+                "received": detector.stats.notifications,
+                "suppressed": detector.stats.suppressed,
+                "triggers": detector.stats.triggers,
+                "detached": detector.stats.detached_dispatches,
+            },
+            "rules": {
+                "defined": len(detector.rules),
+                "enabled": sum(1 for r in detector.rules.all() if r.enabled),
+                "executions": detector.scheduler.stats.executions,
+                "condition_rejections":
+                    detector.scheduler.stats.condition_rejections,
+                "failures": detector.scheduler.stats.failures,
+                "max_nesting": detector.scheduler.stats.max_depth_seen,
+            },
+        }
+        if self.db is not None:
+            stats = self.db.storage.buffer_pool.stats
+            data["storage"] = {
+                "objects": len(self.db.persistence),
+                "names": len(self.db.names.names()),
+                "resident": len(self.db.address_space),
+                "buffer_hit_rate": round(stats.hit_rate(), 3),
+                "wal_flushed_lsn": self.db.storage.wal.flushed_lsn,
+            }
+        return data
+
+    def report_text(self) -> str:
+        """The report rendered as an indented text block."""
+        data = self.report()
+        lines = [f"Sentinel system {data.pop('name')!r}"]
+        for section, content in data.items():
+            lines.append(f"  {section}:")
+            for key, value in content.items():
+                lines.append(f"    {key}: {value}")
+        return "\n".join(lines) + "\n"
+
+    # =====================================================================
+    # Lifecycle
+    # =====================================================================
+
+    def close(self) -> None:
+        """Shut down: join detached rules, abort open work, close the DB."""
+        if self._closed:
+            return
+        self.wait_detached()
+        current = self.current()
+        if current is not None and not current.finished:
+            self.abort(current)
+        self.detector.shutdown()
+        if self.db is not None:
+            self.db.close()
+        from repro.core.reactive import get_current_detector
+
+        if get_current_detector() is self.detector:
+            set_current_detector(None)
+        self._closed = True
+
+    def __enter__(self) -> "Sentinel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,39 @@
+"""Snoop / Sentinel specification language (the pre-processor).
+
+The paper's pre-processor translates high-level event/rule
+specifications — written inside class definitions or in application
+code — into calls that build the event graph and register rules
+(§3.1-3.2). This package reproduces the pipeline:
+
+* :mod:`repro.snoop.lexer` — tokenizer for the line-oriented dialect.
+* :mod:`repro.snoop.ast` — the abstract syntax tree.
+* :mod:`repro.snoop.parser` — recursive-descent parser.
+* :mod:`repro.snoop.builder` — AST -> live event graph + rules
+  (including instrumenting Python classes with wrapper methods, the
+  post-processor's job).
+* :mod:`repro.snoop.codegen` — AST -> generated Python source, the
+  moral equivalent of the C++ the original pre-processor emitted.
+
+Dialect (one declaration per line; ``#`` or ``//`` start comments)::
+
+    class STOCK : REACTIVE {
+        event end(e1) int sell_stock(int qty)
+        event begin(e2) && end(e3) void set_price(float price)
+        event e4 = e1 ^ e2
+        rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW)
+    }
+
+    event any_stk_price("any_stk_price", "STOCK", "begin", "void set_price(float price)")
+    event set_IBM_price("set_IBM_price", IBM, "begin", "void set_price(float price)")
+    rule R2(any_stk_price, checksalary, resetsalary, CHRONICLE, DEFERRED)
+
+Event operators: ``^`` (AND), ``|`` (OR), ``;`` (SEQ), ``not(E2)[E1, E3]``,
+``A(E1, E2, E3)``, ``A*(E1, E2, E3)``, ``P(E1, t, E3)``, ``P*(E1, t, E3)``,
+``plus(E1, t)`` / ``E1 + t``.
+"""
+
+from repro.snoop.parser import parse
+from repro.snoop.builder import SpecBuilder, build_spec
+from repro.snoop.codegen import generate
+
+__all__ = ["parse", "SpecBuilder", "build_spec", "generate"]

@@ -1,0 +1,166 @@
+"""Abstract syntax tree for the Sentinel specification language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# Event expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EventRef:
+    """A named event, optionally class-qualified (``STOCK.e1``)."""
+
+    name: str
+    class_name: Optional[str] = None
+
+    @property
+    def resolved_name(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}_{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    left: "EventExpr"
+    right: "EventExpr"
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    left: "EventExpr"
+    right: "EventExpr"
+
+
+@dataclass(frozen=True)
+class SeqExpr:
+    left: "EventExpr"
+    right: "EventExpr"
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """``not(E2)[E1, E3]`` — forbidden, initiator, terminator."""
+
+    forbidden: "EventExpr"
+    initiator: "EventExpr"
+    terminator: "EventExpr"
+
+
+@dataclass(frozen=True)
+class AperiodicExpr:
+    initiator: "EventExpr"
+    middle: "EventExpr"
+    terminator: "EventExpr"
+    cumulative: bool = False  # True for A*
+
+
+@dataclass(frozen=True)
+class PeriodicExpr:
+    initiator: "EventExpr"
+    period: float
+    terminator: "EventExpr"
+    cumulative: bool = False  # True for P*
+
+
+@dataclass(frozen=True)
+class PlusExpr:
+    initiator: "EventExpr"
+    delay: float
+
+
+EventExpr = Union[
+    EventRef, AndExpr, OrExpr, SeqExpr, NotExpr,
+    AperiodicExpr, PeriodicExpr, PlusExpr,
+]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MethodSignature:
+    """A loosely parsed C++-style method signature."""
+
+    return_type: str
+    name: str
+    parameters: tuple[str, ...]  # parameter names
+    text: str  # the original signature text
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True)
+class MethodEventDecl:
+    """``event begin(e2) && end(e3) void set_price(float price)``."""
+
+    begin_name: Optional[str]
+    end_name: Optional[str]
+    method: MethodSignature
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """``event e4 = e1 ^ e2``."""
+
+    name: str
+    expr: EventExpr
+
+
+@dataclass(frozen=True)
+class AppEventDecl:
+    """Application-level primitive event declaration.
+
+    ``event any_stk_price("any_stk_price", "Stock", "begin", "void
+    set_price(float price)")`` — a string target is a class-level
+    event, an identifier target names an instance in the build
+    namespace (instance-level event).
+    """
+
+    name: str
+    target: str
+    target_is_instance: bool
+    modifier: str
+    method: MethodSignature
+
+
+@dataclass(frozen=True)
+class RuleDef:
+    """``rule R1(e4, cond1, action1 [, ctx [, coupling [, prio [, trig]]]])``."""
+
+    name: str
+    event: str
+    condition: str
+    action: str
+    context: Optional[str] = None
+    coupling: Optional[str] = None
+    priority: Optional[int] = None
+    trigger_mode: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ClassDef:
+    """A reactive class definition with its event interface and rules."""
+
+    name: str
+    base: Optional[str]
+    method_events: tuple[MethodEventDecl, ...] = ()
+    event_defs: tuple[EventDef, ...] = ()
+    rules: tuple[RuleDef, ...] = ()
+
+
+@dataclass
+class Spec:
+    """A complete parsed specification."""
+
+    classes: list[ClassDef] = field(default_factory=list)
+    app_events: list[AppEventDecl] = field(default_factory=list)
+    event_defs: list[EventDef] = field(default_factory=list)
+    rules: list[RuleDef] = field(default_factory=list)

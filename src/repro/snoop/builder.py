@@ -1,0 +1,233 @@
+"""Build a live event graph and rule set from a parsed specification.
+
+This is the runtime half of the pre-processor: where the original
+emitted C++ that was then compiled into the application, we interpret
+the AST directly against a detector — creating primitive event nodes,
+operator nodes, and rules — and *instrument* the application's Python
+classes with wrapper methods (the Sentinel post-processor's job of
+inserting ``Notify`` calls into wrappers).
+
+Naming follows the paper's generated code: events declared in
+``class STOCK`` become graph nodes ``STOCK_e1``, ``STOCK_e2``, ...;
+references inside the class body resolve against that prefix first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.detector import LocalEventDetector
+from repro.core.reactive import EventDeclaration, _make_wrapper
+from repro.core.rules import Rule
+from repro.errors import SnoopSemanticError
+from repro.snoop import ast
+from repro.snoop.parser import parse
+
+
+def instrument_class(cls: type, method_name: str,
+                     begin_name: Optional[str] = None,
+                     end_name: Optional[str] = None) -> None:
+    """Wrap ``cls.method_name`` with event notification (post-processor).
+
+    Idempotent: an already-wrapped method is left alone (its earlier
+    wrapper already notifies both variants as declared).
+    """
+    original = getattr(cls, method_name, None)
+    if original is None:
+        raise SnoopSemanticError(
+            f"class {cls.__name__} has no method {method_name!r}"
+        )
+    if getattr(original, "__sentinel_wrapped__", False):
+        return
+    declaration = EventDeclaration(
+        method_name=method_name, begin_name=begin_name, end_name=end_name
+    )
+    setattr(cls, f"user_{method_name}", original)
+    setattr(cls, method_name, _make_wrapper(original, declaration))
+
+
+class SpecBuilder:
+    """Interprets a :class:`~repro.snoop.ast.Spec` against a detector."""
+
+    def __init__(self, detector: LocalEventDetector,
+                 namespace: Optional[dict[str, Any]] = None):
+        self._detector = detector
+        self._namespace = namespace or {}
+        self.rules: dict[str, Rule] = {}
+        self.events: dict[str, Any] = {}
+
+    def build(self, spec: ast.Spec | str) -> "SpecBuilder":
+        if isinstance(spec, str):
+            spec = parse(spec)
+        for class_def in spec.classes:
+            self._build_class(class_def)
+        for app_event in spec.app_events:
+            self._build_app_event(app_event)
+        for event_def in spec.event_defs:
+            self._build_event_def(event_def, class_name=None)
+        for rule_def in spec.rules:
+            self._build_rule(rule_def, class_name=None)
+        return self
+
+    # -- classes ---------------------------------------------------------------
+
+    def _build_class(self, class_def: ast.ClassDef) -> None:
+        cls = self._namespace.get(class_def.name)
+        for decl in class_def.method_events:
+            if cls is not None:
+                instrument_class(
+                    cls, decl.method.name,
+                    begin_name=decl.begin_name, end_name=decl.end_name,
+                )
+            for event_name, modifier in (
+                (decl.begin_name, "begin"), (decl.end_name, "end")
+            ):
+                if event_name is None:
+                    continue
+                node_name = f"{class_def.name}_{event_name}"
+                node = self._detector.primitive_event(
+                    node_name, class_def.name, modifier, decl.method.name
+                )
+                self.events[node_name] = node
+        for event_def in class_def.event_defs:
+            self._build_event_def(event_def, class_name=class_def.name)
+        for rule_def in class_def.rules:
+            self._build_rule(rule_def, class_name=class_def.name)
+
+    # -- application-level primitive events ------------------------------------------
+
+    def _build_app_event(self, decl: ast.AppEventDecl) -> None:
+        if decl.target_is_instance:
+            target = self._namespace.get(decl.target)
+            if target is None:
+                raise SnoopSemanticError(
+                    f"instance {decl.target!r} for event {decl.name!r} is "
+                    f"not in the build namespace"
+                )
+        else:
+            target = decl.target
+        node = self._detector.primitive_event(
+            decl.name, target, decl.modifier, decl.method.name
+        )
+        self.events[decl.name] = node
+
+    # -- event definitions ---------------------------------------------------------------
+
+    def _build_event_def(self, event_def: ast.EventDef,
+                         class_name: Optional[str]) -> None:
+        node_name = (
+            f"{class_name}_{event_def.name}" if class_name else event_def.name
+        )
+        node = self._build_expr(event_def.expr, class_name)
+        self._detector.define(node_name, node)
+        self.events[node_name] = node
+
+    def _build_expr(self, expr: ast.EventExpr,
+                    class_name: Optional[str]):
+        graph = self._detector.graph
+        if isinstance(expr, ast.EventRef):
+            return self._resolve_ref(expr, class_name)
+        if isinstance(expr, ast.AndExpr):
+            return graph.and_(
+                self._build_expr(expr.left, class_name),
+                self._build_expr(expr.right, class_name),
+            )
+        if isinstance(expr, ast.OrExpr):
+            return graph.or_(
+                self._build_expr(expr.left, class_name),
+                self._build_expr(expr.right, class_name),
+            )
+        if isinstance(expr, ast.SeqExpr):
+            return graph.seq(
+                self._build_expr(expr.left, class_name),
+                self._build_expr(expr.right, class_name),
+            )
+        if isinstance(expr, ast.NotExpr):
+            return graph.not_(
+                self._build_expr(expr.initiator, class_name),
+                self._build_expr(expr.forbidden, class_name),
+                self._build_expr(expr.terminator, class_name),
+            )
+        if isinstance(expr, ast.AperiodicExpr):
+            build = graph.aperiodic_star if expr.cumulative else graph.aperiodic
+            return build(
+                self._build_expr(expr.initiator, class_name),
+                self._build_expr(expr.middle, class_name),
+                self._build_expr(expr.terminator, class_name),
+            )
+        if isinstance(expr, ast.PeriodicExpr):
+            build = (
+                graph.periodic_star if expr.cumulative else graph.periodic
+            )
+            return build(
+                self._build_expr(expr.initiator, class_name),
+                expr.period,
+                self._build_expr(expr.terminator, class_name),
+            )
+        if isinstance(expr, ast.PlusExpr):
+            return graph.plus(
+                self._build_expr(expr.initiator, class_name), expr.delay
+            )
+        raise SnoopSemanticError(f"unknown expression node {expr!r}")
+
+    def _resolve_ref(self, ref: ast.EventRef, class_name: Optional[str]):
+        graph = self._detector.graph
+        candidates = []
+        if ref.class_name:
+            # Class-scoped (STOCK.e1 -> STOCK_e1) or a literal dotted
+            # name — the global detector names imported events
+            # "app.event", so specs over global events resolve too.
+            candidates.append(ref.resolved_name)
+            candidates.append(f"{ref.class_name}.{ref.name}")
+        else:
+            if class_name:
+                candidates.append(f"{class_name}_{ref.name}")
+            candidates.append(ref.name)
+        for candidate in candidates:
+            if graph.has(candidate):
+                return graph.get(candidate)
+        raise SnoopSemanticError(
+            f"event {ref.name!r} is not defined "
+            f"(searched: {', '.join(candidates)})"
+        )
+
+    # -- rules --------------------------------------------------------------------------
+
+    def _build_rule(self, rule_def: ast.RuleDef,
+                    class_name: Optional[str]) -> None:
+        event = self._resolve_ref(
+            ast.EventRef(rule_def.event), class_name
+        )
+        condition = self._resolve_function(rule_def.condition)
+        action = self._resolve_function(rule_def.action)
+        kwargs: dict[str, Any] = {}
+        if rule_def.context:
+            kwargs["context"] = rule_def.context
+        if rule_def.coupling:
+            kwargs["coupling"] = rule_def.coupling
+        if rule_def.priority is not None:
+            kwargs["priority"] = rule_def.priority
+        if rule_def.trigger_mode:
+            kwargs["trigger_mode"] = rule_def.trigger_mode
+        rule = self._detector.rule(
+            rule_def.name, event, condition, action, **kwargs
+        )
+        self.rules[rule_def.name] = rule
+
+    def _resolve_function(self, name: str) -> Callable:
+        fn = self._namespace.get(name)
+        if fn is None or not callable(fn):
+            raise SnoopSemanticError(
+                f"condition/action {name!r} is not a callable in the "
+                f"build namespace"
+            )
+        return fn
+
+
+def build_spec(
+    source: str,
+    detector: LocalEventDetector,
+    namespace: Optional[dict[str, Any]] = None,
+) -> SpecBuilder:
+    """Parse ``source`` and build it against ``detector``."""
+    return SpecBuilder(detector, namespace).build(source)

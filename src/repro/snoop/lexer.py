@@ -1,0 +1,190 @@
+"""Tokenizer for the Sentinel specification dialect.
+
+Line-oriented: a NEWLINE token separates declarations (so ``;`` is free
+to be the Snoop sequence operator). Newlines inside parentheses or
+brackets are insignificant, allowing multi-line rule specifications.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SnoopSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    NEWLINE = "newline"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    EQUALS = "="
+    CARET = "^"
+    PIPE = "|"
+    SEMI = ";"
+    PLUS = "+"
+    STAR = "*"
+    DOT = "."
+    COLON = ":"
+    AMPAMP = "&&"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+_SINGLE = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    "=": TokenType.EQUALS,
+    "^": TokenType.CARET,
+    "|": TokenType.PIPE,
+    ";": TokenType.SEMI,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    ".": TokenType.DOT,
+    ":": TokenType.COLON,
+}
+
+_OPENERS = (TokenType.LPAREN, TokenType.LBRACKET)
+_CLOSERS = (TokenType.RPAREN, TokenType.RBRACKET)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Produce the token list for ``source`` (ends with EOF)."""
+    tokens: list[Token] = []
+    depth = 0  # paren/bracket nesting: newlines inside are insignificant
+
+    def emit(type_: TokenType, value: str, line: int, column: int) -> None:
+        nonlocal depth
+        if type_ in _OPENERS:
+            depth += 1
+        elif type_ in _CLOSERS:
+            depth = max(0, depth - 1)
+        if type_ is TokenType.NEWLINE:
+            if depth > 0:
+                return  # line continuation inside parentheses
+            if not tokens or tokens[-1].type is TokenType.NEWLINE:
+                return  # collapse blank lines
+        tokens.append(Token(type_, value, line, column))
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw_line)
+        column = 0
+        length = len(text)
+        while column < length:
+            ch = text[column]
+            if ch in " \t\r":
+                column += 1
+                continue
+            start = column
+            if ch == '"' or ch == "'":
+                value, column = _read_string(text, column, line_number)
+                emit(TokenType.STRING, value, line_number, start + 1)
+            elif ch.isdigit() or (
+                ch in "+-" and column + 1 < length and text[column + 1].isdigit()
+                and _number_context(tokens)
+            ):
+                value, column = _read_number(text, column)
+                emit(TokenType.NUMBER, value, line_number, start + 1)
+            elif ch.isalpha() or ch == "_":
+                end = column
+                while end < length and (text[end].isalnum() or text[end] == "_"):
+                    end += 1
+                emit(TokenType.IDENT, text[column:end], line_number, start + 1)
+                column = end
+            elif text.startswith("&&", column):
+                emit(TokenType.AMPAMP, "&&", line_number, start + 1)
+                column += 2
+            elif ch in _SINGLE:
+                emit(_SINGLE[ch], ch, line_number, start + 1)
+                column += 1
+            else:
+                raise SnoopSyntaxError(
+                    f"unexpected character {ch!r}", line_number, column + 1
+                )
+        emit(TokenType.NEWLINE, "\n", line_number, length + 1)
+    # Trim a trailing newline so EOF follows the last real token.
+    while tokens and tokens[-1].type is TokenType.NEWLINE:
+        tokens.pop()
+    tokens.append(Token(TokenType.EOF, "", len(source.splitlines()) + 1, 1))
+    return tokens
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``#`` and ``//`` comments, respecting string literals."""
+    in_string: str | None = None
+    for i, ch in enumerate(line):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "\"'":
+            in_string = ch
+        elif ch == "#":
+            return line[:i]
+        elif ch == "/" and line[i : i + 2] == "//":
+            return line[:i]
+    return line
+
+
+def _read_string(text: str, column: int, line: int) -> tuple[str, int]:
+    quote = text[column]
+    end = column + 1
+    while end < len(text) and text[end] != quote:
+        end += 1
+    if end >= len(text):
+        raise SnoopSyntaxError("unterminated string literal", line, column + 1)
+    return text[column + 1 : end], end + 1
+
+
+def _read_number(text: str, column: int) -> tuple[str, int]:
+    end = column
+    if text[end] in "+-":
+        end += 1
+    seen_dot = False
+    while end < len(text) and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+        if text[end] == ".":
+            # Only part of the number when followed by a digit.
+            if end + 1 >= len(text) or not text[end + 1].isdigit():
+                break
+            seen_dot = True
+        end += 1
+    return text[column:end], end
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """A leading sign is part of a number only after ',' '(' '[' or '='."""
+    if not tokens:
+        return False
+    return tokens[-1].type in (
+        TokenType.COMMA,
+        TokenType.LPAREN,
+        TokenType.LBRACKET,
+        TokenType.EQUALS,
+    )
+
+
+def token_stream(source: str) -> Iterator[Token]:
+    return iter(tokenize(source))

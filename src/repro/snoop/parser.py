@@ -1,0 +1,443 @@
+"""Recursive-descent parser for the Sentinel specification dialect.
+
+Operator precedence, loosest to tightest: ``|`` (OR), ``^`` (AND),
+``;`` (SEQ), then postfix ``+ t`` (PLUS) and the function-style
+operators (``A``, ``A*``, ``P``, ``P*``, ``not``, ``plus``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SnoopSyntaxError
+from repro.snoop import ast
+from repro.snoop.lexer import Token, TokenType, tokenize
+
+
+def parse(source: str) -> ast.Spec:
+    """Parse a specification text into an AST."""
+    return _Parser(tokenize(source)).parse_spec()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, type_: TokenType, value: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.type is not type_:
+            return False
+        return value is None or token.value == value
+
+    def _match(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, what: str) -> Token:
+        token = self._peek()
+        if token.type is not type_:
+            raise SnoopSyntaxError(
+                f"expected {what}, found {token.value!r}", token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _skip_newlines(self) -> None:
+        while self._match(TokenType.NEWLINE):
+            pass
+
+    def _end_statement(self) -> None:
+        token = self._peek()
+        if token.type in (TokenType.NEWLINE, TokenType.EOF, TokenType.RBRACE):
+            self._match(TokenType.NEWLINE)
+            return
+        raise SnoopSyntaxError(
+            f"unexpected {token.value!r} at end of declaration",
+            token.line, token.column,
+        )
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_spec(self) -> ast.Spec:
+        spec = ast.Spec()
+        self._skip_newlines()
+        while not self._check(TokenType.EOF):
+            keyword = self._peek()
+            if self._check(TokenType.IDENT, "class"):
+                spec.classes.append(self._parse_class())
+            elif self._check(TokenType.IDENT, "event"):
+                item = self._parse_event_statement(in_class=None)
+                if isinstance(item, ast.EventDef):
+                    spec.event_defs.append(item)
+                else:
+                    spec.app_events.append(item)
+            elif self._check(TokenType.IDENT, "rule"):
+                spec.rules.append(self._parse_rule())
+            else:
+                raise SnoopSyntaxError(
+                    f"expected 'class', 'event', or 'rule', found "
+                    f"{keyword.value!r}", keyword.line, keyword.column,
+                )
+            self._skip_newlines()
+        return spec
+
+    # -- class definitions ------------------------------------------------------------
+
+    def _parse_class(self) -> ast.ClassDef:
+        self._expect(TokenType.IDENT, "'class'")
+        name = self._expect(TokenType.IDENT, "class name").value
+        base = None
+        if self._match(TokenType.COLON):
+            self._match(TokenType.IDENT, "public")  # optional access spec
+            base = self._expect(TokenType.IDENT, "base class name").value
+        self._expect(TokenType.LBRACE, "'{'")
+        self._skip_newlines()
+        method_events: list[ast.MethodEventDecl] = []
+        event_defs: list[ast.EventDef] = []
+        rules: list[ast.RuleDef] = []
+        while not self._check(TokenType.RBRACE):
+            if self._check(TokenType.EOF):
+                raise SnoopSyntaxError(
+                    f"unterminated class {name!r}", self._peek().line, 0
+                )
+            if self._check(TokenType.IDENT, "event"):
+                item = self._parse_event_statement(in_class=name)
+                if isinstance(item, ast.EventDef):
+                    event_defs.append(item)
+                elif isinstance(item, ast.MethodEventDecl):
+                    method_events.append(item)
+                else:
+                    raise SnoopSyntaxError(
+                        "application-style event declarations are not "
+                        "allowed inside a class", self._peek().line, 0,
+                    )
+            elif self._check(TokenType.IDENT, "rule"):
+                rules.append(self._parse_rule())
+            else:
+                token = self._peek()
+                raise SnoopSyntaxError(
+                    f"expected 'event' or 'rule' in class body, found "
+                    f"{token.value!r}", token.line, token.column,
+                )
+            self._skip_newlines()
+        self._expect(TokenType.RBRACE, "'}'")
+        self._match(TokenType.NEWLINE)
+        return ast.ClassDef(
+            name=name,
+            base=base,
+            method_events=tuple(method_events),
+            event_defs=tuple(event_defs),
+            rules=tuple(rules),
+        )
+
+    # -- event statements ----------------------------------------------------------------
+
+    def _parse_event_statement(self, in_class: Optional[str]):
+        self._expect(TokenType.IDENT, "'event'")
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value in ("begin", "end"):
+            return self._parse_method_event()
+        name = self._expect(TokenType.IDENT, "event name").value
+        if self._match(TokenType.EQUALS):
+            expr = self._parse_expr()
+            self._end_statement()
+            return ast.EventDef(name=name, expr=expr)
+        if self._check(TokenType.LPAREN):
+            return self._parse_app_event(name)
+        raise SnoopSyntaxError(
+            f"expected '=' or '(' after event name {name!r}",
+            token.line, token.column,
+        )
+
+    def _parse_method_event(self) -> ast.MethodEventDecl:
+        begin_name = end_name = None
+        modifier = self._expect(TokenType.IDENT, "'begin' or 'end'").value
+        self._expect(TokenType.LPAREN, "'('")
+        first = self._expect(TokenType.IDENT, "event name").value
+        self._expect(TokenType.RPAREN, "')'")
+        if modifier == "begin":
+            begin_name = first
+            if self._match(TokenType.AMPAMP):
+                self._expect(TokenType.IDENT, "'end'")
+                self._expect(TokenType.LPAREN, "'('")
+                end_name = self._expect(TokenType.IDENT, "event name").value
+                self._expect(TokenType.RPAREN, "')'")
+        else:
+            end_name = first
+        method = self._parse_method_signature()
+        self._end_statement()
+        return ast.MethodEventDecl(
+            begin_name=begin_name, end_name=end_name, method=method
+        )
+
+    def _parse_method_signature(self) -> ast.MethodSignature:
+        """Parse ``int sell_stock(int qty)`` loosely.
+
+        Everything before the last identifier preceding ``(`` is the
+        return type; parameter names are the last identifier of each
+        comma-separated parameter.
+        """
+        leading: list[str] = []
+        while self._check(TokenType.IDENT) or self._check(TokenType.STAR):
+            if self._check(TokenType.IDENT) and self._peek(1).type is TokenType.LPAREN:
+                break
+            leading.append(self._advance().value)
+        if not self._check(TokenType.IDENT):
+            token = self._peek()
+            raise SnoopSyntaxError(
+                "expected a method signature", token.line, token.column
+            )
+        name = self._advance().value
+        self._expect(TokenType.LPAREN, "'('")
+        parameters: list[str] = []
+        text_params: list[str] = []
+        current: list[str] = []
+        while not self._check(TokenType.RPAREN):
+            if self._check(TokenType.EOF) or self._check(TokenType.NEWLINE):
+                token = self._peek()
+                raise SnoopSyntaxError(
+                    "unterminated parameter list", token.line, token.column
+                )
+            if self._match(TokenType.COMMA):
+                self._finish_param(current, parameters, text_params)
+                continue
+            current.append(self._advance().value)
+        self._expect(TokenType.RPAREN, "')'")
+        self._finish_param(current, parameters, text_params)
+        return_type = " ".join(leading) or "void"
+        text = f"{return_type} {name}({', '.join(text_params)})"
+        return ast.MethodSignature(
+            return_type=return_type,
+            name=name,
+            parameters=tuple(parameters),
+            text=text,
+        )
+
+    @staticmethod
+    def _finish_param(current: list[str], parameters: list[str],
+                      text_params: list[str]) -> None:
+        if not current:
+            return
+        names = [p for p in current if p not in ("*", "&", "const")]
+        parameters.append(names[-1])
+        text_params.append(" ".join(current))
+        current.clear()
+
+    def _parse_app_event(self, name: str) -> ast.AppEventDecl:
+        self._expect(TokenType.LPAREN, "'('")
+        declared = self._expect(TokenType.STRING, "event name string").value
+        self._expect(TokenType.COMMA, "','")
+        target_token = self._advance()
+        if target_token.type is TokenType.STRING:
+            target, is_instance = target_token.value, False
+        elif target_token.type is TokenType.IDENT:
+            target, is_instance = target_token.value, True
+        else:
+            raise SnoopSyntaxError(
+                "expected a class-name string or an instance identifier",
+                target_token.line, target_token.column,
+            )
+        self._expect(TokenType.COMMA, "','")
+        modifier = self._expect(TokenType.STRING, "modifier string").value
+        self._expect(TokenType.COMMA, "','")
+        signature_text = self._expect(TokenType.STRING, "method signature").value
+        self._expect(TokenType.RPAREN, "')'")
+        self._end_statement()
+        method = _signature_from_text(signature_text)
+        if declared != name:
+            # The paper repeats the name as the first argument; accept a
+            # mismatch but prefer the declaration-site name.
+            declared = name
+        return ast.AppEventDecl(
+            name=declared,
+            target=target,
+            target_is_instance=is_instance,
+            modifier=modifier,
+            method=method,
+        )
+
+    # -- rules --------------------------------------------------------------------------
+
+    def _parse_rule(self) -> ast.RuleDef:
+        self._expect(TokenType.IDENT, "'rule'")
+        name = self._expect(TokenType.IDENT, "rule name").value
+        opener_is_bracket = False
+        if self._match(TokenType.LBRACKET):
+            opener_is_bracket = True
+        else:
+            self._expect(TokenType.LPAREN, "'('")
+        event = self._expect(TokenType.IDENT, "event name").value
+        self._expect(TokenType.COMMA, "','")
+        condition = self._expect(TokenType.IDENT, "condition function").value
+        self._expect(TokenType.COMMA, "','")
+        action = self._expect(TokenType.IDENT, "action function").value
+        optional: list[str] = []
+        priority: Optional[int] = None
+        while self._match(TokenType.COMMA):
+            token = self._advance()
+            if token.type is TokenType.NUMBER:
+                priority = int(float(token.value))
+            elif token.type is TokenType.IDENT:
+                optional.append(token.value)
+            else:
+                raise SnoopSyntaxError(
+                    f"unexpected rule argument {token.value!r}",
+                    token.line, token.column,
+                )
+        closer = TokenType.RBRACKET if opener_is_bracket else TokenType.RPAREN
+        self._expect(closer, "closing bracket")
+        self._end_statement()
+        context = coupling = trigger_mode = None
+        contexts = {"RECENT", "CHRONICLE", "CONTINUOUS", "CUMULATIVE"}
+        couplings = {"IMMEDIATE", "DEFERRED", "DETACHED"}
+        triggers = {"NOW", "PREVIOUS"}
+        for value in optional:
+            upper = value.upper()
+            if upper in contexts and context is None:
+                context = upper
+            elif upper in couplings and coupling is None:
+                coupling = upper
+            elif upper in triggers and trigger_mode is None:
+                trigger_mode = upper
+            else:
+                raise SnoopSyntaxError(
+                    f"unknown rule option {value!r} (or duplicate)", 0, 0
+                )
+        return ast.RuleDef(
+            name=name,
+            event=event,
+            condition=condition,
+            action=action,
+            context=context,
+            coupling=coupling,
+            priority=priority,
+            trigger_mode=trigger_mode,
+        )
+
+    # -- event expressions -----------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.EventExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.EventExpr:
+        left = self._parse_and()
+        while self._match(TokenType.PIPE):
+            left = ast.OrExpr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.EventExpr:
+        left = self._parse_seq()
+        while self._match(TokenType.CARET):
+            left = ast.AndExpr(left, self._parse_seq())
+        return left
+
+    def _parse_seq(self) -> ast.EventExpr:
+        left = self._parse_postfix()
+        while self._match(TokenType.SEMI):
+            left = ast.SeqExpr(left, self._parse_postfix())
+        return left
+
+    def _parse_postfix(self) -> ast.EventExpr:
+        expr = self._parse_primary()
+        while self._check(TokenType.PLUS):
+            self._advance()
+            number = self._expect(TokenType.NUMBER, "a time delta")
+            expr = ast.PlusExpr(expr, float(number.value))
+        return expr
+
+    def _parse_primary(self) -> ast.EventExpr:
+        if self._match(TokenType.LPAREN):
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        token = self._expect(TokenType.IDENT, "an event expression")
+        value = token.value
+        if value == "not" and self._check(TokenType.LPAREN):
+            self._advance()
+            forbidden = self._parse_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            self._expect(TokenType.LBRACKET, "'['")
+            initiator = self._parse_expr()
+            self._expect(TokenType.COMMA, "','")
+            terminator = self._parse_expr()
+            self._expect(TokenType.RBRACKET, "']'")
+            return ast.NotExpr(forbidden, initiator, terminator)
+        if value in ("A", "P"):
+            cumulative = bool(self._match(TokenType.STAR))
+            if self._check(TokenType.LPAREN):
+                return self._parse_windowed(value, cumulative)
+            if cumulative:
+                raise SnoopSyntaxError(
+                    f"expected '(' after {value}*", token.line, token.column
+                )
+        if value == "plus" and self._check(TokenType.LPAREN):
+            self._advance()
+            initiator = self._parse_expr()
+            self._expect(TokenType.COMMA, "','")
+            number = self._expect(TokenType.NUMBER, "a time delta")
+            self._expect(TokenType.RPAREN, "')'")
+            return ast.PlusExpr(initiator, float(number.value))
+        if self._match(TokenType.DOT):
+            member = self._expect(TokenType.IDENT, "event name").value
+            return ast.EventRef(name=member, class_name=value)
+        return ast.EventRef(name=value)
+
+    def _parse_windowed(self, kind: str, cumulative: bool) -> ast.EventExpr:
+        self._expect(TokenType.LPAREN, "'('")
+        initiator = self._parse_expr()
+        self._expect(TokenType.COMMA, "','")
+        if kind == "P":
+            number = self._expect(TokenType.NUMBER, "a period")
+            middle: ast.EventExpr | float = float(number.value)
+        else:
+            middle = self._parse_expr()
+        self._expect(TokenType.COMMA, "','")
+        terminator = self._parse_expr()
+        self._expect(TokenType.RPAREN, "')'")
+        if kind == "A":
+            return ast.AperiodicExpr(
+                initiator, middle, terminator, cumulative=cumulative
+            )
+        return ast.PeriodicExpr(
+            initiator, middle, terminator, cumulative=cumulative
+        )
+
+
+def _signature_from_text(text: str) -> ast.MethodSignature:
+    """Parse a quoted C++-ish signature like ``void set_price(float p)``."""
+    text = text.strip()
+    if "(" not in text:
+        # Just a method name.
+        return ast.MethodSignature(
+            return_type="void", name=text, parameters=(), text=text
+        )
+    head, __, tail = text.partition("(")
+    params_text = tail.rsplit(")", 1)[0]
+    head_parts = head.split()
+    name = head_parts[-1]
+    return_type = " ".join(head_parts[:-1]) or "void"
+    parameters = []
+    for chunk in params_text.split(","):
+        names = [p for p in chunk.replace("*", " ").split() if p != "const"]
+        if names:
+            parameters.append(names[-1])
+    return ast.MethodSignature(
+        return_type=return_type,
+        name=name,
+        parameters=tuple(parameters),
+        text=text,
+    )

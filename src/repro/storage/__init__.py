@@ -1,0 +1,48 @@
+"""Storage substrate: a pure-Python stand-in for the Exodus storage manager.
+
+The original Sentinel ran on top of the Exodus storage manager, which
+provided page storage, buffering, write-ahead logging, recovery, and
+concurrency control for *top-level* transactions (nested transactions
+were layered above it by Sentinel itself). This package reproduces that
+contract:
+
+* :mod:`repro.storage.page` — slotted pages.
+* :mod:`repro.storage.disk` — page file on disk.
+* :mod:`repro.storage.buffer` — buffer pool with LRU replacement and
+  WAL-before-data enforcement.
+* :mod:`repro.storage.wal` — write-ahead log with checksummed records.
+* :mod:`repro.storage.recovery` — ARIES-style analysis/redo/undo.
+* :mod:`repro.storage.locks` — strict two-phase locking with waits-for
+  deadlock detection.
+* :mod:`repro.storage.heap` — heap files of variable-length records.
+* :mod:`repro.storage.serializer` — self-describing record encoding.
+* :mod:`repro.storage.manager` — the :class:`StorageManager` facade
+  ("Exodus") that the OODB layer builds on.
+"""
+
+from repro.storage.page import PAGE_SIZE, SlottedPage
+from repro.storage.disk import DiskManager
+from repro.storage.buffer import BufferPool
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.serializer import dumps, loads
+from repro.storage.manager import StorageManager, StorageTransaction
+
+__all__ = [
+    "PAGE_SIZE",
+    "SlottedPage",
+    "DiskManager",
+    "BufferPool",
+    "LogRecord",
+    "LogRecordType",
+    "WriteAheadLog",
+    "LockManager",
+    "LockMode",
+    "HeapFile",
+    "RecordId",
+    "dumps",
+    "loads",
+    "StorageManager",
+    "StorageTransaction",
+]

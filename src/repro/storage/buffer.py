@@ -1,0 +1,151 @@
+"""Buffer pool with LRU replacement and WAL-before-data enforcement.
+
+Frames hold page images; pages must be pinned while in use and unpinned
+(with a dirty flag) afterwards. Evicting a dirty frame first flushes the
+WAL up to the page's LSN, preserving the write-ahead invariant the
+recovery module depends on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import BufferError_
+from repro.storage.disk import DiskManager
+from repro.storage.page import SlottedPage
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclass
+class _Frame:
+    page: SlottedPage
+    pin_count: int = 0
+    dirty: bool = False
+
+
+@dataclass
+class BufferStats:
+    """Counters exposed for the benchmark harness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """Caches up to ``capacity`` pages of one :class:`DiskManager`."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = 128,
+        wal: Optional[WriteAheadLog] = None,
+    ):
+        if capacity < 1:
+            raise BufferError_("buffer pool needs at least one frame")
+        self._disk = disk
+        self._capacity = capacity
+        self._wal = wal
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = BufferStats()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def new_page(self) -> tuple[int, SlottedPage]:
+        """Allocate a fresh page on disk and pin it in the pool."""
+        page_id = self._disk.allocate_page()
+        with self._lock:
+            self._ensure_room()
+            frame = _Frame(page=SlottedPage(), pin_count=1, dirty=True)
+            self._frames[page_id] = frame
+            self._frames.move_to_end(page_id)
+            return page_id, frame.page
+
+    def fetch_page(self, page_id: int) -> SlottedPage:
+        """Pin ``page_id`` into the pool and return its page."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                self._ensure_room()
+                frame = _Frame(page=SlottedPage(self._disk.read_page(page_id)))
+                self._frames[page_id] = frame
+            frame.pin_count += 1
+            self._frames.move_to_end(page_id)
+            return frame.page
+
+    def unpin_page(self, page_id: int, dirty: bool = False) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferError_(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            frame.dirty = frame.dirty or dirty
+
+    @contextmanager
+    def page(self, page_id: int, dirty: bool = False) -> Iterator[SlottedPage]:
+        """``with pool.page(pid) as p:`` — pin for the block, then unpin."""
+        page = self.fetch_page(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin_page(page_id, dirty=dirty)
+
+    def flush_page(self, page_id: int) -> None:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                return
+            self._write_back(page_id, frame)
+
+    def flush_all(self) -> None:
+        with self._lock:
+            for page_id, frame in list(self._frames.items()):
+                self._write_back(page_id, frame)
+            self._disk.sync()
+
+    def _write_back(self, page_id: int, frame: _Frame) -> None:
+        if not frame.dirty:
+            return
+        if self._wal is not None:
+            self._wal.flush(frame.page.lsn)
+        self._disk.write_page(page_id, frame.page.data)
+        frame.dirty = False
+        self.stats.flushes += 1
+
+    def _ensure_room(self) -> None:
+        """Evict the least recently used unpinned frame if the pool is full."""
+        if len(self._frames) < self._capacity:
+            return
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                self._write_back(page_id, frame)
+                del self._frames[page_id]
+                self.stats.evictions += 1
+                return
+        raise BufferError_(
+            f"all {self._capacity} frames are pinned; cannot evict"
+        )
+
+    def resident_pages(self) -> list[int]:
+        with self._lock:
+            return list(self._frames)
+
+    def drop_all(self) -> None:
+        """Discard every frame without writing back (crash simulation)."""
+        with self._lock:
+            self._frames.clear()

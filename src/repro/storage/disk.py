@@ -1,0 +1,105 @@
+"""Disk manager: a file of fixed-size pages.
+
+One :class:`DiskManager` owns one data file. Pages are addressed by a
+dense integer ``page_id``; allocation only ever grows the file (a free
+list is maintained by the heap layer, not here, matching Exodus' split
+of responsibilities).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.page import PAGE_SIZE
+
+
+class DiskManager:
+    """Reads and writes :data:`PAGE_SIZE` pages of a single data file."""
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        # "r+b" requires the file to exist; create it on first open.
+        if not self._path.exists():
+            self._path.touch()
+        self._file = open(self._path, "r+b", buffering=0)
+        size = self._path.stat().st_size
+        if size % PAGE_SIZE != 0:
+            raise StorageError(
+                f"data file {self._path} is torn "
+                f"({size} bytes is not a multiple of {PAGE_SIZE})"
+            )
+        self._num_pages = size // PAGE_SIZE
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    def allocate_page(self) -> int:
+        """Extend the file by one zeroed page and return its id."""
+        with self._lock:
+            self._check_open()
+            page_id = self._num_pages
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(b"\x00" * PAGE_SIZE)
+            self._num_pages += 1
+            return page_id
+
+    def read_page(self, page_id: int) -> bytearray:
+        with self._lock:
+            self._check_open()
+            self._check_page(page_id)
+            self._file.seek(page_id * PAGE_SIZE)
+            data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_id}")
+        return bytearray(data)
+
+    def write_page(self, page_id: int, data: bytes | bytearray) -> None:
+        if len(data) != PAGE_SIZE:
+            raise StorageError(
+                f"page write must be {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        with self._lock:
+            self._check_open()
+            self._check_page(page_id)
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(bytes(data))
+
+    def sync(self) -> None:
+        """Force written pages to stable storage."""
+        with self._lock:
+            self._check_open()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._file.close()
+                self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError(f"disk manager for {self._path} is closed")
+
+    def _check_page(self, page_id: int) -> None:
+        if not 0 <= page_id < self._num_pages:
+            raise StorageError(
+                f"page {page_id} out of range (file has {self._num_pages} pages)"
+            )
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

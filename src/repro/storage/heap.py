@@ -1,0 +1,157 @@
+"""Heap files: unordered collections of variable-length records.
+
+A heap file is a set of slotted pages reached through the buffer pool.
+Records are addressed by a stable :class:`RecordId` (page, slot). The
+file keeps a simple in-memory free-space hint (pages with room) that is
+rebuilt lazily; correctness never depends on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import PageError, RecordNotFound
+from repro.storage.buffer import BufferPool
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Stable address of a record: page id plus slot number."""
+
+    page_id: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"rid({self.page_id},{self.slot})"
+
+
+class HeapFile:
+    """A bag of records stored across slotted pages.
+
+    The heap registers every page it allocates in ``_pages`` so scans
+    know which pages belong to this file even when several heaps share
+    one buffer pool/disk (the storage manager gives each heap its own
+    page-id universe by construction, but the registry keeps the scan
+    honest regardless).
+    """
+
+    def __init__(self, pool: BufferPool, pages: Optional[list[int]] = None):
+        self._pool = pool
+        self._pages: list[int] = list(pages) if pages else []
+        self._lock = threading.RLock()
+
+    @property
+    def pages(self) -> list[int]:
+        with self._lock:
+            return list(self._pages)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Store ``record``; returns its new :class:`RecordId`."""
+        with self._lock:
+            # Try the most recently used pages first: inserts cluster there.
+            for page_id in reversed(self._pages):
+                with self._pool.page(page_id, dirty=True) as page:
+                    if page.can_insert(len(record)):
+                        slot = page.insert(record)
+                        return RecordId(page_id, slot)
+            page_id, page = self._pool.new_page()
+            try:
+                slot = page.insert(record)
+            finally:
+                self._pool.unpin_page(page_id, dirty=True)
+            self._pages.append(page_id)
+            return RecordId(page_id, slot)
+
+    def insert_at(self, rid: RecordId, record: bytes) -> None:
+        """Re-insert a record at a known rid (used by redo recovery).
+
+        Pages are allocated as needed so that replaying an insert after
+        a crash lands the record at its original address.
+        """
+        with self._lock:
+            while rid.page_id not in self._pages:
+                page_id, page = self._pool.new_page()
+                self._pool.unpin_page(page_id, dirty=True)
+                self._pages.append(page_id)
+                if page_id > rid.page_id and rid.page_id not in self._pages:
+                    raise PageError(
+                        f"cannot materialize page {rid.page_id} for redo"
+                    )
+            with self._pool.page(rid.page_id, dirty=True) as page:
+                if page.is_slot_live(rid.slot):
+                    page.update(rid.slot, record)
+                    return
+                slot = page.insert(record)
+                if slot != rid.slot:
+                    # Redo replays history in order, so the slot numbers
+                    # regenerate identically; a mismatch means the log
+                    # and data file disagree.
+                    raise PageError(
+                        f"redo insert landed in slot {slot}, expected {rid.slot}"
+                    )
+
+    def read(self, rid: RecordId) -> bytes:
+        with self._lock:
+            self._check(rid)
+            with self._pool.page(rid.page_id) as page:
+                try:
+                    return page.read(rid.slot)
+                except PageError as exc:
+                    raise RecordNotFound(str(rid)) from exc
+
+    def update(self, rid: RecordId, record: bytes) -> None:
+        with self._lock:
+            self._check(rid)
+            with self._pool.page(rid.page_id, dirty=True) as page:
+                try:
+                    page.update(rid.slot, record)
+                except PageError as exc:
+                    if not page.is_slot_live(rid.slot):
+                        raise RecordNotFound(str(rid)) from exc
+                    raise
+
+    def delete(self, rid: RecordId) -> None:
+        with self._lock:
+            self._check(rid)
+            with self._pool.page(rid.page_id, dirty=True) as page:
+                try:
+                    page.delete(rid.slot)
+                except PageError as exc:
+                    raise RecordNotFound(str(rid)) from exc
+
+    def exists(self, rid: RecordId) -> bool:
+        with self._lock:
+            if rid.page_id not in self._pages:
+                return False
+            with self._pool.page(rid.page_id) as page:
+                return page.is_slot_live(rid.slot)
+
+    def set_page_lsn(self, page_id: int, lsn: int) -> None:
+        """Stamp the page with the LSN of the log record that changed it."""
+        with self._pool.page(page_id, dirty=True) as page:
+            page.lsn = lsn
+
+    def page_lsn(self, page_id: int) -> int:
+        with self._pool.page(page_id) as page:
+            return page.lsn
+
+    # -- scan ----------------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """Yield every live record, in page/slot order."""
+        for page_id in self.pages:
+            with self._pool.page(page_id) as page:
+                entries = list(page.records())
+            for slot, record in entries:
+                yield RecordId(page_id, slot), record
+
+    def __len__(self) -> int:
+        return sum(1 for __ in self.scan())
+
+    def _check(self, rid: RecordId) -> None:
+        if rid.page_id not in self._pages:
+            raise RecordNotFound(str(rid))

@@ -1,0 +1,224 @@
+"""Lock manager: strict two-phase locking for top-level transactions.
+
+This is the concurrency-control component of the Exodus substitute. It
+grants shared/exclusive locks on opaque hashable resources (the storage
+manager locks record ids; the OODB layer locks OIDs and names), detects
+deadlocks with a waits-for graph, and aborts a victim by raising
+:class:`~repro.errors.DeadlockError` in its requesting thread.
+
+The *nested* transaction lock manager used for rule execution lives in
+:mod:`repro.transactions.locks`; this one deliberately knows nothing
+about parents and children, matching the paper's layering ("this is in
+addition to the concurrency control ... provided by the Exodus for
+top-level transactions").
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.errors import DeadlockError, LockTimeout
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _ResourceState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Grants S/X locks to transaction ids with deadlock detection."""
+
+    def __init__(self, timeout: float = 10.0):
+        self._timeout = timeout
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._resources: dict[Hashable, _ResourceState] = defaultdict(_ResourceState)
+        self._held_by_txn: dict[int, set[Hashable]] = defaultdict(set)
+        # waits-for edges: waiter txn -> set of holder txns
+        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        self._victims: set[int] = set()
+
+    # -- acquisition ----------------------------------------------------------
+
+    def acquire(
+        self, txn_id: int, resource: Hashable, mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Block until ``txn_id`` holds ``resource`` in ``mode``.
+
+        Raises :class:`DeadlockError` if this request closes a cycle in
+        the waits-for graph and the requester is picked as the victim,
+        or :class:`LockTimeout` after ``timeout`` seconds.
+        """
+        deadline_budget = self._timeout if timeout is None else timeout
+        with self._condition:
+            state = self._resources[resource]
+            if self._grantable(state, txn_id, mode):
+                self._grant(state, txn_id, resource, mode)
+                return
+            entry = (txn_id, mode)
+            state.waiters.append(entry)
+            self._waits_for[txn_id] = self._blockers(state, txn_id, mode)
+            try:
+                victim = self._find_deadlock_victim(txn_id)
+                if victim is not None:
+                    if victim == txn_id:
+                        raise DeadlockError(
+                            f"txn {txn_id} chosen as deadlock victim on "
+                            f"{resource!r}"
+                        )
+                    self._victims.add(victim)
+                    self._condition.notify_all()
+                remaining = deadline_budget
+                while True:
+                    if txn_id in self._victims:
+                        self._victims.discard(txn_id)
+                        raise DeadlockError(
+                            f"txn {txn_id} chosen as deadlock victim on "
+                            f"{resource!r}"
+                        )
+                    if self._grantable(state, txn_id, mode, waiting_as=entry):
+                        self._grant(state, txn_id, resource, mode)
+                        return
+                    self._waits_for[txn_id] = self._blockers(state, txn_id, mode)
+                    if remaining <= 0:
+                        raise LockTimeout(
+                            f"txn {txn_id} timed out waiting for {resource!r}"
+                        )
+                    before = _now()
+                    self._condition.wait(min(remaining, 0.05))
+                    remaining -= _now() - before
+            finally:
+                if entry in state.waiters:
+                    state.waiters.remove(entry)
+                self._waits_for.pop(txn_id, None)
+
+    def _grantable(
+        self,
+        state: _ResourceState,
+        txn_id: int,
+        mode: LockMode,
+        waiting_as: Optional[tuple[int, LockMode]] = None,
+    ) -> bool:
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return True  # already strong enough
+            # Upgrade S -> X: only possible if sole holder.
+            return len(state.holders) == 1
+        others = [m for t, m in state.holders.items() if t != txn_id]
+        if any(not _compatible(m, mode) for m in others):
+            return False
+        if mode is LockMode.EXCLUSIVE and others:
+            return False
+        # FIFO fairness: do not jump ahead of earlier incompatible waiters.
+        for waiter in state.waiters:
+            if waiting_as is not None and waiter == waiting_as:
+                break
+            w_txn, w_mode = waiter
+            if w_txn == txn_id:
+                continue
+            if not _compatible(mode, w_mode) or not _compatible(w_mode, mode):
+                return False
+        return True
+
+    def _grant(
+        self, state: _ResourceState, txn_id: int, resource: Hashable,
+        mode: LockMode,
+    ) -> None:
+        held = state.holders.get(txn_id)
+        if held is LockMode.EXCLUSIVE:
+            pass  # X subsumes everything
+        elif held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            state.holders[txn_id] = LockMode.EXCLUSIVE
+        elif held is None:
+            state.holders[txn_id] = mode
+        self._held_by_txn[txn_id].add(resource)
+
+    def _blockers(
+        self, state: _ResourceState, txn_id: int, mode: LockMode
+    ) -> set[int]:
+        blockers = set()
+        for holder, held in state.holders.items():
+            if holder == txn_id:
+                continue
+            if mode is LockMode.EXCLUSIVE or held is LockMode.EXCLUSIVE:
+                blockers.add(holder)
+        return blockers
+
+    # -- deadlock detection -----------------------------------------------------
+
+    def _find_deadlock_victim(self, start: int) -> Optional[int]:
+        """DFS on the waits-for graph; return a victim txn if a cycle exists.
+
+        The victim is the youngest (highest-id) transaction on the cycle,
+        a common and cheap policy.
+        """
+        path: list[int] = []
+        on_path: set[int] = set()
+
+        def dfs(node: int) -> Optional[list[int]]:
+            path.append(node)
+            on_path.add(node)
+            for nxt in self._waits_for.get(node, ()):
+                if nxt in on_path:
+                    return path[path.index(nxt):]
+                cycle = dfs(nxt)
+                if cycle is not None:
+                    return cycle
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        cycle = dfs(start)
+        if cycle is None:
+            return None
+        return max(cycle)
+
+    # -- release ----------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """Strict 2PL: drop every lock at commit/abort."""
+        with self._condition:
+            for resource in self._held_by_txn.pop(txn_id, set()):
+                state = self._resources.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn_id, None)
+                if not state.holders and not state.waiters:
+                    del self._resources[resource]
+            self._waits_for.pop(txn_id, None)
+            self._condition.notify_all()
+
+    # -- introspection ------------------------------------------------------------
+
+    def holds(self, txn_id: int, resource: Hashable) -> Optional[LockMode]:
+        with self._mutex:
+            state = self._resources.get(resource)
+            if state is None:
+                return None
+            return state.holders.get(txn_id)
+
+    def locks_held(self, txn_id: int) -> set[Hashable]:
+        with self._mutex:
+            return set(self._held_by_txn.get(txn_id, set()))
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()

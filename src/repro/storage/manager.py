@@ -1,0 +1,292 @@
+"""The storage manager facade — our stand-in for Exodus.
+
+One :class:`StorageManager` owns a data file, a write-ahead log, a
+buffer pool, a lock manager, and a heap file, and exposes exactly the
+contract the Open OODB layer needs:
+
+* top-level transactions with strict 2PL at record granularity,
+* durable commits (WAL flush), synchronous aborts (logged undo),
+* crash recovery on open,
+* typed records (any :mod:`repro.storage.serializer` value).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.storage import serializer
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile, RecordId
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class StorageTransaction:
+    """Handle for one top-level transaction."""
+
+    txn_id: int
+    status: TxnStatus = TxnStatus.ACTIVE
+    last_lsn: int = -1
+    _touched: set[RecordId] = field(default_factory=set)
+    #: this transaction's data records, for O(own-work) abort — crash
+    #: recovery uses the durable log instead.
+    _records: list[LogRecord] = field(default_factory=list)
+
+    def require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise InvalidTransactionState(
+                f"txn {self.txn_id} is {self.status.value}"
+            )
+
+
+class StorageManager:
+    """Exodus-equivalent: durable records under top-level transactions."""
+
+    DATA_FILE = "data.db"
+    LOG_FILE = "wal.log"
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        pool_size: int = 128,
+        lock_timeout: float = 10.0,
+    ):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._disk = DiskManager(self._dir / self.DATA_FILE)
+        self._wal = WriteAheadLog(self._dir / self.LOG_FILE)
+        self._pool = BufferPool(self._disk, capacity=pool_size, wal=self._wal)
+        self._locks = LockManager(timeout=lock_timeout)
+        self._heap = HeapFile(self._pool, pages=list(range(self._disk.num_pages)))
+        self._txn_ids = itertools.count(1)
+        self._txns: dict[int, StorageTransaction] = {}
+        self._mutex = threading.RLock()
+        self.last_recovery: RecoveryReport = recover(self._wal, self._heap)
+        self._closed = False
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        return self._pool
+
+    @property
+    def lock_manager(self) -> LockManager:
+        return self._locks
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(self) -> StorageTransaction:
+        with self._mutex:
+            txn = StorageTransaction(txn_id=next(self._txn_ids))
+            self._txns[txn.txn_id] = txn
+        txn.last_lsn = self._wal.append(
+            LogRecord(lsn=-1, txn_id=txn.txn_id, type=LogRecordType.BEGIN)
+        )
+        return txn
+
+    def commit(self, txn: StorageTransaction) -> None:
+        txn.require_active()
+        self._wal.append(
+            LogRecord(
+                lsn=-1,
+                txn_id=txn.txn_id,
+                type=LogRecordType.COMMIT,
+                prev_lsn=txn.last_lsn,
+            )
+        )
+        self._wal.flush()  # durability point
+        txn.status = TxnStatus.COMMITTED
+        self._locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._txns.pop(txn.txn_id, None)
+
+    def abort(self, txn: StorageTransaction) -> None:
+        txn.require_active()
+        self._undo(txn)
+        self._wal.append(
+            LogRecord(
+                lsn=-1,
+                txn_id=txn.txn_id,
+                type=LogRecordType.ABORT,
+                prev_lsn=txn.last_lsn,
+            )
+        )
+        self._wal.flush()
+        txn.status = TxnStatus.ABORTED
+        self._locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._txns.pop(txn.txn_id, None)
+
+    def _undo(self, txn: StorageTransaction) -> None:
+        """Walk the txn's log chain backwards, reversing each update."""
+        for record in reversed(txn._records):
+            if record.type is LogRecordType.INSERT:
+                rid = RecordId(record.page_id, record.slot)
+                if self._heap.exists(rid):
+                    self._heap.delete(rid)
+            elif record.type is LogRecordType.UPDATE:
+                self._heap.update(RecordId(record.page_id, record.slot), record.undo)
+            elif record.type is LogRecordType.DELETE:
+                self._heap.insert_at(
+                    RecordId(record.page_id, record.slot), record.undo
+                )
+            if record.type in (
+                LogRecordType.INSERT,
+                LogRecordType.UPDATE,
+                LogRecordType.DELETE,
+            ):
+                clr_lsn = self._wal.append(
+                    LogRecord(
+                        lsn=-1,
+                        txn_id=txn.txn_id,
+                        type=LogRecordType.CLR,
+                        prev_lsn=txn.last_lsn,
+                        page_id=record.page_id,
+                        slot=record.slot,
+                        redo=record.undo,
+                        undo_next_lsn=record.prev_lsn,
+                        extra={"undo_of": record.type.value},
+                    )
+                )
+                txn.last_lsn = clr_lsn
+                self._heap.set_page_lsn(record.page_id, clr_lsn)
+
+    # -- record operations -----------------------------------------------------------
+
+    def insert(self, txn: StorageTransaction, value: Any) -> RecordId:
+        txn.require_active()
+        payload = serializer.dumps(value)
+        rid = self._heap.insert(payload)
+        self._locks.acquire(txn.txn_id, rid, LockMode.EXCLUSIVE)
+        record = LogRecord(
+            lsn=-1,
+            txn_id=txn.txn_id,
+            type=LogRecordType.INSERT,
+            prev_lsn=txn.last_lsn,
+            page_id=rid.page_id,
+            slot=rid.slot,
+            redo=payload,
+        )
+        txn.last_lsn = self._wal.append(record)
+        txn._records.append(record)
+        self._heap.set_page_lsn(rid.page_id, txn.last_lsn)
+        txn._touched.add(rid)
+        return rid
+
+    def read(self, txn: StorageTransaction, rid: RecordId) -> Any:
+        txn.require_active()
+        self._locks.acquire(txn.txn_id, rid, LockMode.SHARED)
+        return serializer.loads(self._heap.read(rid))
+
+    def update(self, txn: StorageTransaction, rid: RecordId, value: Any) -> None:
+        txn.require_active()
+        self._locks.acquire(txn.txn_id, rid, LockMode.EXCLUSIVE)
+        before = self._heap.read(rid)
+        payload = serializer.dumps(value)
+        self._heap.update(rid, payload)
+        record = LogRecord(
+            lsn=-1,
+            txn_id=txn.txn_id,
+            type=LogRecordType.UPDATE,
+            prev_lsn=txn.last_lsn,
+            page_id=rid.page_id,
+            slot=rid.slot,
+            undo=before,
+            redo=payload,
+        )
+        txn.last_lsn = self._wal.append(record)
+        txn._records.append(record)
+        self._heap.set_page_lsn(rid.page_id, txn.last_lsn)
+        txn._touched.add(rid)
+
+    def delete(self, txn: StorageTransaction, rid: RecordId) -> None:
+        txn.require_active()
+        self._locks.acquire(txn.txn_id, rid, LockMode.EXCLUSIVE)
+        before = self._heap.read(rid)
+        self._heap.delete(rid)
+        record = LogRecord(
+            lsn=-1,
+            txn_id=txn.txn_id,
+            type=LogRecordType.DELETE,
+            prev_lsn=txn.last_lsn,
+            page_id=rid.page_id,
+            slot=rid.slot,
+            undo=before,
+        )
+        txn.last_lsn = self._wal.append(record)
+        txn._records.append(record)
+        self._heap.set_page_lsn(rid.page_id, txn.last_lsn)
+        txn._touched.add(rid)
+
+    def scan(self, txn: StorageTransaction) -> Iterator[tuple[RecordId, Any]]:
+        txn.require_active()
+        for rid, payload in self._heap.scan():
+            self._locks.acquire(txn.txn_id, rid, LockMode.SHARED)
+            yield rid, serializer.loads(payload)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush everything; bounds recovery work after a clean period."""
+        self._wal.flush()
+        self._pool.flush_all()
+        self._wal.append(
+            LogRecord(lsn=-1, txn_id=0, type=LogRecordType.CHECKPOINT)
+        )
+        self._wal.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        with self._mutex:
+            active = [t for t in self._txns.values() if t.status is TxnStatus.ACTIVE]
+        for txn in active:
+            self.abort(txn)
+        self._pool.flush_all()
+        self._wal.close()
+        self._disk.close()
+        self._closed = True
+
+    def simulate_crash(self) -> None:
+        """Drop volatile state without flushing — for recovery tests.
+
+        Buffered WAL records and dirty pages are lost, exactly as if the
+        process had been killed. Reopening a :class:`StorageManager` on
+        the same directory then runs recovery.
+        """
+        self._wal._buffer.clear()  # noqa: SLF001 - deliberate volatility
+        self._pool.drop_all()
+        self._wal.close()
+        self._disk.close()
+        self._closed = True
+
+    def __enter__(self) -> "StorageManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,154 @@
+"""Self-describing binary encoding for records and object state.
+
+The OODB layer stores objects as dictionaries of attribute values; the
+WAL stores before/after images. Both need a compact, dependency-free,
+deterministic encoding. We use a small tag-based format rather than
+``pickle`` so stored data is inspectable, versionable, and cannot
+execute code on load.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list``/``tuple`` (decoded as list), and ``dict`` with
+``str`` keys. These are exactly the "simple data types" the paper limits
+event parameters to, plus containers for object state.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.errors import TranslationError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"M"
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+
+def dumps(value: Any) -> bytes:
+    """Encode ``value`` to bytes."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def loads(data: bytes) -> Any:
+    """Decode bytes produced by :func:`dumps`."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise TranslationError(
+            f"trailing garbage: decoded {offset} of {len(data)} bytes"
+        )
+    return value
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TranslationError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            raw = key.encode("utf-8")
+            out += _U32.pack(len(raw))
+            out += raw
+            _encode(item, out)
+    else:
+        raise TranslationError(f"cannot serialize {type(value).__name__}")
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise TranslationError("truncated value: missing tag")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        _check(data, offset, _I64.size)
+        return _I64.unpack_from(data, offset)[0], offset + _I64.size
+    if tag == _TAG_FLOAT:
+        _check(data, offset, _F64.size)
+        return _F64.unpack_from(data, offset)[0], offset + _F64.size
+    if tag == _TAG_STR:
+        raw, offset = _read_blob(data, offset)
+        return raw.decode("utf-8"), offset
+    if tag == _TAG_BYTES:
+        return _read_blob(data, offset)
+    if tag == _TAG_LIST:
+        _check(data, offset, _U32.size)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += _U32.size
+        items = []
+        for __ in range(count):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        _check(data, offset, _U32.size)
+        count = _U32.unpack_from(data, offset)[0]
+        offset += _U32.size
+        result = {}
+        for __ in range(count):
+            raw, offset = _read_blob(data, offset)
+            value, offset = _decode(data, offset)
+            result[raw.decode("utf-8")] = value
+        return result, offset
+    raise TranslationError(f"unknown tag {tag!r} at offset {offset - 1}")
+
+
+def _read_blob(data: bytes, offset: int) -> tuple[bytes, int]:
+    _check(data, offset, _U32.size)
+    length = _U32.unpack_from(data, offset)[0]
+    offset += _U32.size
+    _check(data, offset, length)
+    return bytes(data[offset : offset + length]), offset + length
+
+
+def _check(data: bytes, offset: int, need: int) -> None:
+    if offset + need > len(data):
+        raise TranslationError(
+            f"truncated value: need {need} bytes at offset {offset}, "
+            f"have {len(data) - offset}"
+        )

@@ -1,0 +1,221 @@
+"""Write-ahead log with checksummed, length-prefixed records.
+
+The log is the basis of both abort (undo of a top-level transaction's
+updates) and crash recovery. Record framing on disk::
+
+    uint32 length | uint32 crc32(payload) | payload
+
+The payload is the serialized :class:`LogRecord`. A torn tail (partial
+final record, bad checksum) is detected and truncated on open, which is
+exactly the behaviour recovery relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.errors import WALError
+from repro.storage import serializer
+
+_FRAME = struct.Struct("<II")  # length, crc
+
+
+class LogRecordType(enum.Enum):
+    """Kinds of log record written by the storage manager."""
+
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    CLR = "clr"  # compensation record written while undoing
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass
+class LogRecord:
+    """One entry in the write-ahead log.
+
+    ``undo``/``redo`` carry the before/after images for data records;
+    ``page_id``/``slot`` locate the affected record. ``prev_lsn`` chains
+    a transaction's records backwards for undo; ``undo_next_lsn`` (CLRs
+    only) points at the next record still to be undone so undo is
+    idempotent across crashes.
+    """
+
+    lsn: int
+    txn_id: int
+    type: LogRecordType
+    prev_lsn: int = -1
+    page_id: int = -1
+    slot: int = -1
+    undo: bytes = b""
+    redo: bytes = b""
+    undo_next_lsn: int = -1
+    extra: dict = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        return serializer.dumps(
+            {
+                "lsn": self.lsn,
+                "txn": self.txn_id,
+                "type": self.type.value,
+                "prev": self.prev_lsn,
+                "page": self.page_id,
+                "slot": self.slot,
+                "undo": self.undo,
+                "redo": self.redo,
+                "unext": self.undo_next_lsn,
+                "extra": self.extra,
+            }
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "LogRecord":
+        d = serializer.loads(payload)
+        return cls(
+            lsn=d["lsn"],
+            txn_id=d["txn"],
+            type=LogRecordType(d["type"]),
+            prev_lsn=d["prev"],
+            page_id=d["page"],
+            slot=d["slot"],
+            undo=d["undo"],
+            redo=d["redo"],
+            undo_next_lsn=d["unext"],
+            extra=d["extra"],
+        )
+
+
+class WriteAheadLog:
+    """Append-only log file with group flush.
+
+    ``append`` assigns the LSN and buffers the record; ``flush`` forces
+    everything up to a target LSN to disk. The buffer pool calls
+    ``flush(page_lsn)`` before writing a dirty page (WAL protocol) and
+    commit calls ``flush()`` for durability.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._buffer: list[bytes] = []
+        self._next_lsn = 0
+        self._flushed_lsn = -1
+        self._recover_tail()
+        self._file = open(self._path, "ab", buffering=0)
+        self._closed = False
+
+    def _recover_tail(self) -> None:
+        """Scan the existing log, dropping a torn tail if present."""
+        if not self._path.exists():
+            self._path.touch()
+            return
+        good_end = 0
+        max_lsn = -1
+        with open(self._path, "rb") as f:
+            data = f.read()
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                break
+            record = LogRecord.decode(payload)
+            max_lsn = max(max_lsn, record.lsn)
+            good_end = end
+            offset = end
+        if good_end < len(data):
+            with open(self._path, "r+b") as f:
+                f.truncate(good_end)
+        self._next_lsn = max_lsn + 1
+        self._flushed_lsn = max_lsn
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def append(self, record: LogRecord) -> int:
+        """Assign the next LSN to ``record``, buffer it, return the LSN."""
+        with self._lock:
+            self._check_open()
+            record.lsn = self._next_lsn
+            self._next_lsn += 1
+            payload = record.encode()
+            frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            self._buffer.append(frame)
+            return record.lsn
+
+    def flush(self, up_to_lsn: Optional[int] = None) -> None:
+        """Force buffered records to disk (all of them by default)."""
+        with self._lock:
+            self._check_open()
+            if up_to_lsn is not None and up_to_lsn <= self._flushed_lsn:
+                return
+            if not self._buffer:
+                return
+            self._file.write(b"".join(self._buffer))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._flushed_lsn = self._next_lsn - 1
+            self._buffer.clear()
+
+    def records(self) -> Iterator[LogRecord]:
+        """Iterate over all durable records, oldest first."""
+        with open(self._path, "rb") as f:
+            data = f.read()
+        offset = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                raise WALError("torn log record past recovered tail")
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                raise WALError(f"checksum mismatch at offset {offset}")
+            yield LogRecord.decode(payload)
+            offset = end
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                if self._buffer:
+                    self._file.write(b"".join(self._buffer))
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                    self._flushed_lsn = self._next_lsn - 1
+                    self._buffer.clear()
+                self._file.close()
+                self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WALError(f"log {self._path} is closed")
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,28 @@
+"""Nested transactions for concurrent rule execution.
+
+Sentinel layered its own nested transaction manager (Badani's thesis,
+[2] in the paper) *above* Exodus: Exodus handles top-level transactions,
+while each triggered rule's condition+action pair runs as a
+*subtransaction* with locks managed by a dedicated nested lock manager
+following Moss's rules (a subtransaction may acquire a lock its
+ancestors hold; on commit its locks are inherited by the parent; on
+abort they are released and its effects undone).
+
+* :mod:`repro.transactions.locks` — the nested (ancestor-aware) lock
+  manager.
+* :mod:`repro.transactions.nested` — the transaction tree and manager.
+"""
+
+from repro.transactions.locks import NestedLockManager
+from repro.transactions.nested import (
+    NestedTransaction,
+    NestedTransactionManager,
+    TxnState,
+)
+
+__all__ = [
+    "NestedLockManager",
+    "NestedTransaction",
+    "NestedTransactionManager",
+    "TxnState",
+]

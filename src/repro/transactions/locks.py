@@ -1,0 +1,203 @@
+"""Nested lock manager: Moss locking rules for transaction trees.
+
+Differences from the flat storage-layer lock manager:
+
+* A requester does not conflict with locks held by its *ancestors* —
+  a rule subtransaction may freely touch objects its triggering
+  transaction already locked.
+* ``inherit_to_parent`` moves a committing subtransaction's locks up to
+  its parent ("anti-inheritance"), so siblings still conflict until the
+  whole tree commits.
+* Deadlock handling is by timeout plus waits-for cycle detection, with
+  the deepest transaction on the cycle chosen as victim (cheapest to
+  redo).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.errors import DeadlockError, LockTimeout
+from repro.storage.locks import LockMode
+
+if TYPE_CHECKING:
+    from repro.transactions.nested import NestedTransaction
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _ResourceState:
+    holders: dict["NestedTransaction", LockMode] = field(default_factory=dict)
+
+
+class NestedLockManager:
+    """S/X locks over a transaction tree."""
+
+    def __init__(self, timeout: float = 10.0):
+        self._timeout = timeout
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._resources: dict[Hashable, _ResourceState] = defaultdict(_ResourceState)
+        self._held: dict["NestedTransaction", set[Hashable]] = defaultdict(set)
+        self._waits_for: dict["NestedTransaction", set["NestedTransaction"]] = {}
+        self._victims: set["NestedTransaction"] = set()
+
+    # -- acquisition -----------------------------------------------------------
+
+    def acquire(
+        self,
+        txn: "NestedTransaction",
+        resource: Hashable,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> None:
+        remaining = self._timeout if timeout is None else timeout
+        with self._condition:
+            state = self._resources[resource]
+            while True:
+                if txn in self._victims:
+                    self._victims.discard(txn)
+                    self._waits_for.pop(txn, None)
+                    raise DeadlockError(
+                        f"{txn} chosen as deadlock victim on {resource!r}"
+                    )
+                blockers = self._blockers(state, txn, mode)
+                if not blockers:
+                    self._grant(state, txn, resource, mode)
+                    self._waits_for.pop(txn, None)
+                    return
+                self._waits_for[txn] = blockers
+                victim = self._detect_cycle(txn)
+                if victim is not None:
+                    if victim is txn:
+                        self._waits_for.pop(txn, None)
+                        raise DeadlockError(
+                            f"{txn} chosen as deadlock victim on {resource!r}"
+                        )
+                    self._victims.add(victim)
+                    self._condition.notify_all()
+                if remaining <= 0:
+                    self._waits_for.pop(txn, None)
+                    raise LockTimeout(
+                        f"{txn} timed out waiting for {resource!r}"
+                    )
+                before = time.monotonic()
+                self._condition.wait(min(remaining, 0.05))
+                remaining -= time.monotonic() - before
+
+    def _blockers(
+        self, state: _ResourceState, txn: "NestedTransaction", mode: LockMode
+    ) -> set["NestedTransaction"]:
+        """Holders that conflict with this request, ancestors excluded."""
+        ancestors = txn.ancestry()
+        blockers = set()
+        for holder, held in state.holders.items():
+            if holder is txn or holder in ancestors:
+                continue
+            if not _compatible(held, mode) or not _compatible(mode, held):
+                if mode is LockMode.EXCLUSIVE or held is LockMode.EXCLUSIVE:
+                    blockers.add(holder)
+        return blockers
+
+    def _grant(
+        self,
+        state: _ResourceState,
+        txn: "NestedTransaction",
+        resource: Hashable,
+        mode: LockMode,
+    ) -> None:
+        held = state.holders.get(txn)
+        if held is LockMode.EXCLUSIVE:
+            pass
+        elif held is LockMode.SHARED and mode is LockMode.EXCLUSIVE:
+            state.holders[txn] = LockMode.EXCLUSIVE
+        elif held is None:
+            state.holders[txn] = mode
+        self._held[txn].add(resource)
+
+    # -- deadlock ---------------------------------------------------------------
+
+    def _detect_cycle(
+        self, start: "NestedTransaction"
+    ) -> Optional["NestedTransaction"]:
+        path: list["NestedTransaction"] = []
+        on_path: set["NestedTransaction"] = set()
+
+        def dfs(node):
+            path.append(node)
+            on_path.add(node)
+            for nxt in self._waits_for.get(node, ()):
+                if nxt in on_path:
+                    return path[path.index(nxt):]
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        cycle = dfs(start)
+        if cycle is None:
+            return None
+        # Deepest transaction is the cheapest victim (least work redone).
+        return max(cycle, key=lambda t: (t.depth, t.txn_id))
+
+    # -- release / inheritance -------------------------------------------------------
+
+    def inherit_to_parent(self, txn: "NestedTransaction") -> None:
+        """Move a committing subtransaction's locks to its parent."""
+        parent = txn.parent
+        if parent is None:
+            self.release_all(txn)
+            return
+        with self._condition:
+            for resource in self._held.pop(txn, set()):
+                state = self._resources.get(resource)
+                if state is None:
+                    continue
+                mode = state.holders.pop(txn, None)
+                if mode is None:
+                    continue
+                parent_mode = state.holders.get(parent)
+                if parent_mode is None or (
+                    parent_mode is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+                ):
+                    state.holders[parent] = mode
+                self._held[parent].add(resource)
+            self._waits_for.pop(txn, None)
+            self._condition.notify_all()
+
+    def release_all(self, txn: "NestedTransaction") -> None:
+        with self._condition:
+            for resource in self._held.pop(txn, set()):
+                state = self._resources.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(txn, None)
+                if not state.holders:
+                    del self._resources[resource]
+            self._waits_for.pop(txn, None)
+            self._victims.discard(txn)
+            self._condition.notify_all()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def holds(
+        self, txn: "NestedTransaction", resource: Hashable
+    ) -> Optional[LockMode]:
+        with self._mutex:
+            state = self._resources.get(resource)
+            if state is None:
+                return None
+            return state.holders.get(txn)
+
+    def retained_by(self, txn: "NestedTransaction") -> set[Hashable]:
+        with self._mutex:
+            return set(self._held.get(txn, set()))

@@ -1,0 +1,246 @@
+"""Nested transaction trees for rule execution.
+
+Each triggered rule's condition+action pair is packaged into a
+*subtransaction* of the triggering transaction (paper, Fig. 3). The tree
+supports arbitrary depth (nested rule triggering), per-subtransaction
+locks via :class:`~repro.transactions.locks.NestedLockManager`, and
+rollback of a subtransaction's in-memory object effects.
+
+Subtransaction *recovery* against the storage manager was explicitly
+future work in the paper ("Implementation of recovery for the nested
+subtransactions requires considerable enhancements to the Exodus
+storage manager"); we go one step further than the original and provide
+object-level undo: ``protect(obj)`` snapshots an object's persistent
+state so an aborting subtransaction restores it — enough for rules to
+be all-or-nothing over the objects they touch.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.errors import InvalidTransactionState
+from repro.storage.locks import LockMode
+from repro.transactions.locks import NestedLockManager
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class NestedTransaction:
+    """A node in a transaction tree.
+
+    The root corresponds to a top-level (Exodus/OODB) transaction; every
+    other node is a rule subtransaction. A parent with live children
+    must not commit — the scheduler joins rule threads first, and the
+    manager enforces it.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        manager: "NestedTransactionManager",
+        parent: Optional["NestedTransaction"] = None,
+        label: str = "",
+        top_level_id: Optional[int] = None,
+    ):
+        self.txn_id = txn_id
+        self.manager = manager
+        self.parent = parent
+        self.label = label
+        self.top_level_id = top_level_id if top_level_id is not None else (
+            parent.top_level_id if parent else txn_id
+        )
+        self.state = TxnState.ACTIVE
+        self.children: list["NestedTransaction"] = []
+        self.depth = 0 if parent is None else parent.depth + 1
+        self._undo: list[Callable[[], None]] = []
+        self._protected: dict[int, tuple[Any, dict]] = {}
+        self._lock = threading.Lock()
+
+    # -- tree ----------------------------------------------------------------
+
+    def ancestry(self) -> set["NestedTransaction"]:
+        """All strict ancestors of this transaction."""
+        result = set()
+        node = self.parent
+        while node is not None:
+            result.add(node)
+            node = node.parent
+        return result
+
+    def root(self) -> "NestedTransaction":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def live_children(self) -> list["NestedTransaction"]:
+        with self._lock:
+            return [c for c in self.children if c.state is TxnState.ACTIVE]
+
+    # -- locking ---------------------------------------------------------------
+
+    def lock_shared(self, resource: Hashable) -> None:
+        self.require_active()
+        self.manager.locks.acquire(self, resource, LockMode.SHARED)
+
+    def lock_exclusive(self, resource: Hashable) -> None:
+        self.require_active()
+        self.manager.locks.acquire(self, resource, LockMode.EXCLUSIVE)
+
+    # -- undo ---------------------------------------------------------------------
+
+    def record_undo(self, undo: Callable[[], None]) -> None:
+        """Register a compensation to run if this subtransaction aborts."""
+        self.require_active()
+        with self._lock:
+            self._undo.append(undo)
+
+    def protect(self, obj: Any) -> None:
+        """Snapshot ``obj`` so an abort restores its attributes.
+
+        Uses ``persistent_state``/``load_state`` when available (all
+        :class:`~repro.oodb.object_model.Persistent` objects), falling
+        back to ``vars``.
+        """
+        self.require_active()
+        key = id(obj)
+        with self._lock:
+            if key in self._protected:
+                return
+            if hasattr(obj, "persistent_state"):
+                snapshot = dict(obj.persistent_state())
+            else:
+                snapshot = dict(vars(obj))
+            self._protected[key] = (obj, snapshot)
+
+    def _apply_undo(self) -> None:
+        with self._lock:
+            undo = list(self._undo)
+            protected = list(self._protected.values())
+            self._undo.clear()
+            self._protected.clear()
+        for undo_fn in reversed(undo):
+            undo_fn()
+        for obj, snapshot in protected:
+            if hasattr(obj, "load_state"):
+                # Drop attributes the transaction added, then restore.
+                for key in [k for k in vars(obj) if not k.startswith("_")]:
+                    if key not in snapshot:
+                        delattr(obj, key)
+                obj.load_state(snapshot)
+            else:
+                vars(obj).clear()
+                vars(obj).update(snapshot)
+
+    def _merge_into_parent(self) -> None:
+        """On commit, effects move up: parent abort must undo them too."""
+        if self.parent is None:
+            return
+        with self._lock:
+            undo = list(self._undo)
+            protected = dict(self._protected)
+            self._undo.clear()
+            self._protected.clear()
+        with self.parent._lock:
+            self.parent._undo.extend(undo)
+            for key, (obj, snapshot) in protected.items():
+                self.parent._protected.setdefault(key, (obj, snapshot))
+
+    # -- completion -------------------------------------------------------------------
+
+    def commit(self) -> None:
+        self.manager.commit(self)
+
+    def abort(self) -> None:
+        self.manager.abort(self)
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise InvalidTransactionState(f"{self} is {self.state.value}")
+
+    def __repr__(self) -> str:
+        tag = self.label or ("top" if self.parent is None else "sub")
+        return f"ntxn({self.txn_id}:{tag}@d{self.depth})"
+
+
+class NestedTransactionManager:
+    """Creates and completes transaction trees."""
+
+    def __init__(self, lock_timeout: float = 10.0):
+        self.locks = NestedLockManager(timeout=lock_timeout)
+        self._ids = itertools.count(1)
+        self._roots: dict[int, NestedTransaction] = {}
+        self._mutex = threading.Lock()
+
+    # -- creation -----------------------------------------------------------------
+
+    def begin_top(
+        self, label: str = "", top_level_id: Optional[int] = None
+    ) -> NestedTransaction:
+        """Start a tree root (paired with a top-level OODB transaction)."""
+        with self._mutex:
+            txn = NestedTransaction(
+                next(self._ids), self, parent=None, label=label,
+                top_level_id=top_level_id,
+            )
+            self._roots[txn.txn_id] = txn
+            return txn
+
+    def begin_sub(
+        self, parent: NestedTransaction, label: str = ""
+    ) -> NestedTransaction:
+        """Spawn a subtransaction (a rule execution) under ``parent``."""
+        parent.require_active()
+        with self._mutex:
+            txn = NestedTransaction(next(self._ids), self, parent=parent, label=label)
+        with parent._lock:
+            parent.children.append(txn)
+        return txn
+
+    # -- completion -----------------------------------------------------------------
+
+    def commit(self, txn: NestedTransaction) -> None:
+        txn.require_active()
+        live = txn.live_children()
+        if live:
+            raise InvalidTransactionState(
+                f"{txn} cannot commit with live children {live}"
+            )
+        txn._merge_into_parent()
+        txn.state = TxnState.COMMITTED
+        self.locks.inherit_to_parent(txn)
+        if txn.parent is None:
+            with self._mutex:
+                self._roots.pop(txn.txn_id, None)
+
+    def abort(self, txn: NestedTransaction) -> None:
+        txn.require_active()
+        # Abort cascades down: live children go first, deepest first.
+        for child in txn.live_children():
+            self.abort(child)
+        txn._apply_undo()
+        txn.state = TxnState.ABORTED
+        self.locks.release_all(txn)
+        if txn.parent is None:
+            with self._mutex:
+                self._roots.pop(txn.txn_id, None)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def active_roots(self) -> list[NestedTransaction]:
+        with self._mutex:
+            return list(self._roots.values())
+
+    def tree(self, root: NestedTransaction) -> Iterator[NestedTransaction]:
+        """Depth-first walk of a transaction tree."""
+        yield root
+        for child in list(root.children):
+            yield from self.tree(child)

@@ -1,0 +1,93 @@
+"""Unit tests for the benchmark workload generators."""
+
+import pytest
+
+from repro.bench import EventStream, ReactiveSchema, RulePopulation, make_expression
+from repro.core.detector import LocalEventDetector
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+class TestReactiveSchema:
+    def test_install_creates_all_events(self, det):
+        schema = ReactiveSchema(n_classes=3, n_methods=4)
+        nodes = schema.install(det)
+        assert len(nodes) == 12
+        assert det.graph.has("C0_m0")
+        assert det.graph.has("C2_m3")
+
+    def test_signal_routes_to_right_event(self, det):
+        schema = ReactiveSchema(n_classes=2, n_methods=2)
+        schema.install(det)
+        fired = []
+        det.rule("r", "C1_m0", lambda o: True, fired.append)
+        schema.signal(det, 0, 0)
+        schema.signal(det, 1, 0, tag="yes")
+        schema.signal(det, 1, 1)
+        assert len(fired) == 1
+        assert fired[0].params.value("tag") == "yes"
+
+
+class TestEventStream:
+    def test_deterministic_for_seed(self):
+        schema = ReactiveSchema()
+        a = list(EventStream(schema, length=50, seed=9))
+        b = list(EventStream(schema, length=50, seed=9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        schema = ReactiveSchema()
+        a = list(EventStream(schema, length=50, seed=1))
+        b = list(EventStream(schema, length=50, seed=2))
+        assert a != b
+
+    def test_pump_counts(self, det):
+        schema = ReactiveSchema(n_classes=1, n_methods=1)
+        schema.install(det)
+        stream = EventStream(schema, length=25)
+        assert stream.pump(det) == 25
+        assert det.stats.notifications == 25
+
+
+class TestMakeExpression:
+    @pytest.mark.parametrize("op", ["AND", "OR", "SEQ"])
+    def test_binary_folding(self, det, op):
+        schema = ReactiveSchema(n_classes=1, n_methods=4)
+        leaves = schema.install(det)
+        expr = make_expression(det, op, leaves)
+        assert expr.operator == op
+        # left-deep fold: depth 3 for 4 leaves
+        assert expr.children[0].operator == op
+
+    @pytest.mark.parametrize("op", ["NOT", "A", "A*"])
+    def test_ternary(self, det, op):
+        schema = ReactiveSchema(n_classes=1, n_methods=3)
+        leaves = schema.install(det)
+        expr = make_expression(det, op, leaves)
+        assert expr.operator == ("NOT" if op == "NOT" else op)
+
+    def test_unknown_operator_rejected(self, det):
+        with pytest.raises(ValueError):
+            make_expression(det, "XOR", [])
+
+
+class TestRulePopulation:
+    def test_installs_n_rules(self, det):
+        det.explicit_event("e")
+        population = RulePopulation(n_rules=7)
+        names = population.install(det, det.event("e"), tag="t")
+        assert len(names) == 7
+        det.raise_event("e")
+        assert population.fired == 7
+
+    def test_priority_spread(self, det):
+        det.explicit_event("e")
+        population = RulePopulation(n_rules=6, priority_spread=3)
+        names = population.install(det, det.event("e"))
+        priorities = {det.rules.get(n).priority for n in names}
+        assert priorities == {0, 1, 2}

@@ -1,0 +1,46 @@
+"""Shared fixtures for core tests."""
+
+import itertools
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.detector import LocalEventDetector
+
+
+@pytest.fixture()
+def det():
+    """A detector with a logical clock."""
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+@pytest.fixture()
+def tdet():
+    """A detector with a simulated clock, for temporal operators."""
+    detector = LocalEventDetector(clock=SimulatedClock())
+    yield detector
+    detector.shutdown()
+
+
+_rule_ids = itertools.count(1)
+
+
+def collect(detector, event, context="recent", **kwargs):
+    """Subscribe a collector rule; returns the list detections land in."""
+    fired = []
+    detector.rule(
+        f"collector{next(_rule_ids)}",
+        event,
+        lambda occ: True,
+        fired.append,
+        context=context,
+        **kwargs,
+    )
+    return fired
+
+
+def names(occurrence):
+    """Constituent primitive event names, chronological."""
+    return [p.event_name for p in occurrence.params]

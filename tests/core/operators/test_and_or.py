@@ -1,0 +1,153 @@
+"""Semantics of AND (^) and OR (|) in all four parameter contexts."""
+
+import pytest
+
+from tests.core.conftest import collect, names
+
+
+@pytest.fixture()
+def ab(det):
+    det.explicit_event("a")
+    det.explicit_event("b")
+    return det
+
+
+class TestAndRecent:
+    def test_detects_in_either_order(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        ab.raise_event("a")
+        ab.raise_event("b")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "b"]
+
+    def test_b_then_a(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        ab.raise_event("b")
+        ab.raise_event("a")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["b", "a"]
+
+    def test_most_recent_occurrence_pairs(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        ab.raise_event("a", n=1)
+        ab.raise_event("a", n=2)  # replaces n=1
+        ab.raise_event("b")
+        assert len(fired) == 1
+        assert fired[0].params.value("n") == 2
+
+    def test_initiator_not_consumed(self, ab):
+        """In recent context a stored occurrence pairs repeatedly."""
+        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        ab.raise_event("a")
+        ab.raise_event("b")
+        ab.raise_event("b")  # pairs again with the same (latest) a
+        assert len(fired) == 2
+
+    def test_single_side_never_fires(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        for __ in range(5):
+            ab.raise_event("a")
+        assert fired == []
+
+
+class TestAndChronicle:
+    def test_fifo_pairing(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="chronicle")
+        ab.raise_event("a", n=1)
+        ab.raise_event("a", n=2)
+        ab.raise_event("b", m=10)
+        ab.raise_event("b", m=20)
+        assert len(fired) == 2
+        assert fired[0].params.value("n") == 1
+        assert fired[0].params.value("m") == 10
+        assert fired[1].params.value("n") == 2
+        assert fired[1].params.value("m") == 20
+
+    def test_occurrences_consumed(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="chronicle")
+        ab.raise_event("a")
+        ab.raise_event("b")
+        ab.raise_event("b")  # no a left to pair with
+        assert len(fired) == 1
+
+
+class TestAndContinuous:
+    def test_terminator_completes_all_initiators(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="continuous")
+        ab.raise_event("a", n=1)
+        ab.raise_event("a", n=2)
+        ab.raise_event("b")
+        assert len(fired) == 2
+        assert sorted(f.params.value("n") for f in fired) == [1, 2]
+
+    def test_initiators_consumed_by_detection(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="continuous")
+        ab.raise_event("a")
+        ab.raise_event("b")
+        ab.raise_event("b")  # nothing pending -> stored as initiator itself
+        assert len(fired) == 1
+        ab.raise_event("a")  # completes the pending b
+        assert len(fired) == 2
+
+
+class TestAndCumulative:
+    def test_all_occurrences_folded_into_one(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="cumulative")
+        ab.raise_event("a", n=1)
+        ab.raise_event("a", n=2)
+        ab.raise_event("a", n=3)
+        ab.raise_event("b")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [1, 2, 3]
+        assert len(fired[0].params) == 4
+
+    def test_state_flushed_after_detection(self, ab):
+        fired = collect(ab, ab.and_("a", "b"), context="cumulative")
+        ab.raise_event("a")
+        ab.raise_event("b")
+        ab.raise_event("b")  # accumulates alone; no a yet
+        assert len(fired) == 1
+        ab.raise_event("a")
+        assert len(fired) == 2
+        assert len(fired[1].params) == 2  # only the post-flush pair
+
+
+class TestOr:
+    @pytest.mark.parametrize(
+        "context", ["recent", "chronicle", "continuous", "cumulative"]
+    )
+    def test_either_side_fires_in_every_context(self, ab, context):
+        fired = collect(ab, ab.or_("a", "b"), context=context)
+        ab.raise_event("a")
+        ab.raise_event("b")
+        ab.raise_event("a")
+        assert len(fired) == 3
+        assert [names(f)[0] for f in fired] == ["a", "b", "a"]
+
+    def test_occurrence_carries_single_constituent(self, ab):
+        fired = collect(ab, ab.or_("a", "b"))
+        ab.raise_event("a", n=7)
+        assert len(fired[0].params) == 1
+        assert fired[0].params.value("n") == 7
+
+
+class TestComposition:
+    def test_nested_and_of_or(self, ab):
+        ab.explicit_event("c")
+        expr = ab.and_(ab.or_("a", "b"), "c")
+        fired = collect(ab, expr)
+        ab.raise_event("b")
+        ab.raise_event("c")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["b", "c"]
+
+    def test_shared_subexpression_detected_once(self, ab):
+        """Two rules over the same expression share one node."""
+        expr1 = ab.and_("a", "b")
+        expr2 = ab.and_("a", "b")
+        assert expr1 is expr2
+        fired1 = collect(ab, expr1)
+        fired2 = collect(ab, expr2)
+        ab.raise_event("a")
+        ab.raise_event("b")
+        assert len(fired1) == len(fired2) == 1

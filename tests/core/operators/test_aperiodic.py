@@ -1,0 +1,141 @@
+"""Semantics of A and A* (the deferred-rule workhorse)."""
+
+import pytest
+
+from tests.core.conftest import collect, names
+
+
+@pytest.fixture()
+def win(det):
+    """Events named like the deferred-rule rewrite: open, e, close."""
+    for name in ("open", "e", "close"):
+        det.explicit_event(name)
+    return det
+
+
+class TestAperiodic:
+    def test_each_middle_in_window_signals(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.raise_event("e", n=1)
+        win.raise_event("e", n=2)
+        assert len(fired) == 2
+        assert fired[0].params.value("n") == 1
+        assert fired[1].params.value("n") == 2
+
+    def test_middle_outside_window_ignored(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("e")  # before any window
+        win.raise_event("open")
+        win.raise_event("close")
+        win.raise_event("e")  # after the window closed
+        assert fired == []
+
+    def test_terminator_closes_window(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.raise_event("e")
+        win.raise_event("close")
+        win.raise_event("e")
+        assert len(fired) == 1
+
+    def test_recent_newest_window_replaces(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr, context="recent")
+        win.raise_event("open", w=1)
+        win.raise_event("open", w=2)
+        win.raise_event("e")
+        assert len(fired) == 1
+        assert fired[0].params.value("w") == 2
+
+    def test_continuous_all_windows_pair(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr, context="continuous")
+        win.raise_event("open", w=1)
+        win.raise_event("open", w=2)
+        win.raise_event("e")
+        assert len(fired) == 2
+
+    def test_chronicle_oldest_window_pairs(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr, context="chronicle")
+        win.raise_event("open", w=1)
+        win.raise_event("open", w=2)
+        win.raise_event("e")
+        assert len(fired) == 1
+        assert fired[0].params.value("w") == 1
+
+    def test_cumulative_accumulates_middles(self, win):
+        expr = win.aperiodic("open", "e", "close")
+        fired = collect(win, expr, context="cumulative")
+        win.raise_event("open")
+        win.raise_event("e", n=1)
+        win.raise_event("e", n=2)
+        assert len(fired) == 2
+        assert fired[1].params.values("n") == [1, 2]
+
+
+class TestAperiodicStar:
+    def test_signals_once_at_terminator(self, win):
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.raise_event("e", n=1)
+        win.raise_event("e", n=2)
+        win.raise_event("e", n=3)
+        assert fired == []  # nothing until the window closes
+        win.raise_event("close")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [1, 2, 3]
+        assert names(fired[0]) == ["open", "e", "e", "e", "close"]
+
+    def test_empty_window_does_not_signal(self, win):
+        """No E in the window -> no occurrence (deferred-rule semantics:
+        a rule whose event never happened must not fire at commit)."""
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.raise_event("close")
+        assert fired == []
+
+    def test_window_state_cleared_after_close(self, win):
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.raise_event("e", n=1)
+        win.raise_event("close")
+        win.raise_event("open")
+        win.raise_event("e", n=2)
+        win.raise_event("close")
+        assert len(fired) == 2
+        assert fired[1].params.values("n") == [2]
+
+    def test_middle_without_open_window_ignored(self, win):
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr)
+        win.raise_event("e")
+        win.raise_event("open")
+        win.raise_event("close")
+        assert fired == []
+
+    def test_continuous_multiple_windows_each_emit(self, win):
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr, context="continuous")
+        win.raise_event("open", w=1)
+        win.raise_event("open", w=2)
+        win.raise_event("e")
+        win.raise_event("close")
+        assert len(fired) == 2
+
+    def test_cumulative_merges_windows(self, win):
+        expr = win.aperiodic_star("open", "e", "close")
+        fired = collect(win, expr, context="cumulative")
+        win.raise_event("open")
+        win.raise_event("e", n=1)
+        win.raise_event("e", n=2)
+        win.raise_event("close")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [1, 2]

@@ -1,0 +1,149 @@
+"""Operator corner cases: composite children, window edges, context flush."""
+
+import pytest
+
+from repro.core.contexts import ParameterContext
+from tests.core.conftest import collect, names
+
+
+@pytest.fixture()
+def evs(det):
+    for name in ("a", "b", "c", "d"):
+        det.explicit_event(name)
+    return det
+
+
+class TestCompositeChildren:
+    def test_not_with_composite_window_bounds(self, evs):
+        """NOT(c)[(a ^ b), d]: the window opens at the AND completion."""
+        expr = evs.not_(evs.and_("a", "b"), "c", "d")
+        fired = collect(evs, expr)
+        evs.raise_event("a")
+        evs.raise_event("b")  # AND completes: window open
+        evs.raise_event("d")
+        assert len(fired) == 1
+
+    def test_not_spoiled_by_composite_forbidden(self, evs):
+        expr = evs.not_("a", evs.seq("b", "c"), "d")
+        fired = collect(evs, expr)
+        evs.raise_event("a")
+        evs.raise_event("b")
+        evs.raise_event("c")  # b;c occurs -> spoils
+        evs.raise_event("d")
+        assert fired == []
+
+    def test_aperiodic_with_composite_middle(self, evs):
+        expr = evs.aperiodic("a", evs.and_("b", "c"), "d")
+        fired = collect(evs, expr)
+        evs.raise_event("a")
+        evs.raise_event("b")
+        evs.raise_event("c")  # AND inside the window
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "b", "c"]
+
+    def test_and_of_two_composites(self, evs):
+        expr = evs.and_(evs.seq("a", "b"), evs.seq("c", "d"))
+        fired = collect(evs, expr)
+        evs.raise_event("a")
+        evs.raise_event("c")
+        evs.raise_event("b")  # a;b complete
+        evs.raise_event("d")  # c;d complete -> AND fires
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "c", "b", "d"]
+
+
+class TestWindowEdges:
+    def test_terminator_at_window_open_instant_ignored(self, evs):
+        """A(e1,e2,e3): e3 must strictly follow e1 to close anything."""
+        expr = evs.aperiodic("a", "b", "c")
+        fired = collect(evs, expr)
+        evs.raise_event("c")  # close before any open: ignored
+        evs.raise_event("a")
+        evs.raise_event("b")
+        assert len(fired) == 1
+
+    def test_astar_reopening_does_not_leak_middles(self, evs):
+        """In recent context a new initiator replaces the window; the
+        old accumulation is discarded with it."""
+        expr = evs.aperiodic_star("a", "b", "c")
+        fired = collect(evs, expr, context="recent")
+        evs.raise_event("a")
+        evs.raise_event("b", n=1)
+        evs.raise_event("a")  # replaces: n=1 belongs to the dead window
+        evs.raise_event("b", n=2)
+        evs.raise_event("c")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [2]
+
+    def test_seq_same_timestamp_not_sequence(self, evs):
+        """Simultaneous occurrences cannot form a sequence: SEQ needs
+        strictly increasing time (chronicle context: FIFO pairing)."""
+        both = evs.or_("a", "a")  # same node twice: one occurrence each
+        expr = evs.seq(both, both)
+        fired = collect(evs, expr, context="chronicle")
+        evs.raise_event("a")
+        assert fired == []  # a single instant cannot follow itself
+        evs.raise_event("a")
+        assert len(fired) >= 1  # distinct instants do
+
+
+class TestPerContextFlush:
+    def test_flush_single_context_leaves_other(self, evs):
+        node = evs.and_("a", "b")
+        recent = collect(evs, node, context="recent")
+        chronicle = collect(evs, node, context="chronicle")
+        evs.raise_event("a")
+        evs.flush(ctx=ParameterContext.RECENT)
+        evs.raise_event("b")
+        assert recent == []  # its pending 'a' was dropped
+        assert len(chronicle) == 1  # untouched context still pairs
+
+
+class TestDegenerateStreams:
+    def test_empty_stream_detects_nothing(self, evs):
+        for operator in ("and_", "or_", "seq"):
+            fired = collect(evs, getattr(evs, operator)("a", "b"))
+            assert fired == []
+
+    def test_rule_on_primitive_directly(self, evs):
+        fired = collect(evs, "a")
+        evs.raise_event("a", n=1)
+        assert len(fired) == 1
+        assert fired[0].params.value("n") == 1
+
+    def test_self_and_requires_two_occurrences(self, evs):
+        """a ^ a pairs two *occurrences* of the same event type."""
+        node = evs.event("a")
+        expr = evs.and_(node, node)
+        fired = collect(evs, expr, context="chronicle")
+        evs.raise_event("a")
+        assert len(fired) in (0, 1)  # port0/port1 delivery of one occ
+        fired.clear()
+        evs.raise_event("a")
+        assert fired  # two occurrences definitely pair
+
+
+class TestDeepTrees:
+    def test_ten_level_left_deep_sequence(self, evs):
+        expr = evs.event("a")
+        stream = []
+        for i in range(10):
+            leaf = evs.explicit_event(f"s{i}")
+            expr = evs.seq(expr, leaf)
+            stream.append(f"s{i}")
+        fired = collect(evs, expr)
+        evs.raise_event("a")
+        for name in stream:
+            evs.raise_event(name)
+        assert len(fired) == 1
+        assert len(list(fired[0].params)) == 11
+
+    def test_wide_or_tree(self, evs):
+        leaves = [evs.explicit_event(f"w{i}") for i in range(16)]
+        expr = leaves[0]
+        for leaf in leaves[1:]:
+            expr = evs.or_(expr, leaf)
+        fired = collect(evs, expr)
+        for i in range(16):
+            evs.raise_event(f"w{i}")
+        assert len(fired) == 16

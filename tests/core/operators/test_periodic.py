@@ -1,0 +1,153 @@
+"""Semantics of the temporal operators P, P*, PLUS, and temporal events."""
+
+import pytest
+
+from repro.errors import EventError
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def win(tdet):
+    for name in ("open", "close"):
+        tdet.explicit_event(name)
+    return tdet
+
+
+class TestPeriodic:
+    def test_fires_every_period_in_window(self, win):
+        expr = win.periodic("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(10.0)
+        assert len(fired) == 1
+        win.advance_time(10.0)
+        assert len(fired) == 2
+
+    def test_catches_up_over_long_advance(self, win):
+        expr = win.periodic("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(35.0)
+        assert len(fired) == 3  # boundaries at +10, +20, +30
+
+    def test_terminator_stops_firing(self, win):
+        expr = win.periodic("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(10.0)
+        win.raise_event("close")
+        win.advance_time(50.0)
+        assert len(fired) == 1
+
+    def test_no_window_no_firing(self, win):
+        expr = win.periodic("open", 5.0, "close")
+        fired = collect(win, expr)
+        win.advance_time(100.0)
+        assert fired == []
+
+    def test_tick_carries_due_time(self, win):
+        expr = win.periodic("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        opened_at = win.clock.now()
+        win.advance_time(25.0)
+        assert len(fired) == 2
+        times = [f.params.value("time") for f in fired]
+        assert times == [opened_at + 10.0, opened_at + 20.0]
+
+    def test_rejects_nonpositive_period(self, win):
+        with pytest.raises(ValueError):
+            win.periodic("open", 0.0, "close")
+
+
+class TestPeriodicStar:
+    def test_accumulates_until_terminator(self, win):
+        expr = win.periodic_star("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(25.0)
+        assert fired == []
+        win.raise_event("close")
+        assert len(fired) == 1
+        # open + 2 ticks + close
+        assert len(fired[0].params) == 4
+
+    def test_no_ticks_no_signal(self, win):
+        expr = win.periodic_star("open", 10.0, "close")
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(5.0)
+        win.raise_event("close")
+        assert fired == []
+
+
+class TestPlus:
+    def test_fires_after_delay(self, win):
+        expr = win.plus("open", 7.0)
+        fired = collect(win, expr)
+        win.raise_event("open")
+        win.advance_time(6.0)
+        assert fired == []
+        win.advance_time(1.0)
+        assert len(fired) == 1
+
+    def test_each_initiator_schedules_in_chronicle(self, win):
+        expr = win.plus("open", 5.0)
+        fired = collect(win, expr, context="chronicle")
+        win.raise_event("open")
+        win.advance_time(2.0)
+        win.raise_event("open")
+        win.advance_time(10.0)
+        assert len(fired) == 2
+
+    def test_recent_keeps_only_latest(self, win):
+        expr = win.plus("open", 5.0)
+        fired = collect(win, expr, context="recent")
+        win.raise_event("open")
+        win.advance_time(2.0)
+        win.raise_event("open")  # replaces the pending one
+        win.advance_time(10.0)
+        assert len(fired) == 1
+
+    def test_rejects_nonpositive_delay(self, win):
+        with pytest.raises(ValueError):
+            win.plus("open", -1.0)
+
+
+class TestTemporalEvents:
+    def test_absolute_event_fires_once(self, tdet):
+        node = tdet.temporal_event("deadline", at=100.0)
+        fired = collect(tdet, node)
+        tdet.advance_time(99.0)
+        assert fired == []
+        tdet.advance_time(1.0)
+        assert len(fired) == 1
+        tdet.advance_time(100.0)
+        assert len(fired) == 1  # never again
+
+    def test_recurring_event(self, tdet):
+        node = tdet.temporal_event("heartbeat", every=10.0)
+        fired = collect(tdet, node)
+        tdet.advance_time(25.0)
+        assert len(fired) == 2
+
+    def test_requires_exactly_one_spec(self, tdet):
+        with pytest.raises(ValueError):
+            tdet.temporal_event("bad")
+        with pytest.raises(ValueError):
+            tdet.temporal_event("bad2", at=1.0, every=2.0)
+
+    def test_temporal_composes_with_operators(self, tdet):
+        tdet.explicit_event("update")
+        hb = tdet.temporal_event("tick", every=10.0)
+        expr = tdet.seq("update", hb)
+        fired = collect(tdet, expr)
+        tdet.raise_event("update")
+        tdet.advance_time(10.0)
+        assert len(fired) == 1
+
+
+class TestClockGuards:
+    def test_advance_time_requires_simulated_clock(self, det):
+        with pytest.raises(EventError):
+            det.advance_time(1.0)

@@ -1,0 +1,174 @@
+"""Semantics of SEQ (;) and NOT in all four parameter contexts."""
+
+import pytest
+
+from tests.core.conftest import collect, names
+
+
+@pytest.fixture()
+def abc(det):
+    for name in ("a", "b", "c"):
+        det.explicit_event(name)
+    return det
+
+
+class TestSeqRecent:
+    def test_order_matters(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        abc.raise_event("b")
+        abc.raise_event("a")
+        assert fired == []  # b before a does not satisfy a;b
+        abc.raise_event("b")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "b"]
+
+    def test_latest_initiator_pairs(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("b")
+        assert len(fired) == 1
+        assert fired[0].params.value("n") == 2
+
+    def test_initiator_survives_detection(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        abc.raise_event("a")
+        abc.raise_event("b")
+        abc.raise_event("b")
+        assert len(fired) == 2
+
+
+class TestSeqChronicle:
+    def test_fifo_consumption(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="chronicle")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("b")
+        abc.raise_event("b")
+        abc.raise_event("b")  # no initiator left
+        assert len(fired) == 2
+        assert fired[0].params.value("n") == 1
+        assert fired[1].params.value("n") == 2
+
+
+class TestSeqContinuous:
+    def test_one_terminator_closes_all(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="continuous")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("b")
+        assert len(fired) == 2
+        abc.raise_event("b")  # everything consumed
+        assert len(fired) == 2
+
+
+class TestSeqCumulative:
+    def test_initiators_folded(self, abc):
+        fired = collect(abc, abc.seq("a", "b"), context="cumulative")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("b")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [1, 2]
+        assert names(fired[0]) == ["a", "a", "b"]
+
+
+class TestSeqComposition:
+    def test_three_step_sequence(self, abc):
+        expr = abc.seq(abc.seq("a", "b"), "c")
+        fired = collect(abc, expr)
+        abc.raise_event("a")
+        abc.raise_event("b")
+        abc.raise_event("c")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "b", "c"]
+
+    def test_wrong_internal_order_rejected(self, abc):
+        expr = abc.seq(abc.seq("a", "b"), "c")
+        fired = collect(abc, expr)
+        abc.raise_event("b")
+        abc.raise_event("a")
+        abc.raise_event("c")
+        assert fired == []
+
+    def test_interval_semantics_of_composite_initiator(self, abc):
+        """(a;b);c requires the *whole* a;b interval before c."""
+        expr = abc.seq(abc.seq("a", "b"), "c")
+        fired = collect(abc, expr)
+        abc.raise_event("a")
+        abc.raise_event("b")
+        abc.raise_event("c")
+        occ = fired[0]
+        assert occ.start < occ.end
+        inner = occ.constituents[0]
+        assert inner.end < occ.constituents[1].start
+
+
+class TestNot:
+    def test_detects_absence(self, abc):
+        expr = abc.not_("a", "b", "c")  # NOT(b)[a, c]
+        fired = collect(abc, expr)
+        abc.raise_event("a")
+        abc.raise_event("c")
+        assert len(fired) == 1
+        assert names(fired[0]) == ["a", "c"]
+
+    def test_middle_event_spoils_detection(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr)
+        abc.raise_event("a")
+        abc.raise_event("b")
+        abc.raise_event("c")
+        assert fired == []
+
+    def test_new_initiator_after_spoil_restarts(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr)
+        abc.raise_event("a")
+        abc.raise_event("b")  # spoils
+        abc.raise_event("a")  # fresh window
+        abc.raise_event("c")
+        assert len(fired) == 1
+
+    def test_terminator_without_initiator_ignored(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr)
+        abc.raise_event("c")
+        assert fired == []
+
+    def test_chronicle_consumes_oldest(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr, context="chronicle")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("c")
+        abc.raise_event("c")
+        assert len(fired) == 2
+        assert fired[0].params.value("n") == 1
+        assert fired[1].params.value("n") == 2
+
+    def test_continuous_closes_all_windows(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr, context="continuous")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("c")
+        assert len(fired) == 2
+
+    def test_cumulative_folds_initiators(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr, context="cumulative")
+        abc.raise_event("a", n=1)
+        abc.raise_event("a", n=2)
+        abc.raise_event("c")
+        assert len(fired) == 1
+        assert fired[0].params.values("n") == [1, 2]
+
+    def test_spoil_clears_every_pending_window(self, abc):
+        expr = abc.not_("a", "b", "c")
+        fired = collect(abc, expr, context="continuous")
+        abc.raise_event("a")
+        abc.raise_event("a")
+        abc.raise_event("b")
+        abc.raise_event("c")
+        assert fired == []

@@ -1,0 +1,107 @@
+"""Tests for the event-expression static analyzer."""
+
+import pytest
+
+from repro.core.events.analysis import analyze, analyze_graph
+
+
+@pytest.fixture()
+def evs(det):
+    for name in ("a", "b", "c"):
+        det.explicit_event(name)
+    return det
+
+
+def codes(warnings):
+    return sorted(w.code for w in warnings)
+
+
+class TestWindowChecks:
+    def test_self_bracketing_aperiodic(self, evs):
+        node = evs.aperiodic("a", "b", "a")
+        assert codes(analyze(node)) == ["self-bracketing-window"]
+
+    def test_self_bracketing_astar(self, evs):
+        node = evs.aperiodic_star("a", "b", "a")
+        assert "self-bracketing-window" in codes(analyze(node))
+
+    def test_middle_equals_bound(self, evs):
+        node = evs.aperiodic("a", "a", "c")
+        assert codes(analyze(node)) == ["middle-equals-bound"]
+
+    def test_clean_window_no_warnings(self, evs):
+        node = evs.aperiodic("a", "b", "c")
+        assert analyze(node) == []
+
+    def test_self_bracketing_periodic(self, evs):
+        node = evs.periodic("a", 5.0, "a")
+        assert codes(analyze(node)) == ["self-bracketing-window"]
+
+
+class TestNotChecks:
+    def test_unreachable_not_window(self, evs):
+        node = evs.not_("a", "b", "a")
+        assert "unreachable-not-window" in codes(analyze(node))
+
+    def test_forbidden_equals_bound(self, evs):
+        node = evs.not_("a", "a", "c")
+        assert "forbidden-equals-bound" in codes(analyze(node))
+
+    def test_clean_not(self, evs):
+        node = evs.not_("a", "b", "c")
+        assert analyze(node) == []
+
+
+class TestOrChecks:
+    def test_or_of_identical(self, evs):
+        a = evs.event("a")
+        node = evs.or_(a, a)
+        assert codes(analyze(node)) == ["or-of-identical"]
+
+    def test_or_of_distinct_clean(self, evs):
+        assert analyze(evs.or_("a", "b")) == []
+
+
+class TestNested:
+    def test_warning_found_deep_in_tree(self, evs):
+        a = evs.event("a")
+        suspicious = evs.or_(a, a)
+        tree = evs.seq(evs.and_(suspicious, "b"), "c")
+        assert "or-of-identical" in codes(analyze(tree))
+
+    def test_analyze_graph_deduplicates(self, evs):
+        a = evs.event("a")
+        evs.or_(a, a)
+        evs.or_(a, a)  # shared: same node
+        warnings = analyze_graph(evs.graph)
+        assert codes(warnings) == ["or-of-identical"]
+
+
+class TestCliIntegration:
+    def test_check_prints_warnings(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "warny.sentinel"
+        spec.write_text(
+            'event e1("e1", "C", "end", "void m()")\n'
+            "event bad = e1 | e1\n"
+            "rule R(bad, c, a)\n"
+        )
+        assert main(["check", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "warning:" in out
+        assert "or-of-identical" in out
+
+
+class TestDotExport:
+    def test_render_dot_structure(self, evs):
+        from repro.debugger import render_dot
+
+        expr = evs.seq(evs.and_("a", "b"), "c", name="watched")
+        evs.rule("R", expr, lambda o: True, lambda o: None)
+        dot = render_dot(evs.graph)
+        assert dot.startswith("digraph sentinel_events {")
+        assert 'label="SEQ\\nwatched"' in dot
+        assert 'label="rule R"' in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")

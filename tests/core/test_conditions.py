@@ -1,0 +1,178 @@
+"""Tests for condition combinators and database-query conditions."""
+
+import pytest
+
+from repro.core import conditions as when
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def evs(det):
+    det.explicit_event("a")
+    det.explicit_event("b")
+    return det
+
+
+class TestParamPredicates:
+    def test_param_equals(self, evs):
+        ran = []
+        evs.rule("r", "a", when.param_equals("sym", "IBM"), ran.append)
+        evs.raise_event("a", sym="DEC")
+        evs.raise_event("a", sym="IBM")
+        assert len(ran) == 1
+
+    def test_param_thresholds(self, evs):
+        hits = {"above": 0, "at_least": 0, "below": 0}
+        evs.rule("above", "a", when.param_above("n", 5),
+                 lambda o: hits.__setitem__("above", hits["above"] + 1))
+        evs.rule("at_least", "a", when.param_at_least("n", 5),
+                 lambda o: hits.__setitem__("at_least", hits["at_least"] + 1))
+        evs.rule("below", "a", when.param_below("n", 5),
+                 lambda o: hits.__setitem__("below", hits["below"] + 1))
+        for n in (4, 5, 6):
+            evs.raise_event("a", n=n)
+        assert hits == {"above": 1, "at_least": 2, "below": 1}
+
+    def test_missing_param_is_false(self, evs):
+        ran = []
+        evs.rule("r", "a", when.param_equals("ghost", 1), ran.append)
+        evs.raise_event("a", n=1)
+        assert ran == []
+
+    def test_param_matches_predicate(self, evs):
+        ran = []
+        evs.rule("r", "a", when.param_matches("word", str.isupper),
+                 ran.append)
+        evs.raise_event("a", word="quiet")
+        evs.raise_event("a", word="LOUD")
+        assert len(ran) == 1
+
+    def test_total_above_with_cumulative(self, evs):
+        ran = []
+        evs.rule("r", evs.and_("a", "b"), when.total_above("n", 10),
+                 ran.append, context="cumulative")
+        evs.raise_event("a", n=4)
+        evs.raise_event("a", n=5)
+        evs.raise_event("b", n=3)  # total 12 > 10
+        assert len(ran) == 1
+
+    def test_count_at_least(self, evs):
+        evs.explicit_event("c")
+        ran = []
+        evs.rule("r", evs.aperiodic_star("a", "b", "c"),
+                 when.count_at_least("b", 2), ran.append)
+        evs.raise_event("a")
+        evs.raise_event("b")
+        evs.raise_event("c")  # closes window with 1 b -> rejected
+        evs.raise_event("a")
+        evs.raise_event("b")
+        evs.raise_event("b")
+        evs.raise_event("c")  # closes window with 2 bs -> fires
+        assert len(ran) == 1
+
+
+class TestCorrelation:
+    def test_same_instance_join(self, det):
+        deposit = det.primitive_event("dep", "Acct", "end", "deposit")
+        withdraw = det.primitive_event("wd", "Acct", "end", "withdraw")
+        ran = []
+        det.rule("r", det.seq(deposit, withdraw),
+                 when.same_instance(), ran.append, context="chronicle")
+        det.notify("acct-1", "Acct", "deposit", "end")
+        det.notify("acct-2", "Acct", "withdraw", "end")  # different object
+        assert ran == []
+        det.notify("acct-3", "Acct", "deposit", "end")
+        det.notify("acct-3", "Acct", "withdraw", "end")
+        assert len(ran) == 1
+
+    def test_same_param_join(self, evs):
+        ran = []
+        evs.rule("r", evs.seq("a", "b"), when.same_param("sku", "a", "b"),
+                 ran.append, context="chronicle")
+        evs.raise_event("a", sku="X")
+        evs.raise_event("b", sku="Y")
+        evs.raise_event("a", sku="Z")
+        evs.raise_event("b", sku="Z")
+        assert len(ran) == 1
+
+
+class TestComposition:
+    def test_all_any_negate(self, evs):
+        ran = []
+        condition = when.all_of(
+            when.param_above("n", 0),
+            when.negate(when.param_above("n", 10)),
+        )
+        evs.rule("r", "a", condition, ran.append)
+        for n in (-1, 5, 20):
+            evs.raise_event("a", n=n)
+        assert len(ran) == 1
+
+        ran2 = []
+        evs.rule("r2", "a", when.any_of(
+            when.param_equals("n", 1), when.param_equals("n", 2)
+        ), ran2.append)
+        for n in (1, 2, 3):
+            evs.raise_event("a", n=n)
+        assert len(ran2) == 2
+
+    def test_always_never(self, evs):
+        hits = []
+        evs.rule("yes", "a", when.always, lambda o: hits.append("yes"))
+        evs.rule("no", "a", when.never, lambda o: hits.append("no"))
+        evs.raise_event("a")
+        assert hits == ["yes"]
+
+
+class TestTimePredicates:
+    def test_within_window(self, evs):
+        ran = []
+        evs.rule("fast", evs.seq("a", "b"), when.within(2.0), ran.append,
+                 context="chronicle")
+        evs.raise_event("a")
+        evs.raise_event("b")  # 1 tick apart: within 2
+        evs.raise_event("a")
+        for __ in range(4):
+            evs.raise_event("a")  # let the clock drift
+        evs.raise_event("b")  # far apart now
+        assert len(ran) == 1
+
+
+class TestDatabaseQueryConditions:
+    def test_condition_queries_the_extent(self, tmp_path):
+        """Conditions are queries over database state (paper §1): this
+        one scans the Account extent for any overdrawn account."""
+        from repro import Persistent, Reactive, Sentinel, event
+
+        class Account(Reactive, Persistent):
+            def __init__(self, owner, balance):
+                self.owner = owner
+                self.balance = balance
+
+            @event(end="moved")
+            def transfer_out(self, amount):
+                self.balance -= amount
+
+        system = Sentinel(directory=tmp_path / "db", name="q")
+        system.register_class(Account)
+        events = Account.register_events(system.detector)
+
+        def any_overdrawn(occurrence):
+            txn = system.current()
+            return any(a.balance < 0 for a in txn.extent(Account))
+
+        flagged = []
+        system.rule("Overdraft", events["moved"], any_overdrawn,
+                    flagged.append)
+        with system.transaction() as txn:
+            alice = Account("alice", 100.0)
+            bob = Account("bob", 10.0)
+            txn.persist(alice)
+            txn.persist(bob)
+            txn.mark_dirty(alice)
+            txn.mark_dirty(bob)
+            alice.transfer_out(50.0)  # nobody overdrawn
+            assert flagged == []
+            bob.transfer_out(30.0)  # bob at -20: extent scan finds it
+            assert len(flagged) == 1
+        system.close()

@@ -1,0 +1,188 @@
+"""Coupling modes through the Sentinel facade: immediate, deferred, detached.
+
+Exercises the paper's §2.3 feature (v): "execution of rules in immediate
+and deferred coupling modes", including the A* rewrite of deferred rules
+and the exactly-once (net effect) guarantee.
+"""
+
+import pytest
+
+from repro.core.deferred import BEGIN_TRANSACTION, PRE_COMMIT_TRANSACTION
+from repro.sentinel import FLUSH_ON_ABORT_RULE, FLUSH_ON_COMMIT_RULE, Sentinel
+
+
+@pytest.fixture()
+def system():
+    s = Sentinel(name="coupling-test")
+    s.explicit_event("e")
+    yield s
+    s.close()
+
+
+class TestImmediate:
+    def test_fires_during_transaction(self, system):
+        ran = []
+        system.rule("imm", "e", lambda o: True, ran.append)
+        with system.transaction():
+            system.raise_event("e")
+            assert len(ran) == 1  # before commit
+
+    def test_fires_outside_transaction_too(self, system):
+        ran = []
+        system.rule("imm", "e", lambda o: True, ran.append)
+        system.raise_event("e")
+        assert len(ran) == 1
+
+
+class TestDeferred:
+    def test_runs_at_pre_commit_not_at_event(self, system):
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        with system.transaction():
+            system.raise_event("e")
+            assert ran == []  # postponed
+        assert len(ran) == 1  # executed at (pre-)commit
+
+    def test_exactly_once_despite_many_triggers(self, system):
+        """Net-effect: N occurrences of E, one deferred execution."""
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        with system.transaction():
+            for __ in range(5):
+                system.raise_event("e")
+        assert len(ran) == 1
+
+    def test_parameters_accumulated_across_transaction(self, system):
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        with system.transaction():
+            system.raise_event("e", n=1)
+            system.raise_event("e", n=2)
+        assert ran[0].params.values("n") == [1, 2]
+
+    def test_no_event_no_execution(self, system):
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        with system.transaction():
+            pass
+        assert ran == []
+
+    def test_rewritten_event_graph_matches_paper(self, system):
+        """E becomes A*(begin_txn, E, pre_commit_txn)."""
+        rule = system.rule("def", "e", lambda o: True, lambda o: None,
+                           coupling="deferred")
+        assert rule.event.operator == "A*"
+        children = rule.event.children
+        assert children[0].display_name == BEGIN_TRANSACTION
+        assert children[1].display_name == "e"
+        assert children[2].display_name == PRE_COMMIT_TRANSACTION
+
+    def test_aborted_transaction_never_runs_deferred_rules(self, system):
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        txn = system.begin()
+        system.raise_event("e")
+        system.abort(txn)
+        assert ran == []
+
+    def test_second_transaction_independent(self, system):
+        ran = []
+        system.rule("def", "e", lambda o: True, ran.append,
+                    coupling="deferred")
+        with system.transaction():
+            system.raise_event("e", n=1)
+        with system.transaction():
+            system.raise_event("e", n=2)
+        assert len(ran) == 2
+        assert ran[1].params.values("n") == [2]
+
+
+class TestDetached:
+    def test_runs_in_separate_transaction(self, system):
+        seen = []
+
+        def action(occ):
+            txn = system.detector.current_transaction()
+            seen.append((txn.root().label, txn.depth))
+
+        system.rule("det", "e", lambda o: True, action, coupling="detached")
+        with system.transaction():
+            system.raise_event("e")
+        system.wait_detached()
+        assert len(seen) == 1
+        label, depth = seen[0]
+        assert label == "detached:det"  # its own top-level tree
+        assert depth == 1  # the rule subtransaction under that root
+
+
+class TestTransactionBoundaryFlush:
+    def test_composite_does_not_span_commits(self, system):
+        """Events from a committed txn cannot pair in the next one."""
+        system.explicit_event("f")
+        fired = []
+        system.rule("pair", system.detector.and_("e", "f"),
+                    lambda o: True, fired.append)
+        with system.transaction():
+            system.raise_event("e")
+        with system.transaction():
+            system.raise_event("f")  # the pending 'e' was flushed
+        assert fired == []
+
+    def test_composite_does_not_span_aborts(self, system):
+        system.explicit_event("f")
+        fired = []
+        system.rule("pair", system.detector.and_("e", "f"),
+                    lambda o: True, fired.append)
+        txn = system.begin()
+        system.raise_event("e")
+        system.abort(txn)
+        with system.transaction():
+            system.raise_event("f")
+        assert fired == []
+
+    def test_deactivating_flush_rule_lets_events_span(self, system):
+        """The flush rules are real rules and can be disabled (paper)."""
+        system.rules.disable(FLUSH_ON_COMMIT_RULE)
+        system.explicit_event("f")
+        fired = []
+        system.rule("pair", system.detector.and_("e", "f"),
+                    lambda o: True, fired.append)
+        with system.transaction():
+            system.raise_event("e")
+        with system.transaction():
+            system.raise_event("f")
+        assert len(fired) == 1
+
+    def test_flush_rules_exist_by_default(self, system):
+        assert FLUSH_ON_COMMIT_RULE in system.rules
+        assert FLUSH_ON_ABORT_RULE in system.rules
+
+    def test_flush_disabled_entirely_by_option(self):
+        s = Sentinel(flush_on_boundaries=False)
+        try:
+            assert FLUSH_ON_COMMIT_RULE not in s.rules
+        finally:
+            s.close()
+
+
+class TestTransactionEvents:
+    def test_user_rule_on_begin_transaction(self, system):
+        ran = []
+        system.rule("audit", BEGIN_TRANSACTION, lambda o: True, ran.append)
+        with system.transaction():
+            pass
+        assert len(ran) == 1
+
+    def test_transaction_ids_flow_into_occurrences(self, system):
+        ids = []
+        system.rule("r", "e", lambda o: True,
+                    lambda o: ids.append(o.params[0].txn_id))
+        with system.transaction() as txn:
+            system.raise_event("e")
+            expected = txn.txn_id
+        assert ids == [expected]

@@ -1,0 +1,125 @@
+"""Unit tests for the event graph: naming, sharing, flush, registry."""
+
+import pytest
+
+from repro.errors import DuplicateEvent, UnknownEvent
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def g(det):
+    det.explicit_event("a")
+    det.explicit_event("b")
+    det.explicit_event("c")
+    return det
+
+
+class TestNaming:
+    def test_define_binds_alias(self, g):
+        node = g.and_("a", "b")
+        g.define("my_event", node)
+        assert g.event("my_event") is node
+
+    def test_multiple_names_one_node(self, g):
+        node = g.and_("a", "b", name="first")
+        g.define("second", node)
+        assert g.event("first") is g.event("second")
+
+    def test_rebinding_name_rejected(self, g):
+        g.and_("a", "b", name="x")
+        with pytest.raises(DuplicateEvent):
+            g.seq("a", "b", name="x")
+
+    def test_unknown_lookup_raises(self, g):
+        with pytest.raises(UnknownEvent):
+            g.event("nope")
+
+    def test_names_listing(self, g):
+        g.and_("a", "b", name="pair")
+        assert {"a", "b", "c", "pair"} <= set(g.graph.names())
+
+
+class TestSharing:
+    def test_same_children_same_operator_shared(self, g):
+        assert g.and_("a", "b") is g.and_("a", "b")
+        assert g.seq("a", "b") is g.seq("a", "b")
+
+    def test_different_operator_not_shared(self, g):
+        assert g.and_("a", "b") is not g.seq("a", "b")
+
+    def test_operand_order_matters(self, g):
+        assert g.seq("a", "b") is not g.seq("b", "a")
+
+    def test_periodic_period_part_of_key(self, g):
+        p1 = g.periodic("a", 5.0, "b")
+        p2 = g.periodic("a", 5.0, "b")
+        p3 = g.periodic("a", 7.0, "b")
+        assert p1 is p2
+        assert p1 is not p3
+
+    def test_shared_hit_counter(self, g):
+        before = g.graph.stats.shared_hits
+        g.and_("a", "b")
+        g.and_("a", "b")
+        g.and_("a", "b")
+        assert g.graph.stats.shared_hits == before + 2
+
+    def test_nested_sharing(self, g):
+        inner1 = g.and_("a", "b")
+        tree1 = g.seq(inner1, "c")
+        tree2 = g.seq(g.and_("a", "b"), "c")
+        assert tree1 is tree2
+
+
+class TestSubtreeFlush:
+    def test_flush_named_expression_only(self, g):
+        ab = g.and_("a", "b", name="ab")
+        ac = g.and_("a", "c", name="ac")
+        fired_ab = collect(g, ab)
+        fired_ac = collect(g, ac)
+        g.raise_event("a")
+        g.flush("ab")
+        g.raise_event("b")
+        g.raise_event("c")
+        assert fired_ab == []
+        assert len(fired_ac) == 1
+
+    def test_flush_shared_leaf_affects_subtree_walk_once(self, g):
+        """Flushing an expression containing a shared node terminates."""
+        shared = g.and_("a", "b")
+        tree = g.seq(shared, g.or_(shared, "c"), name="diamond")
+        collect(g, tree)
+        g.flush("diamond")  # must not loop on the diamond shape
+
+
+class TestLabels:
+    def test_expression_labels_read_like_snoop(self, g):
+        assert g.and_("a", "b").label == "(a ^ b)"
+        assert g.seq("a", "b").label == "(a ; b)"
+        assert g.or_("a", "b").label == "(a | b)"
+        assert g.not_("a", "b", "c").label == "NOT(b)[a, c]"
+        assert g.aperiodic("a", "b", "c").label == "A(a, b, c)"
+        assert g.aperiodic_star("a", "b", "c").label == "A*(a, b, c)"
+        assert g.periodic("a", 5, "c").label == "P(a, 5, c)"
+        assert g.plus("a", 3).label == "(a + 3)"
+
+    def test_named_node_uses_its_name(self, g):
+        node = g.and_("a", "b", name="pair")
+        assert node.label == "pair"
+
+
+class TestTemporalRegistry:
+    def test_temporal_nodes_listed(self, g):
+        g.temporal_event("tick", every=5.0)
+        g.plus("a", 2.0)
+        g.periodic("a", 3.0, "b")
+        kinds = {type(n).__name__ for n in g.graph.temporal_nodes()}
+        assert kinds == {"TemporalEventNode", "PlusNode", "PeriodicNode"}
+
+    def test_primitives_for_class_index(self, det):
+        det.primitive_event("e1", "Widget", "end", "m1")
+        det.primitive_event("e2", "Widget", "begin", "m2")
+        det.primitive_event("e3", "Gadget", "end", "m1")
+        assert len(det.graph.primitives_for("Widget")) == 2
+        assert len(det.graph.primitives_for("Gadget")) == 1
+        assert det.graph.primitives_for("Unknown") == []

@@ -1,0 +1,122 @@
+"""Unit tests for occurrences and parameter lists."""
+
+import pytest
+
+from repro.core.params import (
+    CompositeOccurrence,
+    EventModifier,
+    ParamList,
+    PrimitiveOccurrence,
+    atomic,
+)
+
+
+def prim(name, at, **args):
+    return PrimitiveOccurrence(
+        event_name=name, at=at, arguments=tuple(args.items())
+    )
+
+
+def test_primitive_interval_is_instantaneous():
+    occ = prim("e", 5.0)
+    assert occ.start == occ.end == 5.0
+
+
+def test_primitive_getitem():
+    occ = prim("e", 1.0, price=10.0)
+    assert occ["price"] == 10.0
+    with pytest.raises(KeyError):
+        occ["missing"]
+
+
+def test_composite_interval_spans_constituents():
+    a, b = prim("a", 1.0), prim("b", 4.0)
+    comp = CompositeOccurrence("x", "AND", (a, b), start=1.0, end=4.0)
+    assert comp.start == 1.0
+    assert comp.end == 4.0
+
+
+def test_primitives_flatten_chronologically():
+    a, b, c = prim("a", 3.0), prim("b", 1.0), prim("c", 2.0)
+    inner = CompositeOccurrence("i", "AND", (b, c), start=1.0, end=2.0)
+    outer = CompositeOccurrence("o", "SEQ", (inner, a), start=1.0, end=3.0)
+    assert [p.event_name for p in outer.primitives()] == ["b", "c", "a"]
+
+
+def test_param_list_by_event_and_first_last():
+    occs = [prim("a", 1.0, n=1), prim("b", 2.0), prim("a", 3.0, n=2)]
+    comp = CompositeOccurrence("x", "A*", tuple(occs), start=1.0, end=3.0)
+    params = ParamList(comp)
+    assert len(params.by_event("a")) == 2
+    assert params.first("a")["n"] == 1
+    assert params.last("a")["n"] == 2
+    with pytest.raises(KeyError):
+        params.first("zzz")
+
+
+def test_param_list_value_prefers_latest():
+    occs = [prim("a", 1.0, price=10), prim("a", 2.0, price=20)]
+    comp = CompositeOccurrence("x", "AND", tuple(occs), start=1.0, end=2.0)
+    assert ParamList(comp).value("price") == 20
+    assert ParamList(comp).values("price") == [10, 20]
+
+
+def test_param_list_value_filters_by_event():
+    occs = [prim("a", 1.0, n=1), prim("b", 2.0, n=99)]
+    comp = CompositeOccurrence("x", "AND", tuple(occs), start=1.0, end=2.0)
+    params = ParamList(comp)
+    assert params.value("n") == 99
+    assert params.value("n", event_name="a") == 1
+
+
+def test_param_list_missing_param_raises():
+    params = ParamList(prim("a", 1.0))
+    with pytest.raises(KeyError):
+        params.value("ghost")
+
+
+def test_param_list_indexing_and_len():
+    occs = [prim("a", 1.0), prim("b", 2.0)]
+    comp = CompositeOccurrence("x", "AND", tuple(occs), start=1.0, end=2.0)
+    params = ParamList(comp)
+    assert len(params) == 2
+    assert params[0].event_name == "a"
+
+
+def test_instances_deduplicated_in_order():
+    occs = [
+        PrimitiveOccurrence("a", at=1.0, instance="oid:1"),
+        PrimitiveOccurrence("b", at=2.0, instance="oid:2"),
+        PrimitiveOccurrence("a", at=3.0, instance="oid:1"),
+    ]
+    comp = CompositeOccurrence("x", "A*", tuple(occs), start=1.0, end=3.0)
+    assert ParamList(comp).instances() == ["oid:1", "oid:2"]
+
+
+def test_modifier_parse():
+    assert EventModifier.parse("begin") is EventModifier.BEGIN
+    assert EventModifier.parse("END") is EventModifier.END
+    with pytest.raises(ValueError):
+        EventModifier.parse("middle")
+
+
+class TestAtomic:
+    @pytest.mark.parametrize("value", [None, True, 5, 2.5, "x", b"y"])
+    def test_atomic_passthrough(self, value):
+        assert atomic(value) is value or atomic(value) == value
+
+    def test_object_with_oid_becomes_oid_string(self):
+        class Obj:
+            oid = "oid:42"
+
+        assert atomic(Obj()) == "oid:42"
+
+    def test_complex_object_becomes_repr(self):
+        value = atomic([1, 2, 3])
+        assert value == "[1, 2, 3]"
+
+
+def test_seq_numbers_are_unique_and_increasing():
+    a = prim("a", 1.0)
+    b = prim("b", 1.0)
+    assert b.seq > a.seq

@@ -1,0 +1,97 @@
+"""Named priority classes (paper §3.1)."""
+
+import pytest
+
+from repro.core.priorities import PriorityScheme
+from repro.errors import RuleError
+
+
+@pytest.fixture()
+def e(det):
+    det.explicit_event("e")
+    return det
+
+
+class TestPriorityScheme:
+    def test_define_and_rank(self):
+        scheme = PriorityScheme()
+        scheme.define("urgent", 100)
+        scheme.define("routine", 10)
+        assert scheme.rank("urgent") == 100
+        assert scheme.rank("routine") == 10
+
+    def test_int_passthrough(self):
+        assert PriorityScheme().rank(7) == 7
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(RuleError):
+            PriorityScheme().rank("ghost")
+
+    def test_bool_rejected(self):
+        with pytest.raises(RuleError):
+            PriorityScheme().rank(True)
+
+    def test_define_ordered(self):
+        scheme = PriorityScheme()
+        scheme.define_ordered(["critical", "high", "normal", "low"])
+        ranks = [scheme.rank(n) for n in ("critical", "high", "normal", "low")]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_redefine_changes_rank(self):
+        scheme = PriorityScheme()
+        scheme.define("x", 1)
+        scheme.define("x", 99)
+        assert scheme.rank("x") == 99
+
+    def test_undefine(self):
+        scheme = PriorityScheme()
+        scheme.define("x", 1)
+        scheme.undefine("x")
+        assert not scheme.known("x")
+        with pytest.raises(RuleError):
+            scheme.rank("x")
+
+
+class TestNamedPrioritiesInScheduling:
+    def test_rules_in_named_classes_ordered(self, e):
+        e.priorities.define_ordered(["alarm", "log"])
+        order = []
+        e.rule("r_log", "e", lambda o: True,
+               lambda o: order.append("log"), priority="log")
+        e.rule("r_alarm", "e", lambda o: True,
+               lambda o: order.append("alarm"), priority="alarm")
+        e.raise_event("e")
+        assert order == ["alarm", "log"]
+
+    def test_mixed_named_and_integer_priorities(self, e):
+        e.priorities.define("mid", 5)
+        order = []
+        e.rule("low", "e", lambda o: True, lambda o: order.append("low"),
+               priority=1)
+        e.rule("named", "e", lambda o: True, lambda o: order.append("named"),
+               priority="mid")
+        e.rule("high", "e", lambda o: True, lambda o: order.append("high"),
+               priority=10)
+        e.raise_event("e")
+        assert order == ["high", "named", "low"]
+
+    def test_reranking_reorders_future_executions(self, e):
+        """'Change rule priority categories based on the context'."""
+        e.priorities.define("a", 10)
+        e.priorities.define("b", 5)
+        order = []
+        e.rule("ra", "e", lambda o: True, lambda o: order.append("a"),
+               priority="a")
+        e.rule("rb", "e", lambda o: True, lambda o: order.append("b"),
+               priority="b")
+        e.raise_event("e")
+        assert order == ["a", "b"]
+        order.clear()
+        e.priorities.define("b", 50)  # promote class b above a
+        e.raise_event("e")
+        assert order == ["b", "a"]
+
+    def test_rule_with_unknown_class_rejected_at_definition(self, e):
+        with pytest.raises(RuleError):
+            e.rule("r", "e", lambda o: True, lambda o: None,
+                   priority="undefined-class")

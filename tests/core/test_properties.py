@@ -1,0 +1,262 @@
+"""Property-based tests (hypothesis) on detection semantics.
+
+Each property pins an algebraic invariant of the Snoop operators
+against a simple reference model computed directly from the input
+interleaving, over randomized event streams.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import LocalEventDetector
+from tests.core.conftest import collect
+
+# Streams are strings over {a, b} (and sometimes c), one character per
+# primitive occurrence, in order.
+ab_streams = st.text(alphabet="ab", min_size=0, max_size=40)
+abc_streams = st.text(alphabet="abc", min_size=0, max_size=40)
+
+
+def run_stream(stream: str, build, context: str):
+    """Build the expression, subscribe a collector, play the stream."""
+    det = LocalEventDetector()
+    for name in set("abc"):
+        det.explicit_event(name)
+    expr = build(det)
+    fired = collect(det, expr, context=context)
+    for i, ch in enumerate(stream):
+        det.raise_event(ch, n=i)
+    det.shutdown()
+    return fired
+
+
+class TestOrProperties:
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_or_fires_once_per_occurrence(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.or_("a", "b"), context="recent"
+        )
+        assert len(fired) == len(stream)
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_or_preserves_order_and_payload(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.or_("a", "b"), context="chronicle"
+        )
+        assert [f.params[0].event_name for f in fired] == list(stream)
+        assert [f.params.value("n") for f in fired] == list(range(len(stream)))
+
+
+class TestAndChronicleProperties:
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_detection_count_is_min_of_sides(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.and_("a", "b"), context="chronicle"
+        )
+        assert len(fired) == min(stream.count("a"), stream.count("b"))
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_fifo_pairing_is_order_preserving(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.and_("a", "b"), context="chronicle"
+        )
+        a_positions = [i for i, ch in enumerate(stream) if ch == "a"]
+        b_positions = [i for i, ch in enumerate(stream) if ch == "b"]
+        for k, occ in enumerate(fired):
+            assert occ.params.value("n", event_name="a") == a_positions[k]
+            assert occ.params.value("n", event_name="b") == b_positions[k]
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_each_occurrence_used_at_most_once(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.and_("a", "b"), context="chronicle"
+        )
+        used = [p.seq for occ in fired for p in occ.params]
+        assert len(used) == len(set(used))
+
+
+class TestSeqChronicleProperties:
+    @staticmethod
+    def reference_pairs(stream):
+        """Bracket matching: each b consumes the oldest unmatched a."""
+        pending = []
+        pairs = []
+        for i, ch in enumerate(stream):
+            if ch == "a":
+                pending.append(i)
+            elif pending:
+                pairs.append((pending.pop(0), i))
+        return pairs
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_matches_bracket_model(self, stream):
+        fired = run_stream(
+            stream, lambda d: d.seq("a", "b"), context="chronicle"
+        )
+        expected = self.reference_pairs(stream)
+        got = [
+            (occ.params.value("n", event_name="a"),
+             occ.params.value("n", event_name="b"))
+            for occ in fired
+        ]
+        assert got == expected
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_ordering_invariant(self, stream):
+        """In every detection the initiator strictly precedes the
+        terminator."""
+        fired = run_stream(
+            stream, lambda d: d.seq("a", "b"), context="chronicle"
+        )
+        for occ in fired:
+            left, right = occ.constituents
+            assert left.end < right.start
+
+
+class TestCumulativeProperties:
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_cumulative_and_partitions_occurrences(self, stream):
+        """Every input occurrence appears in at most one composite, and
+        the composites' constituents are disjoint and complete up to
+        the last detection."""
+        fired = run_stream(
+            stream, lambda d: d.and_("a", "b"), context="cumulative"
+        )
+        seen = [p.seq for occ in fired for p in occ.params]
+        assert len(seen) == len(set(seen))
+        # Between detections, counts must be consistent: each composite
+        # has at least one of each side.
+        for occ in fired:
+            names = [p.event_name for p in occ.params]
+            assert "a" in names and "b" in names
+
+    @settings(max_examples=60)
+    @given(ab_streams)
+    def test_recent_constituents_always_latest(self, stream):
+        """In recent context the 'a' inside any detection is the latest
+        'a' so far."""
+        fired = run_stream(
+            stream, lambda d: d.and_("a", "b"), context="recent"
+        )
+        latest_by_prefix = {}
+        last = -1
+        for i, ch in enumerate(stream):
+            if ch == "a":
+                last = i
+            latest_by_prefix[i] = last
+        for occ in fired:
+            a_n = occ.params.value("n", event_name="a")
+            end_n = max(p["n"] for p in occ.params)
+            assert a_n == latest_by_prefix[end_n]
+
+
+class TestNotProperties:
+    @settings(max_examples=60)
+    @given(abc_streams)
+    def test_not_never_contains_forbidden(self, stream):
+        """NOT(b)[a, c] detections never span a 'b'."""
+        fired = run_stream(
+            stream, lambda d: d.not_("a", "b", "c"), context="chronicle"
+        )
+        for occ in fired:
+            start_n = occ.params.value("n", event_name="a")
+            end_n = occ.params.value("n", event_name="c")
+            window = stream[start_n + 1 : end_n]
+            assert "b" not in window
+
+
+class TestDetectionInvariants:
+    @settings(max_examples=40)
+    @given(abc_streams, st.sampled_from(["recent", "chronicle",
+                                         "continuous", "cumulative"]))
+    def test_composite_intervals_well_formed(self, stream, context):
+        fired = run_stream(
+            stream,
+            lambda d: d.and_(d.graph.get("a"),
+                             d.seq("b", "c")),
+            context=context,
+        )
+        for occ in fired:
+            assert occ.start <= occ.end
+            primitives = list(occ.params)
+            times = [p.at for p in primitives]
+            assert times == sorted(times)  # chronological flattening
+            assert occ.start == min(times)
+            assert occ.end == max(times)
+
+    @settings(max_examples=40)
+    @given(ab_streams, st.sampled_from(["recent", "chronicle",
+                                        "continuous", "cumulative"]))
+    def test_determinism(self, stream, context):
+        """Same stream, same context -> identical detection structure."""
+
+        def signature():
+            fired = run_stream(
+                stream, lambda d: d.and_("a", "b"), context=context
+            )
+            return [
+                tuple((p.event_name, p["n"]) for p in occ.params)
+                for occ in fired
+            ]
+
+        assert signature() == signature()
+
+    @settings(max_examples=40)
+    @given(ab_streams)
+    def test_sharing_does_not_change_semantics(self, stream):
+        """Graph sharing on vs off yields identical detections."""
+
+        def run(sharing):
+            det = LocalEventDetector(sharing=sharing)
+            det.explicit_event("a")
+            det.explicit_event("b")
+            fired1 = collect(det, det.and_("a", "b"))
+            fired2 = collect(det, det.and_("a", "b"))
+            for i, ch in enumerate(stream):
+                det.raise_event(ch, n=i)
+            det.shutdown()
+            return (
+                [tuple(p["n"] for p in occ.params) for occ in fired1],
+                [tuple(p["n"] for p in occ.params) for occ in fired2],
+            )
+
+        shared = run(True)
+        unshared = run(False)
+        assert shared == unshared
+        assert shared[0] == shared[1]
+
+    @settings(max_examples=40)
+    @given(ab_streams)
+    def test_flush_resets_to_initial_state(self, stream):
+        """Flushing mid-stream equals starting fresh from that point."""
+        suffix = stream[len(stream) // 2:]
+
+        det = LocalEventDetector()
+        det.explicit_event("a")
+        det.explicit_event("b")
+        fired = collect(det, det.and_("a", "b"), context="chronicle")
+        for i, ch in enumerate(stream[: len(stream) // 2]):
+            det.raise_event(ch, n=i)
+        det.flush()
+        fired.clear()
+        for i, ch in enumerate(suffix):
+            det.raise_event(ch, n=i)
+        after_flush = [
+            tuple(p["n"] for p in occ.params) for occ in fired
+        ]
+        det.shutdown()
+
+        fresh = run_stream(
+            suffix, lambda d: d.and_("a", "b"), context="chronicle"
+        )
+        fresh_sig = [tuple(p["n"] for p in occ.params) for occ in fresh]
+        assert after_flush == fresh_sig

@@ -1,0 +1,132 @@
+"""Reactive wrapper edge cases: argument binding, errors, inheritance."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.core.reactive import Reactive, event, set_current_detector
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    set_current_detector(detector)
+    yield detector
+    set_current_detector(None)
+    detector.shutdown()
+
+
+class Machine(Reactive):
+    def __init__(self):
+        self.log = []
+
+    @event(begin="starting", end="started")
+    def start(self, mode="normal", retries=3, *extras, **options):
+        self.log.append((mode, retries, extras, options))
+        return mode
+
+
+class Fragile(Reactive):
+    @event(begin="attempting", end="succeeded")
+    def attempt(self):
+        raise RuntimeError("operation failed")
+
+
+class TestArgumentBinding:
+    def test_defaults_recorded(self, det):
+        nodes = Machine.register_events(det)
+        fired = collect(det, nodes["started"])
+        Machine().start()
+        assert fired[0].params.value("mode") == "normal"
+        assert fired[0].params.value("retries") == 3
+
+    def test_keyword_arguments_recorded(self, det):
+        nodes = Machine.register_events(det)
+        fired = collect(det, nodes["started"])
+        Machine().start(mode="turbo", retries=9)
+        assert fired[0].params.value("mode") == "turbo"
+        assert fired[0].params.value("retries") == 9
+
+    def test_varargs_and_kwargs_coerced_atomically(self, det):
+        nodes = Machine.register_events(det)
+        fired = collect(det, nodes["started"])
+        Machine().start("fast", 1, "x", "y", verbose=True)
+        params = dict(fired[0].params[0].arguments)
+        assert params["mode"] == "fast"
+        assert params["extras"] == "('x', 'y')"
+        assert params["options"] == "{'verbose': True}"
+
+    def test_positional_binding(self, det):
+        nodes = Machine.register_events(det)
+        fired = collect(det, nodes["started"])
+        Machine().start("eco", 7)
+        assert fired[0].params.value("retries") == 7
+
+
+class TestErrorsInUserMethods:
+    def test_begin_fires_but_end_does_not_on_exception(self, det):
+        nodes = Fragile.register_events(det)
+        begins = collect(det, nodes["attempting"])
+        ends = collect(det, nodes["succeeded"])
+        with pytest.raises(RuntimeError):
+            Fragile().attempt()
+        assert len(begins) == 1
+        assert ends == []
+
+    def test_exception_propagates_unwrapped(self, det):
+        Fragile.register_events(det)
+        with pytest.raises(RuntimeError, match="operation failed"):
+            Fragile().attempt()
+
+
+class TestInheritance:
+    def test_subclass_events_fire_with_subclass_name(self, det):
+        class Robot(Machine):
+            pass
+
+        # class-level event declared on the subclass's own name
+        node = det.primitive_event("robot_start", "Robot", "end", "start")
+        fired = collect(det, node)
+        Robot().start()
+        assert len(fired) == 1
+
+    def test_base_class_events_match_subclass_instances(self, det):
+        """The inheritance property: a class-level event on Machine
+        fires for Robot instances (the detector walks the MRO)."""
+
+        class Robot(Machine):
+            pass
+
+        base_node = det.primitive_event("machine_start", "Machine", "end",
+                                        "start")
+        fired = collect(det, base_node)
+        Robot().start()
+        assert len(fired) == 1
+
+    def test_overriding_redeclares_event(self, det):
+        class Custom(Machine):
+            @event(end="custom_done")
+            def start(self, mode="normal", retries=3):
+                return "custom"
+
+        node = det.primitive_event("c", "Custom", "end", "start")
+        fired = collect(det, node)
+        Custom().start()
+        assert len(fired) == 1
+
+
+class TestWrapperMechanics:
+    def test_user_prefixed_method_bypasses_events(self, det):
+        nodes = Machine.register_events(det)
+        fired = collect(det, nodes["started"])
+        machine = Machine()
+        machine.user_start("silent")
+        assert fired == []
+        assert machine.log  # the body still ran
+
+    def test_wrapped_marker_present(self):
+        assert getattr(Machine.start, "__sentinel_wrapped__", False)
+
+    def test_return_value_preserved(self, det):
+        Machine.register_events(det)
+        assert Machine().start("value-check") == "value-check"

@@ -1,0 +1,88 @@
+"""Rule visibility scopes: public / protected / private.
+
+Listed as future work in the paper's conclusion ("expanding the rule
+management support to public, private, and protected rules");
+implemented here as an extension with owner-based access control.
+"""
+
+import pytest
+
+from repro.core.rules import RuleScope
+from repro.errors import RuleError, UnknownRule
+
+
+@pytest.fixture()
+def e(det):
+    det.explicit_event("e")
+    return det
+
+
+class TestPublic:
+    def test_default_scope_is_public(self, e):
+        rule = e.rule("r", "e", lambda o: True, lambda o: None)
+        assert rule.scope is RuleScope.PUBLIC
+        assert rule.owner is None
+
+    def test_anyone_can_modify_public(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None)
+        e.rules.disable("r", requester="stranger")
+        e.rules.enable("r", requester="someone-else")
+        e.rules.delete("r")
+
+
+class TestProtected:
+    def test_visible_to_all(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None,
+               scope="protected", owner="alice")
+        assert e.rules.get("r", requester="bob").name == "r"
+        assert "r" in e.rules.names(requester="bob")
+
+    def test_only_owner_modifies(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None,
+               scope="protected", owner="alice")
+        with pytest.raises(RuleError):
+            e.rules.disable("r", requester="bob")
+        e.rules.disable("r", requester="alice")
+        with pytest.raises(RuleError):
+            e.rules.delete("r", requester=None)
+        e.rules.delete("r", requester="alice")
+
+
+class TestPrivate:
+    def test_invisible_to_non_owner(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None,
+               scope="private", owner="alice")
+        with pytest.raises(UnknownRule):
+            e.rules.get("r", requester="bob")
+        assert "r" not in e.rules.names(requester="bob")
+        assert "r" in e.rules.names(requester="alice")
+
+    def test_private_rule_still_fires(self, e):
+        """Scope is a management boundary, not a detection one."""
+        ran = []
+        e.rule("r", "e", lambda o: True, ran.append,
+               scope="private", owner="alice")
+        e.raise_event("e")
+        assert len(ran) == 1
+
+    def test_owner_full_control(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None,
+               scope="private", owner="alice")
+        e.rules.disable("r", requester="alice")
+        e.rules.enable("r", requester="alice")
+        e.rules.delete("r", requester="alice")
+
+
+class TestValidation:
+    def test_non_public_requires_owner(self, e):
+        with pytest.raises(RuleError):
+            e.rule("r", "e", lambda o: True, lambda o: None,
+                   scope="private")
+
+    def test_scope_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            RuleScope.parse("secret")
+
+    def test_scope_parse_accepts_names(self):
+        assert RuleScope.parse("PUBLIC") is RuleScope.PUBLIC
+        assert RuleScope.parse("protected") is RuleScope.PROTECTED

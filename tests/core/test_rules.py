@@ -1,0 +1,174 @@
+"""Tests for rule management: registration, modes, enable/disable."""
+
+import pytest
+
+from repro.core.contexts import ParameterContext
+from repro.core.rules import CouplingMode, TriggerMode
+from repro.errors import DuplicateRule, RuleError, UnknownRule
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def e(det):
+    det.explicit_event("e")
+    return det
+
+
+class TestRegistration:
+    def test_create_and_fire(self, e):
+        ran = []
+        rule = e.rule("r1", "e", lambda o: True, ran.append)
+        assert rule.enabled
+        e.raise_event("e")
+        assert len(ran) == 1
+        assert rule.triggered_count == 1
+        assert rule.executed_count == 1
+
+    def test_duplicate_name_rejected(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None)
+        with pytest.raises(DuplicateRule):
+            e.rule("r", "e", lambda o: True, lambda o: None)
+
+    def test_unknown_rule_lookup_rejected(self, e):
+        with pytest.raises(UnknownRule):
+            e.rules.get("nope")
+
+    def test_non_callable_condition_rejected(self, e):
+        with pytest.raises(RuleError):
+            e.rule("bad", "e", "not callable", lambda o: None)
+
+    def test_string_mode_parsing(self, e):
+        rule = e.rule(
+            "r", "e", lambda o: True, lambda o: None,
+            context="CUMULATIVE", coupling="deferred",
+            trigger_mode="previous", priority=10,
+        )
+        assert rule.context is ParameterContext.CUMULATIVE
+        assert rule.coupling is CouplingMode.DEFERRED
+        assert rule.trigger_mode is TriggerMode.PREVIOUS
+        assert rule.priority == 10
+
+    def test_zero_arg_condition_and_action(self, e):
+        ran = []
+        e.rule("r", "e", lambda: True, lambda: ran.append(1))
+        e.raise_event("e")
+        assert ran == [1]
+
+    def test_rules_listing(self, e):
+        e.rule("a", "e", lambda o: True, lambda o: None)
+        e.rule("b", "e", lambda o: True, lambda o: None)
+        assert e.rules.names() == ["a", "b"]
+        assert "a" in e.rules
+        assert len(e.rules) == 2
+
+
+class TestConditions:
+    def test_false_condition_blocks_action(self, e):
+        ran = []
+        e.rule("r", "e", lambda o: False, ran.append)
+        e.raise_event("e")
+        assert ran == []
+        assert e.scheduler.stats.condition_rejections == 1
+
+    def test_condition_sees_parameters(self, e):
+        ran = []
+        e.rule(
+            "threshold", "e",
+            lambda occ: occ.params.value("price") > 100,
+            ran.append,
+        )
+        e.raise_event("e", price=50)
+        e.raise_event("e", price=150)
+        assert len(ran) == 1
+        assert ran[0].params.value("price") == 150
+
+
+class TestEnableDisable:
+    def test_disable_stops_firing(self, e):
+        ran = []
+        e.rule("r", "e", lambda o: True, ran.append)
+        e.rules.disable("r")
+        e.raise_event("e")
+        assert ran == []
+
+    def test_reenable_resumes(self, e):
+        ran = []
+        e.rule("r", "e", lambda o: True, ran.append)
+        e.rules.disable("r")
+        e.rules.enable("r")
+        e.raise_event("e")
+        assert len(ran) == 1
+
+    def test_delete_removes_rule(self, e):
+        e.rule("r", "e", lambda o: True, lambda o: None)
+        e.rules.delete("r")
+        with pytest.raises(UnknownRule):
+            e.rules.get("r")
+        e.raise_event("e")  # no error, no firing
+
+    def test_create_disabled(self, e):
+        ran = []
+        e.rule("r", "e", lambda o: True, ran.append, enabled=False)
+        e.raise_event("e")
+        assert ran == []
+        e.rules.enable("r")
+        e.raise_event("e")
+        assert len(ran) == 1
+
+
+class TestTriggerModes:
+    def test_now_ignores_pre_subscription_constituents(self, e):
+        """A NOW rule must not fire from occurrences that precede it."""
+        e.explicit_event("f")
+        node = e.and_("e", "f")
+        # First rule activates detection in the recent context.
+        early = collect(e, node, context="recent")
+        e.raise_event("e")  # stored in node state
+        # Second rule defined NOW: the stored 'e' predates it.
+        late = collect(e, node, context="recent", trigger_mode="now")
+        e.raise_event("f")
+        assert len(early) == 1
+        assert late == []  # its composite starts before subscription
+
+    def test_previous_accepts_older_constituents(self, e):
+        e.explicit_event("f")
+        node = e.and_("e", "f")
+        collect(e, node, context="recent")
+        e.raise_event("e")
+        late = collect(e, node, context="recent", trigger_mode="previous")
+        e.raise_event("f")
+        assert len(late) == 1
+
+    def test_now_fires_for_fresh_occurrences(self, e):
+        ran = collect(e, "e", trigger_mode="now")
+        e.raise_event("e")
+        assert len(ran) == 1
+
+
+class TestMultipleRules:
+    def test_one_event_triggers_several_rules(self, e):
+        order = []
+        e.rule("r1", "e", lambda o: True, lambda o: order.append("r1"))
+        e.rule("r2", "e", lambda o: True, lambda o: order.append("r2"))
+        e.rule("r3", "e", lambda o: False, lambda o: order.append("r3"))
+        e.raise_event("e")
+        assert order == ["r1", "r2"]
+
+    def test_priority_order_high_first(self, e):
+        order = []
+        e.rule("low", "e", lambda o: True, lambda o: order.append("low"),
+               priority=1)
+        e.rule("high", "e", lambda o: True, lambda o: order.append("high"),
+               priority=10)
+        e.rule("mid", "e", lambda o: True, lambda o: order.append("mid"),
+               priority=5)
+        e.raise_event("e")
+        assert order == ["high", "mid", "low"]
+
+    def test_same_priority_keeps_trigger_order(self, e):
+        order = []
+        for i in range(5):
+            e.rule(f"r{i}", "e", lambda o: True,
+                   lambda o, i=i: order.append(i), priority=3)
+        e.raise_event("e")
+        assert order == [0, 1, 2, 3, 4]

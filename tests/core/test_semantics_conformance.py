@@ -1,0 +1,172 @@
+"""Conformance to the canonical context examples.
+
+The ICDE'95 paper defers operator/context semantics to its companion
+papers (Snoop DKE'94; "Composite Events for Active Databases:
+Semantics, Contexts, and Detection", VLDB'94). The VLDB paper's running
+example is the stream
+
+    e1^1  e1^2  e2^1
+
+(two occurrences of E1, then one of E2) with the expected detections of
+``E1 ; E2`` per context:
+
+    recent     : (e1^2, e2^1)
+    chronicle  : (e1^1, e2^1)
+    continuous : (e1^1, e2^1) and (e1^2, e2^1)
+    cumulative : (e1^1, e1^2, e2^1)
+
+This file pins those tables exactly, for SEQ and for the windowed
+operators' canonical streams.
+"""
+
+import pytest
+
+from tests.core.conftest import collect
+
+
+@pytest.fixture()
+def evs(det):
+    det.explicit_event("e1")
+    det.explicit_event("e2")
+    det.explicit_event("e3")
+    return det
+
+
+def play(det, *events):
+    """Raise a sequence like ('e1', 1), ('e1', 2), ('e2', 1)."""
+    for name, index in events:
+        det.raise_event(name, idx=index)
+
+
+def pairs(fired):
+    return [
+        tuple((p.event_name, p["idx"]) for p in occ.params) for occ in fired
+    ]
+
+
+CANONICAL = [("e1", 1), ("e1", 2), ("e2", 1)]
+
+
+class TestCanonicalSequenceTable:
+    def test_recent(self, evs):
+        fired = collect(evs, evs.seq("e1", "e2"), context="recent")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 2), ("e2", 1))]
+
+    def test_chronicle(self, evs):
+        fired = collect(evs, evs.seq("e1", "e2"), context="chronicle")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 1), ("e2", 1))]
+
+    def test_continuous(self, evs):
+        fired = collect(evs, evs.seq("e1", "e2"), context="continuous")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [
+            (("e1", 1), ("e2", 1)),
+            (("e1", 2), ("e2", 1)),
+        ]
+
+    def test_cumulative(self, evs):
+        fired = collect(evs, evs.seq("e1", "e2"), context="cumulative")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 1), ("e1", 2), ("e2", 1))]
+
+
+class TestCanonicalAndTable:
+    """AND is symmetric; with the canonical stream the tables match SEQ
+    (here E2 terminates because it arrives last)."""
+
+    def test_recent(self, evs):
+        fired = collect(evs, evs.and_("e1", "e2"), context="recent")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 2), ("e2", 1))]
+
+    def test_chronicle(self, evs):
+        fired = collect(evs, evs.and_("e1", "e2"), context="chronicle")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 1), ("e2", 1))]
+
+    def test_continuous(self, evs):
+        fired = collect(evs, evs.and_("e1", "e2"), context="continuous")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [
+            (("e1", 1), ("e2", 1)),
+            (("e1", 2), ("e2", 1)),
+        ]
+
+    def test_cumulative(self, evs):
+        fired = collect(evs, evs.and_("e1", "e2"), context="cumulative")
+        play(evs, *CANONICAL)
+        assert pairs(fired) == [(("e1", 1), ("e1", 2), ("e2", 1))]
+
+
+WINDOW_STREAM = [
+    ("e1", 1),  # open window 1
+    ("e2", 1),
+    ("e1", 2),  # open window 2
+    ("e2", 2),
+    ("e3", 1),  # close
+]
+
+
+class TestAperiodicWindows:
+    def test_recent_latest_window_only(self, evs):
+        fired = collect(evs, evs.aperiodic("e1", "e2", "e3"),
+                        context="recent")
+        play(evs, *WINDOW_STREAM)
+        # e2^1 pairs with window 1; after e1^2 replaces it, e2^2 pairs
+        # with window 2.
+        assert pairs(fired) == [
+            (("e1", 1), ("e2", 1)),
+            (("e1", 2), ("e2", 2)),
+        ]
+
+    def test_continuous_every_window(self, evs):
+        fired = collect(evs, evs.aperiodic("e1", "e2", "e3"),
+                        context="continuous")
+        play(evs, *WINDOW_STREAM)
+        assert pairs(fired) == [
+            (("e1", 1), ("e2", 1)),
+            (("e1", 1), ("e2", 2)),
+            (("e1", 2), ("e2", 2)),
+        ]
+
+    def test_astar_signals_once_with_window_content(self, evs):
+        fired = collect(evs, evs.aperiodic_star("e1", "e2", "e3"),
+                        context="recent")
+        play(evs, *WINDOW_STREAM)
+        assert pairs(fired) == [
+            (("e1", 2), ("e2", 2), ("e3", 1)),
+        ]
+
+    def test_astar_continuous_one_per_window(self, evs):
+        fired = collect(evs, evs.aperiodic_star("e1", "e2", "e3"),
+                        context="continuous")
+        play(evs, *WINDOW_STREAM)
+        got = pairs(fired)
+        assert (("e1", 1), ("e2", 1), ("e2", 2), ("e3", 1)) in got
+        assert (("e1", 2), ("e2", 2), ("e3", 1)) in got
+        assert len(got) == 2
+
+
+class TestDeferredRuleTable:
+    """The paper's §2.3 transform, checked against the same stream shape:
+    events inside one transaction accumulate; the rule sees them once."""
+
+    def test_a_star_formulation(self, evs):
+        from repro.sentinel import Sentinel
+
+        system = Sentinel(name="conformance", activate=False)
+        system.explicit_event("E")
+        fired = []
+        system.rule("deferred", "E", lambda o: True, fired.append,
+                    coupling="deferred")
+        with system.transaction():
+            system.raise_event("E", idx=1)
+            system.raise_event("E", idx=2)
+            system.raise_event("E", idx=3)
+            assert fired == []
+        assert len(fired) == 1
+        # begin_transaction + 3 Es + pre_commit = the A* window content
+        assert fired[0].params.values("idx") == [1, 2, 3]
+        system.close()

@@ -1,0 +1,102 @@
+"""State snapshots on primitive events (versioning approximation).
+
+The paper: detection of a composite event spans a time interval, so
+"no assumptions are made about the state of the object (when the oid is
+passed as part of a composite event)"; full parameter support "may
+require versioning of objects". Snapshot-enabled events record the
+object's state *at signal time* so rules see consistent historical
+values even after the object moved on.
+"""
+
+import pytest
+
+
+class Account:
+    def __init__(self, owner, balance):
+        self.owner = owner
+        self.balance = balance
+        self._secret = "hidden"
+
+
+class TestSnapshotCapture:
+    def test_snapshot_recorded_at_signal_time(self, det):
+        node = det.primitive_event("dep", "Account", "end", "deposit",
+                                   snapshot_state=True)
+        fired = []
+        det.rule("r", node, lambda o: True, fired.append)
+        acct = Account("alice", 100.0)
+        det.notify(acct, "Account", "deposit", "end", {"amount": 10})
+        acct.balance = 999.0  # later mutation
+        snap = fired[0].params.state_of("dep")
+        assert snap["balance"] == 100.0
+        assert snap["owner"] == "alice"
+
+    def test_private_attributes_excluded(self, det):
+        node = det.primitive_event("dep", "Account", "end", "deposit",
+                                   snapshot_state=True)
+        fired = []
+        det.rule("r", node, lambda o: True, fired.append)
+        det.notify(Account("bob", 1.0), "Account", "deposit", "end")
+        assert "_secret" not in fired[0].params.state_of("dep")
+
+    def test_snapshot_off_by_default(self, det):
+        node = det.primitive_event("dep", "Account", "end", "deposit")
+        fired = []
+        det.rule("r", node, lambda o: True, fired.append)
+        det.notify(Account("carol", 1.0), "Account", "deposit", "end")
+        assert fired[0].params[0].state_snapshot is None
+        with pytest.raises(KeyError):
+            fired[0].params.state_of("dep")
+
+    def test_composite_keeps_per_constituent_snapshots(self, det):
+        """The versioning payoff: a composite spanning two states of
+        the same object exposes both."""
+        dep = det.primitive_event("dep", "Account", "end", "deposit",
+                                  snapshot_state=True)
+        wd = det.primitive_event("wd", "Account", "end", "withdraw",
+                                 snapshot_state=True)
+        fired = []
+        det.rule("r", det.seq(dep, wd), lambda o: True, fired.append)
+        acct = Account("dave", 100.0)
+        det.notify(acct, "Account", "deposit", "end")
+        acct.balance = 70.0
+        det.notify(acct, "Account", "withdraw", "end")
+        occ = fired[0]
+        assert occ.params.state_of("dep")["balance"] == 100.0
+        assert occ.params.state_of("wd")["balance"] == 70.0
+
+    def test_first_vs_last_selection(self, det):
+        """A cumulative composite folds several snapshots of the same
+        object; first/last select among them."""
+        node = det.primitive_event("dep", "Account", "end", "deposit",
+                                   snapshot_state=True)
+        close = det.explicit_event("close")
+        fired = []
+        det.rule("r", det.seq(node, close), lambda o: True, fired.append,
+                 context="cumulative")
+        acct = Account("erin", 10.0)
+        det.notify(acct, "Account", "deposit", "end")
+        acct.balance = 20.0
+        det.notify(acct, "Account", "deposit", "end")
+        det.raise_event("close")
+        occ = fired[0]
+        assert occ.params.state_of("dep", which="first")["balance"] == 10.0
+        assert occ.params.state_of("dep", which="last")["balance"] == 20.0
+
+    def test_snapshot_values_are_atomic(self, det):
+        class Holder:
+            def __init__(self):
+                self.data = [1, 2, 3]  # complex -> repr
+
+        node = det.primitive_event("h", "Holder", "end", "touch",
+                                   snapshot_state=True)
+        fired = []
+        det.rule("r", node, lambda o: True, fired.append)
+        det.notify(Holder(), "Holder", "touch", "end")
+        assert fired[0].params.state_of("h")["data"] == "[1, 2, 3]"
+
+    def test_snapshot_flag_distinguishes_shared_nodes(self, det):
+        plain = det.primitive_event("plain", "Account", "end", "deposit")
+        snapping = det.primitive_event("snap", "Account", "end", "deposit",
+                                       snapshot_state=True)
+        assert plain is not snapping

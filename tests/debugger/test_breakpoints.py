@@ -1,0 +1,158 @@
+"""Tests for rule-execution breakpoints."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.debugger import (
+    BreakAction,
+    BreakpointHit,
+    BreakpointManager,
+)
+from repro.errors import RuleExecutionError
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    detector.explicit_event("e")
+    yield detector
+    detector.shutdown()
+
+
+class TestMatching:
+    def test_break_on_rule_fires_handler(self, det):
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(ctx.rule.name),
+                                      BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("watched", "e", lambda o: True, lambda o: None)
+        det.rule("other", "e", lambda o: True, lambda o: None)
+        manager.break_on_rule("watched")
+        det.raise_event("e")
+        assert hits == ["watched"]
+        manager.detach()
+
+    def test_break_on_event_matches_all_its_rules(self, det):
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(ctx.rule.name),
+                                      BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("r1", "e", lambda o: True, lambda o: None)
+        det.rule("r2", "e", lambda o: True, lambda o: None)
+        manager.break_on_event("e")
+        det.raise_event("e")
+        assert sorted(hits) == ["r1", "r2"]
+        manager.detach()
+
+    def test_conditional_breakpoint(self, det):
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(
+                ctx.occurrence.params.value("n")), BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        manager.break_when(lambda occ: occ.params.value("n") > 5)
+        det.raise_event("e", n=1)
+        det.raise_event("e", n=9)
+        assert hits == [9]
+        manager.detach()
+
+    def test_one_shot_removes_itself(self, det):
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(1),
+                                      BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        manager.break_on_rule("r", one_shot=True)
+        det.raise_event("e")
+        det.raise_event("e")
+        assert hits == [1]
+        assert manager.breakpoints == []
+        manager.detach()
+
+    def test_disabled_breakpoint_silent(self, det):
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(1),
+                                      BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        bp = manager.break_on_rule("r")
+        bp.enabled = False
+        det.raise_event("e")
+        assert hits == []
+        manager.detach()
+
+
+class TestActions:
+    def test_skip_suppresses_single_execution(self, det):
+        ran = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: BreakAction.SKIP
+        ).attach()
+        det.rule("r", "e", lambda o: True, ran.append)
+        bp = manager.break_on_rule("r", one_shot=True)
+        det.raise_event("e")  # skipped
+        assert ran == []
+        det.raise_event("e")  # breakpoint gone: runs normally
+        assert len(ran) == 1
+        manager.detach()
+
+    def test_abort_raises_in_rule(self, det):
+        manager = BreakpointManager(
+            det, handler=lambda ctx: BreakAction.ABORT
+        ).attach()
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        manager.break_on_rule("r", one_shot=True)
+        with pytest.raises(RuleExecutionError) as info:
+            det.raise_event("e")
+        assert isinstance(info.value.cause, BreakpointHit)
+        # The rule's condition was restored for future executions.
+        det.raise_event("e")
+        manager.detach()
+
+    def test_skip_counts_as_condition_rejection(self, det):
+        manager = BreakpointManager(
+            det, handler=lambda ctx: BreakAction.SKIP
+        ).attach()
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        manager.break_on_rule("r")
+        before = det.scheduler.stats.condition_rejections
+        det.raise_event("e")
+        assert det.scheduler.stats.condition_rejections == before + 1
+        manager.detach()
+
+
+class TestContext:
+    def test_handler_sees_depth_and_history_recorded(self, det):
+        det.explicit_event("inner")
+        depths = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (depths.append(ctx.depth),
+                                      BreakAction.CONTINUE)[1]
+        ).attach()
+        det.rule("outer", "e", lambda o: True,
+                 lambda o: det.raise_event("inner"))
+        det.rule("nested", "inner", lambda o: True, lambda o: None)
+        manager.break_on_rule("nested")
+        det.raise_event("e")
+        assert depths == [2]  # nested under the outer rule
+        assert len(manager.history) == 1
+        assert manager.history[0].rule.name == "nested"
+        manager.detach()
+
+    def test_context_manager_protocol(self, det):
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        hits = []
+        manager = BreakpointManager(
+            det, handler=lambda ctx: (hits.append(1),
+                                      BreakAction.CONTINUE)[1]
+        )
+        with manager:
+            manager.break_on_rule("r")
+            det.raise_event("e")
+        det.raise_event("e")  # detached: no more hits
+        assert hits == [1]

@@ -1,0 +1,154 @@
+"""Tests for the rule debugger: trace recording and rendering."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.debugger import (
+    TraceRecorder,
+    render_event_graph,
+    render_rule_interactions,
+    render_timeline,
+)
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+@pytest.fixture()
+def traced(det):
+    recorder = TraceRecorder(det).attach()
+    yield det, recorder
+    recorder.detach()
+
+
+class TestTraceRecorder:
+    def test_records_occurrences(self, traced):
+        det, recorder = traced
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.raise_event("e", n=5)
+        occurrences = recorder.of_kind("occurrence")
+        assert len(occurrences) == 1
+        assert occurrences[0].subject == "e"
+        assert occurrences[0].detail["args"] == {"n": 5}
+
+    def test_records_detections_with_context(self, traced):
+        det, recorder = traced
+        det.explicit_event("a")
+        det.explicit_event("b")
+        det.rule("r", det.and_("a", "b"), lambda o: True, lambda o: None,
+                 context="chronicle")
+        det.raise_event("a")
+        det.raise_event("b")
+        detections = recorder.of_kind("detection")
+        assert any(d.detail["operator"] == "AND" for d in detections)
+        and_detection = [d for d in detections if d.detail["operator"] == "AND"][0]
+        assert and_detection.detail["context"] == "chronicle"
+
+    def test_records_trigger_and_execution_lifecycle(self, traced):
+        det, recorder = traced
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.raise_event("e")
+        kinds = [e.kind for e in recorder.events]
+        assert "trigger" in kinds
+        assert "start" in kinds
+        assert "condition" in kinds
+        assert "done" in kinds
+
+    def test_nested_trigger_records_triggering_rule(self, traced):
+        det, recorder = traced
+        det.explicit_event("outer")
+        det.explicit_event("inner")
+        det.rule("parent", "outer", lambda o: True,
+                 lambda o: det.raise_event("inner"))
+        det.rule("child", "inner", lambda o: True, lambda o: None)
+        det.raise_event("outer")
+        assert ("parent", "child") in recorder.rule_edges()
+
+    def test_failed_execution_recorded(self, det):
+        det = LocalEventDetector(error_policy="abort_rule")
+        recorder = TraceRecorder(det).attach()
+        det.explicit_event("e")
+        det.rule("bad", "e", lambda o: True,
+                 lambda o: (_ for _ in ()).throw(ValueError("x")))
+        det.raise_event("e")
+        assert len(recorder.of_kind("failed")) == 1
+        det.shutdown()
+
+    def test_objects_touched(self, traced):
+        det, recorder = traced
+        det.primitive_event("pe", "Widget", "end", "poke")
+        det.rule("r", "pe", lambda o: True, lambda o: None)
+        det.notify("widget-1", "Widget", "poke", "end")
+        touched = recorder.objects_touched()
+        assert touched == {"widget-1": ["pe"]}
+
+    def test_detach_stops_recording(self, traced):
+        det, recorder = traced
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        recorder.detach()
+        det.raise_event("e")
+        assert len(recorder) == 0
+        recorder.attach()  # fixture detach stays balanced
+
+    def test_clear(self, traced):
+        det, recorder = traced
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.raise_event("e")
+        assert len(recorder) > 0
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestRenderers:
+    def test_event_graph_rendering(self, det):
+        det.explicit_event("a")
+        det.explicit_event("b")
+        det.explicit_event("c")
+        expr = det.seq(det.and_("a", "b"), "c", name="watched")
+        det.rule("r", expr, lambda o: True, lambda o: None)
+        text = render_event_graph(det.graph)
+        assert "SEQ: watched" in text
+        assert "AND" in text
+        assert "rules: r" in text
+        assert "recent(1)" in text
+
+    def test_shared_nodes_marked(self, det):
+        det.explicit_event("a")
+        det.explicit_event("b")
+        shared = det.and_("a", "b")
+        det.rule("r1", shared, lambda o: True, lambda o: None)
+        det.rule("r2", det.or_(shared, "a"), lambda o: True, lambda o: None)
+        text = render_event_graph(det.graph)
+        assert "(shared)" in text
+
+    def test_timeline_rendering(self, det):
+        recorder = TraceRecorder(det).attach()
+        det.explicit_event("e")
+        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.raise_event("e", n=1)
+        text = render_timeline(recorder)
+        assert "! e(n=1)" in text
+        assert "> rule r triggered" in text
+        assert ")r committed" in text
+        recorder.detach()
+
+    def test_rule_interaction_rendering(self, det):
+        recorder = TraceRecorder(det).attach()
+        det.explicit_event("outer")
+        det.explicit_event("inner")
+        det.rule("parent", "outer", lambda o: True,
+                 lambda o: det.raise_event("inner"))
+        det.rule("child", "inner", lambda o: True, lambda o: None)
+        det.raise_event("outer")
+        text = render_rule_interactions(recorder)
+        assert "parent" in text
+        assert "-> child" in text
+        recorder.detach()

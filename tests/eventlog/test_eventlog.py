@@ -1,0 +1,169 @@
+"""Tests for event logging and batch (after-the-fact) detection."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.errors import EventError
+from repro.eventlog import EventLog, LoggedEvent, attach_logger, replay
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+def build_app(det):
+    """A small reactive schema: two primitive events and an AND rule."""
+    det.primitive_event("deposit", "Account", "end", "deposit")
+    det.primitive_event("withdraw", "Account", "end", "withdraw")
+    fired = []
+    det.rule("both", det.and_("deposit", "withdraw"),
+             lambda o: True, fired.append)
+    return fired
+
+
+class TestEventLog:
+    def test_attach_logger_records_occurrences(self, det):
+        build_app(det)
+        log = attach_logger(det)
+        det.notify("acct1", "Account", "deposit", "end", {"amount": 10})
+        det.notify("acct1", "Account", "withdraw", "end", {"amount": 5})
+        assert len(log) == 2
+        entries = list(log)
+        assert entries[0].event_name == "deposit"
+        assert entries[0].arguments == [["amount", 10]]
+
+    def test_file_backed_log_roundtrip(self, det, tmp_path):
+        build_app(det)
+        path = tmp_path / "events.jsonl"
+        attach_logger(det, EventLog(path))
+        det.notify("a", "Account", "deposit", "end", {"amount": 1})
+        reloaded = EventLog(path)
+        assert len(reloaded) == 1
+        assert list(reloaded)[0].event_name == "deposit"
+
+    def test_filter_by_event_and_txn(self, det):
+        build_app(det)
+        log = attach_logger(det)
+        det.notify("a", "Account", "deposit", "end", txn_id=1)
+        det.notify("a", "Account", "withdraw", "end", txn_id=2)
+        assert len(log.filter(event_name="deposit")) == 1
+        assert len(log.filter(txn_id=2)) == 1
+        assert log.filter(event_name="deposit", txn_id=2) == []
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = EventLog(path)
+        log.append(LoggedEvent(
+            event_name="e", at=1.0, class_name="C", instance=None,
+            method_name="m", modifier="end", arguments=[], txn_id=None,
+        ))
+        assert path.exists()
+        log.clear()
+        assert not path.exists()
+        assert len(log) == 0
+
+    def test_bytes_arguments_become_hex(self, det):
+        build_app(det)
+        log = attach_logger(det)
+        det.notify("a", "Account", "deposit", "end", {"blob": b"\x01\x02"})
+        entry = list(log)[0]
+        assert entry.arguments == [["blob", "0102"]]
+        # and it still serializes to JSON
+        LoggedEvent.from_json(entry.to_json())
+
+
+class TestReplay:
+    def record_session(self, tmp_path):
+        """Run an online session, recording its log; return the log path."""
+        det = LocalEventDetector()
+        build_app(det)
+        path = tmp_path / "session.jsonl"
+        attach_logger(det, EventLog(path))
+        det.notify("acct1", "Account", "deposit", "end", {"amount": 10})
+        det.notify("acct1", "Account", "withdraw", "end", {"amount": 5})
+        det.notify("acct1", "Account", "deposit", "end", {"amount": 20})
+        det.shutdown()
+        return path
+
+    def test_collect_mode_reports_without_executing(self, det, tmp_path):
+        path = self.record_session(tmp_path)
+        fired = build_app(det)
+        report = replay(EventLog(path), det, mode="collect")
+        assert report.events_replayed == 3
+        # recent-context AND fires at withdraw(5) and again at deposit(20)
+        assert report.triggered_rules() == ["both", "both"]
+        assert fired == []  # nothing executed
+
+    def test_execute_mode_runs_rules(self, det, tmp_path):
+        path = self.record_session(tmp_path)
+        fired = build_app(det)
+        report = replay(EventLog(path), det, mode="execute")
+        assert len(fired) == 2
+        assert report.triggers == []  # executed, not collected
+        assert fired[0].params.value("amount", event_name="deposit") == 10
+        assert fired[1].params.value("amount", event_name="deposit") == 20
+
+    def test_batch_detection_with_different_context(self, det, tmp_path):
+        """After-the-fact analysis can use a different context than the
+        online run did."""
+        path = self.record_session(tmp_path)
+        det.primitive_event("deposit", "Account", "end", "deposit")
+        det.primitive_event("withdraw", "Account", "end", "withdraw")
+        fired = []
+        det.rule("cumulative_view",
+                 det.and_("deposit", "withdraw"),
+                 lambda o: True, fired.append, context="cumulative")
+        replay(EventLog(path), det, mode="execute")
+        assert len(fired) == 1
+        assert len(fired[0].params.by_event("deposit")) == 1
+
+    def test_invalid_mode_rejected(self, det, tmp_path):
+        with pytest.raises(EventError):
+            replay(EventLog(), det, mode="dry-run")
+
+    def test_replay_flushes_prior_state_by_default(self, det, tmp_path):
+        path = self.record_session(tmp_path)
+        fired = build_app(det)
+        # Pollute the graph with a live 'deposit' occurrence.
+        det.notify("x", "Account", "deposit", "end")
+        report = replay(EventLog(path), det, mode="collect")
+        # With flush_first, only the log's own pairings are detected
+        # (the polluting deposit would otherwise pair with the log's
+        # withdraw for a third trigger).
+        assert len(report.triggers) == 2
+
+
+class TestCompaction:
+    def _filled_log(self, path=None, n=10):
+        log = EventLog(path)
+        for i in range(n):
+            log.append(LoggedEvent(
+                event_name=f"e{i}", at=float(i), class_name="C",
+                instance=None, method_name="m", modifier="end",
+                arguments=[], txn_id=None,
+            ))
+        return log
+
+    def test_compact_keeps_newest(self):
+        log = self._filled_log(n=10)
+        assert log.compact(keep_last=3) == 7
+        assert [e.event_name for e in log] == ["e7", "e8", "e9"]
+
+    def test_compact_noop_when_small(self):
+        log = self._filled_log(n=2)
+        assert log.compact(keep_last=5) == 0
+        assert len(log) == 2
+
+    def test_compact_rewrites_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = self._filled_log(path=path, n=10)
+        log.compact(keep_last=2)
+        reloaded = EventLog(path)
+        assert [e.event_name for e in reloaded] == ["e8", "e9"]
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(EventError):
+            EventLog().compact(keep_last=-1)

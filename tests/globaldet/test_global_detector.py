@@ -1,0 +1,158 @@
+"""Inter-application (global) event detection tests — Figure 2."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.errors import GlobalDetectorError
+from repro.globaldet import Channel, GlobalEventDetector
+from repro.sentinel import Sentinel
+
+
+@pytest.fixture()
+def setup():
+    ged = GlobalEventDetector()
+    app1_sys = Sentinel(name="app1", activate=False)
+    app2_sys = Sentinel(name="app2", activate=False)
+    app1 = ged.register(app1_sys)
+    app2 = ged.register(app2_sys)
+    yield ged, app1_sys, app2_sys, app1, app2
+    app1_sys.close()
+    app2_sys.close()
+    ged.shutdown()
+
+
+class TestChannel:
+    def test_queued_delivery(self):
+        received = []
+        ch = Channel(sink=received.append)
+        ch.send("m1")
+        ch.send("m2")
+        assert received == []
+        assert ch.pending == 2
+        assert ch.drain() == 2
+        assert received == ["m1", "m2"]
+
+    def test_direct_delivery(self):
+        received = []
+        ch = Channel(sink=received.append, direct=True)
+        ch.send("m")
+        assert received == ["m"]
+
+    def test_drain_with_limit(self):
+        received = []
+        ch = Channel(sink=received.append)
+        for i in range(5):
+            ch.send(i)
+        assert ch.drain(limit=2) == 2
+        assert received == [0, 1]
+
+
+class TestGlobalComposites:
+    def test_cross_application_and(self, setup):
+        ged, s1, s2, app1, app2 = setup
+        s1.explicit_event("order_placed")
+        s2.explicit_event("stock_updated")
+        g1 = app1.export_event("order_placed")
+        g2 = app2.export_event("stock_updated")
+        assert g1 == "app1.order_placed"
+        detected = []
+        ged.detector.rule(
+            "watch", ged.and_(g1, g2), lambda o: True, detected.append
+        )
+        s1.raise_event("order_placed", sku="X1")
+        s2.raise_event("stock_updated", sku="X1")
+        ged.run_to_fixpoint()
+        assert len(detected) == 1
+        assert detected[0].params.value("sku") == "X1"
+
+    def test_sequence_across_applications(self, setup):
+        ged, s1, s2, app1, app2 = setup
+        s1.explicit_event("a")
+        s2.explicit_event("b")
+        g1 = app1.export_event("a")
+        g2 = app2.export_event("b")
+        detected = []
+        ged.detector.rule("w", ged.seq(g1, g2), lambda o: True,
+                          detected.append)
+        # Raise in the wrong order: no detection.
+        s2.raise_event("b")
+        s1.raise_event("a")
+        ged.run_to_fixpoint()
+        assert detected == []
+        s2.raise_event("b")
+        ged.run_to_fixpoint()
+        assert len(detected) == 1
+
+    def test_unexported_events_do_not_leak(self, setup):
+        ged, s1, __, app1, __2 = setup
+        s1.explicit_event("private")
+        s1.explicit_event("public")
+        g = app1.export_event("public")
+        detected = []
+        ged.detector.rule("w", g, lambda o: True, detected.append)
+        s1.raise_event("private")
+        ged.run_to_fixpoint()
+        assert detected == []
+
+
+class TestDelivery:
+    def test_global_detection_delivered_as_local_event(self, setup):
+        ged, s1, s2, app1, app2 = setup
+        s1.explicit_event("e1")
+        s2.explicit_event("e2")
+        g1 = app1.export_event("e1")
+        g2 = app2.export_event("e2")
+        both = ged.and_(g1, g2, name="both")
+        app2.subscribe_global(both, "global_alert")
+        ran = []
+        s2.rule("react", "global_alert", lambda o: True, ran.append)
+        s1.raise_event("e1", n=1)
+        s2.raise_event("e2", n=2)
+        ged.run_to_fixpoint()
+        assert len(ran) == 1
+        assert ran[0].params.value("constituents") == "app1.e1,app2.e2"
+
+    def test_delivered_event_can_run_detached_rule(self, setup):
+        ged, s1, s2, app1, app2 = setup
+        s1.explicit_event("e1")
+        g1 = app1.export_event("e1")
+        app2.subscribe_global(ged.event(g1), "mirror")
+        ran = []
+        s2.rule("detached_mirror", "mirror", lambda o: True, ran.append,
+                coupling="detached")
+        s1.raise_event("e1")
+        ged.run_to_fixpoint()
+        s2.wait_detached()
+        assert len(ran) == 1
+
+    def test_duplicate_application_name_rejected(self, setup):
+        ged, s1, __, __2, __3 = setup
+        with pytest.raises(GlobalDetectorError):
+            ged.register(s1, name="app1")
+
+    def test_bare_detector_can_register(self):
+        ged = GlobalEventDetector()
+        det = LocalEventDetector(name="bare")
+        app = ged.register(det)
+        det.explicit_event("x")
+        g = app.export_event("x")
+        hits = []
+        ged.detector.rule("w", ged.event(g), lambda o: True, hits.append)
+        det.raise_event("x")
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        det.shutdown()
+        ged.shutdown()
+
+    def test_direct_mode_skips_pumping(self):
+        ged = GlobalEventDetector(direct=True)
+        det = LocalEventDetector(name="d")
+        app = ged.register(det)
+        det.explicit_event("x")
+        g = app.export_event("x")
+        hits = []
+        ged.detector.rule("w", ged.event(g), lambda o: True, hits.append)
+        det.raise_event("x")  # no pump needed
+        assert len(hits) == 1
+        det.shutdown()
+        ged.shutdown()

@@ -1,0 +1,144 @@
+"""Extended global-detection scenarios: three apps, contexts, fan-out."""
+
+import pytest
+
+from repro.globaldet import GlobalEventDetector
+from repro.sentinel import Sentinel
+
+
+@pytest.fixture()
+def trio():
+    ged = GlobalEventDetector()
+    systems = [Sentinel(name=f"s{i}", activate=False) for i in range(3)]
+    endpoints = [ged.register(s) for s in systems]
+    for s in systems:
+        s.explicit_event("sig")
+    globals_ = [ep.export_event("sig") for ep in endpoints]
+    yield ged, systems, endpoints, globals_
+    for s in systems:
+        s.close()
+    ged.shutdown()
+
+
+class TestThreeApplications:
+    def test_three_way_conjunction(self, trio):
+        ged, systems, __, globals_ = trio
+        expr = ged.and_(ged.and_(globals_[0], globals_[1]), globals_[2])
+        hits = []
+        ged.detector.rule("all3", expr, lambda o: True, hits.append)
+        for s in systems:
+            s.raise_event("sig")
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        constituents = {p.event_name for p in hits[0].params}
+        assert constituents == {"s0.sig", "s1.sig", "s2.sig"}
+
+    def test_global_not_operator(self, trio):
+        """NOT(s1.sig)[s0.sig, s2.sig]: absence across applications."""
+        ged, systems, __, globals_ = trio
+        expr = ged.not_(globals_[0], globals_[1], globals_[2])
+        hits = []
+        ged.detector.rule("quiet", expr, lambda o: True, hits.append)
+        systems[0].raise_event("sig")
+        systems[2].raise_event("sig")
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        hits.clear()
+        systems[0].raise_event("sig")
+        systems[1].raise_event("sig")  # spoiler from the middle app
+        systems[2].raise_event("sig")
+        ged.run_to_fixpoint()
+        assert hits == []
+
+    def test_one_detection_fans_out_to_multiple_subscribers(self, trio):
+        ged, systems, endpoints, globals_ = trio
+        node = ged.event(globals_[0])
+        endpoints[1].subscribe_global(node, "mirror")
+        endpoints[2].subscribe_global(node, "mirror")
+        received = {1: [], 2: []}
+        systems[1].rule("r", "mirror", lambda o: True, received[1].append)
+        systems[2].rule("r", "mirror", lambda o: True, received[2].append)
+        systems[0].raise_event("sig", payload=7)
+        ged.run_to_fixpoint()
+        assert len(received[1]) == 1
+        assert len(received[2]) == 1
+        assert received[1][0].params.value("payload") == 7
+
+
+class TestGlobalContexts:
+    def test_cumulative_global_rule(self, trio):
+        ged, systems, __, globals_ = trio
+        expr = ged.and_(globals_[0], globals_[1])
+        hits = []
+        ged.detector.rule("cum", expr, lambda o: True, hits.append,
+                          context="cumulative")
+        systems[0].raise_event("sig", n=1)
+        systems[0].raise_event("sig", n=2)
+        systems[1].raise_event("sig", n=3)
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        assert hits[0].params.values("n") == [1, 2, 3]
+
+    def test_aperiodic_star_window_across_apps(self, trio):
+        """A*(s0.sig, s1.sig, s2.sig): accumulate app1's activity in a
+        window bracketed by the other two applications."""
+        ged, systems, __, globals_ = trio
+        expr = ged.aperiodic_star(globals_[0], globals_[1], globals_[2])
+        hits = []
+        ged.detector.rule("batch", expr, lambda o: True, hits.append)
+        systems[0].raise_event("sig")  # open
+        systems[1].raise_event("sig", n=1)
+        systems[1].raise_event("sig", n=2)
+        systems[2].raise_event("sig")  # close
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        assert hits[0].params.values("n") == [1, 2]
+
+
+class TestRobustness:
+    def test_events_before_import_are_dropped(self, trio):
+        ged, systems, endpoints, __ = trio
+        systems[0].explicit_event("extra")
+        # Exported locally without a matching global import: the
+        # detector forwards but the GED drops it silently.
+        systems[0].detector.mark_global("extra")
+        systems[0].raise_event("extra")
+        assert ged.run_to_fixpoint() >= 0  # no exception, no leak
+
+    def test_pump_is_idempotent_when_quiet(self, trio):
+        ged, __, __2, __3 = trio
+        assert ged.pump() == 0
+        assert ged.run_to_fixpoint() == 0
+
+    def test_flatten_name_collision_last_wins(self, trio):
+        ged, systems, endpoints, globals_ = trio
+        expr = ged.seq(globals_[0], globals_[1])
+        endpoints[2].subscribe_global(expr, "merged")
+        got = []
+        systems[2].rule("r", "merged", lambda o: True, got.append)
+        systems[0].raise_event("sig", v="first")
+        systems[1].raise_event("sig", v="second")
+        ged.run_to_fixpoint()
+        assert got[0].params.value("v") == "second"
+        assert got[0].params.value("constituents") == "s0.sig,s1.sig"
+
+
+class TestSpecLanguageOverGlobalEvents:
+    def test_global_rule_from_spec_text(self, trio):
+        """The spec language drives the global detector: dotted refs
+        resolve to imported application events."""
+        from repro.snoop import build_spec
+
+        ged, systems, endpoints, __ = trio
+        hits = []
+        build_spec(
+            "event synced = s0.sig ^ s1.sig\n"
+            "rule Synced(synced, c, a, CHRONICLE)",
+            ged.detector,
+            {"c": lambda o: True, "a": hits.append},
+        )
+        systems[0].raise_event("sig", n=1)
+        systems[1].raise_event("sig", n=2)
+        ged.run_to_fixpoint()
+        assert len(hits) == 1
+        assert sorted(hits[0].params.values("n")) == [1, 2]

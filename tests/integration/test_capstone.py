@@ -1,0 +1,131 @@
+"""Capstone: the full Figure-2 story on the full stack.
+
+Two persistent applications (a trading desk and a clearing house), each
+with its own database, local detector, deferred and immediate rules;
+a global composite event across them; detached settlement back in the
+clearing house; a crash; and recovery that preserves everything the
+rules did. If this passes, the architecture hangs together end to end.
+"""
+
+import pytest
+
+from repro import Persistent, Reactive, Sentinel, event
+from repro.globaldet import GlobalEventDetector
+
+
+class Trade(Persistent):
+    def __init__(self, symbol, qty):
+        self.symbol = symbol
+        self.qty = qty
+        self.status = "pending"
+
+
+class Desk(Reactive):
+    def __init__(self, system):
+        self._system = system
+
+    @event(end="trade_booked")
+    def book(self, symbol, qty):
+        txn = self._system.current()
+        trade = Trade(symbol, qty)
+        txn.persist(trade)
+        return trade
+
+
+class House(Reactive):
+    def __init__(self):
+        self.confirmations = 0
+
+    @event(end="margin_posted")
+    def post_margin(self, symbol, amount):
+        return amount
+
+
+def test_capstone_two_applications(tmp_path):
+    ged = GlobalEventDetector()
+    desk_sys = Sentinel(directory=tmp_path / "desk", name="desk",
+                        activate=False)
+    house_sys = Sentinel(directory=tmp_path / "house", name="house",
+                         activate=False)
+    desk_sys.register_class(Trade)
+    desk_events = Desk.register_events(desk_sys.detector)
+    house_events = House.register_events(house_sys.detector)
+
+    # Local deferred rule in the desk: one audit row per transaction.
+    desk_audit = []
+    desk_sys.rule(
+        "DeskAudit", desk_events["trade_booked"], lambda o: True,
+        lambda o: desk_audit.append(len(o.params.by_event(
+            "Desk_trade_booked"))),
+        context="cumulative", coupling="deferred",
+    )
+
+    # Global event: a booked trade AND posted margin for it.
+    desk_ep = ged.register(desk_sys)
+    house_ep = ged.register(house_sys)
+    g_trade = desk_ep.export_event("Desk_trade_booked")
+    g_margin = house_ep.export_event("House_margin_posted")
+    cleared = ged.and_(g_trade, g_margin, name="cleared")
+    # Correlate on the symbol: in chronicle context with a same_param
+    # condition, margin for ACME settles the ACME trade, not whichever
+    # trade happened to arrive last.
+    from repro.core import conditions as when
+
+    house_ep.subscribe_global(
+        cleared, "settlement_due",
+        context="chronicle",
+        condition=when.same_param(
+            "symbol", "desk.Desk_trade_booked", "house.House_margin_posted"
+        ),
+    )
+
+    # Detached settlement in the house: its own top-level transaction,
+    # writing to the house database.
+    settlements = []
+
+    def settle(occurrence):
+        with house_sys.transaction() as txn:
+            record = Trade(occurrence.params.value("symbol"),
+                           occurrence.params.value("qty"))
+            record.status = "settled"
+            txn.persist(record, name=f"settled:{record.symbol}")
+        settlements.append(occurrence.params.value("symbol"))
+
+    house_sys.register_class(Trade)
+    house_sys.rule("Settle", "settlement_due", lambda o: True, settle,
+                   coupling="detached")
+
+    # ---- the story -------------------------------------------------------
+    desk = Desk(desk_sys)
+    house = House()
+
+    with desk_sys.active():
+        with desk_sys.transaction():
+            desk.book("ACME", 100)  # step 1-2: primitive -> local rules
+            desk.book("GLOBEX", 50)
+        # step 3-4: pre-commit ran the deferred audit exactly once
+    assert desk_audit == [2]
+
+    with house_sys.active():
+        with house_sys.transaction():
+            house.post_margin("ACME", 1_000.0)
+
+    # step 5: inter-application detection; step 6: detached settlement.
+    ged.run_to_fixpoint()
+    house_sys.wait_detached()
+    assert settlements == ["ACME"]
+
+    # ---- crash and recovery ------------------------------------------------
+    house_sys.db.storage.simulate_crash()
+    recovered = Sentinel(directory=tmp_path / "house", name="house2",
+                         activate=False)
+    recovered.register_class(Trade)
+    with recovered.transaction() as txn:
+        settled = txn.lookup("settled:ACME")
+        assert settled.status == "settled"
+        assert settled.qty == 100
+    recovered.close()
+
+    desk_sys.close()
+    house_sys.close()
+    ged.shutdown()

@@ -1,0 +1,160 @@
+"""Feature-combination matrix: modes x executors x persistence.
+
+Each test combines features that interact in non-obvious ways; the
+point is that the combinations compose, not just the features alone.
+"""
+
+import pytest
+
+from repro import Persistent, Reactive, Sentinel, ThreadedExecutor, event
+from repro.core import conditions as when
+
+
+class Sensor(Reactive, Persistent):
+    def __init__(self, station):
+        self.station = station
+        self.last_reading = 0.0
+
+    @event(end="read")
+    def record(self, value):
+        self.last_reading = value
+
+
+def build(tmp_path, **kwargs):
+    system = Sentinel(directory=tmp_path / "db", name="matrix", **kwargs)
+    system.register_class(Sensor)
+    events = Sensor.register_events(system.detector)
+    return system, events
+
+
+class TestDeferredWithThreadedExecutor:
+    def test_deferred_rules_run_concurrently_at_commit(self, tmp_path):
+        system, events = build(
+            tmp_path, executor=ThreadedExecutor(max_workers=4)
+        )
+        import threading
+
+        seen_threads = set()
+        fired = []
+
+        def observe(occ):
+            seen_threads.add(threading.current_thread().name)
+            fired.append(occ)
+
+        for i in range(3):
+            system.rule(f"d{i}", events["read"], lambda o: True, observe,
+                        coupling="deferred", priority=5)
+        with system.transaction() as txn:
+            sensor = Sensor("alpha")
+            txn.persist(sensor)
+            sensor.record(1.0)
+            sensor.record(2.0)
+        assert len(fired) == 3  # one per rule, each exactly once
+        for occ in fired:
+            assert occ.params.values("value") == [1.0, 2.0]
+        system.close()
+
+
+class TestNamedPrioritiesWithDeferred:
+    def test_deferred_rules_respect_priority_classes(self, tmp_path):
+        system, events = build(tmp_path)
+        system.detector.priorities.define_ordered(["alarms", "reports"])
+        order = []
+        system.rule("report", events["read"], lambda o: True,
+                    lambda o: order.append("report"),
+                    coupling="deferred", priority="reports")
+        system.rule("alarm", events["read"], lambda o: True,
+                    lambda o: order.append("alarm"),
+                    coupling="deferred", priority="alarms")
+        with system.transaction() as txn:
+            sensor = Sensor("beta")
+            txn.persist(sensor)
+            sensor.record(9.0)
+        assert order == ["alarm", "report"]
+        system.close()
+
+
+class TestConditionsOverCumulativeDeferred:
+    def test_threshold_on_transaction_total(self, tmp_path):
+        system, events = build(tmp_path)
+        flagged = []
+        system.rule(
+            "HighVolume", events["read"],
+            when.total_above("value", 100.0),
+            flagged.append,
+            context="cumulative", coupling="deferred",
+        )
+        with system.transaction() as txn:
+            sensor = Sensor("gamma")
+            txn.persist(sensor)
+            sensor.record(40.0)
+            sensor.record(30.0)
+        assert flagged == []  # 70 <= 100
+        with system.transaction() as txn:
+            sensor2 = Sensor("delta")
+            txn.persist(sensor2)
+            sensor2.record(60.0)
+            sensor2.record(70.0)
+        assert len(flagged) == 1  # 130 > 100
+        system.close()
+
+
+class TestScopedRulesWithPersistence:
+    def test_private_rule_over_persistent_objects(self, tmp_path):
+        system, events = build(tmp_path)
+        audit = []
+        system.rule("SecretAudit", events["read"], lambda o: True,
+                    audit.append, scope="private", owner="auditor")
+        assert "SecretAudit" not in system.rules.names(requester="app")
+        with system.transaction() as txn:
+            sensor = Sensor("eps")
+            txn.persist(sensor)
+            sensor.record(5.0)
+        assert len(audit) == 1  # invisible but active
+        system.close()
+
+
+class TestMetaRulesWithTransactions:
+    def test_meta_rule_runs_in_nested_subtransaction(self, tmp_path):
+        system, events = build(tmp_path)
+        depths = []
+        system.rule("worker", events["read"], lambda o: True,
+                    lambda o: None)
+        done = system.detector.rule_execution_event("worker_done", "worker")
+        system.rule("meta", done, lambda o: True,
+                    lambda o: depths.append(
+                        system.detector.current_transaction().depth))
+        with system.transaction() as txn:
+            sensor = Sensor("zeta")
+            txn.persist(sensor)
+            sensor.record(1.0)
+        # worker at depth 1, meta nested under it at depth 2
+        assert depths == [2]
+        system.close()
+
+
+class TestSnapshotWithDeferred:
+    def test_deferred_rule_sees_historical_states(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="hist")
+        system.register_class(Sensor)
+        node = system.primitive_event(
+            "read_v", "Sensor", "end", "record", snapshot_state=True
+        )
+        trail = []
+        system.rule(
+            "History", node,
+            lambda o: True,
+            lambda o: trail.extend(
+                p.state_snapshot for p in o.params.by_event("read_v")
+            ),
+            context="cumulative", coupling="deferred",
+        )
+        with system.transaction() as txn:
+            sensor = Sensor("eta")
+            txn.persist(sensor)
+            sensor.record(1.0)
+            sensor.record(2.0)
+        values = [dict(s)["last_reading"] for s in trail]
+        # snapshots taken AFTER each mutation (end-of-method events)
+        assert values == [1.0, 2.0]
+        system.close()

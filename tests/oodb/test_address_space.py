@@ -1,0 +1,67 @@
+"""Unit tests for the address-space manager (one OID, one object)."""
+
+import pytest
+
+from repro.oodb.address_space import AddressSpaceManager
+from repro.oodb.object_model import OID, Persistent
+
+
+class Thing(Persistent):
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def test_install_sets_oid():
+    asm = AddressSpaceManager()
+    thing = Thing("a")
+    asm.install(OID(1), thing)
+    assert thing.oid == OID(1)
+    assert asm.lookup(OID(1)) is thing
+
+
+def test_install_race_first_wins():
+    asm = AddressSpaceManager()
+    first = Thing("first")
+    second = Thing("second")
+    asm.install(OID(1), first)
+    winner = asm.install(OID(1), second)
+    assert winner is first
+    assert second.oid is None
+
+
+def test_evict_clears_oid():
+    asm = AddressSpaceManager()
+    thing = Thing("x")
+    asm.install(OID(2), thing)
+    asm.evict(OID(2))
+    assert thing.oid is None
+    assert asm.lookup(OID(2)) is None
+
+
+def test_evict_unknown_is_noop():
+    AddressSpaceManager().evict(OID(99))
+
+
+def test_clear_resets_everything():
+    asm = AddressSpaceManager()
+    things = [Thing(str(i)) for i in range(3)]
+    for i, thing in enumerate(things):
+        asm.install(OID(i), thing)
+    assert len(asm) == 3
+    asm.clear()
+    assert len(asm) == 0
+    assert all(t.oid is None for t in things)
+
+
+def test_resident_oids_sorted():
+    asm = AddressSpaceManager()
+    for value in (5, 1, 3):
+        asm.install(OID(value), Thing(str(value)))
+    assert asm.resident_oids() == [OID(1), OID(3), OID(5)]
+
+
+def test_iteration_yields_objects():
+    asm = AddressSpaceManager()
+    thing = Thing("it")
+    asm.install(OID(7), thing)
+    assert list(asm) == [thing]

@@ -1,0 +1,231 @@
+"""Integration tests for the OpenOODB facade."""
+
+import pytest
+
+from repro.errors import (
+    InvalidTransactionState,
+    NameConflict,
+    ObjectNotFound,
+)
+from repro.oodb.database import OpenOODB
+from repro.oodb.object_model import Persistent
+
+
+class Stock(Persistent):
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    def set_price(self, price):
+        self.price = price
+
+
+class Portfolio(Persistent):
+    def __init__(self, owner, holdings=None):
+        self.owner = owner
+        self.holdings = holdings or []
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with OpenOODB(tmp_path / "db") as database:
+        yield database
+
+
+def test_persist_assigns_oid(db):
+    with db.transaction() as txn:
+        ibm = Stock("IBM", 100.0)
+        oid = txn.persist(ibm)
+        assert ibm.oid == oid
+        assert ibm.is_persistent
+
+
+def test_fetch_returns_same_object_in_session(db):
+    with db.transaction() as txn:
+        ibm = Stock("IBM", 100.0)
+        oid = txn.persist(ibm)
+        assert txn.fetch(oid) is ibm
+
+
+def test_object_survives_reopen(tmp_path):
+    with OpenOODB(tmp_path / "db") as db:
+        with db.transaction() as txn:
+            oid = txn.persist(Stock("IBM", 100.0), name="ibm")
+    with OpenOODB(tmp_path / "db") as db:
+        db.registry.register(Stock)
+        with db.transaction() as txn:
+            ibm = txn.fetch(oid)
+            assert ibm.symbol == "IBM"
+            assert ibm.price == 100.0
+            assert txn.lookup("ibm") is ibm
+
+
+def test_save_persists_mutation(tmp_path):
+    with OpenOODB(tmp_path / "db") as db:
+        with db.transaction() as txn:
+            ibm = Stock("IBM", 100.0)
+            txn.persist(ibm, name="ibm")
+            ibm.set_price(120.0)
+            txn.save(ibm)
+    with OpenOODB(tmp_path / "db") as db:
+        db.registry.register(Stock)
+        with db.transaction() as txn:
+            assert txn.lookup("ibm").price == 120.0
+
+
+def test_mark_dirty_writes_back_at_commit(tmp_path):
+    with OpenOODB(tmp_path / "db") as db:
+        with db.transaction() as txn:
+            ibm = Stock("IBM", 100.0)
+            txn.persist(ibm, name="ibm")
+        with db.transaction() as txn:
+            ibm = txn.lookup("ibm")
+            ibm.set_price(150.0)
+            txn.mark_dirty(ibm)
+    with OpenOODB(tmp_path / "db") as db:
+        db.registry.register(Stock)
+        with db.transaction() as txn:
+            assert txn.lookup("ibm").price == 150.0
+
+
+def test_abort_rolls_back_persist(db):
+    txn = db.begin()
+    ghost = Stock("GHOST", 1.0)
+    oid = txn.persist(ghost, name="ghost")
+    txn.abort()
+    with db.transaction() as t2:
+        with pytest.raises(ObjectNotFound):
+            t2.fetch(oid)
+        with pytest.raises(ObjectNotFound):
+            t2.lookup("ghost")
+    assert not ghost.is_persistent
+
+
+def test_abort_discards_stale_resident_copy(db):
+    with db.transaction() as txn:
+        ibm = Stock("IBM", 100.0)
+        txn.persist(ibm, name="ibm")
+    txn = db.begin()
+    ibm = txn.lookup("ibm")
+    ibm.set_price(999.0)
+    txn.save(ibm)
+    txn.abort()
+    with db.transaction() as t2:
+        fresh = t2.lookup("ibm")
+        assert fresh.price == 100.0
+
+
+def test_object_references_swizzle(tmp_path):
+    with OpenOODB(tmp_path / "db") as db:
+        with db.transaction() as txn:
+            ibm = Stock("IBM", 100.0)
+            txn.persist(ibm)
+            folio = Portfolio("alice", holdings=[ibm])
+            txn.persist(folio, name="alice")
+    with OpenOODB(tmp_path / "db") as db:
+        db.registry.register(Stock)
+        db.registry.register(Portfolio)
+        with db.transaction() as txn:
+            folio = txn.lookup("alice")
+            assert folio.holdings[0].symbol == "IBM"
+            # identity: the same holding faulted twice is the same object
+            assert folio.holdings[0] is txn.fetch(folio.holdings[0].oid)
+
+
+def test_bind_conflict_rejected(db):
+    with db.transaction() as txn:
+        txn.persist(Stock("A", 1.0), name="dup")
+        with pytest.raises(NameConflict):
+            txn.persist(Stock("B", 2.0), name="dup")
+        txn.abort()
+
+
+def test_unbind_releases_name(db):
+    with db.transaction() as txn:
+        txn.persist(Stock("A", 1.0), name="temp")
+        txn.unbind("temp")
+        with pytest.raises(ObjectNotFound):
+            txn.lookup("temp")
+
+
+def test_remove_deletes_object(db):
+    with db.transaction() as txn:
+        doomed = Stock("X", 0.0)
+        oid = txn.persist(doomed)
+        txn.remove(doomed)
+        with pytest.raises(ObjectNotFound):
+            txn.fetch(oid)
+
+
+def test_nested_begin_on_same_thread_rejected(db):
+    txn = db.begin()
+    try:
+        with pytest.raises(InvalidTransactionState):
+            db.begin()
+    finally:
+        txn.abort()
+
+
+def test_transaction_hooks_fire_in_order(db):
+    events = []
+    db.on_begin.append(lambda t: events.append("begin"))
+    db.on_pre_commit.append(lambda t: events.append("pre_commit"))
+    db.on_commit.append(lambda t: events.append("commit"))
+    db.on_abort.append(lambda t: events.append("abort"))
+    with db.transaction() as txn:
+        txn.persist(Stock("A", 1.0))
+    assert events == ["begin", "pre_commit", "commit"]
+    events.clear()
+    txn = db.begin()
+    txn.abort()
+    assert events == ["begin", "abort"]
+
+
+def test_pre_commit_hook_can_dirty_objects(db):
+    """Deferred rules run at pre-commit and may mutate objects."""
+    with db.transaction() as txn:
+        ibm = Stock("IBM", 100.0)
+        txn.persist(ibm, name="ibm")
+
+    def deferred_rule(txn):
+        obj = txn.lookup("ibm")
+        obj.set_price(obj.price * 2)
+        txn.mark_dirty(obj)
+
+    db.on_pre_commit.append(deferred_rule)
+    with db.transaction():
+        pass
+    db.on_pre_commit.clear()
+    with db.transaction() as txn:
+        assert txn.lookup("ibm").price == 200.0
+
+
+def test_current_transaction_tracking(db):
+    assert db.current() is None
+    txn = db.begin()
+    assert db.current() is txn
+    txn.commit()
+    assert db.current() is None
+
+
+def test_transaction_context_aborts_on_exception(db):
+    with pytest.raises(RuntimeError):
+        with db.transaction() as txn:
+            txn.persist(Stock("BAD", 0.0), name="bad")
+            raise RuntimeError("boom")
+    with db.transaction() as t2:
+        with pytest.raises(ObjectNotFound):
+            t2.lookup("bad")
+
+
+def test_abort_evicts_objects_read_then_mutated_in_memory(db):
+    """A mutated resident copy must not survive its transaction's abort
+    even when save/mark_dirty was never called."""
+    with db.transaction() as txn:
+        txn.persist(Stock("IBM", 100.0), name="ibm")
+    txn = db.begin()
+    ibm = txn.lookup("ibm")
+    ibm.price = 999.0  # in-memory mutation, never saved
+    txn.abort()
+    with db.transaction() as t2:
+        assert t2.lookup("ibm").price == 100.0

@@ -1,0 +1,71 @@
+"""Unit tests for OIDs, Persistent, and the class registry."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.oodb.object_model import OID, ClassRegistry, Persistent
+
+
+class Account(Persistent):
+    def __init__(self, owner, balance=0.0):
+        self.owner = owner
+        self.balance = balance
+        self._audit_trail = []  # transient
+
+
+def test_oid_is_ordered_and_printable():
+    assert OID(1) < OID(2)
+    assert str(OID(5)) == "oid:5"
+    assert OID(3) == OID(3)
+
+
+def test_new_object_is_transient():
+    acct = Account("alice")
+    assert acct.oid is None
+    assert not acct.is_persistent
+
+
+def test_persistent_state_excludes_underscore_attrs():
+    acct = Account("alice", 10.0)
+    acct._audit_trail.append("opened")
+    state = acct.persistent_state()
+    assert state == {"owner": "alice", "balance": 10.0}
+
+
+def test_load_state_installs_attributes():
+    acct = Account.__new__(Account)
+    acct.load_state({"owner": "bob", "balance": 3.0})
+    assert acct.owner == "bob"
+    assert acct.balance == 3.0
+
+
+def test_registry_register_and_lookup():
+    reg = ClassRegistry()
+    name = reg.register(Account)
+    assert name == "Account"
+    assert reg.lookup("Account") is Account
+    assert reg.known("Account")
+
+
+def test_registry_register_is_idempotent():
+    reg = ClassRegistry()
+    reg.register(Account)
+    reg.register(Account)
+    assert reg.names() == ["Account"]
+
+
+def test_registry_rejects_conflicting_registration():
+    reg = ClassRegistry()
+    reg.register(Account)
+
+    class Impostor(Persistent):
+        pass
+
+    with pytest.raises(TranslationError):
+        reg.register(Impostor, name="Account")
+
+
+def test_registry_lookup_unknown_raises():
+    reg = ClassRegistry()
+    with pytest.raises(TranslationError):
+        reg.lookup("Ghost")

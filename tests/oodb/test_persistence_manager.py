@@ -1,0 +1,91 @@
+"""Direct unit tests for the persistence manager: bootstrap, extents."""
+
+import pytest
+
+from repro.oodb.database import OpenOODB
+from repro.oodb.object_model import Persistent
+
+
+class Fruit(Persistent):
+    def __init__(self, name, weight):
+        self.name = name
+        self.weight = weight
+
+
+class Tool(Persistent):
+    def __init__(self, kind):
+        self.kind = kind
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with OpenOODB(tmp_path / "db") as database:
+        database.registry.register(Fruit)
+        database.registry.register(Tool)
+        yield database
+
+
+class TestExtents:
+    def test_extent_by_class_object(self, db):
+        with db.transaction() as txn:
+            for name, weight in (("apple", 0.2), ("pear", 0.25)):
+                txn.persist(Fruit(name, weight))
+            txn.persist(Tool("hammer"))
+        with db.transaction() as txn:
+            fruits = txn.extent(Fruit)
+            assert sorted(f.name for f in fruits) == ["apple", "pear"]
+            tools = txn.extent("Tool")
+            assert [t.kind for t in tools] == ["hammer"]
+
+    def test_extent_excludes_removed(self, db):
+        with db.transaction() as txn:
+            doomed = Fruit("rotten", 0.1)
+            txn.persist(doomed)
+            txn.persist(Fruit("fresh", 0.3))
+        with db.transaction() as txn:
+            rotten = [f for f in txn.extent(Fruit) if f.name == "rotten"][0]
+            txn.remove(rotten)
+        with db.transaction() as txn:
+            assert [f.name for f in txn.extent(Fruit)] == ["fresh"]
+
+    def test_extent_of_unknown_class_is_empty(self, db):
+        with db.transaction() as txn:
+            assert txn.extent("Ghost") == []
+
+    def test_extent_returns_resident_identities(self, db):
+        with db.transaction() as txn:
+            apple = Fruit("apple", 0.2)
+            txn.persist(apple, name="apple")
+        with db.transaction() as txn:
+            named = txn.lookup("apple")
+            scanned = txn.extent(Fruit)[0]
+            assert named is scanned  # one OID, one object
+
+    def test_extent_members_evicted_on_abort(self, db):
+        with db.transaction() as txn:
+            txn.persist(Fruit("apple", 0.2))
+        txn = db.begin()
+        fruit = txn.extent(Fruit)[0]
+        fruit.weight = 99.0  # stale mutation
+        txn.abort()
+        with db.transaction() as t2:
+            assert t2.extent(Fruit)[0].weight == 0.2
+
+
+class TestBootstrap:
+    def test_oid_counter_continues_after_reopen(self, tmp_path):
+        with OpenOODB(tmp_path / "db") as db:
+            db.registry.register(Fruit)
+            with db.transaction() as txn:
+                first_oid = txn.persist(Fruit("a", 1.0))
+        with OpenOODB(tmp_path / "db") as db:
+            db.registry.register(Fruit)
+            with db.transaction() as txn:
+                second_oid = txn.persist(Fruit("b", 2.0))
+        assert second_oid.value > first_oid.value
+
+    def test_known_oids_listing(self, db):
+        with db.transaction() as txn:
+            oids = [txn.persist(Fruit(str(i), float(i))) for i in range(3)]
+        assert set(oids) <= set(db.persistence.known_oids())
+        assert len(db.persistence) >= 3

@@ -1,0 +1,119 @@
+"""Unit tests for object translation (stored form <-> live objects)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.oodb import translation
+from repro.oodb.object_model import OID, ClassRegistry, Persistent
+
+
+class Node(Persistent):
+    def __init__(self, label, next_node=None):
+        self.label = label
+        self.next_node = next_node
+
+
+class Bag(Persistent):
+    def __init__(self, items=None, tags=None):
+        self.items = items or []
+        self.tags = tags or {}
+
+
+@pytest.fixture()
+def registry():
+    reg = ClassRegistry()
+    reg.register(Node)
+    reg.register(Bag)
+    return reg
+
+
+class TestEncode:
+    def test_plain_attributes(self):
+        node = Node("head")
+        record = translation.encode_state(node)
+        assert record["class"] == "Node"
+        assert record["state"]["label"] == "head"
+        assert record["state"]["next_node"] is None
+
+    def test_reference_becomes_oid_ref(self):
+        target = Node("tail")
+        target._oid = OID(42)
+        node = Node("head", next_node=target)
+        record = translation.encode_state(node)
+        assert record["state"]["next_node"] == {"$ref": 42}
+
+    def test_reference_to_transient_rejected(self):
+        node = Node("head", next_node=Node("tail"))
+        with pytest.raises(TranslationError):
+            translation.encode_state(node)
+
+    def test_references_inside_containers(self):
+        a = Node("a")
+        a._oid = OID(1)
+        bag = Bag(items=[a, "plain"], tags={"best": a})
+        record = translation.encode_state(bag)
+        assert record["state"]["items"] == [{"$ref": 1}, "plain"]
+        assert record["state"]["tags"] == {"best": {"$ref": 1}}
+
+    def test_reserved_key_rejected(self):
+        bag = Bag(tags={"$ref": 1})
+        with pytest.raises(TranslationError):
+            translation.encode_state(bag)
+
+    def test_bare_oid_value_encodes_as_ref(self):
+        node = Node("head", next_node=OID(9))
+        record = translation.encode_state(node)
+        assert record["state"]["next_node"] == {"$ref": 9}
+
+
+class TestDecode:
+    def test_roundtrip_without_refs(self, registry):
+        record = translation.encode_state(Node("solo"))
+        obj = translation.decode_state(record, registry, lambda oid: None)
+        assert isinstance(obj, Node)
+        assert obj.label == "solo"
+
+    def test_refs_resolved_through_callback(self, registry):
+        resolved = {}
+        target = Node("t")
+
+        def resolve(oid):
+            resolved[oid] = True
+            return target
+
+        record = {"class": "Node",
+                  "state": {"label": "h", "next_node": {"$ref": 5}}}
+        obj = translation.decode_state(record, registry, resolve)
+        assert obj.next_node is target
+        assert OID(5) in resolved
+
+    def test_nested_container_refs_resolved(self, registry):
+        target = Node("x")
+        record = {
+            "class": "Bag",
+            "state": {
+                "items": [{"$ref": 3}, 7],
+                "tags": {"k": {"$ref": 3}},
+            },
+        }
+        obj = translation.decode_state(record, registry, lambda oid: target)
+        assert obj.items == [target, 7]
+        assert obj.tags == {"k": target}
+
+    def test_decode_bypasses_init(self, registry):
+        """Fault-in must not run __init__ (state comes from the store)."""
+        record = {"class": "Node", "state": {"label": "only-label"}}
+        obj = translation.decode_state(record, registry, lambda oid: None)
+        assert obj.label == "only-label"
+        assert not hasattr(obj, "next_node")  # __init__ never ran
+
+    def test_malformed_record_rejected(self, registry):
+        with pytest.raises(TranslationError):
+            translation.decode_state({"state": {}}, registry, lambda o: None)
+
+    def test_unregistered_class_rejected(self):
+        with pytest.raises(TranslationError):
+            translation.decode_state(
+                {"class": "Ghost", "state": {}}, ClassRegistry(),
+                lambda o: None,
+            )

@@ -1,0 +1,178 @@
+"""End-to-end builder tests: spec text -> live detection -> rule firing."""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.core.reactive import set_current_detector
+from repro.errors import SnoopSemanticError
+from repro.snoop.builder import build_spec, instrument_class
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector()
+    set_current_detector(detector)
+    yield detector
+    set_current_detector(None)
+    detector.shutdown()
+
+
+class STOCK:
+    """A plain (non-Reactive) class: the post-processor instruments it."""
+
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    def sell_stock(self, qty):
+        return qty
+
+    def set_price(self, price):
+        self.price = price
+
+
+PAPER_SPEC = """
+class STOCK : public REACTIVE {
+    event end(e1) int sell_stock(int qty)
+    event begin(e2) && end(e3) void set_price(float price)
+    event e4 = e1 ^ e2
+    rule R1(e4, cond1, action1, CUMULATIVE, IMMEDIATE, 10, NOW)
+}
+"""
+
+
+def make_stock_class():
+    """Fresh copy of STOCK so instrumentation doesn't leak across tests."""
+    return type("STOCK", (), dict(STOCK.__dict__))
+
+
+class TestClassBuild:
+    def test_paper_stock_spec_end_to_end(self, det):
+        fired = []
+        cls = make_stock_class()
+        ns = {
+            "STOCK": cls,
+            "cond1": lambda occ: True,
+            "action1": fired.append,
+        }
+        builder = build_spec(PAPER_SPEC, det, ns)
+        assert set(builder.events) >= {"STOCK_e1", "STOCK_e2", "STOCK_e3"}
+        assert "R1" in builder.rules
+        ibm = cls("IBM", 100.0)
+        ibm.sell_stock(10)  # e1
+        ibm.set_price(120.0)  # e2 (begin) completes e4 = e1 ^ e2
+        assert len(fired) == 1
+        occ = fired[0]
+        assert occ.params.value("qty") == 10
+        assert occ.params.value("price") == 120.0
+
+    def test_instrumentation_preserves_behaviour(self, det):
+        cls = make_stock_class()
+        build_spec(PAPER_SPEC, det, {
+            "STOCK": cls, "cond1": lambda o: True, "action1": lambda o: None,
+        })
+        obj = cls("X", 1.0)
+        assert obj.sell_stock(3) == 3
+        obj.set_price(7.0)
+        assert obj.price == 7.0
+        assert hasattr(cls, "user_set_price")
+
+    def test_class_missing_from_namespace_still_builds_events(self, det):
+        """Event nodes exist even when the Python class is elsewhere."""
+        builder = build_spec(PAPER_SPEC, det, {
+            "cond1": lambda o: True, "action1": lambda o: None,
+        })
+        assert det.graph.has("STOCK_e1")
+
+
+class TestAppLevelEvents:
+    def test_class_level_event(self, det):
+        cls = make_stock_class()
+        instrument_class(cls, "set_price", begin_name="b", end_name=None)
+        fired = []
+        build_spec(
+            'event any_stk_price("any_stk_price", "STOCK", "begin", '
+            '"void set_price(float price)")\n'
+            "rule R2(any_stk_price, c, a)",
+            det,
+            {"c": lambda o: True, "a": fired.append},
+        )
+        cls("IBM", 1.0).set_price(2.0)
+        cls("DEC", 1.0).set_price(3.0)
+        assert len(fired) == 2
+
+    def test_instance_level_event(self, det):
+        cls = make_stock_class()
+        instrument_class(cls, "set_price", begin_name="b")
+        ibm = cls("IBM", 1.0)
+        dec = cls("DEC", 1.0)
+        fired = []
+        build_spec(
+            'event set_IBM_price("set_IBM_price", IBM, "begin", '
+            '"void set_price(float price)")\n'
+            "rule R3(set_IBM_price, c, a)",
+            det,
+            {"IBM": ibm, "c": lambda o: True, "a": fired.append},
+        )
+        dec.set_price(5.0)
+        assert fired == []
+        ibm.set_price(5.0)
+        assert len(fired) == 1
+
+    def test_unknown_instance_rejected(self, det):
+        with pytest.raises(SnoopSemanticError):
+            build_spec(
+                'event x("x", GHOST, "begin", "void m()")', det, {}
+            )
+
+
+class TestResolution:
+    def test_unknown_event_in_rule_rejected(self, det):
+        with pytest.raises(SnoopSemanticError):
+            build_spec("rule R(ghost, c, a)", det, {
+                "c": lambda o: True, "a": lambda o: None,
+            })
+
+    def test_unknown_condition_rejected(self, det):
+        det.explicit_event("e")
+        with pytest.raises(SnoopSemanticError):
+            build_spec("rule R(e, missing, a)", det, {"a": lambda o: None})
+
+    def test_class_qualified_reference_across_scopes(self, det):
+        cls = make_stock_class()
+        fired = []
+        spec = PAPER_SPEC + (
+            "\nevent cross = STOCK.e1 ; STOCK.e3\n"
+            "rule R4(cross, c, a)"
+        )
+        build_spec(spec, det, {
+            "STOCK": cls,
+            "cond1": lambda o: True, "action1": lambda o: None,
+            "c": lambda o: True, "a": fired.append,
+        })
+        obj = cls("IBM", 1.0)
+        obj.sell_stock(1)
+        obj.set_price(2.0)
+        assert len(fired) == 1
+
+    def test_event_reuse_multiple_rules(self, det):
+        """Named events are reusable by later rule definitions."""
+        det.explicit_event("p")
+        det.explicit_event("q")
+        first, second = [], []
+        build_spec("event watched = p ^ q", det, {})
+        build_spec(
+            "rule RA(watched, c, a, RECENT)\n"
+            "rule RB(watched, c, b, CUMULATIVE)",
+            det,
+            {"c": lambda o: True, "a": first.append, "b": second.append},
+        )
+        det.raise_event("p")
+        det.raise_event("q")
+        assert len(first) == 1
+        assert len(second) == 1
+
+    def test_undefined_reference_reports_searched_names(self, det):
+        with pytest.raises(SnoopSemanticError) as info:
+            build_spec("event x = nowhere ^ nowhere", det, {})
+        assert "nowhere" in str(info.value)

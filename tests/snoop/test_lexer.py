@@ -1,0 +1,88 @@
+"""Tokenizer tests for the Sentinel specification dialect."""
+
+import pytest
+
+from repro.errors import SnoopSyntaxError
+from repro.snoop.lexer import TokenType, tokenize
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.type is not TokenType.EOF]
+
+
+def test_simple_identifiers_and_symbols():
+    tokens = tokenize("event e4 = e1 ^ e2")
+    assert [t.type for t in tokens] == [
+        TokenType.IDENT, TokenType.IDENT, TokenType.EQUALS,
+        TokenType.IDENT, TokenType.CARET, TokenType.IDENT, TokenType.EOF,
+    ]
+
+
+def test_strings_both_quote_styles():
+    tokens = tokenize("""event x("a", 'b')""")
+    strings = [t.value for t in tokens if t.type is TokenType.STRING]
+    assert strings == ["a", "b"]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SnoopSyntaxError):
+        tokenize('event x("oops')
+
+
+def test_numbers_including_floats():
+    tokens = tokenize("rule R(e, c, a, 10)")
+    numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+    assert numbers == ["10"]
+    tokens = tokenize("event p = P(a, 2.5, b)")
+    numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+    assert numbers == ["2.5"]
+
+
+def test_newlines_separate_statements():
+    tokens = tokenize("event a = x\nevent b = y")
+    newline_count = sum(1 for t in tokens if t.type is TokenType.NEWLINE)
+    assert newline_count == 1
+
+
+def test_newlines_inside_parens_ignored():
+    tokens = tokenize("rule R(e,\n  c,\n  a)")
+    assert all(t.type is not TokenType.NEWLINE for t in tokens)
+
+
+def test_comments_stripped():
+    assert values("event a = b  # trailing") == values("event a = b")
+    assert values("event a = b  // c++-style") == values("event a = b")
+
+
+def test_hash_inside_string_kept():
+    tokens = tokenize('event x("a#b", "c", "begin", "m()")')
+    strings = [t.value for t in tokens if t.type is TokenType.STRING]
+    assert strings[0] == "a#b"
+
+
+def test_double_ampersand():
+    tokens = tokenize("event begin(e2) && end(e3) void set_price(float p)")
+    assert any(t.type is TokenType.AMPAMP for t in tokens)
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SnoopSyntaxError) as info:
+        tokenize("event a = b @ c")
+    assert info.value.line == 1
+
+
+def test_blank_lines_collapsed():
+    tokens = tokenize("event a = b\n\n\n\nevent c = d")
+    newline_count = sum(1 for t in tokens if t.type is TokenType.NEWLINE)
+    assert newline_count == 1
+
+
+def test_star_and_dot_tokens():
+    toks = tokenize("event x = A*(a, b, c) ^ STOCK.e1")
+    kinds = [t.type for t in toks]
+    assert TokenType.STAR in kinds
+    assert TokenType.DOT in kinds

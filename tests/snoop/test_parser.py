@@ -1,0 +1,189 @@
+"""Parser tests: the paper's STOCK example and the full grammar."""
+
+import pytest
+
+from repro.errors import SnoopSyntaxError
+from repro.snoop import ast
+from repro.snoop.parser import parse
+
+PAPER_STOCK = """
+class STOCK : public REACTIVE {
+    event end(e1) int sell_stock(int qty)
+    event begin(e2) && end(e3) void set_price(float price)
+    event e4 = e1 ^ e2
+    rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW)
+}
+"""
+
+
+class TestClassDef:
+    def test_paper_stock_class(self):
+        spec = parse(PAPER_STOCK)
+        assert len(spec.classes) == 1
+        stock = spec.classes[0]
+        assert stock.name == "STOCK"
+        assert stock.base == "REACTIVE"
+        assert len(stock.method_events) == 2
+        sell = stock.method_events[0]
+        assert sell.end_name == "e1"
+        assert sell.begin_name is None
+        assert sell.method.name == "sell_stock"
+        assert sell.method.parameters == ("qty",)
+        price = stock.method_events[1]
+        assert price.begin_name == "e2"
+        assert price.end_name == "e3"
+        assert price.method.name == "set_price"
+        assert price.method.return_type == "void"
+
+    def test_class_event_def(self):
+        spec = parse(PAPER_STOCK)
+        e4 = spec.classes[0].event_defs[0]
+        assert e4.name == "e4"
+        assert isinstance(e4.expr, ast.AndExpr)
+        assert e4.expr.left == ast.EventRef("e1")
+
+    def test_class_rule(self):
+        spec = parse(PAPER_STOCK)
+        rule = spec.classes[0].rules[0]
+        assert rule.name == "R1"
+        assert rule.event == "e4"
+        assert rule.condition == "cond1"
+        assert rule.action == "action1"
+        assert rule.context == "CUMULATIVE"
+        assert rule.coupling == "DEFERRED"
+        assert rule.priority == 10
+        assert rule.trigger_mode == "NOW"
+
+    def test_unterminated_class_rejected(self):
+        with pytest.raises(SnoopSyntaxError):
+            parse("class X {\n event end(e) void m()\n")
+
+
+class TestAppEvents:
+    def test_class_level_string_target(self):
+        spec = parse(
+            'event any_stk_price("any_stk_price", "Stock", "begin", '
+            '"void set_price(float price)")'
+        )
+        decl = spec.app_events[0]
+        assert decl.name == "any_stk_price"
+        assert decl.target == "Stock"
+        assert not decl.target_is_instance
+        assert decl.modifier == "begin"
+        assert decl.method.name == "set_price"
+        assert decl.method.parameters == ("price",)
+
+    def test_instance_level_identifier_target(self):
+        spec = parse(
+            'event set_IBM_price("set_IBM_price", IBM, "begin", '
+            '"void set_price(float price)")'
+        )
+        decl = spec.app_events[0]
+        assert decl.target == "IBM"
+        assert decl.target_is_instance
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        return parse(f"event x = {text}").event_defs[0].expr
+
+    def test_precedence_or_lowest(self):
+        expr = self.parse_expr("a ^ b | c")
+        assert isinstance(expr, ast.OrExpr)
+        assert isinstance(expr.left, ast.AndExpr)
+
+    def test_seq_binds_tighter_than_and(self):
+        expr = self.parse_expr("a ; b ^ c")
+        assert isinstance(expr, ast.AndExpr)
+        assert isinstance(expr.left, ast.SeqExpr)
+
+    def test_parentheses_override(self):
+        expr = self.parse_expr("a ^ (b | c)")
+        assert isinstance(expr, ast.AndExpr)
+        assert isinstance(expr.right, ast.OrExpr)
+
+    def test_not_expression(self):
+        expr = self.parse_expr("not(b)[a, c]")
+        assert expr == ast.NotExpr(
+            forbidden=ast.EventRef("b"),
+            initiator=ast.EventRef("a"),
+            terminator=ast.EventRef("c"),
+        )
+
+    def test_aperiodic(self):
+        expr = self.parse_expr("A(a, b, c)")
+        assert isinstance(expr, ast.AperiodicExpr)
+        assert not expr.cumulative
+
+    def test_aperiodic_star(self):
+        expr = self.parse_expr("A*(a, b, c)")
+        assert isinstance(expr, ast.AperiodicExpr)
+        assert expr.cumulative
+
+    def test_periodic_with_number(self):
+        expr = self.parse_expr("P(a, 5.5, c)")
+        assert isinstance(expr, ast.PeriodicExpr)
+        assert expr.period == 5.5
+
+    def test_periodic_star(self):
+        expr = self.parse_expr("P*(a, 3, c)")
+        assert expr.cumulative
+
+    def test_plus_function_form(self):
+        expr = self.parse_expr("plus(a, 10)")
+        assert expr == ast.PlusExpr(ast.EventRef("a"), 10.0)
+
+    def test_plus_infix_form(self):
+        expr = self.parse_expr("a + 10")
+        assert expr == ast.PlusExpr(ast.EventRef("a"), 10.0)
+
+    def test_class_qualified_reference(self):
+        expr = self.parse_expr("STOCK.e1 ^ b")
+        assert expr.left == ast.EventRef("e1", class_name="STOCK")
+        assert expr.left.resolved_name == "STOCK_e1"
+
+    def test_deep_nesting(self):
+        expr = self.parse_expr("A*(t_begin, (a ; b) | c, t_commit)")
+        assert isinstance(expr, ast.AperiodicExpr)
+        assert isinstance(expr.middle, ast.OrExpr)
+
+
+class TestRules:
+    def test_minimal_rule(self):
+        rule = parse("rule R(e, c, a)").rules[0]
+        assert rule.context is None
+        assert rule.coupling is None
+        assert rule.priority is None
+
+    def test_options_in_any_order(self):
+        rule = parse("rule R(e, c, a, IMMEDIATE, RECENT, 5)").rules[0]
+        assert rule.context == "RECENT"
+        assert rule.coupling == "IMMEDIATE"
+        assert rule.priority == 5
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(SnoopSyntaxError):
+            parse("rule R(e, c, a, WHENEVER)")
+
+    def test_multiline_rule(self):
+        rule = parse("rule R(e,\n  c,\n  a,\n  CHRONICLE)").rules[0]
+        assert rule.context == "CHRONICLE"
+
+    def test_bracket_form(self):
+        rule = parse("rule R1[e4, cond1, action1, CUMULATIVE]").rules[0]
+        assert rule.context == "CUMULATIVE"
+
+
+class TestErrors:
+    def test_garbage_at_top_level(self):
+        with pytest.raises(SnoopSyntaxError):
+            parse("banana split")
+
+    def test_missing_equals_or_paren(self):
+        with pytest.raises(SnoopSyntaxError):
+            parse("event name_only")
+
+    def test_error_carries_location(self):
+        with pytest.raises(SnoopSyntaxError) as info:
+            parse("event a = x\nevent b = ^")
+        assert info.value.line == 2

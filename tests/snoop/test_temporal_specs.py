@@ -1,0 +1,77 @@
+"""Temporal operators driven from the specification language."""
+
+import pytest
+
+from repro.clock import SimulatedClock
+from repro.core.detector import LocalEventDetector
+from repro.snoop.builder import build_spec
+
+
+@pytest.fixture()
+def det():
+    detector = LocalEventDetector(clock=SimulatedClock())
+    detector.explicit_event("open")
+    detector.explicit_event("close")
+    yield detector
+    detector.shutdown()
+
+
+def test_periodic_spec(det):
+    hits = []
+    build_spec(
+        "event heartbeat = P(open, 10, close)\n"
+        "rule Beat(heartbeat, c, a)",
+        det, {"c": lambda o: True, "a": hits.append},
+    )
+    det.raise_event("open")
+    det.advance_time(25.0)
+    assert len(hits) == 2
+
+
+def test_periodic_star_spec(det):
+    hits = []
+    build_spec(
+        "event summary = P*(open, 5, close)\n"
+        "rule Sum(summary, c, a)",
+        det, {"c": lambda o: True, "a": hits.append},
+    )
+    det.raise_event("open")
+    det.advance_time(12.0)
+    det.raise_event("close")
+    assert len(hits) == 1
+    assert len(hits[0].params) == 4  # open + 2 ticks + close
+
+
+def test_plus_infix_spec(det):
+    hits = []
+    build_spec(
+        "event delayed = open + 7\n"
+        "rule Late(delayed, c, a)",
+        det, {"c": lambda o: True, "a": hits.append},
+    )
+    det.raise_event("open")
+    det.advance_time(6.0)
+    assert hits == []
+    det.advance_time(1.0)
+    assert len(hits) == 1
+
+
+def test_temporal_composed_with_logical_operators(det):
+    det.explicit_event("ack")
+    hits = []
+    build_spec(
+        "event timeout = not(ack)[open, plus(open, 30)]\n"
+        "rule Escalate(timeout, c, a)",
+        det, {"c": lambda o: True, "a": hits.append},
+    )
+    # No ack within 30 ticks of open -> escalation fires.
+    det.raise_event("open")
+    det.advance_time(31.0)
+    assert len(hits) == 1
+    # With an ack inside the window, no escalation.
+    hits.clear()
+    det.raise_event("open")
+    det.advance_time(5.0)
+    det.raise_event("ack")
+    det.advance_time(40.0)
+    assert hits == []

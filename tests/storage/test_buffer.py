@@ -1,0 +1,109 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.page import SlottedPage
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+@pytest.fixture()
+def disk(tmp_path):
+    with DiskManager(tmp_path / "data.db") as d:
+        yield d
+
+
+def test_new_page_is_pinned_and_usable(disk):
+    pool = BufferPool(disk, capacity=4)
+    page_id, page = pool.new_page()
+    page.insert(b"hello")
+    pool.unpin_page(page_id, dirty=True)
+    with pool.page(page_id) as again:
+        assert list(r for __, r in again.records()) == [b"hello"]
+
+
+def test_fetch_counts_hits_and_misses(disk):
+    pool = BufferPool(disk, capacity=4)
+    page_id, __ = pool.new_page()
+    pool.unpin_page(page_id, dirty=True)
+    pool.flush_all()
+    pool.drop_all()
+    with pool.page(page_id):
+        pass
+    with pool.page(page_id):
+        pass
+    assert pool.stats.misses == 1
+    assert pool.stats.hits == 1
+
+
+def test_eviction_writes_back_dirty_pages(disk):
+    pool = BufferPool(disk, capacity=2)
+    ids = []
+    for i in range(3):
+        page_id, page = pool.new_page()
+        page.insert(f"page{i}".encode())
+        pool.unpin_page(page_id, dirty=True)
+        ids.append(page_id)
+    # Capacity 2 with 3 pages created: at least one eviction happened.
+    assert pool.stats.evictions >= 1
+    # Every page's data must still be readable (from pool or disk).
+    for i, page_id in enumerate(ids):
+        with pool.page(page_id) as page:
+            assert page.read(0) == f"page{i}".encode()
+
+
+def test_all_pinned_raises(disk):
+    pool = BufferPool(disk, capacity=2)
+    a, __ = pool.new_page()
+    b, __ = pool.new_page()
+    with pytest.raises(BufferError_):
+        pool.new_page()
+    pool.unpin_page(a)
+    pool.unpin_page(b)
+
+
+def test_unpin_unknown_page_raises(disk):
+    pool = BufferPool(disk, capacity=2)
+    with pytest.raises(BufferError_):
+        pool.unpin_page(99)
+
+
+def test_double_unpin_raises(disk):
+    pool = BufferPool(disk, capacity=2)
+    page_id, __ = pool.new_page()
+    pool.unpin_page(page_id)
+    with pytest.raises(BufferError_):
+        pool.unpin_page(page_id)
+
+
+def test_wal_flushed_before_dirty_page_write(tmp_path, disk):
+    wal = WriteAheadLog(tmp_path / "wal")
+    pool = BufferPool(disk, capacity=1, wal=wal)
+    page_id, page = pool.new_page()
+    lsn = wal.append(LogRecord(lsn=-1, txn_id=1, type=LogRecordType.UPDATE))
+    page.lsn = lsn
+    page.insert(b"x")
+    pool.unpin_page(page_id, dirty=True)
+    assert wal.flushed_lsn < lsn
+    pool.flush_page(page_id)
+    # WAL rule: the log record covering the page reached disk first.
+    assert wal.flushed_lsn >= lsn
+    wal.close()
+
+
+def test_capacity_must_be_positive(disk):
+    with pytest.raises(BufferError_):
+        BufferPool(disk, capacity=0)
+
+
+def test_flush_all_persists_across_drop(disk):
+    pool = BufferPool(disk, capacity=8)
+    page_id, page = pool.new_page()
+    page.insert(b"durable")
+    pool.unpin_page(page_id, dirty=True)
+    pool.flush_all()
+    pool.drop_all()
+    with pool.page(page_id) as reloaded:
+        assert reloaded.read(0) == b"durable"

@@ -1,0 +1,191 @@
+"""Failure injection: crashes at adversarial points in the protocol."""
+
+import pytest
+
+from repro.errors import RecordNotFound
+from repro.storage.manager import StorageManager
+from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+
+class TestCrashDuringAbort:
+    def test_crash_mid_undo_completes_on_recovery(self, tmp_path):
+        """A transaction that logged some CLRs then crashed finishes
+        rolling back via recovery (undo_next_lsn chaining)."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        setup = sm.begin()
+        rid = sm.insert(setup, "committed value")
+        sm.commit(setup)
+        # A loser does three updates; its log reaches disk but the txn
+        # neither commits nor aborts before the crash.
+        loser = sm.begin()
+        for i in range(3):
+            sm.update(loser, rid, f"dirty {i}")
+        sm.wal.flush()
+        sm.buffer_pool.flush_all()
+        sm.simulate_crash()
+
+        with StorageManager(directory) as recovered:
+            assert recovered.last_recovery.undone == 3
+            txn = recovered.begin()
+            assert recovered.read(txn, rid) == "committed value"
+            recovered.commit(txn)
+
+    def test_crash_after_partial_clrs(self, tmp_path):
+        """Simulate a crash after abort wrote some (but not all) CLRs by
+        hand-appending a CLR to the durable log."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        setup = sm.begin()
+        rid = sm.insert(setup, "base")
+        sm.commit(setup)
+        loser = sm.begin()
+        sm.update(loser, rid, "first")
+        sm.update(loser, rid, "second")
+        sm.wal.flush()
+        sm.buffer_pool.flush_all()
+        # Abort started: the undo of "second" got its CLR to disk, the
+        # page was restored, then the process died.
+        records = [r for r in sm.wal.records() if r.txn_id == loser.txn_id]
+        last_update = [r for r in records if r.type is LogRecordType.UPDATE][-1]
+        clr = LogRecord(
+            lsn=-1,
+            txn_id=loser.txn_id,
+            type=LogRecordType.CLR,
+            prev_lsn=last_update.lsn,
+            page_id=last_update.page_id,
+            slot=last_update.slot,
+            redo=last_update.undo,
+            undo_next_lsn=last_update.prev_lsn,
+            extra={"undo_of": "update"},
+        )
+        sm.wal.append(clr)
+        sm.wal.flush()
+        sm.simulate_crash()
+
+        with StorageManager(directory) as recovered:
+            txn = recovered.begin()
+            assert recovered.read(txn, rid) == "base"
+            recovered.commit(txn)
+
+
+class TestRepeatedRecovery:
+    def test_crash_loop_converges(self, tmp_path):
+        """Crash, recover, crash again, ... state stays correct and the
+        amount of undo work does not grow."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        txn = sm.begin()
+        rid = sm.insert(txn, "stable")
+        sm.commit(txn)
+        loser = sm.begin()
+        sm.update(loser, rid, "doomed")
+        sm.wal.flush()
+        sm.buffer_pool.flush_all()
+        sm.simulate_crash()
+
+        undone_counts = []
+        for __ in range(4):
+            recovered = StorageManager(directory)
+            undone_counts.append(recovered.last_recovery.undone)
+            probe = recovered.begin()
+            assert recovered.read(probe, rid) == "stable"
+            recovered.commit(probe)
+            recovered.simulate_crash()
+        assert undone_counts[0] == 1
+        # Later recoveries find the loser already aborted.
+        assert all(count == 0 for count in undone_counts[1:])
+
+
+class TestTornWrites:
+    def test_garbage_appended_to_log_is_ignored(self, tmp_path):
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        txn = sm.begin()
+        rid = sm.insert(txn, {"v": 1})
+        sm.commit(txn)
+        sm.close()
+        with open(directory / StorageManager.LOG_FILE, "ab") as f:
+            f.write(b"\xde\xad\xbe\xef partial frame")
+        with StorageManager(directory) as recovered:
+            txn = recovered.begin()
+            assert recovered.read(txn, rid) == {"v": 1}
+            recovered.commit(txn)
+
+    def test_recovery_with_unflushed_pages_replays_from_log(self, tmp_path):
+        """Commit makes the WAL durable but pages may never hit disk;
+        redo must rebuild them."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        txn = sm.begin()
+        rids = [sm.insert(txn, f"row{i}") for i in range(20)]
+        sm.commit(txn)  # WAL flushed; data pages still only in the pool
+        sm.simulate_crash()
+        with StorageManager(directory) as recovered:
+            assert recovered.last_recovery.redone >= 20
+            txn = recovered.begin()
+            for i, rid in enumerate(rids):
+                assert recovered.read(txn, rid) == f"row{i}"
+            recovered.commit(txn)
+
+
+class TestIsolationUnderAbort:
+    def test_aborted_insert_slot_reusable(self, tmp_path):
+        sm = StorageManager(tmp_path / "db")
+        t1 = sm.begin()
+        ghost_rid = sm.insert(t1, "ghost")
+        sm.abort(t1)
+        t2 = sm.begin()
+        new_rid = sm.insert(t2, "real")
+        sm.commit(t2)
+        # The tombstoned slot is recycled for the new record.
+        assert new_rid == ghost_rid
+        t3 = sm.begin()
+        assert sm.read(t3, new_rid) == "real"
+        sm.commit(t3)
+        sm.close()
+
+
+class TestCheckpointAwareRecovery:
+    def test_checkpoint_bounds_redo_work(self, tmp_path):
+        """Data records at or below a checkpoint LSN are skipped by
+        redo — the checkpoint flushed every page."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        for i in range(20):
+            txn = sm.begin()
+            sm.insert(txn, {"i": i})
+            sm.commit(txn)
+        sm.checkpoint()
+        txn = sm.begin()
+        late_rid = sm.insert(txn, "after checkpoint")
+        sm.commit(txn)
+        sm.simulate_crash()
+        with StorageManager(directory) as recovered:
+            report = recovered.last_recovery
+            assert report.checkpoint_lsn >= 0
+            assert report.redo_skipped_by_checkpoint >= 20
+            assert report.redone <= 3  # only the post-checkpoint work
+            probe = recovered.begin()
+            assert recovered.read(probe, late_rid) == "after checkpoint"
+            recovered.commit(probe)
+
+    def test_loser_spanning_checkpoint_still_undone(self, tmp_path):
+        """A transaction active across the checkpoint is rolled back."""
+        directory = tmp_path / "db"
+        sm = StorageManager(directory)
+        setup = sm.begin()
+        rid = sm.insert(setup, "base")
+        sm.commit(setup)
+        loser = sm.begin()
+        sm.update(loser, rid, "before ckpt")
+        sm.checkpoint()  # flushes the loser's dirty page too
+        sm.update(loser, rid, "after ckpt")
+        sm.wal.flush()
+        sm.buffer_pool.flush_all()
+        sm.simulate_crash()
+        with StorageManager(directory) as recovered:
+            assert loser.txn_id in recovered.last_recovery.losers
+            probe = recovered.begin()
+            assert recovered.read(probe, rid) == "base"
+            recovered.commit(probe)

@@ -1,0 +1,81 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.errors import RecordNotFound
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile, RecordId
+
+
+@pytest.fixture()
+def heap(tmp_path):
+    with DiskManager(tmp_path / "data.db") as disk:
+        yield HeapFile(BufferPool(disk, capacity=16))
+
+
+def test_insert_read_roundtrip(heap):
+    rid = heap.insert(b"record")
+    assert heap.read(rid) == b"record"
+
+
+def test_records_spill_to_new_pages(heap):
+    rids = [heap.insert(b"x" * 500) for __ in range(20)]
+    assert len({rid.page_id for rid in rids}) > 1
+    for rid in rids:
+        assert heap.read(rid) == b"x" * 500
+
+
+def test_update(heap):
+    rid = heap.insert(b"old")
+    heap.update(rid, b"new and longer value")
+    assert heap.read(rid) == b"new and longer value"
+
+
+def test_delete_then_read_raises(heap):
+    rid = heap.insert(b"bye")
+    heap.delete(rid)
+    with pytest.raises(RecordNotFound):
+        heap.read(rid)
+    assert not heap.exists(rid)
+
+
+def test_unknown_rid_raises(heap):
+    with pytest.raises(RecordNotFound):
+        heap.read(RecordId(999, 0))
+
+
+def test_scan_yields_all_live_records(heap):
+    rids = [heap.insert(f"r{i}".encode()) for i in range(10)]
+    heap.delete(rids[3])
+    heap.delete(rids[7])
+    found = dict(heap.scan())
+    assert len(found) == 8
+    assert rids[3] not in found
+    assert found[rids[0]] == b"r0"
+
+
+def test_len_counts_live_records(heap):
+    for i in range(5):
+        heap.insert(f"{i}".encode())
+    assert len(heap) == 5
+
+
+def test_insert_at_same_rid_for_redo(heap):
+    rid = heap.insert(b"original")
+    heap.delete(rid)
+    heap.insert_at(rid, b"replayed")
+    assert heap.read(rid) == b"replayed"
+
+
+def test_page_lsn_roundtrip(heap):
+    rid = heap.insert(b"x")
+    heap.set_page_lsn(rid.page_id, 77)
+    assert heap.page_lsn(rid.page_id) == 77
+
+
+def test_record_id_ordering_and_str():
+    a = RecordId(1, 2)
+    b = RecordId(1, 3)
+    assert a < b
+    assert str(a) == "rid(1,2)"

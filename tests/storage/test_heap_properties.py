@@ -1,0 +1,62 @@
+"""Property tests: the heap file against a dict reference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordNotFound
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskManager
+from repro.storage.heap import HeapFile
+
+# Operation scripts: insert(payload) / update(index, payload) /
+# delete(index), where index picks among currently-live records.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.binary(min_size=1, max_size=300)),
+        st.tuples(st.just("update"), st.integers(0, 10**6),
+                  st.binary(min_size=1, max_size=300)),
+        st.tuples(st.just("delete"), st.integers(0, 10**6)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_ops)
+def test_heap_matches_dict_model(tmp_path_factory, ops):
+    directory = tmp_path_factory.mktemp("heapprop")
+    with DiskManager(directory / "data.db") as disk:
+        heap = HeapFile(BufferPool(disk, capacity=8))
+        model = {}
+        for op in ops:
+            if op[0] == "insert":
+                rid = heap.insert(op[1])
+                model[rid] = op[1]
+            elif op[0] == "update" and model:
+                rid = sorted(model)[op[1] % len(model)]
+                heap.update(rid, op[2])
+                model[rid] = op[2]
+            elif op[0] == "delete" and model:
+                rid = sorted(model)[op[1] % len(model)]
+                heap.delete(rid)
+                del model[rid]
+        # Full equivalence with the model.
+        assert dict(heap.scan()) == model
+        for rid, payload in model.items():
+            assert heap.read(rid) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=2000), max_size=30))
+def test_heap_survives_flush_and_reload(tmp_path_factory, payloads):
+    """Everything written and flushed reads back after a pool drop."""
+    directory = tmp_path_factory.mktemp("heapflush")
+    with DiskManager(directory / "data.db") as disk:
+        pool = BufferPool(disk, capacity=4)
+        heap = HeapFile(pool)
+        rids = [heap.insert(p) for p in payloads]
+        pool.flush_all()
+        pool.drop_all()
+        for rid, payload in zip(rids, payloads):
+            assert heap.read(rid) == payload

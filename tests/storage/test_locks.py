@@ -1,0 +1,138 @@
+"""Unit tests for the strict-2PL lock manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeout
+from repro.storage.locks import LockManager, LockMode
+
+
+def test_shared_locks_are_compatible():
+    lm = LockManager()
+    lm.acquire(1, "r", LockMode.SHARED)
+    lm.acquire(2, "r", LockMode.SHARED)
+    assert lm.holds(1, "r") is LockMode.SHARED
+    assert lm.holds(2, "r") is LockMode.SHARED
+
+
+def test_exclusive_blocks_shared():
+    lm = LockManager(timeout=0.1)
+    lm.acquire(1, "r", LockMode.EXCLUSIVE)
+    with pytest.raises(LockTimeout):
+        lm.acquire(2, "r", LockMode.SHARED, timeout=0.1)
+
+
+def test_shared_blocks_exclusive():
+    lm = LockManager(timeout=0.1)
+    lm.acquire(1, "r", LockMode.SHARED)
+    with pytest.raises(LockTimeout):
+        lm.acquire(2, "r", LockMode.EXCLUSIVE, timeout=0.1)
+
+
+def test_reacquire_is_idempotent():
+    lm = LockManager()
+    lm.acquire(1, "r", LockMode.SHARED)
+    lm.acquire(1, "r", LockMode.SHARED)
+    lm.acquire(1, "r2", LockMode.EXCLUSIVE)
+    lm.acquire(1, "r2", LockMode.SHARED)  # X subsumes S
+    assert lm.holds(1, "r2") is LockMode.EXCLUSIVE
+
+
+def test_upgrade_when_sole_holder():
+    lm = LockManager()
+    lm.acquire(1, "r", LockMode.SHARED)
+    lm.acquire(1, "r", LockMode.EXCLUSIVE)
+    assert lm.holds(1, "r") is LockMode.EXCLUSIVE
+
+
+def test_release_all_unblocks_waiter():
+    lm = LockManager(timeout=5.0)
+    lm.acquire(1, "r", LockMode.EXCLUSIVE)
+    acquired = threading.Event()
+
+    def waiter():
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        acquired.set()
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    time.sleep(0.05)
+    assert not acquired.is_set()
+    lm.release_all(1)
+    t.join(timeout=5)
+    assert acquired.is_set()
+    lm.release_all(2)
+
+
+def test_deadlock_detected_and_victim_aborted():
+    lm = LockManager(timeout=5.0)
+    lm.acquire(1, "a", LockMode.EXCLUSIVE)
+    lm.acquire(2, "b", LockMode.EXCLUSIVE)
+    errors = []
+    done = threading.Event()
+
+    def t1():
+        try:
+            lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        except DeadlockError as exc:
+            errors.append(("t1", exc))
+            lm.release_all(1)
+        done.set()
+
+    def t2():
+        try:
+            lm.acquire(2, "a", LockMode.EXCLUSIVE)
+        except DeadlockError as exc:
+            errors.append(("t2", exc))
+            lm.release_all(2)
+
+    thread1 = threading.Thread(target=t1)
+    thread2 = threading.Thread(target=t2)
+    thread1.start()
+    time.sleep(0.05)
+    thread2.start()
+    thread1.join(timeout=5)
+    thread2.join(timeout=5)
+    assert len(errors) == 1  # exactly one victim
+    lm.release_all(1)
+    lm.release_all(2)
+
+
+def test_locks_held_listing():
+    lm = LockManager()
+    lm.acquire(1, "a", LockMode.SHARED)
+    lm.acquire(1, "b", LockMode.EXCLUSIVE)
+    assert lm.locks_held(1) == {"a", "b"}
+    lm.release_all(1)
+    assert lm.locks_held(1) == set()
+    assert lm.holds(1, "a") is None
+
+
+def test_fifo_fairness_prevents_starvation():
+    """A shared request behind a waiting exclusive does not jump the queue."""
+    lm = LockManager(timeout=5.0)
+    lm.acquire(1, "r", LockMode.SHARED)
+    order = []
+
+    def want_x():
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+        order.append("x")
+        lm.release_all(2)
+
+    def want_s():
+        lm.acquire(3, "r", LockMode.SHARED)
+        order.append("s")
+        lm.release_all(3)
+
+    tx = threading.Thread(target=want_x)
+    tx.start()
+    time.sleep(0.05)
+    ts = threading.Thread(target=want_s)
+    ts.start()
+    time.sleep(0.05)
+    lm.release_all(1)  # the X waiter should win before the later S
+    tx.join(timeout=5)
+    ts.join(timeout=5)
+    assert order == ["x", "s"]

@@ -1,0 +1,105 @@
+"""Unit and property tests for the record serializer."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TranslationError
+from repro.storage.serializer import dumps, loads
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2**62,
+        0.0,
+        -1.5,
+        "",
+        "hello",
+        "unicode: événement",
+        b"",
+        b"\x00\xff",
+        [],
+        [1, "two", 3.0, None],
+        {},
+        {"a": 1, "b": [True, {"c": b"x"}]},
+    ],
+)
+def test_roundtrip_examples(value):
+    assert loads(dumps(value)) == value
+
+
+def test_tuple_decodes_as_list():
+    assert loads(dumps((1, 2))) == [1, 2]
+
+
+def test_nested_structure():
+    value = {"obj": {"oid": 12, "attrs": {"price": 45.5, "tags": ["x", "y"]}}}
+    assert loads(dumps(value)) == value
+
+
+def test_non_string_dict_key_rejected():
+    with pytest.raises(TranslationError):
+        dumps({1: "x"})
+
+
+def test_unserializable_type_rejected():
+    with pytest.raises(TranslationError):
+        dumps(object())
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(TranslationError):
+        loads(dumps(1) + b"junk")
+
+
+def test_truncated_input_rejected():
+    data = dumps("hello world")
+    with pytest.raises(TranslationError):
+        loads(data[:-3])
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(TranslationError):
+        loads(b"Z")
+
+
+def test_nan_roundtrip():
+    out = loads(dumps(float("nan")))
+    assert math.isnan(out)
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=50),
+    st.binary(max_size=50),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@given(_values)
+def test_property_roundtrip(value):
+    assert loads(dumps(value)) == value
+
+
+@given(_values)
+def test_property_deterministic(value):
+    assert dumps(value) == dumps(value)

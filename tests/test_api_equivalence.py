@@ -1,0 +1,120 @@
+"""The three definition APIs must agree.
+
+The same active schema can be built three ways: the decorator API
+(``Reactive`` + ``@event``), the spec language (builder), and the
+generated-code path. All must yield the same firing behaviour for the
+same application activity.
+"""
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.core.reactive import Reactive, event, set_current_detector
+from repro.snoop.builder import build_spec
+from repro.snoop.codegen import execute, generate
+from repro.snoop.parser import parse
+
+SPEC = """
+class Till : public REACTIVE {
+    event end(sale) int ring_up(int amount)
+    event end(refund) int pay_out(int amount)
+    event churn = sale ; refund
+    rule Flag(churn, big_enough, flag_it, CHRONICLE)
+}
+"""
+
+
+def run_scenario(till_cls, detector):
+    """The same activity, regardless of how the schema was defined."""
+    set_current_detector(detector)
+    till = till_cls()
+    till.ring_up(500)
+    till.pay_out(450)  # sale ; refund -> churn
+    till.pay_out(10)  # no preceding unconsumed sale
+    set_current_detector(None)
+
+
+def make_plain_till():
+    def ring_up(self, amount):
+        return amount
+
+    def pay_out(self, amount):
+        return amount
+
+    return type("Till", (), {"ring_up": ring_up, "pay_out": pay_out})
+
+
+def signature(fired):
+    return [
+        tuple((p.event_name, p["amount"]) for p in occ.params)
+        for occ in fired
+    ]
+
+
+def build_via_decorators(detector, fired):
+    class Till(Reactive):
+        @event(end="sale")
+        def ring_up(self, amount):
+            return amount
+
+        @event(end="refund")
+        def pay_out(self, amount):
+            return amount
+
+    Till.register_events(detector, prefix="Till")
+    churn = detector.seq("Till_sale", "Till_refund", name="Till_churn")
+    detector.rule(
+        "Flag", churn,
+        lambda occ: occ.params.value("amount", "Till_sale") >= 100,
+        fired.append, context="chronicle",
+    )
+    return Till
+
+
+def build_via_spec(detector, fired):
+    till = make_plain_till()
+    build_spec(SPEC, detector, {
+        "Till": till,
+        "big_enough":
+            lambda occ: occ.params.value("amount", "Till_sale") >= 100,
+        "flag_it": fired.append,
+    })
+    return till
+
+
+def build_via_codegen(detector, fired):
+    till = make_plain_till()
+    execute(generate(parse(SPEC)), detector, {
+        "Till": till,
+        "big_enough":
+            lambda occ: occ.params.value("amount", "Till_sale") >= 100,
+        "flag_it": fired.append,
+    })
+    return till
+
+
+@pytest.mark.parametrize(
+    "build", [build_via_decorators, build_via_spec, build_via_codegen],
+    ids=["decorators", "spec-builder", "codegen"],
+)
+def test_each_api_detects_the_same_churn(build):
+    detector = LocalEventDetector()
+    fired = []
+    till_cls = build(detector, fired)
+    run_scenario(till_cls, detector)
+    assert signature(fired) == [
+        (("Till_sale", 500), ("Till_refund", 450)),
+    ]
+    detector.shutdown()
+
+
+def test_all_three_signatures_identical():
+    results = []
+    for build in (build_via_decorators, build_via_spec, build_via_codegen):
+        detector = LocalEventDetector()
+        fired = []
+        till_cls = build(detector, fired)
+        run_scenario(till_cls, detector)
+        results.append(signature(fired))
+        detector.shutdown()
+    assert results[0] == results[1] == results[2]

@@ -1,0 +1,90 @@
+"""Tests for the command-line tools."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+class STOCK : public REACTIVE {
+    event end(e1) int sell_stock(int qty)
+    event begin(e2) && end(e3) void set_price(float price)
+    event e4 = e1 ^ e2
+    rule R1(e4, cond1, action1, CUMULATIVE, IMMEDIATE, 10)
+}
+"""
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "stock.sentinel"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_spec(self, spec_file, capsys):
+        assert main(["check", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "R1" in out
+        assert "cumulative" in out
+
+    def test_invalid_spec_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sentinel"
+        bad.write_text("rule R(")
+        assert main(["check", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.sentinel"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCodegen:
+    def test_to_stdout(self, spec_file, capsys):
+        assert main(["codegen", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "detector.primitive_event('STOCK_e1'" in out
+        compile(out, "<cli>", "exec")
+
+    def test_to_file(self, spec_file, tmp_path, capsys):
+        out_path = tmp_path / "generated.py"
+        assert main(["codegen", spec_file, "-o", str(out_path)]) == 0
+        assert "detector.rule('R1'" in out_path.read_text()
+
+
+class TestGraph:
+    def test_renders_ascii_graph(self, spec_file, capsys):
+        assert main(["graph", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "AND" in out
+        assert "rules: R1" in out
+
+
+class TestReplay:
+    def test_replay_reports_firings(self, spec_file, tmp_path, capsys):
+        entries = [
+            {"event_name": "STOCK_e1", "at": 1.0, "class_name": "STOCK",
+             "instance": "obj1", "method_name": "sell_stock",
+             "modifier": "end", "arguments": [["qty", 5]], "txn_id": 1},
+            {"event_name": "STOCK_e2", "at": 2.0, "class_name": "STOCK",
+             "instance": "obj1", "method_name": "set_price",
+             "modifier": "begin", "arguments": [["price", 9.5]],
+             "txn_id": 1},
+        ]
+        log_path = tmp_path / "events.jsonl"
+        log_path.write_text(
+            "".join(json.dumps(e) + "\n" for e in entries)
+        )
+        assert main(["replay", spec_file, str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2 events" in out
+        assert "R1: 1 firing(s)" in out
+
+    def test_replay_empty_log(self, spec_file, tmp_path, capsys):
+        log_path = tmp_path / "empty.jsonl"
+        log_path.write_text("")
+        assert main(["replay", spec_file, str(log_path)]) == 0
+        assert "no rules would have fired" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Unit tests for the clock abstractions."""
+
+import threading
+
+import pytest
+
+from repro.clock import LogicalClock, SimulatedClock, WallClock
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now() == 0.0
+
+    def test_tick_is_monotone(self):
+        clock = LogicalClock()
+        values = [clock.tick() for __ in range(10)]
+        assert values == sorted(values)
+        assert len(set(values)) == 10
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        clock.tick()
+        assert clock.now() == clock.now()
+
+    def test_custom_start(self):
+        clock = LogicalClock(start=100)
+        assert clock.now() == 100.0
+        assert clock.tick() == 101.0
+
+    def test_thread_safety_no_duplicate_ticks(self):
+        clock = LogicalClock()
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for __ in range(200):
+                value = clock.tick()
+                with lock:
+                    seen.append(value)
+
+        threads = [threading.Thread(target=worker) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 800
+
+
+class TestSimulatedClock:
+    def test_advance(self):
+        clock = SimulatedClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_tick_advances_one(self):
+        clock = SimulatedClock(start=2.0)
+        assert clock.tick() == 3.0
+
+    def test_backwards_rejected(self):
+        clock = SimulatedClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+
+    def test_set_forward(self):
+        clock = SimulatedClock()
+        clock.set(42.0)
+        assert clock.now() == 42.0
+
+
+class TestWallClock:
+    def test_is_monotone_and_near_zero_at_start(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.tick()
+        assert 0.0 <= first <= second < 5.0

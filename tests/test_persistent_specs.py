@@ -1,0 +1,91 @@
+"""Persistent specifications: rules stored in the database."""
+
+import pytest
+
+from repro import Sentinel
+from repro.errors import (
+    InvalidTransactionState,
+    ObjectNotFound,
+    SnoopSyntaxError,
+)
+
+SPEC = """
+event low_stock("low_stock", "Shelf", "end", "void take(int n)")
+rule Reorder(low_stock, need_more, order_more, CHRONICLE)
+"""
+
+
+def namespace(hits):
+    return {
+        "need_more": lambda occ: occ.params.value("n") > 5,
+        "order_more": hits.append,
+    }
+
+
+class TestStoreAndLoad:
+    def test_roundtrip_within_session(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        system.store_spec("reorder", SPEC)
+        hits = []
+        builder = system.load_spec("reorder", namespace(hits))
+        assert "Reorder" in builder.rules
+        system.detector.notify("shelf1", "Shelf", "take", "end", {"n": 9})
+        assert len(hits) == 1
+        system.close()
+
+    def test_specs_survive_restart(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        system.store_spec("reorder", SPEC)
+        system.close()
+
+        reopened = Sentinel(directory=tmp_path / "db", name="s")
+        assert reopened.stored_specs() == ["reorder"]
+        hits = []
+        reopened.load_spec("reorder", namespace(hits))
+        reopened.detector.notify("shelf1", "Shelf", "take", "end", {"n": 7})
+        assert len(hits) == 1
+        reopened.close()
+
+    def test_store_overwrites_existing(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        system.store_spec("x", SPEC)
+        replacement = SPEC.replace("CHRONICLE", "RECENT")
+        system.store_spec("x", replacement)
+        system.close()
+        reopened = Sentinel(directory=tmp_path / "db", name="s")
+        hits = []
+        builder = reopened.load_spec("x", namespace(hits))
+        assert builder.rules["Reorder"].context.value == "recent"
+        reopened.close()
+
+    def test_invalid_spec_rejected_before_store(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        with pytest.raises(SnoopSyntaxError):
+            system.store_spec("bad", "rule broken(")
+        assert system.stored_specs() == []
+        system.close()
+
+    def test_drop_spec(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        system.store_spec("gone", SPEC)
+        system.drop_spec("gone")
+        assert system.stored_specs() == []
+        with pytest.raises(ObjectNotFound):
+            system.load_spec("gone", {})
+        system.close()
+
+    def test_requires_database(self):
+        system = Sentinel(name="volatile")
+        with pytest.raises(InvalidTransactionState):
+            system.store_spec("x", SPEC)
+        system.close()
+
+    def test_multiple_specs_listed_sorted(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="s")
+        system.store_spec("zeta", SPEC)
+        system.store_spec(
+            "alpha",
+            'event other("other", "Shelf", "end", "void put(int n)")',
+        )
+        assert system.stored_specs() == ["alpha", "zeta"]
+        system.close()

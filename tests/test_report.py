@@ -1,0 +1,53 @@
+"""Tests for the Sentinel status report."""
+
+import pytest
+
+from repro import Sentinel
+
+
+def test_report_counts_activity(tmp_path):
+    system = Sentinel(directory=tmp_path / "db", name="reporting")
+    system.explicit_event("e")
+    system.rule("r", "e", lambda o: o.params.value("n") > 0,
+                lambda o: None)
+    with system.transaction():
+        system.raise_event("e", n=1)
+        system.raise_event("e", n=0)
+
+    data = system.report()
+    assert data["name"] == "reporting"
+    assert data["rules"]["defined"] >= 3  # r + two flush rules
+    assert data["rules"]["executions"] >= 1
+    assert data["rules"]["condition_rejections"] == 1
+    assert data["notifications"]["triggers"] >= 2
+    assert data["events"]["detections"] >= 2
+    assert "storage" in data
+    assert data["storage"]["wal_flushed_lsn"] >= 0
+    system.close()
+
+
+def test_report_without_database_omits_storage():
+    system = Sentinel(name="volatile")
+    data = system.report()
+    assert "storage" not in data
+    system.close()
+
+
+def test_report_text_renders_sections(tmp_path):
+    system = Sentinel(directory=tmp_path / "db", name="pretty")
+    text = system.report_text()
+    assert "Sentinel system 'pretty'" in text
+    assert "  rules:" in text
+    assert "    defined:" in text
+    assert "  storage:" in text
+    system.close()
+
+
+def test_report_tracks_failures():
+    system = Sentinel(name="failing", error_policy="abort_rule")
+    system.explicit_event("e")
+    system.rule("bad", "e", lambda o: True,
+                lambda o: (_ for _ in ()).throw(ValueError("x")))
+    system.raise_event("e")
+    assert system.report()["rules"]["failures"] == 1
+    system.close()

@@ -1,0 +1,174 @@
+"""Edge cases of the Sentinel facade: lifecycle, threading, misuse."""
+
+import threading
+
+import pytest
+
+from repro import Reactive, Sentinel, event
+from repro.errors import InvalidTransactionState
+
+
+@pytest.fixture()
+def system():
+    s = Sentinel(name="facade")
+    yield s
+    s.close()
+
+
+class TestTransactionLifecycle:
+    def test_double_begin_rejected(self, system):
+        txn = system.begin()
+        with pytest.raises(InvalidTransactionState):
+            system.begin()
+        system.abort(txn)
+
+    def test_commit_without_begin_rejected(self, system):
+        with pytest.raises(InvalidTransactionState):
+            system.commit()
+
+    def test_commit_twice_rejected(self, system):
+        txn = system.begin()
+        system.commit(txn)
+        with pytest.raises(InvalidTransactionState):
+            system.commit(txn)
+
+    def test_current_cleared_after_finish(self, system):
+        txn = system.begin()
+        assert system.current() is txn
+        system.commit(txn)
+        assert system.current() is None
+
+    def test_transactions_are_per_thread(self, system):
+        results = {}
+        barrier = threading.Barrier(2, timeout=5)
+
+        def worker(tag):
+            txn = system.begin()
+            barrier.wait()  # both threads hold a txn concurrently
+            results[tag] = system.current() is txn
+            system.commit(txn)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results == {0: True, 1: True}
+
+    def test_close_aborts_open_transaction(self):
+        s = Sentinel(name="closing")
+        s.explicit_event("e")
+        aborted = []
+        from repro.core.deferred import ABORT_TRANSACTION
+
+        s.rule("watch", ABORT_TRANSACTION, lambda o: True, aborted.append)
+        s.begin()
+        s.close()
+        assert len(aborted) == 1
+
+    def test_close_is_idempotent(self, system):
+        system.close()
+        system.close()
+
+    def test_db_operations_without_database_rejected(self, system):
+        with system.transaction() as txn:
+            with pytest.raises(InvalidTransactionState):
+                txn.persist(object())
+
+
+class TestEventApiPassthroughs:
+    def test_temporal_event_via_facade(self):
+        from repro.clock import SimulatedClock
+
+        s = Sentinel(clock=SimulatedClock(), name="temporal")
+        node = s.temporal_event("alarm", at=10.0)
+        hits = []
+        s.rule("r", node, lambda o: True, hits.append)
+        s.advance_time(10.0)
+        assert len(hits) == 1
+        s.close()
+
+    def test_event_lookup_via_facade(self, system):
+        system.explicit_event("x")
+        assert system.event("x").display_name == "x"
+
+    def test_graph_and_clock_properties(self, system):
+        assert system.graph is system.detector.graph
+        assert system.clock is system.detector.clock
+
+
+class TestRegisterClass:
+    def test_register_class_without_db(self, system):
+        class Gadget(Reactive):
+            @event(end="used")
+            def use(self):
+                return 1
+
+        nodes = system.register_class(Gadget)
+        assert "used" in nodes
+        hits = []
+        system.rule("r", nodes["used"], lambda o: True, hits.append)
+        Gadget().use()
+        assert len(hits) == 1
+
+    def test_register_class_with_db_registers_translation(self, tmp_path):
+        from repro import Persistent
+
+        class Widget(Reactive, Persistent):
+            def __init__(self):
+                self.value = 0
+
+            @event(end="spun")
+            def spin(self):
+                self.value += 1
+
+        s = Sentinel(directory=tmp_path / "db", name="reg")
+        s.register_class(Widget)
+        assert s.db.registry.known("Widget")
+        s.close()
+
+
+class TestMultipleSystems:
+    def test_independent_systems_do_not_interfere(self):
+        s1 = Sentinel(name="one", activate=False)
+        s2 = Sentinel(name="two", activate=False)
+        s1.explicit_event("e")
+        s2.explicit_event("e")
+        hits1, hits2 = [], []
+        s1.rule("r", "e", lambda o: True, hits1.append)
+        s2.rule("r", "e", lambda o: True, hits2.append)
+        s1.raise_event("e")
+        assert len(hits1) == 1
+        assert hits2 == []
+        s1.close()
+        s2.close()
+
+
+class TestScopedActivation:
+    def test_active_context_manager_restores_previous(self):
+        from repro import Reactive, event, get_current_detector
+
+        class Pinger(Reactive):
+            @event(end="pinged")
+            def ping(self):
+                return True
+
+        s1 = Sentinel(name="s1", activate=False)
+        s2 = Sentinel(name="s2", activate=False)
+        hits1, hits2 = [], []
+        n1 = Pinger.register_events(s1.detector)
+        n2 = Pinger.register_events(s2.detector)
+        s1.rule("r", n1["pinged"], lambda o: True, hits1.append)
+        s2.rule("r", n2["pinged"], lambda o: True, hits2.append)
+        pinger = Pinger()
+        s1.activate()
+        with s2.active():
+            pinger.ping()  # routed to s2
+        pinger.ping()  # restored: routed to s1
+        assert len(hits1) == 1
+        assert len(hits2) == 1
+        assert get_current_detector() is s1.detector
+        s1.close()
+        s2.close()

@@ -1,0 +1,202 @@
+"""Unit tests for the nested transaction manager."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, InvalidTransactionState, LockTimeout
+from repro.storage.locks import LockMode
+from repro.transactions.nested import NestedTransactionManager, TxnState
+
+
+@pytest.fixture()
+def ntm():
+    return NestedTransactionManager(lock_timeout=2.0)
+
+
+class Thing:
+    def __init__(self, value):
+        self.value = value
+
+
+def test_begin_top_and_sub(ntm):
+    top = ntm.begin_top(label="app")
+    sub = ntm.begin_sub(top, label="rule-R1")
+    assert sub.parent is top
+    assert sub.depth == 1
+    assert sub.top_level_id == top.txn_id
+    assert sub in top.children
+
+
+def test_nested_to_arbitrary_depth(ntm):
+    txn = ntm.begin_top()
+    for i in range(10):
+        txn = ntm.begin_sub(txn, label=f"level{i}")
+    assert txn.depth == 10
+    assert txn.root().depth == 0
+
+
+def test_child_can_use_parents_lock(ntm):
+    top = ntm.begin_top()
+    top.lock_exclusive("obj1")
+    sub = ntm.begin_sub(top)
+    # Moss rule: ancestors' locks do not conflict.
+    sub.lock_exclusive("obj1")
+    assert ntm.locks.holds(sub, "obj1") is LockMode.EXCLUSIVE
+
+
+def test_siblings_conflict(ntm):
+    top = ntm.begin_top()
+    r1 = ntm.begin_sub(top, label="r1")
+    r2 = ntm.begin_sub(top, label="r2")
+    r1.lock_exclusive("obj")
+    with pytest.raises(LockTimeout):
+        ntm.locks.acquire(r2, "obj", LockMode.EXCLUSIVE, timeout=0.1)
+
+
+def test_commit_inherits_locks_to_parent(ntm):
+    top = ntm.begin_top()
+    r1 = ntm.begin_sub(top)
+    r1.lock_exclusive("obj")
+    r1.commit()
+    assert ntm.locks.holds(top, "obj") is LockMode.EXCLUSIVE
+    # A later sibling can now reach it through the parent.
+    r2 = ntm.begin_sub(top)
+    r2.lock_exclusive("obj")
+
+
+def test_abort_releases_locks(ntm):
+    top = ntm.begin_top()
+    r1 = ntm.begin_sub(top)
+    r1.lock_exclusive("obj")
+    r1.abort()
+    assert ntm.locks.holds(top, "obj") is None
+    other_top = ntm.begin_top()
+    other_top.lock_exclusive("obj")  # free for unrelated trees
+
+
+def test_abort_restores_protected_object(ntm):
+    top = ntm.begin_top()
+    sub = ntm.begin_sub(top)
+    thing = Thing(10)
+    sub.protect(thing)
+    thing.value = 999
+    sub.abort()
+    assert thing.value == 10
+
+
+def test_commit_merges_undo_into_parent(ntm):
+    """Parent abort undoes a committed child's changes (Moss semantics)."""
+    top = ntm.begin_top()
+    sub = ntm.begin_sub(top)
+    thing = Thing(1)
+    sub.protect(thing)
+    thing.value = 2
+    sub.commit()
+    assert thing.value == 2
+    top.abort()
+    assert thing.value == 1
+
+
+def test_committed_child_survives_when_parent_commits(ntm):
+    top = ntm.begin_top()
+    sub = ntm.begin_sub(top)
+    thing = Thing(1)
+    sub.protect(thing)
+    thing.value = 2
+    sub.commit()
+    top.commit()
+    assert thing.value == 2
+
+
+def test_record_undo_runs_in_reverse_order(ntm):
+    top = ntm.begin_top()
+    sub = ntm.begin_sub(top)
+    order = []
+    sub.record_undo(lambda: order.append("first-registered"))
+    sub.record_undo(lambda: order.append("second-registered"))
+    sub.abort()
+    assert order == ["second-registered", "first-registered"]
+
+
+def test_abort_cascades_to_live_children(ntm):
+    top = ntm.begin_top()
+    sub = ntm.begin_sub(top)
+    subsub = ntm.begin_sub(sub)
+    thing = Thing("original")
+    subsub.protect(thing)
+    thing.value = "changed"
+    top.abort()
+    assert subsub.state is TxnState.ABORTED
+    assert sub.state is TxnState.ABORTED
+    assert thing.value == "original"
+
+
+def test_commit_with_live_children_rejected(ntm):
+    top = ntm.begin_top()
+    ntm.begin_sub(top)
+    with pytest.raises(InvalidTransactionState):
+        top.commit()
+
+
+def test_double_commit_rejected(ntm):
+    top = ntm.begin_top()
+    top.commit()
+    with pytest.raises(InvalidTransactionState):
+        top.commit()
+
+
+def test_sub_of_finished_parent_rejected(ntm):
+    top = ntm.begin_top()
+    top.commit()
+    with pytest.raises(InvalidTransactionState):
+        ntm.begin_sub(top)
+
+
+def test_deadlock_between_siblings_detected(ntm):
+    top = ntm.begin_top()
+    r1 = ntm.begin_sub(top, label="r1")
+    r2 = ntm.begin_sub(top, label="r2")
+    r1.lock_exclusive("a")
+    r2.lock_exclusive("b")
+    victims = []
+    done = threading.Barrier(3)
+
+    def worker(txn, want):
+        try:
+            ntm.locks.acquire(txn, want, LockMode.EXCLUSIVE, timeout=3.0)
+        except DeadlockError:
+            victims.append(txn)
+            ntm.locks.release_all(txn)
+        except LockTimeout:
+            pass
+        done.wait()
+
+    t1 = threading.Thread(target=worker, args=(r1, "b"))
+    t2 = threading.Thread(target=worker, args=(r2, "a"))
+    t1.start()
+    time.sleep(0.05)
+    t2.start()
+    done.wait(timeout=5)
+    t1.join(timeout=5)
+    t2.join(timeout=5)
+    assert len(victims) == 1
+
+
+def test_tree_walk_is_depth_first(ntm):
+    top = ntm.begin_top(label="t")
+    a = ntm.begin_sub(top, label="a")
+    ntm.begin_sub(a, label="a1")
+    ntm.begin_sub(top, label="b")
+    labels = [t.label for t in ntm.tree(top)]
+    assert labels == ["t", "a", "a1", "b"]
+
+
+def test_shared_locks_between_trees(ntm):
+    t1 = ntm.begin_top()
+    t2 = ntm.begin_top()
+    t1.lock_shared("r")
+    t2.lock_shared("r")
+    with pytest.raises(LockTimeout):
+        ntm.locks.acquire(t1, "r", LockMode.EXCLUSIVE, timeout=0.1)

@@ -1,0 +1,112 @@
+"""Property tests for nested transaction trees.
+
+The invariant: an object's final state reflects exactly the mutations
+whose entire ancestor chain committed; any mutation under an aborted
+ancestor is rolled back.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transactions.nested import NestedTransactionManager, TxnState
+
+
+class Cell:
+    def __init__(self):
+        self.value = 0
+
+
+# A random tree script: each entry decides, for a chain of nested
+# subtransactions, how deep to go and which levels commit (True) or
+# abort (False) on the way back up.
+chains = st.lists(
+    st.lists(st.booleans(), min_size=1, max_size=4),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=60)
+@given(chains, st.booleans())
+def test_final_value_matches_committed_chain_model(script, commit_top):
+    """Run each chain under one top; compare to a reference model."""
+    ntm = NestedTransactionManager()
+    top = ntm.begin_top()
+    cell = Cell()
+    expected = 0
+    actual_increments = []
+
+    for chain in script:
+        # Build the chain of subtransactions, incrementing at the leaf.
+        nodes = []
+        parent = top
+        for __ in chain:
+            parent = ntm.begin_sub(parent)
+            nodes.append(parent)
+        leaf = nodes[-1]
+        leaf.protect(cell)
+        increment = 1
+        cell.value += increment
+        actual_increments.append(increment)
+        # Complete the chain bottom-up per the script booleans. A deep
+        # abort does not decide the shallower nodes' fate: they finish
+        # according to their own script entry.
+        for node, commits in zip(reversed(nodes), reversed(chain)):
+            if node.state is not TxnState.ACTIVE:
+                continue  # a cascading abort already finished it
+            if commits:
+                node.commit()
+            else:
+                node.abort()
+        survived = all(n.state is TxnState.COMMITTED for n in nodes)
+        if survived and commit_top:
+            expected += increment
+
+    if commit_top:
+        if top.state is TxnState.ACTIVE:
+            top.commit()
+    else:
+        if top.state is TxnState.ACTIVE:
+            top.abort()
+    assert cell.value == expected
+
+
+@settings(max_examples=60)
+@given(st.integers(min_value=1, max_value=6))
+def test_abort_at_any_depth_restores_leaf_protected_state(depth):
+    ntm = NestedTransactionManager()
+    top = ntm.begin_top()
+    chain = [top]
+    for __ in range(depth):
+        chain.append(ntm.begin_sub(chain[-1]))
+    cell = Cell()
+    chain[-1].protect(cell)
+    cell.value = 42
+    # Commit everything except the *first* subtransaction, which aborts:
+    for node in reversed(chain[2:]):
+        node.commit()
+    chain[1].abort()
+    assert cell.value == 0
+
+
+@settings(max_examples=40)
+@given(st.lists(st.booleans(), min_size=1, max_size=8))
+def test_lock_retention_follows_commits(outcomes):
+    """Each subtransaction takes a lock; committed ones move the lock to
+    the top, aborted ones release it entirely."""
+    ntm = NestedTransactionManager()
+    top = ntm.begin_top()
+    for index, commits in enumerate(outcomes):
+        sub = ntm.begin_sub(top)
+        resource = f"r{index}"
+        sub.lock_exclusive(resource)
+        if commits:
+            sub.commit()
+            assert ntm.locks.holds(top, resource) is not None
+        else:
+            sub.abort()
+            assert ntm.locks.holds(top, resource) is None
+    top.commit()
+    # Strict release at top commit.
+    assert ntm.locks.retained_by(top) == set()
