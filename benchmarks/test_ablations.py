@@ -17,7 +17,7 @@ import pytest
 
 from repro.bench import EventStream, ReactiveSchema
 from repro.core.detector import LocalEventDetector
-from repro.sentinel import FLUSH_ON_ABORT_RULE, FLUSH_ON_COMMIT_RULE, Sentinel
+from repro.sentinel import FLUSH_ON_COMMIT_RULE, Sentinel
 
 
 @pytest.mark.parametrize("sharing", [True, False], ids=["shared", "unshared"])
@@ -29,7 +29,7 @@ def test_abl_share_node_count_and_detection(sharing, benchmark):
     # Twenty rules over the same expression.
     for i in range(20):
         expr = det.and_("a", "b")
-        det.rule(f"r{i}", expr, lambda o: True, hits.append)
+        det.rule(f"r{i}", expr, condition=lambda o: True, action=hits.append)
     nodes = len(det.graph)
     print(f"\nABL-SHARE [{'on' if sharing else 'off'}]: "
           f"{nodes} graph nodes for 20 identical rules")
@@ -60,7 +60,7 @@ def test_abl_ctxcount_detection_work(mode, benchmark):
     schema = ReactiveSchema(n_classes=1, n_methods=2)
     leaves = schema.install(det)
     expr = det.graph.and_(leaves[0], leaves[1])
-    det.rule("r", expr, lambda o: True, lambda o: None, context="recent")
+    det.rule("r", expr, condition=lambda o: True, action=lambda o: None, context="recent")
     if mode == "all_contexts":
         from repro.core.contexts import ParameterContext
 
@@ -88,8 +88,8 @@ def test_abl_flush_cross_transaction_contamination(flush, benchmark):
     system.explicit_event("a")
     system.explicit_event("b")
     contaminated = []
-    system.rule("pair", system.detector.and_("a", "b"), lambda o: True,
-                contaminated.append)
+    system.rule("pair", system.detector.and_("a", "b"), condition=lambda o: True,
+                action=contaminated.append)
 
     def split_pair_across_transactions():
         system.detector.flush()  # isolate benchmark rounds
@@ -117,8 +117,8 @@ def test_abl_flush_rules_are_deactivatable(benchmark):
     system.explicit_event("a")
     system.explicit_event("b")
     hits = []
-    system.rule("pair", system.detector.and_("a", "b"), lambda o: True,
-                hits.append)
+    system.rule("pair", system.detector.and_("a", "b"), condition=lambda o: True,
+                action=hits.append)
 
     def toggle_and_probe():
         hits.clear()

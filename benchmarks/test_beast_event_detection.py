@@ -59,7 +59,7 @@ class TestED1PrimitiveOverhead:
         set_current_detector(det)
         try:
             nodes = Probe.register_events(det)
-            det.rule("r", nodes["probed"], lambda o: True, lambda o: None)
+            det.rule("r", nodes["probed"], condition=lambda o: True, action=lambda o: None)
             probe = Probe()
             benchmark(probe.wrapped, 1)
         finally:
@@ -78,7 +78,7 @@ def test_ed2_operator_detection_cost(operator, benchmark):
     leaves = schema.install(det)
     expr = make_expression(det, operator, leaves)
     hits = []
-    det.rule("r", expr, lambda o: True, hits.append)
+    det.rule("r", expr, condition=lambda o: True, action=hits.append)
     stream = EventStream(schema, length=300, seed=7)
 
     def run_stream():
@@ -98,7 +98,7 @@ def test_ed2_temporal_operator_cost(operator, benchmark):
     close = det.explicit_event("close")
     expr = make_expression(det, operator, [open_, close], period=2.0)
     hits = []
-    det.rule("r", expr, lambda o: True, hits.append)
+    det.rule("r", expr, condition=lambda o: True, action=hits.append)
 
     def run_window():
         det.flush()
@@ -122,7 +122,7 @@ def test_ed3_context_cost(context, benchmark):
     leaves = schema.install(det)
     expr = make_expression(det, "AND", leaves)
     hits = []
-    det.rule("r", expr, lambda o: True, hits.append, context=context)
+    det.rule("r", expr, condition=lambda o: True, action=hits.append, context=context)
     stream = EventStream(schema, length=400, seed=11)
 
     def run_stream():
@@ -153,7 +153,7 @@ def test_ed3_context_storage_requirements(benchmark):
             a = det.explicit_event("a")
             b = det.explicit_event("b")
             node = det.and_(a, b)
-            det.rule("r", node, lambda o: True, lambda o: None,
+            det.rule("r", node, condition=lambda o: True, action=lambda o: None,
                      context=context)
             for i in range(100):
                 det.raise_event("a", n=i)

@@ -21,8 +21,8 @@ def test_rm1_fanout(n_rules, benchmark):
     counter = {"fired": 0}
     for i in range(n_rules):
         det.rule(
-            f"r{i}", "e", lambda o: True,
-            lambda o: counter.__setitem__("fired", counter["fired"] + 1),
+            f"r{i}", "e", condition=lambda o: True,
+            action=lambda o: counter.__setitem__("fired", counter["fired"] + 1),
         )
 
     benchmark(lambda: det.raise_event("e"))
@@ -40,7 +40,7 @@ def test_rm2_nesting_depth(depth, benchmark):
         if level < depth:
             det.raise_event("lvl", d=level + 1)
 
-    det.rule("nest", "lvl", lambda o: True, action)
+    det.rule("nest", "lvl", condition=lambda o: True, action=action)
 
     benchmark(lambda: det.raise_event("lvl", d=1))
     assert det.scheduler.stats.max_depth_seen == depth
@@ -52,7 +52,7 @@ def test_rm3_coupling_cost(coupling, benchmark):
     system = Sentinel(name=f"rm3-{coupling}", activate=False)
     system.explicit_event("e")
     fired = []
-    system.rule("r", "e", lambda o: True, fired.append, coupling=coupling)
+    system.rule("r", "e", condition=lambda o: True, action=fired.append, coupling=coupling)
 
     def transaction_with_three_events():
         with system.transaction():
@@ -73,7 +73,7 @@ def test_rm4_enable_disable_cost(benchmark):
     for name in ("a", "b", "c", "d"):
         det.explicit_event(name)
     deep = det.seq(det.and_("a", "b"), det.or_("c", "d"))
-    det.rule("r", deep, lambda o: True, lambda o: None)
+    det.rule("r", deep, condition=lambda o: True, action=lambda o: None)
 
     def toggle():
         det.rules.disable("r")
@@ -93,7 +93,7 @@ def test_rm5_rule_definition_cost(benchmark):
 
     def define_and_delete():
         name = f"r{next(counter)}"
-        det.rule(name, shared, lambda o: True, lambda o: None)
+        det.rule(name, shared, condition=lambda o: True, action=lambda o: None)
         det.rules.delete(name)
 
     benchmark(define_and_delete)

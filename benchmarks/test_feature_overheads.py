@@ -4,10 +4,13 @@ Optional features must be pay-as-you-go; these benchmarks check the
 price of turning each one on.
 """
 
+import time
+
 import pytest
 
 from repro.core import conditions as when
 from repro.core.detector import LocalEventDetector
+from repro.telemetry import CounterProcessor, TraceLogProcessor
 
 
 class Payload:
@@ -24,7 +27,7 @@ def test_snapshot_capture_overhead(snapshot, benchmark):
     det = LocalEventDetector()
     det.primitive_event("e", "Payload", "end", "touch",
                         snapshot_state=snapshot)
-    det.rule("r", "e", lambda o: True, lambda o: None)
+    det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
     obj = Payload()
     benchmark(lambda: det.notify(obj, "Payload", "touch", "end"))
     det.shutdown()
@@ -45,7 +48,7 @@ def test_condition_style_overhead(kind, benchmark):
             when.param_above("n", 5),
             when.negate(when.param_above("n", 1000)),
         )
-    det.rule("r", "e", condition, lambda o: None)
+    det.rule("r", "e", condition=condition, action=lambda o: None)
     benchmark(lambda: det.raise_event("e", n=10))
     det.shutdown()
 
@@ -54,10 +57,62 @@ def test_condition_style_overhead(kind, benchmark):
 def test_scope_has_no_dispatch_cost(scope, benchmark):
     det = LocalEventDetector()
     det.explicit_event("e")
-    det.rule("r", "e", lambda o: True, lambda o: None,
+    det.rule("r", "e", condition=lambda o: True, action=lambda o: None,
              scope=scope, owner="owner" if scope != "public" else None)
     benchmark(lambda: det.raise_event("e"))
     det.shutdown()
+
+
+@pytest.mark.parametrize(
+    "processors", ["none", "counters", "trace", "both"],
+)
+def test_telemetry_overhead(processors, benchmark):
+    """Tracing is pay-as-you-go: zero processors = dormant hub."""
+    det = LocalEventDetector()
+    if processors in ("counters", "both"):
+        det.telemetry.attach(CounterProcessor())
+    if processors in ("trace", "both"):
+        det.telemetry.attach(TraceLogProcessor())
+    det.explicit_event("e")
+    det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
+    benchmark(lambda: det.raise_event("e", n=1))
+    det.shutdown()
+
+
+def test_zero_processor_emit_is_near_noop():
+    """Guard: an inactive hub must cost only an attribute check.
+
+    Compares a dispatch loop on a plain detector against one whose hub
+    was activated and then deactivated (same code paths, dormant
+    either way); the inactive-path price is bounded well below the
+    cost tracing would add.
+    """
+    def run(det, n=3000):
+        det.explicit_event("e")
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
+        for __ in range(200):  # warm up
+            det.raise_event("e")
+        start = time.perf_counter()
+        for __ in range(n):
+            det.raise_event("e")
+        return time.perf_counter() - start
+
+    baseline_det = LocalEventDetector()
+    assert not baseline_det.telemetry.active
+    baseline = run(baseline_det)
+    baseline_det.shutdown()
+
+    toggled_det = LocalEventDetector()
+    processor = toggled_det.telemetry.attach(TraceLogProcessor())
+    toggled_det.telemetry.detach(processor)
+    assert not toggled_det.telemetry.active
+    toggled = run(toggled_det)
+    toggled_det.shutdown()
+
+    # Both runs use the dormant path; they must be within noise of each
+    # other (generous 50% bound — the point is catching accidental
+    # always-on tracing, which costs multiples, not percents).
+    assert toggled < baseline * 1.5
 
 
 @pytest.mark.parametrize("named", [False, True], ids=["int", "named-class"])
@@ -70,7 +125,7 @@ def test_named_priority_resolution_overhead(named, benchmark):
     else:
         priority = 5
     for i in range(5):
-        det.rule(f"r{i}", "e", lambda o: True, lambda o: None,
+        det.rule(f"r{i}", "e", condition=lambda o: True, action=lambda o: None,
                  priority=priority)
     benchmark(lambda: det.raise_event("e"))
     det.shutdown()

@@ -7,7 +7,6 @@ inventory, and measures full active-system startup (a real cost the
 paper's integrated architecture pays per application).
 """
 
-import pytest
 
 from repro.core.detector import LocalEventDetector
 from repro.core.events.graph import EventGraph
@@ -106,7 +105,7 @@ def test_fig1_control_reaches_every_layer(tmp_path, benchmark):
     system.register_class(Item)
     events = Item.register_events(system.detector)
     fired = []
-    system.rule("watch", events["poked"], lambda o: True, fired.append)
+    system.rule("watch", events["poked"], condition=lambda o: True, action=fired.append)
 
     def one_action():
         with system.transaction() as txn:

@@ -14,7 +14,6 @@ step in order, checks the produced step trace, and measures a full
 round (begin -> events -> commit -> global detection -> detached rule).
 """
 
-import pytest
 
 from repro.core.deferred import (
     ABORT_TRANSACTION,
@@ -44,19 +43,19 @@ def test_fig2_step_sequence(benchmark):
     # Step 1+2: a primitive event feeds an immediate composite rule.
     pair = app1.detector.and_("order", "order")  # trivially: order itself
     app1.rule(
-        "immediate_pair", "order", lambda o: True,
-        lambda o: steps.append((2, "composite detection -> immediate rule")),
+        "immediate_pair", "order", condition=lambda o: True,
+        action=lambda o: steps.append((2, "composite detection -> immediate rule")),
     )
     # Step 3: pre-commit signaled (deferred rules run there).
     app1.rule(
-        "watch_precommit", PRE_COMMIT_TRANSACTION, lambda o: True,
-        lambda o: steps.append((3, "pre-commit signaled")),
+        "watch_precommit", PRE_COMMIT_TRANSACTION, condition=lambda o: True,
+        action=lambda o: steps.append((3, "pre-commit signaled")),
         priority=50,
     )
     # Step 4: commit event (causally after pre-commit).
     app1.rule(
-        "watch_commit", COMMIT_TRANSACTION, lambda o: True,
-        lambda o: steps.append((4, "commit signaled")),
+        "watch_commit", COMMIT_TRANSACTION, condition=lambda o: True,
+        action=lambda o: steps.append((4, "commit signaled")),
         priority=50,
     )
     # Step 5: inter-application composite.
@@ -67,8 +66,8 @@ def test_fig2_step_sequence(benchmark):
     # Step 6: the delivered global event runs a detached rule (its own
     # subtransaction tree in app2).
     app2.rule(
-        "fulfill", "fulfillment", lambda o: True,
-        lambda o: steps.append((6, "detached rule as subtransaction")),
+        "fulfill", "fulfillment", condition=lambda o: True,
+        action=lambda o: steps.append((6, "detached rule as subtransaction")),
         coupling="detached",
     )
 
@@ -100,8 +99,8 @@ def test_fig2_abort_path_signaled(benchmark):
     app = Sentinel(name="abort-app", activate=False)
     app.explicit_event("work")
     aborts = []
-    app.rule("watch_abort", ABORT_TRANSACTION, lambda o: True,
-             lambda o: aborts.append(o), priority=50)
+    app.rule("watch_abort", ABORT_TRANSACTION, condition=lambda o: True,
+             action=lambda o: aborts.append(o), priority=50)
 
     def aborting_txn():
         txn = app.begin()
@@ -120,8 +119,8 @@ def test_fig2_event_flush_between_transactions(benchmark):
     app.explicit_event("a")
     app.explicit_event("b")
     crossed = []
-    app.rule("cross", app.detector.and_("a", "b"), lambda o: True,
-             crossed.append)
+    app.rule("cross", app.detector.and_("a", "b"), condition=lambda o: True,
+             action=crossed.append)
 
     def two_transactions():
         with app.transaction():

@@ -36,7 +36,7 @@ def test_fig3_cond_action_packaging(benchmark):
         sub = det.current_transaction()
         observed.append((sub.label, sub.depth))
 
-    det.rule("R", "e", condition, action)
+    det.rule("R", "e", condition=condition, action=action)
     top = ntm.begin_top(label="app")
     det.set_current_transaction(top)
 
@@ -61,8 +61,8 @@ def test_fig3_priority_assignment(benchmark):
     order = []
     for priority in (1, 10, 5):
         det.rule(
-            f"p{priority}", "e", lambda o: True,
-            lambda o, p=priority: order.append(p), priority=priority,
+            f"p{priority}", "e", condition=lambda o: True,
+            action=lambda o, p=priority: order.append(p), priority=priority,
         )
 
     def fire():
@@ -85,7 +85,7 @@ def test_fig3_thread_pool_reuse(benchmark):
         thread_names.add(threading.current_thread().name)
 
     for i in range(4):
-        det.rule(f"r{i}", "e", lambda o: True, record, priority=5)
+        det.rule(f"r{i}", "e", condition=lambda o: True, action=record, priority=5)
 
     def batch():
         det.raise_event("e")
@@ -115,8 +115,8 @@ def test_fig3_dispatch_cost(executor_kind, benchmark):
     counter = {"fired": 0}
     for i in range(10):
         det.rule(
-            f"r{i}", "e", lambda o: True,
-            lambda o: counter.__setitem__("fired", counter["fired"] + 1),
+            f"r{i}", "e", condition=lambda o: True,
+            action=lambda o: counter.__setitem__("fired", counter["fired"] + 1),
             priority=5,
         )
     top = ntm.begin_top()

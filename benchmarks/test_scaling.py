@@ -20,7 +20,7 @@ def test_expression_depth_scaling(depth, benchmark):
     for leaf in leaves[1:]:
         expr = det.graph.seq(expr, leaf)
     hits = []
-    det.rule("r", expr, lambda o: True, hits.append)
+    det.rule("r", expr, condition=lambda o: True, action=hits.append)
 
     def full_match():
         det.flush()
@@ -40,7 +40,7 @@ def test_event_population_scaling(population, benchmark):
     det = LocalEventDetector()
     schema = ReactiveSchema(n_classes=population // 10 or 1, n_methods=10)
     schema.install(det)
-    det.rule("r", schema.event_name(0, 0), lambda o: True, lambda o: None)
+    det.rule("r", schema.event_name(0, 0), condition=lambda o: True, action=lambda o: None)
 
     benchmark(lambda: schema.signal(det, 0, 0))
     det.shutdown()
@@ -53,7 +53,7 @@ def test_rules_on_distinct_events_scaling(n_rules, benchmark):
     det = LocalEventDetector()
     for i in range(n_rules):
         node = det.explicit_event(f"e{i}")
-        det.rule(f"r{i}", node, lambda o: True, lambda o: None)
+        det.rule(f"r{i}", node, condition=lambda o: True, action=lambda o: None)
 
     benchmark(lambda: det.raise_event("e0"))
     det.shutdown()
@@ -70,7 +70,7 @@ def test_simultaneous_context_scaling(contexts, benchmark):
     node = det.and_("a", "b")
     all_contexts = list(ParameterContext)[:contexts]
     for i, ctx in enumerate(all_contexts):
-        det.rule(f"r{i}", node, lambda o: True, lambda o: None,
+        det.rule(f"r{i}", node, condition=lambda o: True, action=lambda o: None,
                  context=ctx.value)
 
     def pair():

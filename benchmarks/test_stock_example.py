@@ -6,9 +6,7 @@ trades, and rule R1 in cumulative/deferred mode firing exactly once at
 commit.
 """
 
-import pytest
 
-from repro.core.reactive import set_current_detector
 from repro.sentinel import Sentinel
 from repro.snoop import build_spec
 

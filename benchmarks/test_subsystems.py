@@ -5,7 +5,6 @@ These quantify the costs of the architecture's separable modules — the
 parts Figure 1 draws as boxes around the kernel.
 """
 
-import pytest
 
 from repro.core.detector import LocalEventDetector
 from repro.debugger import TraceRecorder
@@ -52,7 +51,7 @@ class TestGlobalDetection:
         # Global event: ticks from app0 and app1 in sequence.
         expr = ged.seq("app0.tick", "app1.tick")
         hits = []
-        ged.detector.rule("watch", expr, lambda o: True, hits.append)
+        ged.detector.rule("watch", expr, condition=lambda o: True, action=hits.append)
 
         def one_round():
             apps[0][0].raise_event("tick")
@@ -79,7 +78,7 @@ class TestEventLog:
     def test_logging_overhead(self, benchmark):
         det = LocalEventDetector()
         det.primitive_event("e", "C", "end", "m")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         attach_logger(det)
         benchmark(lambda: det.notify("o", "C", "m", "end", {"n": 1}))
         det.shutdown()
@@ -88,7 +87,7 @@ class TestEventLog:
         log = self._record(500)
         det = LocalEventDetector()
         det.primitive_event("e", "C", "end", "m")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         report = benchmark(lambda: replay(log, det, mode="collect"))
         assert report.events_replayed == 500
         det.shutdown()
@@ -102,14 +101,14 @@ class TestDebuggerOverhead:
     def test_without_tracer(self, benchmark):
         det = LocalEventDetector()
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         benchmark(self._run, det)
         det.shutdown()
 
     def test_with_tracer(self, benchmark):
         det = LocalEventDetector()
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         recorder = TraceRecorder(det).attach()
 
         def run_and_reset():

@@ -44,8 +44,8 @@ def trading_day(log_path):
     system.rule(
         "BigTrade",
         system.detector.or_(events["bought"], events["sold"]),
-        lambda occ: occ.params.value("qty") > 10_000,
-        lambda occ: alerts.append(occ.params.value("qty")),
+        condition=lambda occ: occ.params.value("qty") > 10_000,
+        action=lambda occ: alerts.append(occ.params.value("qty")),
     )
 
     desk = TradingDesk("mallory")
@@ -75,9 +75,9 @@ def audit(log_path):
     system.rule(
         "FrontRunning",
         tip_then_buy,
-        lambda occ: occ.params.value("symbol", "TradingDesk_tipped")
+        condition=lambda occ: occ.params.value("symbol", "TradingDesk_tipped")
         == occ.params.value("symbol", "TradingDesk_bought"),
-        lambda occ: suspicious.append(
+        action=lambda occ: suspicious.append(
             (occ.params.value("symbol", "TradingDesk_bought"),
              occ.params.value("qty"))
         ),

@@ -72,7 +72,7 @@ def main():
 
     set_current_detector(warehouse_app.detector)
     warehouse_app.rule(
-        "Procure", "procurement_needed", lambda occ: True, procure,
+        "Procure", "procurement_needed", condition=lambda occ: True, action=procure,
         coupling="detached",
     )
 

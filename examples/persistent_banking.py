@@ -53,8 +53,8 @@ def open_bank(directory):
     system.rule(
         "NoOverdraft",
         events["withdrawing"],
-        lambda occ: occ.params.value("amount") > 1000,  # policy limit
-        block,
+        condition=lambda occ: occ.params.value("amount") > 1000,  # policy limit
+        action=block,
         priority=100,
     )
 
@@ -63,8 +63,8 @@ def open_bank(directory):
     system.rule(
         "Audit",
         system.detector.or_(events["deposited"], events["withdrawn"]),
-        lambda occ: True,
-        lambda occ: audit_rows.append(
+        condition=lambda occ: True,
+        action=lambda occ: audit_rows.append(
             f"txn touched {len(occ.params.instances())} account(s), "
             f"{sum(1 for p in occ.params if p.class_name == 'Account')} "
             f"movement(s)"

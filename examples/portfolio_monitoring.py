@@ -73,8 +73,8 @@ def main():
     system.rule(
         "PanicAudit",
         system.event("Stock_drop_then_sell"),
-        lambda occ: True,
-        lambda occ: reports.append(
+        condition=lambda occ: True,
+        action=lambda occ: reports.append(
             "audit: cumulative panic-window activity "
             f"({len(occ.params)} constituent events)"
         ),
@@ -90,8 +90,8 @@ def main():
         "market_open", 10.0, "market_close", name="valuation_tick"
     )
     system.rule(
-        "Valuation", ticker, lambda occ: True,
-        lambda occ: reports.append(
+        "Valuation", ticker, condition=lambda occ: True,
+        action=lambda occ: reports.append(
             f"valuation snapshot at t={occ.params.value('time'):g}"
         ),
     )

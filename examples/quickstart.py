@@ -53,7 +53,7 @@ def main():
         print(f"    [R1 action] fired with prices={prices}, objects={symbols}")
 
     # rule R1(e4, cond1, action1, CUMULATIVE, DEFERRED, 10, NOW)
-    system.rule("R1", e4, cond1, action1,
+    system.rule("R1", e4, condition=cond1, action=action1,
                 context="cumulative", coupling="deferred",
                 priority=10, trigger_mode="now")
 

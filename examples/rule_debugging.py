@@ -47,15 +47,15 @@ def main():
     # audit entry — rule-triggers-rule, visible in the interaction graph.
     system.rule(
         "CoolDown", thermostat_events["reading"],
-        lambda occ: occ.params.value("temperature") > 28.0,
-        lambda occ: hvac.start_cooling(),
+        condition=lambda occ: occ.params.value("temperature") > 28.0,
+        action=lambda occ: hvac.start_cooling(),
         priority=10,
     )
     audit = []
     system.rule(
         "AuditCooling", hvac_events["cooling_started"],
-        lambda occ: True,
-        lambda occ: audit.append("cooling event recorded"),
+        condition=lambda occ: True,
+        action=lambda occ: audit.append("cooling event recorded"),
     )
 
     recorder = TraceRecorder(system.detector).attach()

@@ -42,8 +42,8 @@ def main():
     escalations = []
     system.rule(
         "Escalate", timeout,
-        when.param_at_least("severity", 2),  # only sev-2 and up escalate
-        lambda occ: escalations.append(
+        condition=when.param_at_least("severity", 2),  # only sev-2 and up escalate
+        action=lambda occ: escalations.append(
             f"ticket escalated (severity "
             f"{occ.params.value('severity')}) after {SLA:g}m silence"
         ),

@@ -53,8 +53,17 @@ from repro.sentinel import (
     FLUSH_ON_COMMIT_RULE,
     Sentinel,
     SentinelTransaction,
+    SystemReport,
 )
 from repro.storage.manager import StorageManager
+from repro.telemetry import (
+    CounterProcessor,
+    MetricsRegistry,
+    TelemetryHub,
+    TelemetryProcessor,
+    TimingProcessor,
+    TraceLogProcessor,
+)
 
 __version__ = "1.0.0"
 
@@ -92,5 +101,12 @@ __all__ = [
     "get_current_detector",
     "FLUSH_ON_COMMIT_RULE",
     "FLUSH_ON_ABORT_RULE",
+    "SystemReport",
+    "TelemetryHub",
+    "TelemetryProcessor",
+    "CounterProcessor",
+    "TimingProcessor",
+    "TraceLogProcessor",
+    "MetricsRegistry",
     "__version__",
 ]

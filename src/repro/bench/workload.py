@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.detector import LocalEventDetector
@@ -135,8 +135,8 @@ class RulePopulation:
             detector.rule(
                 name,
                 event,
-                self.condition or (lambda occ: True),
-                action,
+                condition=self.condition or (lambda occ: True),
+                action=action,
                 context=self.context,
                 priority=index % max(1, self.priority_spread),
             )

@@ -8,6 +8,8 @@ sources; this CLI exposes the same pipeline:
 * ``graph``   — build the spec and render the event graph as ASCII.
 * ``replay``  — run a JSON-lines event log (``repro.eventlog`` format)
   through a spec in collect mode and report which rules would fire.
+* ``trace``   — execute an event log through a spec with telemetry on
+  and print the resulting span trees plus the metrics summary.
 
 Conditions and actions referenced by the spec are stubbed (always-true
 conditions, counting actions), so specs can be validated without the
@@ -19,6 +21,7 @@ Usage::
     python -m repro codegen myspec.sentinel
     python -m repro graph myspec.sentinel
     python -m repro replay myspec.sentinel events.jsonl
+    python -m repro trace myspec.sentinel events.jsonl
 """
 
 from __future__ import annotations
@@ -124,6 +127,34 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Execute an event log with telemetry on; print the span trees."""
+    from repro.telemetry import CounterProcessor, TraceLogProcessor
+
+    spec = _load_spec(args.spec)
+    detector, __ = _build(spec)
+    trace_log = detector.telemetry.attach(
+        TraceLogProcessor(capacity=args.capacity)
+    )
+    counters = detector.telemetry.attach(CounterProcessor())
+    log = EventLog(args.log)
+    report = replay_log(log, detector, mode="execute")
+    print(f"replayed {report.events_replayed} events from {args.log}")
+    print()
+    sys.stdout.write(trace_log.render())
+    if args.metrics:
+        print()
+        print("counters:")
+        for name, value in counters.registry.to_dict()["counters"].items():
+            print(f"  {name}: {value}")
+        print("latency:")
+        for name, summary in counters.registry.to_dict()["histograms"].items():
+            print(f"  {name}: n={summary['count']} "
+                  f"mean={summary['mean_ms']}ms max={summary['max_ms']}ms")
+    detector.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -149,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("spec")
     rep.add_argument("log")
     rep.set_defaults(func=cmd_replay)
+
+    trace = sub.add_parser(
+        "trace", help="execute an event log and print trace span trees"
+    )
+    trace.add_argument("spec")
+    trace.add_argument("log")
+    trace.add_argument("--capacity", type=int, default=4096,
+                       help="trace ring-buffer size (default 4096)")
+    trace.add_argument("--no-metrics", dest="metrics", action="store_false",
+                       help="omit the counter/latency summary")
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -8,11 +8,11 @@ shapes so applications rarely need hand-written lambdas:
 
     system.rule(
         "BigIBMSale", events["sold"],
-        when.all_of(
+        condition=when.all_of(
             when.param_at_least("qty", 1000),
             when.param_equals("symbol", "IBM"),
         ),
-        action,
+        action=action,
     )
 
 Every combinator returns a plain ``condition(occurrence) -> bool``

@@ -34,7 +34,15 @@ from repro.core.events.primitive import (
     TemporalEventNode,
 )
 from repro.core.params import EventModifier, PrimitiveOccurrence, atomic
-from repro.core.rules import CouplingMode, Rule, RuleManager
+from repro.core.rules import (
+    Action,
+    Condition,
+    CouplingMode,
+    Rule,
+    RuleManager,
+    always,
+    resolve_positional_rule_args,
+)
 from repro.core.scheduler import (
     RuleActivation,
     RuleScheduler,
@@ -42,6 +50,14 @@ from repro.core.scheduler import (
     ThreadedExecutor,
 )
 from repro.errors import EventError, UnknownEvent
+from repro.telemetry.events import (
+    DetachedDispatch,
+    GraphPropagation,
+    NotificationReceived,
+    NotificationSuppressed,
+    RuleTriggered,
+)
+from repro.telemetry.hub import TelemetryHub
 from repro.transactions.nested import NestedTransaction, NestedTransactionManager
 
 if TYPE_CHECKING:
@@ -67,10 +83,15 @@ class LocalEventDetector:
         sharing: bool = True,
         error_policy: str = "raise",
         name: str = "app",
+        telemetry: Optional[TelemetryHub] = None,
     ):
         self.name = name
         self.clock = clock if clock is not None else LogicalClock()
-        self.graph = EventGraph(self.clock, sharing=sharing)
+        #: shared telemetry hub — dormant (near-no-op emit paths) until
+        #: a processor is attached.
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self.graph = EventGraph(self.clock, sharing=sharing,
+                                telemetry=self.telemetry)
         self.graph.set_emitter(self._on_trigger)
         self.rules = RuleManager(self)
         from repro.core.priorities import PriorityScheme
@@ -209,10 +230,31 @@ class LocalEventDetector:
     # Rule definition API
     # =====================================================================
 
-    def rule(self, name, event, condition, action, context="recent",
-             coupling="immediate", priority=1, trigger_mode="now",
-             enabled=True, scope="public", owner=None) -> Rule:
-        """Define a rule (paper §3.1 ``rule_spec``)."""
+    def rule(
+        self,
+        name: str,
+        event: "EventNode | str",
+        *deprecated_positional,
+        condition: Condition = always,
+        action: Optional[Action] = None,
+        context: str = "recent",
+        coupling: str = "immediate",
+        priority: int | str = 1,
+        trigger_mode: str = "now",
+        enabled: bool = True,
+        scope: str = "public",
+        owner: Optional[str] = None,
+    ) -> Rule:
+        """Define a rule (paper §3.1 ``rule_spec``).
+
+        ``condition`` and ``action`` are keyword-only; ``condition``
+        defaults to :func:`~repro.core.rules.always` (event-action
+        rules). Passing them positionally still works for one release
+        but emits a :class:`DeprecationWarning`.
+        """
+        condition, action = resolve_positional_rule_args(
+            deprecated_positional, condition, action
+        )
         return self.rules.create(
             name, event, condition, action,
             context=context, coupling=coupling, priority=priority,
@@ -240,8 +282,14 @@ class LocalEventDetector:
         a class-level and an instance-level event).
         """
         self.stats.notifications += 1
+        telemetry = self.telemetry
         if self._is_suppressed():
             self.stats.suppressed += 1
+            if telemetry.active:
+                telemetry.point(
+                    NotificationSuppressed,
+                    class_name=class_name, method_name=method_name,
+                )
             return []
         if isinstance(modifier, str):
             modifier = EventModifier.parse(modifier)
@@ -260,6 +308,8 @@ class LocalEventDetector:
             mro_names = [c.__name__ for c in type(instance).__mro__]
             if class_name in mro_names:
                 candidates = mro_names
+
+        traced = telemetry.active
 
         def propagate() -> None:
             nodes = [
@@ -286,11 +336,28 @@ class LocalEventDetector:
                 occurrences.append(occurrence)
                 for listener in self.occurrence_listeners:
                     listener(occurrence)
-                node.occur(occurrence)
+                if traced:
+                    with telemetry.span(
+                        GraphPropagation,
+                        event_name=node.display_name,
+                        operator=node.operator,
+                    ):
+                        node.occur(occurrence)
+                else:
+                    node.occur(occurrence)
                 if node.display_name in self._global_events:
                     self._forward_global(occurrence)
 
-        self._dispatch(propagate)
+        if traced:
+            with telemetry.span(
+                NotificationReceived,
+                class_name=class_name, method_name=method_name,
+                modifier=modifier.value,
+            ) as span:
+                self._dispatch(propagate)
+                span.set(matched=len(occurrences))
+        else:
+            self._dispatch(propagate)
         return occurrences
 
     def raise_event(self, name: str, txn_id: Optional[int] = None,
@@ -313,13 +380,30 @@ class LocalEventDetector:
             arguments=tuple((k, atomic(v)) for k, v in params.items()),
             txn_id=txn_id,
         )
-        self._dispatch(lambda: self._raise(node, occurrence))
+        telemetry = self.telemetry
+        if telemetry.active:
+            with telemetry.span(
+                NotificationReceived,
+                class_name="$EXPLICIT", method_name=name, modifier="raise",
+                source="explicit", matched=1,
+            ):
+                self._dispatch(lambda: self._raise(node, occurrence))
+        else:
+            self._dispatch(lambda: self._raise(node, occurrence))
         return occurrence
 
     def _raise(self, node: ExplicitEventNode, occ: PrimitiveOccurrence) -> None:
         for listener in self.occurrence_listeners:
             listener(occ)
-        node.occur(occ)
+        telemetry = self.telemetry
+        if telemetry.active:
+            with telemetry.span(
+                GraphPropagation,
+                event_name=node.display_name, operator=node.operator,
+            ):
+                node.occur(occ)
+        else:
+            node.occur(occ)
         if node.display_name in self._global_events:
             self._forward_global(occ)
 
@@ -387,8 +471,20 @@ class LocalEventDetector:
         self.stats.triggers += 1
         for listener in self.trigger_listeners:
             listener(rule, occurrence)
+        telemetry = self.telemetry
+        parent_span_id = None
+        if telemetry.active:
+            # Capture the triggering scope so the rule span links to it
+            # even when it runs on another thread (threaded/detached).
+            parent_span_id = telemetry.current_span_id()
+            telemetry.point(
+                RuleTriggered,
+                rule_name=rule.name,
+                event_name=getattr(occurrence, "event_name", "?"),
+            )
         activation = RuleActivation(
-            rule, occurrence, parent_txn=self.current_transaction()
+            rule, occurrence, parent_txn=self.current_transaction(),
+            parent_span_id=parent_span_id,
         )
         frames = self._frames()
         if frames:
@@ -412,6 +508,12 @@ class LocalEventDetector:
             self.scheduler.run(immediate)
         for activation in detached:
             self.stats.detached_dispatches += 1
+            if self.telemetry.active:
+                self.telemetry.point(
+                    DetachedDispatch,
+                    parent_id=activation.parent_span_id,
+                    rule_name=activation.rule.name,
+                )
             if self.detached_handler is not None:
                 self.detached_handler(activation)
             else:

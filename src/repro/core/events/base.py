@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.core.contexts import ParameterContext
 from repro.core.params import CompositeOccurrence, Occurrence
+from repro.telemetry.events import Detection
 
 if TYPE_CHECKING:
     from repro.core.events.graph import EventGraph
@@ -115,6 +116,14 @@ class EventNode:
     def signal(self, occurrence: Occurrence, ctx: ParameterContext) -> None:
         """Deliver a detection of this node to its subscribers."""
         self.graph.stats.detections += 1
+        telemetry = self.graph.telemetry
+        if telemetry.active:
+            telemetry.point(
+                Detection,
+                event_name=self.display_name,
+                operator=self.operator,
+                context=ctx.value,
+            )
         if self.graph.observers:
             self.graph.notify_observers(self, occurrence, ctx)
         for parent, port in self.event_subscribers:

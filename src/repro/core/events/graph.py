@@ -9,7 +9,7 @@ disabled for the ABL-SHARE ablation benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 from repro.clock import Clock
@@ -37,6 +37,7 @@ if TYPE_CHECKING:
     from repro.core.contexts import ParameterContext
     from repro.core.params import Occurrence
     from repro.core.rules import Rule
+    from repro.telemetry.hub import TelemetryHub
 
 
 @dataclass
@@ -52,9 +53,14 @@ class GraphStats:
 class EventGraph:
     """Registry and factory for event nodes."""
 
-    def __init__(self, clock: Clock, sharing: bool = True):
+    def __init__(self, clock: Clock, sharing: bool = True,
+                 telemetry: Optional["TelemetryHub"] = None):
+        from repro.telemetry.hub import TelemetryHub
+
         self.clock = clock
         self.sharing = sharing
+        #: shared telemetry hub; nodes emit Detection events through it
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
         self.stats = GraphStats()
         self._nodes: list[EventNode] = []
         self._by_name: dict[str, EventNode] = {}

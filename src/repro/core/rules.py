@@ -130,6 +130,51 @@ def always(occurrence: Occurrence) -> bool:
     return True
 
 
+def resolve_positional_rule_args(
+    deprecated_positional: tuple,
+    condition: Condition,
+    action: Optional[Action],
+    stacklevel: int = 3,
+) -> tuple[Condition, Action]:
+    """One-release shim for the keyword-first ``rule()`` signature.
+
+    ``rule(name, event, condition, action)`` used to take the condition
+    and action positionally; they are keyword-only now. Positional
+    callers still work but get a :class:`DeprecationWarning` pointing at
+    their call site.
+    """
+    if deprecated_positional:
+        import warnings
+
+        if len(deprecated_positional) > 2:
+            raise TypeError(
+                "rule() takes at most 2 positional condition/action "
+                f"arguments (got {len(deprecated_positional)}); pass "
+                "context/coupling/priority/... as keywords"
+            )
+        warnings.warn(
+            "passing condition/action positionally to rule() is "
+            "deprecated; use rule(name, event, condition=..., action=...)",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        # Legacy order: rule(name, event, condition[, action]).
+        if condition is not always:
+            raise RuleError(
+                "rule() got condition both positionally and as a keyword"
+            )
+        condition = deprecated_positional[0]
+        if len(deprecated_positional) == 2:
+            if action is not None:
+                raise RuleError(
+                    "rule() got action both positionally and as a keyword"
+                )
+            action = deprecated_positional[1]
+    if action is None:
+        raise RuleError("rule() requires an action= callable")
+    return condition, action
+
+
 class Rule:
     """One ECA rule, subscribed to the root node of its event graph."""
 

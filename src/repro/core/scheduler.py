@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import groupby
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.params import Occurrence
 from repro.core.rules import Rule
 from repro.errors import RuleExecutionError
+from repro.telemetry.events import ConditionEvaluated, RuleExecution
+from repro.telemetry.hub import TelemetrySpan
 from repro.transactions.nested import NestedTransaction, NestedTransactionManager
 
 if TYPE_CHECKING:
@@ -46,6 +48,9 @@ class RuleActivation:
     #: transaction the rule subtransaction nests under (captured when
     #: the trigger happened, so worker threads inherit the right parent)
     parent_txn: Optional[NestedTransaction] = None
+    #: telemetry scope open when the trigger happened; the rule span
+    #: links here even when it executes on another thread (detached)
+    parent_span_id: Optional[int] = None
     depth: int = 0
 
     @property
@@ -166,9 +171,28 @@ class RuleScheduler:
 
     def run_one(self, activation: RuleActivation) -> None:
         """Fig. 3's ``cond_action``: condition+action in a subtransaction."""
+        telemetry = self._detector.telemetry
+        if not telemetry.active:
+            return self._run_one(activation, None)
+        rule = activation.rule
+        with telemetry.span(
+            RuleExecution,
+            parent_id=activation.parent_span_id,
+            rule_name=rule.name,
+            coupling=rule.coupling.value,
+            depth=self._depth() + 1,
+        ) as span:
+            return self._run_one(activation, span)
+
+    def _run_one(self, activation: RuleActivation,
+                 span: Optional[TelemetrySpan]) -> None:
         rule = activation.rule
         depth = self._depth() + 1
         if depth > self.MAX_DEPTH:
+            if span is not None:
+                # Not counted as a rule failure: the error is charged to
+                # the triggering rule whose action caused the recursion.
+                span.set(outcome="depth_exceeded")
             raise RuleExecutionError(
                 rule.name,
                 "nesting",
@@ -191,10 +215,12 @@ class RuleScheduler:
             # executing a rule is itself a potential primitive event
             # (class $RULE, method = rule name), enabling meta-rules.
             self._signal_rule_event(rule, "begin")
-            self._evaluate(rule, activation.occurrence)
+            executed = self._evaluate(rule, activation.occurrence, span)
             self._signal_rule_event(rule, "end")
             if sub is not None:
                 sub.commit()
+            if span is not None:
+                span.set(outcome="completed" if executed else "rejected")
             self._notify("done", rule, activation.occurrence, depth=depth)
         except Exception as exc:
             if sub is not None:
@@ -204,6 +230,8 @@ class RuleScheduler:
             )
             self.stats.failures += 1
             self.errors.append(error)
+            if span is not None:
+                span.set(outcome="failed")
             self._notify("failed", rule, activation.occurrence,
                          depth=depth, error=error)
             if self.error_policy == "raise":
@@ -222,20 +250,34 @@ class RuleScheduler:
             {"rule": rule.name, "priority": rule.priority},
         )
 
-    def _evaluate(self, rule: Rule, occurrence: Occurrence) -> None:
+    def _evaluate(self, rule: Rule, occurrence: Occurrence,
+                  span: Optional[TelemetrySpan] = None) -> bool:
+        """Condition then action; returns True iff the action ran."""
         # Conditions are side-effect free: suppress event signaling so a
         # condition calling an event-generating method does not trigger
         # rules (paper §3.2.1's global acknowledge flag).
-        with self._detector.signals_suppressed():
-            try:
-                satisfied = bool(rule.condition(occurrence))
-            except Exception as exc:
-                raise RuleExecutionError(rule.name, "condition", exc) from exc
+        condition_span = None
+        if span is not None:
+            condition_span = self._detector.telemetry.span(
+                ConditionEvaluated, rule_name=rule.name
+            )
+        satisfied = False
+        try:
+            with self._detector.signals_suppressed():
+                try:
+                    satisfied = bool(rule.condition(occurrence))
+                except Exception as exc:
+                    raise RuleExecutionError(
+                        rule.name, "condition", exc
+                    ) from exc
+        finally:
+            if condition_span is not None:
+                condition_span.close(satisfied=satisfied)
         self._notify("condition", rule, occurrence, satisfied=satisfied,
                      depth=self._depth())
         if not satisfied:
             self.stats.condition_rejections += 1
-            return
+            return False
         try:
             rule.action(occurrence)
         except RuleExecutionError:
@@ -244,6 +286,7 @@ class RuleScheduler:
             raise RuleExecutionError(rule.name, "action", exc) from exc
         rule.executed_count += 1
         self.stats.executions += 1
+        return True
 
     def shutdown(self) -> None:
         self.executor.shutdown()

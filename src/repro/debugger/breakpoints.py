@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import enum
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.detector import LocalEventDetector
 from repro.core.params import Occurrence
 from repro.core.rules import Rule
-from repro.errors import RuleExecutionError, SentinelError
+from repro.errors import SentinelError
 
 
 class BreakAction(enum.Enum):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.detector import LocalEventDetector
 

@@ -11,7 +11,6 @@ them; in ``execute`` mode rules actually run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.detector import LocalEventDetector
 from repro.core.params import EventModifier

@@ -10,11 +10,10 @@ events — which typically carry detached rules.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Union
 
 from repro.core.detector import LocalEventDetector
 from repro.core.params import Occurrence, PrimitiveOccurrence
-from repro.errors import GlobalDetectorError
 from repro.globaldet.channel import Channel
 
 if TYPE_CHECKING:

@@ -17,7 +17,6 @@ from typing import TYPE_CHECKING, Optional, Union
 from repro.clock import Clock
 from repro.core.detector import LocalEventDetector
 from repro.core.events.base import EventNode
-from repro.core.params import PrimitiveOccurrence
 from repro.errors import GlobalDetectorError, UnknownApplication
 from repro.globaldet.application import Application
 
@@ -106,8 +105,8 @@ class GlobalEventDetector:
 
         self.detector.rule(
             rule_name, global_event,
-            condition if condition is not None else (lambda occ: True),
-            deliver,
+            condition=condition if condition is not None else (lambda occ: True),
+            action=deliver,
             context=context,
         )
         return rule_name

@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import threading
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.errors import InvalidTransactionState
 from repro.oodb.address_space import AddressSpaceManager
@@ -23,6 +23,7 @@ from repro.oodb.name_manager import NameManager
 from repro.oodb.object_model import OID, ClassRegistry, Persistent
 from repro.oodb.persistence import IndexJournal, PersistenceManager
 from repro.storage.manager import StorageManager, StorageTransaction, TxnStatus
+from repro.telemetry.hub import TelemetryHub
 
 TxnHook = Callable[["OODBTransaction"], None]
 
@@ -92,9 +93,11 @@ class OpenOODB:
     """Passive object database: the substrate Sentinel makes active."""
 
     def __init__(self, directory: str | os.PathLike, pool_size: int = 128,
-                 lock_timeout: float = 10.0):
+                 lock_timeout: float = 10.0,
+                 telemetry: Optional[TelemetryHub] = None):
         self.storage = StorageManager(
-            directory, pool_size=pool_size, lock_timeout=lock_timeout
+            directory, pool_size=pool_size, lock_timeout=lock_timeout,
+            telemetry=telemetry,
         )
         self.registry = ClassRegistry()
         self.address_space = AddressSpaceManager()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from repro.errors import ObjectNotFound
 from repro.oodb import translation

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.clock import Clock
@@ -35,16 +37,68 @@ from repro.core.deferred import (
     ensure_system_events,
 )
 from repro.core.detector import LocalEventDetector
+from repro.core.events.primitive import (
+    ExplicitEventNode,
+    PrimitiveEventNode,
+    TemporalEventNode,
+)
+from repro.core.params import EventModifier, PrimitiveOccurrence
 from repro.core.reactive import Reactive, set_current_detector
-from repro.core.rules import Rule
+from repro.core.rules import (
+    Action,
+    Condition,
+    Rule,
+    always,
+    resolve_positional_rule_args,
+)
 from repro.core.scheduler import RuleActivation, SerialExecutor, ThreadedExecutor
 from repro.errors import InvalidTransactionState
 from repro.oodb.database import OODBTransaction, OpenOODB
 from repro.oodb.object_model import Persistent
+from repro.telemetry.events import TransactionSpan
+from repro.telemetry.hub import TelemetryHub, TelemetrySpan
+from repro.telemetry.processors import CounterProcessor
 from repro.transactions.nested import NestedTransaction, NestedTransactionManager
 
 FLUSH_ON_COMMIT_RULE = "$flush_on_commit"
 FLUSH_ON_ABORT_RULE = "$flush_on_abort"
+
+
+@dataclass
+class SystemReport:
+    """A status snapshot across every module of the active system.
+
+    Counter values come from the telemetry metrics registry (the
+    default :class:`~repro.telemetry.processors.CounterProcessor`);
+    structural numbers (node counts, enabled rules, resident objects)
+    are read live. ``to_dict()`` returns the pre-telemetry dict shape
+    and ``report["events"]``-style indexing keeps old callers working.
+    """
+
+    name: str
+    events: dict[str, int]
+    notifications: dict[str, int]
+    rules: dict[str, int]
+    storage: Optional[dict[str, Any]] = None
+    #: the full metrics-registry dump (counters + latency histograms)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "events": dict(self.events),
+            "notifications": dict(self.notifications),
+            "rules": dict(self.rules),
+        }
+        if self.storage is not None:
+            data["storage"] = dict(self.storage)
+        return data
+
+    def __getitem__(self, key: str) -> Any:
+        return self.to_dict()[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.to_dict()
 
 
 class _SpecDocument(Persistent):
@@ -68,6 +122,9 @@ class SentinelTransaction:
         self.root = root
         self.oodb = oodb_txn
         self.finished = False
+        #: telemetry scope covering the whole transaction (None when no
+        #: processor was attached at begin time)
+        self.span: Optional[TelemetrySpan] = None
 
     @property
     def txn_id(self) -> int:
@@ -130,14 +187,22 @@ class Sentinel:
         flush_on_boundaries: bool = True,
         pool_size: int = 128,
         activate: bool = True,
+        metrics: bool = True,
     ):
         self.name = name
+        #: one telemetry hub shared by every layer (detector, event
+        #: graph, nested transactions, WAL, buffer pool); attach
+        #: processors here to observe the whole system.
+        self.telemetry = TelemetryHub()
+        self.metrics: Optional[CounterProcessor] = (
+            self.telemetry.attach(CounterProcessor()) if metrics else None
+        )
         self.db: Optional[OpenOODB] = (
-            OpenOODB(directory, pool_size=pool_size)
+            OpenOODB(directory, pool_size=pool_size, telemetry=self.telemetry)
             if directory is not None
             else None
         )
-        self.txns = NestedTransactionManager()
+        self.txns = NestedTransactionManager(telemetry=self.telemetry)
         self.detector = LocalEventDetector(
             clock=clock,
             executor=executor,
@@ -145,10 +210,13 @@ class Sentinel:
             sharing=sharing,
             error_policy=error_policy,
             name=name,
+            telemetry=self.telemetry,
         )
         ensure_system_events(self.detector)
         self.detector.detached_handler = self._run_detached
         self._detached_threads: list[threading.Thread] = []
+        self._detached_lock = threading.Lock()
+        self._closing = False
         self._local = threading.local()
         self._closed = False
         if flush_on_boundaries:
@@ -208,24 +276,63 @@ class Sentinel:
             return cls.register_events(self.detector, prefix=prefix)
         return {}
 
-    # Event / rule definition passthroughs.
-    def primitive_event(self, *args, **kwargs):
-        return self.detector.primitive_event(*args, **kwargs)
+    # Event / rule definition passthroughs (typed mirrors of the
+    # detector API, so the facade is self-documenting).
+    def primitive_event(
+        self,
+        name: str,
+        class_or_instance: Any,
+        modifier: EventModifier | str,
+        method_name: str,
+        snapshot_state: bool = False,
+    ) -> PrimitiveEventNode:
+        return self.detector.primitive_event(
+            name, class_or_instance, modifier, method_name,
+            snapshot_state=snapshot_state,
+        )
 
-    def explicit_event(self, *args, **kwargs):
-        return self.detector.explicit_event(*args, **kwargs)
+    def explicit_event(self, name: str) -> ExplicitEventNode:
+        return self.detector.explicit_event(name)
 
-    def temporal_event(self, *args, **kwargs):
-        return self.detector.temporal_event(*args, **kwargs)
+    def temporal_event(self, name: str, at: Optional[float] = None,
+                       every: Optional[float] = None) -> TemporalEventNode:
+        return self.detector.temporal_event(name, at=at, every=every)
 
     def event(self, name: str):
         return self.detector.event(name)
 
-    def rule(self, *args, **kwargs) -> Rule:
-        return self.detector.rule(*args, **kwargs)
+    def rule(
+        self,
+        name: str,
+        event: Any,
+        *deprecated_positional,
+        condition: Condition = always,
+        action: Optional[Action] = None,
+        context: str = "recent",
+        coupling: str = "immediate",
+        priority: int | str = 1,
+        trigger_mode: str = "now",
+        enabled: bool = True,
+        scope: str = "public",
+        owner: Optional[str] = None,
+    ) -> Rule:
+        """Define a rule; ``condition``/``action`` are keyword-only
+        (``condition`` defaults to always-true). Positional
+        condition/action still work for one release with a
+        :class:`DeprecationWarning`."""
+        condition, action = resolve_positional_rule_args(
+            deprecated_positional, condition, action
+        )
+        return self.detector.rule(
+            name, event, condition=condition, action=action,
+            context=context, coupling=coupling, priority=priority,
+            trigger_mode=trigger_mode, enabled=enabled,
+            scope=scope, owner=owner,
+        )
 
-    def raise_event(self, *args, **kwargs):
-        return self.detector.raise_event(*args, **kwargs)
+    def raise_event(self, name: str, txn_id: Optional[int] = None,
+                    **params: Any) -> PrimitiveOccurrence:
+        return self.detector.raise_event(name, txn_id=txn_id, **params)
 
     def advance_time(self, delta: float) -> None:
         self.detector.advance_time(delta)
@@ -244,6 +351,13 @@ class Sentinel:
         top_id = oodb_txn.txn_id if oodb_txn is not None else None
         root = self.txns.begin_top(label=f"{self.name}-txn", top_level_id=top_id)
         txn = SentinelTransaction(self, root, oodb_txn)
+        if self.telemetry.active:
+            # The root of this transaction's trace tree. It stays on the
+            # thread's span stack until commit/abort, so every notify,
+            # rule, and WAL flush in between nests under it.
+            txn.span = self.telemetry.open_span(
+                TransactionSpan, txn_id=txn.txn_id
+            )
         self._local.txn = txn
         self.detector.set_current_transaction(root)
         # "The begin transaction event is always signaled at the
@@ -270,7 +384,7 @@ class Sentinel:
         # transaction tree is still alive.
         self.detector.signal_system_event(COMMIT_TRANSACTION, txn.txn_id)
         txn.root.commit()
-        self._finish(txn)
+        self._finish(txn, outcome="committed")
 
     def abort(self, txn: Optional[SentinelTransaction] = None) -> None:
         """Abort: storage rollback, abort events (graph flush), tree abort."""
@@ -279,7 +393,7 @@ class Sentinel:
             self.db.abort(txn.oodb)
         self.detector.signal_system_event(ABORT_TRANSACTION, txn.txn_id)
         txn.root.abort()
-        self._finish(txn)
+        self._finish(txn, outcome="aborted")
 
     def _on_db_pre_commit(self, oodb_txn: OODBTransaction) -> None:
         txn = self.current()
@@ -294,8 +408,12 @@ class Sentinel:
             raise InvalidTransactionState("no active Sentinel transaction")
         return txn
 
-    def _finish(self, txn: SentinelTransaction) -> None:
+    def _finish(self, txn: SentinelTransaction,
+                outcome: str = "committed") -> None:
         txn.finished = True
+        if txn.span is not None:
+            txn.span.close(outcome=outcome)
+            txn.span = None
         if self.current() is txn:
             self._local.txn = None
         self.detector.set_current_transaction(None)
@@ -334,15 +452,13 @@ class Sentinel:
         self.detector.rule(
             FLUSH_ON_COMMIT_RULE,
             COMMIT_TRANSACTION,
-            lambda occ: True,
-            flush_action,
+            action=flush_action,
             priority=-1_000_000,  # run after every user rule
         )
         self.detector.rule(
             FLUSH_ON_ABORT_RULE,
             ABORT_TRANSACTION,
-            lambda occ: True,
-            flush_action,
+            action=flush_action,
             priority=-1_000_000,
         )
 
@@ -377,16 +493,40 @@ class Sentinel:
         thread = threading.Thread(
             target=body, name=f"detached-{activation.rule.name}", daemon=True
         )
-        self._detached_threads.append(thread)
-        thread.start()
+        with self._detached_lock:
+            if self._closing:
+                # close() is draining detached threads; starting a new
+                # one would race the join loop. Run the rule inline —
+                # same fresh top-level transaction, just synchronous.
+                thread = None
+            else:
+                self._detached_threads.append(thread)
+        if thread is None:
+            body()
+        else:
+            thread.start()
 
     def wait_detached(self, timeout: float = 10.0) -> None:
-        """Join all detached-rule threads (tests and orderly shutdown)."""
-        for thread in self._detached_threads:
-            thread.join(timeout)
-        self._detached_threads = [
-            t for t in self._detached_threads if t.is_alive()
-        ]
+        """Join all detached-rule threads (tests and orderly shutdown).
+
+        Loops until no detached thread is alive (a detached rule may
+        itself trigger further detached rules) or ``timeout`` seconds
+        have elapsed; finished threads are pruned under the lock.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._detached_lock:
+                self._detached_threads = [
+                    t for t in self._detached_threads if t.is_alive()
+                ]
+                pending = list(self._detached_threads)
+            if not pending:
+                return
+            for thread in pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return
+                thread.join(remaining)
 
     # =====================================================================
     # Persistent specifications (rules stored in the database)
@@ -455,48 +595,79 @@ class Sentinel:
     # Introspection
     # =====================================================================
 
-    def report(self) -> dict:
-        """A status snapshot across every module (operations/debugging)."""
+    def report(self) -> SystemReport:
+        """A status snapshot across every module (operations/debugging).
+
+        Counters come from the telemetry metrics registry (the default
+        :class:`~repro.telemetry.processors.CounterProcessor`); with
+        ``metrics=False`` the legacy per-module stats objects are read
+        instead — the values are identical (see the telemetry parity
+        tests).
+        """
         detector = self.detector
-        data = {
-            "name": self.name,
-            "events": {
-                "nodes": len(detector.graph),
-                "named": len(detector.graph.names()),
-                "shared_hits": detector.graph.stats.shared_hits,
-                "detections": detector.graph.stats.detections,
-                "propagations": detector.graph.stats.propagations,
-            },
-            "notifications": {
-                "received": detector.stats.notifications,
-                "suppressed": detector.stats.suppressed,
-                "triggers": detector.stats.triggers,
-                "detached": detector.stats.detached_dispatches,
-            },
-            "rules": {
-                "defined": len(detector.rules),
-                "enabled": sum(1 for r in detector.rules.all() if r.enabled),
-                "executions": detector.scheduler.stats.executions,
-                "condition_rejections":
-                    detector.scheduler.stats.condition_rejections,
-                "failures": detector.scheduler.stats.failures,
-                "max_nesting": detector.scheduler.stats.max_depth_seen,
-            },
+        registry = self.metrics.registry if self.metrics is not None else None
+
+        def counter(name: str, fallback: int) -> int:
+            return registry.value(name) if registry is not None else fallback
+
+        events = {
+            "nodes": len(detector.graph),
+            "named": len(detector.graph.names()),
+            "shared_hits": detector.graph.stats.shared_hits,
+            "detections": counter(
+                "graph.detections", detector.graph.stats.detections
+            ),
+            "propagations": detector.graph.stats.propagations,
         }
+        notifications = {
+            "received": counter(
+                "detector.notifications", detector.stats.notifications
+            ),
+            "suppressed": counter(
+                "detector.suppressed", detector.stats.suppressed
+            ),
+            "triggers": counter("rules.triggers", detector.stats.triggers),
+            "detached": counter(
+                "detector.detached_dispatches",
+                detector.stats.detached_dispatches,
+            ),
+        }
+        scheduler_stats = detector.scheduler.stats
+        rules = {
+            "defined": len(detector.rules),
+            "enabled": sum(1 for r in detector.rules.all() if r.enabled),
+            "executions": counter(
+                "rules.executions", scheduler_stats.executions
+            ),
+            "condition_rejections": counter(
+                "rules.condition_rejections",
+                scheduler_stats.condition_rejections,
+            ),
+            "failures": counter("rules.failures", scheduler_stats.failures),
+            "max_nesting": scheduler_stats.max_depth_seen,
+        }
+        storage = None
         if self.db is not None:
             stats = self.db.storage.buffer_pool.stats
-            data["storage"] = {
+            storage = {
                 "objects": len(self.db.persistence),
                 "names": len(self.db.names.names()),
                 "resident": len(self.db.address_space),
                 "buffer_hit_rate": round(stats.hit_rate(), 3),
                 "wal_flushed_lsn": self.db.storage.wal.flushed_lsn,
             }
-        return data
+        return SystemReport(
+            name=self.name,
+            events=events,
+            notifications=notifications,
+            rules=rules,
+            storage=storage,
+            metrics=registry.to_dict() if registry is not None else {},
+        )
 
     def report_text(self) -> str:
         """The report rendered as an indented text block."""
-        data = self.report()
+        data = self.report().to_dict()
         lines = [f"Sentinel system {data.pop('name')!r}"]
         for section, content in data.items():
             lines.append(f"  {section}:")
@@ -512,6 +683,11 @@ class Sentinel:
         """Shut down: join detached rules, abort open work, close the DB."""
         if self._closed:
             return
+        with self._detached_lock:
+            # From here on, detached dispatches run inline on their
+            # triggering thread instead of spawning (see _run_detached),
+            # so the drain below cannot race new thread creation.
+            self._closing = True
         self.wait_detached()
         current = self.current()
         if current is not None and not current.finished:

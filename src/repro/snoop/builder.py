@@ -210,7 +210,7 @@ class SpecBuilder:
         if rule_def.trigger_mode:
             kwargs["trigger_mode"] = rule_def.trigger_mode
         rule = self._detector.rule(
-            rule_def.name, event, condition, action, **kwargs
+            rule_def.name, event, condition=condition, action=action, **kwargs
         )
         self.rules[rule_def.name] = rule
 

@@ -11,13 +11,15 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import BufferError_
 from repro.storage.disk import DiskManager
 from repro.storage.page import SlottedPage
 from repro.storage.wal import WriteAheadLog
+from repro.telemetry.events import BufferEviction
+from repro.telemetry.hub import TelemetryHub
 
 
 @dataclass
@@ -49,12 +51,14 @@ class BufferPool:
         disk: DiskManager,
         capacity: int = 128,
         wal: Optional[WriteAheadLog] = None,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         if capacity < 1:
             raise BufferError_("buffer pool needs at least one frame")
         self._disk = disk
         self._capacity = capacity
         self._wal = wal
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self._lock = threading.RLock()
         self.stats = BufferStats()
@@ -133,9 +137,14 @@ class BufferPool:
             return
         for page_id, frame in self._frames.items():
             if frame.pin_count == 0:
+                was_dirty = frame.dirty
                 self._write_back(page_id, frame)
                 del self._frames[page_id]
                 self.stats.evictions += 1
+                if self.telemetry.active:
+                    self.telemetry.point(
+                        BufferEviction, page_id=page_id, dirty=was_dirty
+                    )
                 return
         raise BufferError_(
             f"all {self._capacity} frames are pinned; cannot evict"

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
-from repro.errors import InvalidTransactionState, TransactionAborted
+from repro.errors import InvalidTransactionState
 from repro.storage import serializer
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
@@ -28,6 +28,7 @@ from repro.storage.heap import HeapFile, RecordId
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.telemetry.hub import TelemetryHub
 
 
 class TxnStatus(enum.Enum):
@@ -66,12 +67,14 @@ class StorageManager:
         directory: str | os.PathLike,
         pool_size: int = 128,
         lock_timeout: float = 10.0,
+        telemetry: Optional[TelemetryHub] = None,
     ):
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._disk = DiskManager(self._dir / self.DATA_FILE)
-        self._wal = WriteAheadLog(self._dir / self.LOG_FILE)
-        self._pool = BufferPool(self._disk, capacity=pool_size, wal=self._wal)
+        self._wal = WriteAheadLog(self._dir / self.LOG_FILE, telemetry=telemetry)
+        self._pool = BufferPool(self._disk, capacity=pool_size, wal=self._wal,
+                                telemetry=telemetry)
         self._locks = LockManager(timeout=lock_timeout)
         self._heap = HeapFile(self._pool, pages=list(range(self._disk.num_pages)))
         self._txn_ids = itertools.count(1)

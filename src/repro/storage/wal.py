@@ -23,6 +23,8 @@ from typing import Iterator, Optional
 
 from repro.errors import WALError
 from repro.storage import serializer
+from repro.telemetry.events import WalFlush
+from repro.telemetry.hub import TelemetryHub
 
 _FRAME = struct.Struct("<II")  # length, crc
 
@@ -104,9 +106,11 @@ class WriteAheadLog:
     commit calls ``flush()`` for durability.
     """
 
-    def __init__(self, path: str | os.PathLike):
+    def __init__(self, path: str | os.PathLike,
+                 telemetry: Optional[TelemetryHub] = None):
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
         self._lock = threading.Lock()
         self._buffer: list[bytes] = []
         self._next_lsn = 0
@@ -175,11 +179,22 @@ class WriteAheadLog:
                 return
             if not self._buffer:
                 return
-            self._file.write(b"".join(self._buffer))
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self._flushed_lsn = self._next_lsn - 1
-            self._buffer.clear()
+            if not self.telemetry.active:
+                self._write_out()
+                return
+            with self.telemetry.span(
+                WalFlush, records=len(self._buffer)
+            ) as span:
+                self._write_out()
+                span.set(flushed_lsn=self._flushed_lsn)
+
+    def _write_out(self) -> None:
+        """Write and fsync the buffered frames (lock held)."""
+        self._file.write(b"".join(self._buffer))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._flushed_lsn = self._next_lsn - 1
+        self._buffer.clear()
 
     def records(self) -> Iterator[LogRecord]:
         """Iterate over all durable records, oldest first."""

@@ -1,0 +1,78 @@
+"""Unified telemetry: trace spans and a metrics registry.
+
+The observability layer the paper's BEAST measurements presuppose:
+every lifecycle stage of Figure 1 (notification, graph propagation,
+composite detection, condition evaluation, rule subtransactions,
+detached dispatch, WAL flush, buffer eviction) emits a frozen-dataclass
+trace event through a :class:`TelemetryHub` to pluggable, best-effort
+:class:`TelemetryProcessor`\\ s. With no processor attached the
+instrumented paths reduce to a single flag check.
+
+Quickstart::
+
+    from repro import Sentinel
+    from repro.telemetry import TraceLogProcessor
+
+    system = Sentinel()
+    trace = system.telemetry.attach(TraceLogProcessor())
+    with system.transaction():
+        ...                       # signal events, fire rules
+    print(trace.render())         # the span tree of that transaction
+
+See ``docs/observability.md`` for the event taxonomy and a processor
+cookbook.
+"""
+
+from repro.telemetry.events import (
+    ALL_EVENT_TYPES,
+    BufferEviction,
+    ConditionEvaluated,
+    DetachedDispatch,
+    Detection,
+    GraphPropagation,
+    NotificationReceived,
+    NotificationSuppressed,
+    RuleExecution,
+    RuleTriggered,
+    SubtransactionBoundary,
+    TraceEvent,
+    TransactionSpan,
+    WalFlush,
+)
+from repro.telemetry.hub import INHERIT, TelemetryHub, TelemetrySpan
+from repro.telemetry.processors import (
+    Counter,
+    CounterProcessor,
+    Histogram,
+    MetricsRegistry,
+    TelemetryProcessor,
+    TimingProcessor,
+    TraceLogProcessor,
+)
+
+__all__ = [
+    "TelemetryHub",
+    "TelemetrySpan",
+    "TelemetryProcessor",
+    "CounterProcessor",
+    "TimingProcessor",
+    "TraceLogProcessor",
+    "MetricsRegistry",
+    "Counter",
+    "Histogram",
+    "TraceEvent",
+    "ALL_EVENT_TYPES",
+    "NotificationReceived",
+    "NotificationSuppressed",
+    "RuleTriggered",
+    "DetachedDispatch",
+    "GraphPropagation",
+    "Detection",
+    "ConditionEvaluated",
+    "RuleExecution",
+    "SubtransactionBoundary",
+    "TransactionSpan",
+    "WalFlush",
+    "BufferEviction",
+    "INHERIT",
+]

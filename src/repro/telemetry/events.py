@@ -1,0 +1,233 @@
+"""Trace events: one frozen dataclass per lifecycle stage.
+
+Every stage of Figure 1's control flow — a Notify arriving at the
+detector, propagation through the event graph, a composite detection in
+a parameter context, condition evaluation, the rule subtransaction, a
+detached dispatch, the WAL flush, a buffer eviction — emits a typed,
+immutable event carrying tracing context:
+
+* ``span_id`` uniquely identifies the scope,
+* ``parent_span_id`` links it into the enclosing scope (``None`` for
+  roots), which is how detached rules stay attached to the trace tree
+  of the transaction that triggered them,
+* ``at`` is the ``perf_counter`` timestamp at scope *entry*,
+* ``duration_ms`` is the scope's wall-clock duration (``0.0`` for
+  instantaneous point events).
+
+Span events are emitted when their scope *closes*, so in a trace log
+children always precede their parents; processors that want a tree
+(:class:`~repro.telemetry.processors.TraceLogProcessor`) rebuild it
+from the parent links.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+
+@dataclass(frozen=True, kw_only=True)
+class TraceEvent:
+    """Base class: tracing context shared by every telemetry event."""
+
+    #: short lifecycle-stage tag used by renderers and metric names
+    stage: ClassVar[str] = "event"
+    #: spans have a duration; point events are instantaneous
+    is_span: ClassVar[bool] = False
+
+    span_id: int
+    parent_span_id: Optional[int]
+    at: float
+    duration_ms: float = 0.0
+
+    def summary(self) -> str:
+        """The stage-specific fields as ``key=value`` text."""
+        base = {"span_id", "parent_span_id", "at", "duration_ms"}
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+            if f.name not in base
+        ]
+        return " ".join(parts)
+
+
+# =========================================================================
+# Detector stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class NotificationReceived(TraceEvent):
+    """A Notify (method event or explicit raise) entered the detector.
+
+    The span covers graph propagation *and* the immediate rules the
+    notification transitively triggered, so rule spans nest inside it.
+    """
+
+    stage: ClassVar[str] = "notify"
+    is_span: ClassVar[bool] = True
+
+    class_name: str
+    method_name: str
+    modifier: str
+    #: "method" for wrapper Notify calls, "explicit" for raise_event
+    source: str = "method"
+    #: primitive event nodes that matched (set when the span closes)
+    matched: int = 0
+
+
+@dataclass(frozen=True, kw_only=True)
+class NotificationSuppressed(TraceEvent):
+    """A Notify arrived while signaling was suppressed (condition eval)."""
+
+    stage: ClassVar[str] = "suppressed"
+
+    class_name: str
+    method_name: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class RuleTriggered(TraceEvent):
+    """A detection matched a rule subscription (before scheduling)."""
+
+    stage: ClassVar[str] = "trigger"
+
+    rule_name: str
+    event_name: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class DetachedDispatch(TraceEvent):
+    """A DETACHED-coupled activation was handed to the detached runner."""
+
+    stage: ClassVar[str] = "detached"
+
+    rule_name: str
+
+
+# =========================================================================
+# Event graph stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class GraphPropagation(TraceEvent):
+    """One primitive occurrence propagating through the event graph.
+
+    The span covers ``node.occur`` — i.e. the full data-flow cascade
+    that one source occurrence causes, composite detections included.
+    """
+
+    stage: ClassVar[str] = "propagate"
+    is_span: ClassVar[bool] = True
+
+    event_name: str
+    operator: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class Detection(TraceEvent):
+    """An event node detected an occurrence in one parameter context."""
+
+    stage: ClassVar[str] = "detect"
+
+    event_name: str
+    operator: str
+    context: str
+
+
+# =========================================================================
+# Rule execution stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class ConditionEvaluated(TraceEvent):
+    """A rule condition ran (with event signaling suppressed)."""
+
+    stage: ClassVar[str] = "condition"
+    is_span: ClassVar[bool] = True
+
+    rule_name: str
+    satisfied: bool = False
+
+
+@dataclass(frozen=True, kw_only=True)
+class RuleExecution(TraceEvent):
+    """One rule subtransaction (Fig. 3's ``cond_action``).
+
+    ``outcome`` is ``completed`` (condition held, action ran),
+    ``rejected`` (condition false) or ``failed`` (condition or action
+    raised). For detached rules ``parent_span_id`` points back into the
+    triggering transaction's trace tree.
+    """
+
+    stage: ClassVar[str] = "rule"
+    is_span: ClassVar[bool] = True
+
+    rule_name: str
+    coupling: str
+    depth: int
+    outcome: str = "completed"
+
+
+@dataclass(frozen=True, kw_only=True)
+class SubtransactionBoundary(TraceEvent):
+    """A nested (rule) subtransaction began, committed, or aborted."""
+
+    stage: ClassVar[str] = "subtxn"
+
+    kind: str  # "begin" | "commit" | "abort"
+    txn_id: int
+    label: str
+    depth: int
+
+
+@dataclass(frozen=True, kw_only=True)
+class TransactionSpan(TraceEvent):
+    """A top-level Sentinel transaction — the root of a trace tree."""
+
+    stage: ClassVar[str] = "txn"
+    is_span: ClassVar[bool] = True
+
+    txn_id: int
+    outcome: str = "committed"
+
+
+# =========================================================================
+# Storage stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class WalFlush(TraceEvent):
+    """The write-ahead log forced buffered records to disk."""
+
+    stage: ClassVar[str] = "wal.flush"
+    is_span: ClassVar[bool] = True
+
+    records: int
+    flushed_lsn: int = -1
+
+
+@dataclass(frozen=True, kw_only=True)
+class BufferEviction(TraceEvent):
+    """The buffer pool evicted a frame (write-back if it was dirty)."""
+
+    stage: ClassVar[str] = "buffer.evict"
+
+    page_id: int
+    dirty: bool
+
+
+ALL_EVENT_TYPES: tuple[type[TraceEvent], ...] = (
+    NotificationReceived,
+    NotificationSuppressed,
+    RuleTriggered,
+    DetachedDispatch,
+    GraphPropagation,
+    Detection,
+    ConditionEvaluated,
+    RuleExecution,
+    SubtransactionBoundary,
+    TransactionSpan,
+    WalFlush,
+    BufferEviction,
+)

@@ -1,0 +1,184 @@
+"""The telemetry hub: span bookkeeping and best-effort dispatch.
+
+One :class:`TelemetryHub` is shared by every module of a Sentinel
+instance (detector, event graph, scheduler, transaction manager,
+storage). Instrumented code checks the hub's ``active`` flag — a plain
+attribute, true iff at least one processor is attached — before doing
+any tracing work, so with zero processors the emit path costs one
+attribute read and a branch.
+
+Dispatch is synchronous and best-effort: a processor that raises never
+breaks event detection or rule execution; the exception is counted in
+``hub.dropped`` and remembered in ``hub.last_error``.
+
+Span parentage is tracked with a per-thread stack. Opening a span
+pushes its id; closing pops it and emits the frozen event. Work handed
+to another thread (detached rules, threaded executors) carries its
+parent span id explicitly via the ``parent_id`` argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.telemetry.events import TraceEvent
+
+if TYPE_CHECKING:
+    from repro.telemetry.processors import TelemetryProcessor
+
+#: sentinel distinguishing "inherit parent from this thread's stack"
+#: from an explicit parent (including an explicit ``None`` root).
+INHERIT: Any = object()
+
+
+class TelemetrySpan:
+    """An open scope; emits its frozen event when closed.
+
+    Usable as a context manager or closed manually (``open_span`` /
+    ``close``) for scopes that straddle method calls, like a top-level
+    transaction. Extra event fields may be filled in while the span is
+    open with :meth:`set`.
+    """
+
+    __slots__ = (
+        "_hub", "_cls", "_fields", "span_id", "parent_span_id",
+        "started", "_open",
+    )
+
+    def __init__(self, hub: "TelemetryHub", cls: type[TraceEvent],
+                 parent_id: Any, fields: dict):
+        self._hub = hub
+        self._cls = cls
+        self._fields = fields
+        self.span_id = next(hub._ids)
+        stack = hub._stack()
+        if parent_id is INHERIT:
+            self.parent_span_id = stack[-1] if stack else None
+        else:
+            self.parent_span_id = parent_id
+        stack.append(self.span_id)
+        self._open = True
+        self.started = perf_counter()
+
+    def set(self, **fields: Any) -> "TelemetrySpan":
+        """Update stage-specific fields before the span closes."""
+        self._fields.update(fields)
+        return self
+
+    def close(self, **fields: Any) -> None:
+        """Pop the span and emit its event (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        elapsed_ms = (perf_counter() - self.started) * 1000.0
+        stack = self._hub._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        else:  # unbalanced close (error paths); drop our frame anyway
+            try:
+                stack.remove(self.span_id)
+            except ValueError:
+                pass
+        if fields:
+            self._fields.update(fields)
+        self._hub.dispatch(self._cls(
+            span_id=self.span_id,
+            parent_span_id=self.parent_span_id,
+            at=self.started,
+            duration_ms=elapsed_ms,
+            **self._fields,
+        ))
+
+    def __enter__(self) -> "TelemetrySpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class TelemetryHub:
+    """Dispatches trace events to attached processors."""
+
+    def __init__(self) -> None:
+        #: fast-path flag: instrumented code reads this before tracing
+        self.active = False
+        #: processor exceptions swallowed so far (best-effort dispatch)
+        self.dropped = 0
+        self.last_error: Optional[BaseException] = None
+        self._processors: list["TelemetryProcessor"] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # -- processors ----------------------------------------------------------
+
+    @property
+    def processors(self) -> tuple["TelemetryProcessor", ...]:
+        return tuple(self._processors)
+
+    def attach(self, processor: "TelemetryProcessor") -> "TelemetryProcessor":
+        """Add a processor and enable the instrumented paths."""
+        self._processors.append(processor)
+        self.active = True
+        return processor
+
+    def detach(self, processor: "TelemetryProcessor") -> None:
+        """Remove a processor; the hub goes dormant with none left."""
+        try:
+            self._processors.remove(processor)
+        except ValueError:
+            pass
+        self.active = bool(self._processors)
+
+    # -- span context --------------------------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- emission ------------------------------------------------------------
+
+    def span(self, cls: type[TraceEvent], *, parent_id: Any = INHERIT,
+             **fields: Any) -> TelemetrySpan:
+        """Open a scope; use as ``with hub.span(Cls, ...) as sp:``."""
+        return TelemetrySpan(self, cls, parent_id, fields)
+
+    # A long-lived scope (a transaction) opens here and closes later
+    # with ``span.close(outcome=...)``.
+    open_span = span
+
+    def point(self, cls: type[TraceEvent], *, parent_id: Any = INHERIT,
+              **fields: Any) -> Optional[TraceEvent]:
+        """Emit an instantaneous event parented to the current span."""
+        if not self.active:
+            return None
+        if parent_id is INHERIT:
+            parent_id = self.current_span_id()
+        event = cls(
+            span_id=next(self._ids),
+            parent_span_id=parent_id,
+            at=perf_counter(),
+            duration_ms=0.0,
+            **fields,
+        )
+        self.dispatch(event)
+        return event
+
+    def dispatch(self, event: TraceEvent) -> None:
+        """Deliver ``event`` to every processor, isolating failures."""
+        for processor in self._processors:
+            try:
+                processor.handle(event)
+            except Exception as error:  # a processor must never break rules
+                self.dropped += 1
+                self.last_error = error

@@ -24,6 +24,8 @@ from typing import Any, Callable, Hashable, Iterator, Optional
 
 from repro.errors import InvalidTransactionState
 from repro.storage.locks import LockMode
+from repro.telemetry.events import SubtransactionBoundary
+from repro.telemetry.hub import TelemetryHub
 from repro.transactions.locks import NestedLockManager
 
 
@@ -174,11 +176,19 @@ class NestedTransaction:
 class NestedTransactionManager:
     """Creates and completes transaction trees."""
 
-    def __init__(self, lock_timeout: float = 10.0):
+    def __init__(self, lock_timeout: float = 10.0,
+                 telemetry: Optional[TelemetryHub] = None):
         self.locks = NestedLockManager(timeout=lock_timeout)
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
         self._ids = itertools.count(1)
         self._roots: dict[int, NestedTransaction] = {}
         self._mutex = threading.Lock()
+
+    def _trace(self, kind: str, txn: NestedTransaction) -> None:
+        self.telemetry.point(
+            SubtransactionBoundary, kind=kind, txn_id=txn.txn_id,
+            label=txn.label, depth=txn.depth,
+        )
 
     # -- creation -----------------------------------------------------------------
 
@@ -203,6 +213,8 @@ class NestedTransactionManager:
             txn = NestedTransaction(next(self._ids), self, parent=parent, label=label)
         with parent._lock:
             parent.children.append(txn)
+        if self.telemetry.active:
+            self._trace("begin", txn)
         return txn
 
     # -- completion -----------------------------------------------------------------
@@ -220,6 +232,8 @@ class NestedTransactionManager:
         if txn.parent is None:
             with self._mutex:
                 self._roots.pop(txn.txn_id, None)
+        elif self.telemetry.active:
+            self._trace("commit", txn)
 
     def abort(self, txn: NestedTransaction) -> None:
         txn.require_active()
@@ -232,6 +246,8 @@ class NestedTransactionManager:
         if txn.parent is None:
             with self._mutex:
                 self._roots.pop(txn.txn_id, None)
+        elif self.telemetry.active:
+            self._trace("abort", txn)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -25,7 +25,7 @@ class TestReactiveSchema:
         schema = ReactiveSchema(n_classes=2, n_methods=2)
         schema.install(det)
         fired = []
-        det.rule("r", "C1_m0", lambda o: True, fired.append)
+        det.rule("r", "C1_m0", condition=lambda o: True, action=fired.append)
         schema.signal(det, 0, 0)
         schema.signal(det, 1, 0, tag="yes")
         schema.signal(det, 1, 1)

@@ -33,8 +33,8 @@ def collect(detector, event, context="recent", **kwargs):
     detector.rule(
         f"collector{next(_rule_ids)}",
         event,
-        lambda occ: True,
-        fired.append,
+        condition=lambda occ: True,
+        action=fired.append,
         context=context,
         **kwargs,
     )

@@ -98,7 +98,7 @@ class TestDotExport:
         from repro.debugger import render_dot
 
         expr = evs.seq(evs.and_("a", "b"), "c", name="watched")
-        evs.rule("R", expr, lambda o: True, lambda o: None)
+        evs.rule("R", expr, condition=lambda o: True, action=lambda o: None)
         dot = render_dot(evs.graph)
         assert dot.startswith("digraph sentinel_events {")
         assert 'label="SEQ\\nwatched"' in dot

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.detector import LocalEventDetector
 from repro.core.scheduler import ThreadedExecutor
-from repro.errors import RuleExecutionError
 from repro.transactions.nested import NestedTransactionManager, TxnState
 
 
@@ -40,7 +39,7 @@ class TestConcurrentSubtransactions:
             counter["value"] = current + 1
 
         for i in range(4):
-            det.rule(f"bump{i}", "e", lambda o: True, bump, priority=5)
+            det.rule(f"bump{i}", "e", condition=lambda o: True, action=bump, priority=5)
         top = ntm.begin_top()
         det.set_current_transaction(top)
         det.raise_event("e")
@@ -66,9 +65,9 @@ class TestConcurrentSubtransactions:
                 completed.append(tag)
             return action
 
-        det.rule("ab", "e", lambda o: True, make_action("a", "b", "ab"),
+        det.rule("ab", "e", condition=lambda o: True, action=make_action("a", "b", "ab"),
                  priority=5)
-        det.rule("ba", "e", lambda o: True, make_action("b", "a", "ba"),
+        det.rule("ba", "e", condition=lambda o: True, action=make_action("b", "a", "ba"),
                  priority=5)
         top = ntm.begin_top()
         det.set_current_transaction(top)
@@ -102,8 +101,8 @@ class TestConcurrentSubtransactions:
             sub.protect(doc)  # snapshots whatever it sees
             raise ValueError("fails after protecting")
 
-        det.rule("good", "e", lambda o: True, good, priority=10)
-        det.rule("bad", "e", lambda o: True, bad, priority=1)
+        det.rule("good", "e", condition=lambda o: True, action=good, priority=10)
+        det.rule("bad", "e", condition=lambda o: True, action=bad, priority=1)
         top = ntm.begin_top()
         det.set_current_transaction(top)
         det.raise_event("e")
@@ -123,7 +122,7 @@ class TestConcurrentSubtransactions:
             with lock:
                 fired.append(occ.params.value("tag"))
 
-        det.rule("collect", "e", lambda o: True, record)
+        det.rule("collect", "e", condition=lambda o: True, action=record)
 
         def app_thread(tag):
             for i in range(20):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import conditions as when
-from tests.core.conftest import collect
 
 
 @pytest.fixture()
@@ -16,41 +15,41 @@ def evs(det):
 class TestParamPredicates:
     def test_param_equals(self, evs):
         ran = []
-        evs.rule("r", "a", when.param_equals("sym", "IBM"), ran.append)
+        evs.rule("r", "a", condition=when.param_equals("sym", "IBM"), action=ran.append)
         evs.raise_event("a", sym="DEC")
         evs.raise_event("a", sym="IBM")
         assert len(ran) == 1
 
     def test_param_thresholds(self, evs):
         hits = {"above": 0, "at_least": 0, "below": 0}
-        evs.rule("above", "a", when.param_above("n", 5),
-                 lambda o: hits.__setitem__("above", hits["above"] + 1))
-        evs.rule("at_least", "a", when.param_at_least("n", 5),
-                 lambda o: hits.__setitem__("at_least", hits["at_least"] + 1))
-        evs.rule("below", "a", when.param_below("n", 5),
-                 lambda o: hits.__setitem__("below", hits["below"] + 1))
+        evs.rule("above", "a", condition=when.param_above("n", 5),
+                 action=lambda o: hits.__setitem__("above", hits["above"] + 1))
+        evs.rule("at_least", "a", condition=when.param_at_least("n", 5),
+                 action=lambda o: hits.__setitem__("at_least", hits["at_least"] + 1))
+        evs.rule("below", "a", condition=when.param_below("n", 5),
+                 action=lambda o: hits.__setitem__("below", hits["below"] + 1))
         for n in (4, 5, 6):
             evs.raise_event("a", n=n)
         assert hits == {"above": 1, "at_least": 2, "below": 1}
 
     def test_missing_param_is_false(self, evs):
         ran = []
-        evs.rule("r", "a", when.param_equals("ghost", 1), ran.append)
+        evs.rule("r", "a", condition=when.param_equals("ghost", 1), action=ran.append)
         evs.raise_event("a", n=1)
         assert ran == []
 
     def test_param_matches_predicate(self, evs):
         ran = []
-        evs.rule("r", "a", when.param_matches("word", str.isupper),
-                 ran.append)
+        evs.rule("r", "a", condition=when.param_matches("word", str.isupper),
+                 action=ran.append)
         evs.raise_event("a", word="quiet")
         evs.raise_event("a", word="LOUD")
         assert len(ran) == 1
 
     def test_total_above_with_cumulative(self, evs):
         ran = []
-        evs.rule("r", evs.and_("a", "b"), when.total_above("n", 10),
-                 ran.append, context="cumulative")
+        evs.rule("r", evs.and_("a", "b"), condition=when.total_above("n", 10),
+                 action=ran.append, context="cumulative")
         evs.raise_event("a", n=4)
         evs.raise_event("a", n=5)
         evs.raise_event("b", n=3)  # total 12 > 10
@@ -60,7 +59,7 @@ class TestParamPredicates:
         evs.explicit_event("c")
         ran = []
         evs.rule("r", evs.aperiodic_star("a", "b", "c"),
-                 when.count_at_least("b", 2), ran.append)
+                 condition=when.count_at_least("b", 2), action=ran.append)
         evs.raise_event("a")
         evs.raise_event("b")
         evs.raise_event("c")  # closes window with 1 b -> rejected
@@ -77,7 +76,7 @@ class TestCorrelation:
         withdraw = det.primitive_event("wd", "Acct", "end", "withdraw")
         ran = []
         det.rule("r", det.seq(deposit, withdraw),
-                 when.same_instance(), ran.append, context="chronicle")
+                 condition=when.same_instance(), action=ran.append, context="chronicle")
         det.notify("acct-1", "Acct", "deposit", "end")
         det.notify("acct-2", "Acct", "withdraw", "end")  # different object
         assert ran == []
@@ -87,8 +86,8 @@ class TestCorrelation:
 
     def test_same_param_join(self, evs):
         ran = []
-        evs.rule("r", evs.seq("a", "b"), when.same_param("sku", "a", "b"),
-                 ran.append, context="chronicle")
+        evs.rule("r", evs.seq("a", "b"), condition=when.same_param("sku", "a", "b"),
+                 action=ran.append, context="chronicle")
         evs.raise_event("a", sku="X")
         evs.raise_event("b", sku="Y")
         evs.raise_event("a", sku="Z")
@@ -103,23 +102,23 @@ class TestComposition:
             when.param_above("n", 0),
             when.negate(when.param_above("n", 10)),
         )
-        evs.rule("r", "a", condition, ran.append)
+        evs.rule("r", "a", condition=condition, action=ran.append)
         for n in (-1, 5, 20):
             evs.raise_event("a", n=n)
         assert len(ran) == 1
 
         ran2 = []
-        evs.rule("r2", "a", when.any_of(
+        evs.rule("r2", "a", condition=when.any_of(
             when.param_equals("n", 1), when.param_equals("n", 2)
-        ), ran2.append)
+        ), action=ran2.append)
         for n in (1, 2, 3):
             evs.raise_event("a", n=n)
         assert len(ran2) == 2
 
     def test_always_never(self, evs):
         hits = []
-        evs.rule("yes", "a", when.always, lambda o: hits.append("yes"))
-        evs.rule("no", "a", when.never, lambda o: hits.append("no"))
+        evs.rule("yes", "a", condition=when.always, action=lambda o: hits.append("yes"))
+        evs.rule("no", "a", condition=when.never, action=lambda o: hits.append("no"))
         evs.raise_event("a")
         assert hits == ["yes"]
 
@@ -127,7 +126,7 @@ class TestComposition:
 class TestTimePredicates:
     def test_within_window(self, evs):
         ran = []
-        evs.rule("fast", evs.seq("a", "b"), when.within(2.0), ran.append,
+        evs.rule("fast", evs.seq("a", "b"), condition=when.within(2.0), action=ran.append,
                  context="chronicle")
         evs.raise_event("a")
         evs.raise_event("b")  # 1 tick apart: within 2
@@ -162,8 +161,8 @@ class TestDatabaseQueryConditions:
             return any(a.balance < 0 for a in txn.extent(Account))
 
         flagged = []
-        system.rule("Overdraft", events["moved"], any_overdrawn,
-                    flagged.append)
+        system.rule("Overdraft", events["moved"], condition=any_overdrawn,
+                    action=flagged.append)
         with system.transaction() as txn:
             alice = Account("alice", 100.0)
             bob = Account("bob", 10.0)

@@ -22,14 +22,14 @@ def system():
 class TestImmediate:
     def test_fires_during_transaction(self, system):
         ran = []
-        system.rule("imm", "e", lambda o: True, ran.append)
+        system.rule("imm", "e", condition=lambda o: True, action=ran.append)
         with system.transaction():
             system.raise_event("e")
             assert len(ran) == 1  # before commit
 
     def test_fires_outside_transaction_too(self, system):
         ran = []
-        system.rule("imm", "e", lambda o: True, ran.append)
+        system.rule("imm", "e", condition=lambda o: True, action=ran.append)
         system.raise_event("e")
         assert len(ran) == 1
 
@@ -37,7 +37,7 @@ class TestImmediate:
 class TestDeferred:
     def test_runs_at_pre_commit_not_at_event(self, system):
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         with system.transaction():
             system.raise_event("e")
@@ -47,7 +47,7 @@ class TestDeferred:
     def test_exactly_once_despite_many_triggers(self, system):
         """Net-effect: N occurrences of E, one deferred execution."""
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         with system.transaction():
             for __ in range(5):
@@ -56,7 +56,7 @@ class TestDeferred:
 
     def test_parameters_accumulated_across_transaction(self, system):
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         with system.transaction():
             system.raise_event("e", n=1)
@@ -65,7 +65,7 @@ class TestDeferred:
 
     def test_no_event_no_execution(self, system):
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         with system.transaction():
             pass
@@ -73,7 +73,7 @@ class TestDeferred:
 
     def test_rewritten_event_graph_matches_paper(self, system):
         """E becomes A*(begin_txn, E, pre_commit_txn)."""
-        rule = system.rule("def", "e", lambda o: True, lambda o: None,
+        rule = system.rule("def", "e", condition=lambda o: True, action=lambda o: None,
                            coupling="deferred")
         assert rule.event.operator == "A*"
         children = rule.event.children
@@ -83,7 +83,7 @@ class TestDeferred:
 
     def test_aborted_transaction_never_runs_deferred_rules(self, system):
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         txn = system.begin()
         system.raise_event("e")
@@ -92,7 +92,7 @@ class TestDeferred:
 
     def test_second_transaction_independent(self, system):
         ran = []
-        system.rule("def", "e", lambda o: True, ran.append,
+        system.rule("def", "e", condition=lambda o: True, action=ran.append,
                     coupling="deferred")
         with system.transaction():
             system.raise_event("e", n=1)
@@ -110,7 +110,7 @@ class TestDetached:
             txn = system.detector.current_transaction()
             seen.append((txn.root().label, txn.depth))
 
-        system.rule("det", "e", lambda o: True, action, coupling="detached")
+        system.rule("det", "e", condition=lambda o: True, action=action, coupling="detached")
         with system.transaction():
             system.raise_event("e")
         system.wait_detached()
@@ -126,7 +126,7 @@ class TestTransactionBoundaryFlush:
         system.explicit_event("f")
         fired = []
         system.rule("pair", system.detector.and_("e", "f"),
-                    lambda o: True, fired.append)
+                    condition=lambda o: True, action=fired.append)
         with system.transaction():
             system.raise_event("e")
         with system.transaction():
@@ -137,7 +137,7 @@ class TestTransactionBoundaryFlush:
         system.explicit_event("f")
         fired = []
         system.rule("pair", system.detector.and_("e", "f"),
-                    lambda o: True, fired.append)
+                    condition=lambda o: True, action=fired.append)
         txn = system.begin()
         system.raise_event("e")
         system.abort(txn)
@@ -151,7 +151,7 @@ class TestTransactionBoundaryFlush:
         system.explicit_event("f")
         fired = []
         system.rule("pair", system.detector.and_("e", "f"),
-                    lambda o: True, fired.append)
+                    condition=lambda o: True, action=fired.append)
         with system.transaction():
             system.raise_event("e")
         with system.transaction():
@@ -173,15 +173,15 @@ class TestTransactionBoundaryFlush:
 class TestTransactionEvents:
     def test_user_rule_on_begin_transaction(self, system):
         ran = []
-        system.rule("audit", BEGIN_TRANSACTION, lambda o: True, ran.append)
+        system.rule("audit", BEGIN_TRANSACTION, condition=lambda o: True, action=ran.append)
         with system.transaction():
             pass
         assert len(ran) == 1
 
     def test_transaction_ids_flow_into_occurrences(self, system):
         ids = []
-        system.rule("r", "e", lambda o: True,
-                    lambda o: ids.append(o.params[0].txn_id))
+        system.rule("r", "e", condition=lambda o: True,
+                    action=lambda o: ids.append(o.params[0].txn_id))
         with system.transaction() as txn:
             system.raise_event("e")
             expected = txn.txn_id

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.params import EventModifier
 from repro.errors import DuplicateEvent, EventError, UnknownEvent
 from tests.core.conftest import collect
 
@@ -109,7 +108,7 @@ class TestSuppression:
             return True
 
         ran = []
-        det.rule("sneaky", "outer", sneaky_condition, ran.append)
+        det.rule("sneaky", "outer", condition=sneaky_condition, action=ran.append)
         det.raise_event("outer")
         assert ran  # the rule itself ran
         assert inner_fired == []  # but its condition triggered nothing
@@ -196,7 +195,7 @@ class TestCollectMode:
     def test_collect_mode_records_instead_of_executing(self, det):
         det.explicit_event("e")
         ran = []
-        det.rule("r", "e", lambda o: True, ran.append)
+        det.rule("r", "e", condition=lambda o: True, action=ran.append)
         det.collect_mode = True
         det.raise_event("e")
         assert ran == []

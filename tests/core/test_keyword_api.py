@@ -1,0 +1,83 @@
+"""The keyword-first rule() API and its one-release positional shim."""
+
+import pytest
+
+from repro import Sentinel
+from repro.core.detector import LocalEventDetector
+from repro.core.rules import always, resolve_positional_rule_args
+from repro.errors import RuleError
+
+
+@pytest.fixture
+def det():
+    detector = LocalEventDetector()
+    detector.explicit_event("e")
+    yield detector
+    detector.shutdown()
+
+
+def test_keyword_call_is_clean(det, recwarn):
+    det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
+    assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+def test_condition_defaults_to_always(det):
+    fired = []
+    det.rule("r", "e", action=lambda o: fired.append(1))
+    det.raise_event("e")
+    assert fired == [1]
+
+
+def test_positional_condition_action_warns_but_works(det):
+    fired = []
+    with pytest.warns(DeprecationWarning,
+                      match="condition/action positionally"):
+        det.rule("r", "e", lambda o: True, lambda o: fired.append(1))
+    det.raise_event("e")
+    assert fired == [1]
+
+
+def test_positional_condition_with_keyword_action(det):
+    fired = []
+    with pytest.warns(DeprecationWarning):
+        det.rule("r", "e", lambda o: True,
+                 action=lambda o: fired.append(1))
+    det.raise_event("e")
+    assert fired == [1]
+
+
+def test_sentinel_facade_shim_warns():
+    system = Sentinel(name="shim")
+    system.explicit_event("e")
+    with pytest.warns(DeprecationWarning):
+        system.rule("r", "e", lambda o: True, lambda o: None)
+    system.close()
+
+
+def test_action_is_required(det):
+    with pytest.raises(RuleError, match="requires an action"):
+        det.rule("r", "e", condition=lambda o: True)
+
+
+def test_condition_given_twice_rejected(det):
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(RuleError, match="condition both"):
+            det.rule("r", "e", lambda o: True,
+                     condition=lambda o: False, action=lambda o: None)
+
+
+def test_action_given_twice_rejected(det):
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(RuleError, match="action both"):
+            det.rule("r", "e", lambda o: True, lambda o: None,
+                     action=lambda o: None)
+
+
+def test_too_many_positionals_rejected(det):
+    with pytest.raises(TypeError, match="at most 2 positional"):
+        det.rule("r", "e", lambda o: True, lambda o: None, "recent")
+
+
+def test_resolver_passthrough_for_keywords():
+    cond, act = resolve_positional_rule_args((), always, print)
+    assert cond is always and act is print

@@ -18,38 +18,38 @@ def e(det):
 class TestRuleExecutionEvents:
     def test_end_of_rule_execution_signals(self, e):
         audit = []
-        e.rule("worker", "e", lambda o: True, lambda o: None)
+        e.rule("worker", "e", condition=lambda o: True, action=lambda o: None)
         node = e.rule_execution_event("worker_done", "worker")
-        e.rule("meta", node, lambda o: True, audit.append)
+        e.rule("meta", node, condition=lambda o: True, action=audit.append)
         e.raise_event("e")
         assert len(audit) == 1
         assert audit[0].params.value("rule") == "worker"
 
     def test_begin_variant_fires_before_condition(self, e):
         order = []
-        e.rule("worker", "e", lambda o: (order.append("condition"), True)[1],
-               lambda o: order.append("action"))
+        e.rule("worker", "e", condition=lambda o: (order.append("condition"), True)[1],
+               action=lambda o: order.append("action"))
         node = e.rule_execution_event("worker_begin", "worker",
                                       modifier="begin")
-        e.rule("meta", node, lambda o: True,
-               lambda o: order.append("meta"))
+        e.rule("meta", node, condition=lambda o: True,
+               action=lambda o: order.append("meta"))
         e.raise_event("e")
         assert order == ["meta", "condition", "action"]
 
     def test_rejected_condition_still_ends_execution(self, e):
         audit = []
-        e.rule("worker", "e", lambda o: False, lambda o: None)
+        e.rule("worker", "e", condition=lambda o: False, action=lambda o: None)
         node = e.rule_execution_event("worker_done", "worker")
-        e.rule("meta", node, lambda o: True, audit.append)
+        e.rule("meta", node, condition=lambda o: True, action=audit.append)
         e.raise_event("e")
         assert len(audit) == 1  # the execution happened; action didn't
 
     def test_failed_rule_does_not_signal_end(self, e):
         audit = []
-        e.rule("worker", "e", lambda o: True,
-               lambda o: (_ for _ in ()).throw(ValueError("x")))
+        e.rule("worker", "e", condition=lambda o: True,
+               action=lambda o: (_ for _ in ()).throw(ValueError("x")))
         node = e.rule_execution_event("worker_done", "worker")
-        e.rule("meta", node, lambda o: True, audit.append)
+        e.rule("meta", node, condition=lambda o: True, action=audit.append)
         with pytest.raises(RuleExecutionError):
             e.raise_event("e")
         assert audit == []
@@ -57,14 +57,14 @@ class TestRuleExecutionEvents:
     def test_composite_over_rule_executions(self, e):
         """A sequence of two different rules' executions."""
         e.explicit_event("f")
-        e.rule("first", "e", lambda o: True, lambda o: None)
-        e.rule("second", "f", lambda o: True, lambda o: None)
+        e.rule("first", "e", condition=lambda o: True, action=lambda o: None)
+        e.rule("second", "f", condition=lambda o: True, action=lambda o: None)
         seq = e.seq(
             e.rule_execution_event("first_done", "first"),
             e.rule_execution_event("second_done", "second"),
         )
         hits = []
-        e.rule("meta", seq, lambda o: True, hits.append)
+        e.rule("meta", seq, condition=lambda o: True, action=hits.append)
         e.raise_event("f")  # wrong order: second before first
         e.raise_event("e")
         assert hits == []
@@ -73,7 +73,7 @@ class TestRuleExecutionEvents:
 
     def test_no_overhead_without_meta_events(self, e):
         """Rule-class events are only signaled when declared."""
-        e.rule("worker", "e", lambda o: True, lambda o: None)
+        e.rule("worker", "e", condition=lambda o: True, action=lambda o: None)
         before = e.stats.notifications
         e.raise_event("e")
         assert e.stats.notifications == before  # raise_event is no notify

@@ -56,21 +56,21 @@ class TestNamedPrioritiesInScheduling:
     def test_rules_in_named_classes_ordered(self, e):
         e.priorities.define_ordered(["alarm", "log"])
         order = []
-        e.rule("r_log", "e", lambda o: True,
-               lambda o: order.append("log"), priority="log")
-        e.rule("r_alarm", "e", lambda o: True,
-               lambda o: order.append("alarm"), priority="alarm")
+        e.rule("r_log", "e", condition=lambda o: True,
+               action=lambda o: order.append("log"), priority="log")
+        e.rule("r_alarm", "e", condition=lambda o: True,
+               action=lambda o: order.append("alarm"), priority="alarm")
         e.raise_event("e")
         assert order == ["alarm", "log"]
 
     def test_mixed_named_and_integer_priorities(self, e):
         e.priorities.define("mid", 5)
         order = []
-        e.rule("low", "e", lambda o: True, lambda o: order.append("low"),
+        e.rule("low", "e", condition=lambda o: True, action=lambda o: order.append("low"),
                priority=1)
-        e.rule("named", "e", lambda o: True, lambda o: order.append("named"),
+        e.rule("named", "e", condition=lambda o: True, action=lambda o: order.append("named"),
                priority="mid")
-        e.rule("high", "e", lambda o: True, lambda o: order.append("high"),
+        e.rule("high", "e", condition=lambda o: True, action=lambda o: order.append("high"),
                priority=10)
         e.raise_event("e")
         assert order == ["high", "named", "low"]
@@ -80,9 +80,9 @@ class TestNamedPrioritiesInScheduling:
         e.priorities.define("a", 10)
         e.priorities.define("b", 5)
         order = []
-        e.rule("ra", "e", lambda o: True, lambda o: order.append("a"),
+        e.rule("ra", "e", condition=lambda o: True, action=lambda o: order.append("a"),
                priority="a")
-        e.rule("rb", "e", lambda o: True, lambda o: order.append("b"),
+        e.rule("rb", "e", condition=lambda o: True, action=lambda o: order.append("b"),
                priority="b")
         e.raise_event("e")
         assert order == ["a", "b"]
@@ -93,5 +93,5 @@ class TestNamedPrioritiesInScheduling:
 
     def test_rule_with_unknown_class_rejected_at_definition(self, e):
         with pytest.raises(RuleError):
-            e.rule("r", "e", lambda o: True, lambda o: None,
+            e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                    priority="undefined-class")

@@ -5,7 +5,6 @@ against a simple reference model computed directly from the input
 interleaving, over randomized event streams.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -107,10 +107,10 @@ class TestNotification:
         nodes = Stock.register_events(det)
         prices = []
         ibm = Stock("IBM", 1.0)
-        det.rule("peek_begin", nodes["e2"], lambda o: True,
-                 lambda o: prices.append(("begin", ibm.price)))
-        det.rule("peek_end", nodes["e3"], lambda o: True,
-                 lambda o: prices.append(("end", ibm.price)))
+        det.rule("peek_begin", nodes["e2"], condition=lambda o: True,
+                 action=lambda o: prices.append(("begin", ibm.price)))
+        det.rule("peek_end", nodes["e3"], condition=lambda o: True,
+                 action=lambda o: prices.append(("end", ibm.price)))
         ibm.set_price(50.0)
         assert prices == [("begin", 1.0), ("end", 50.0)]
 

@@ -19,12 +19,12 @@ def e(det):
 
 class TestPublic:
     def test_default_scope_is_public(self, e):
-        rule = e.rule("r", "e", lambda o: True, lambda o: None)
+        rule = e.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         assert rule.scope is RuleScope.PUBLIC
         assert rule.owner is None
 
     def test_anyone_can_modify_public(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None)
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         e.rules.disable("r", requester="stranger")
         e.rules.enable("r", requester="someone-else")
         e.rules.delete("r")
@@ -32,13 +32,13 @@ class TestPublic:
 
 class TestProtected:
     def test_visible_to_all(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None,
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                scope="protected", owner="alice")
         assert e.rules.get("r", requester="bob").name == "r"
         assert "r" in e.rules.names(requester="bob")
 
     def test_only_owner_modifies(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None,
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                scope="protected", owner="alice")
         with pytest.raises(RuleError):
             e.rules.disable("r", requester="bob")
@@ -50,7 +50,7 @@ class TestProtected:
 
 class TestPrivate:
     def test_invisible_to_non_owner(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None,
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                scope="private", owner="alice")
         with pytest.raises(UnknownRule):
             e.rules.get("r", requester="bob")
@@ -60,13 +60,13 @@ class TestPrivate:
     def test_private_rule_still_fires(self, e):
         """Scope is a management boundary, not a detection one."""
         ran = []
-        e.rule("r", "e", lambda o: True, ran.append,
+        e.rule("r", "e", condition=lambda o: True, action=ran.append,
                scope="private", owner="alice")
         e.raise_event("e")
         assert len(ran) == 1
 
     def test_owner_full_control(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None,
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                scope="private", owner="alice")
         e.rules.disable("r", requester="alice")
         e.rules.enable("r", requester="alice")
@@ -76,7 +76,7 @@ class TestPrivate:
 class TestValidation:
     def test_non_public_requires_owner(self, e):
         with pytest.raises(RuleError):
-            e.rule("r", "e", lambda o: True, lambda o: None,
+            e.rule("r", "e", condition=lambda o: True, action=lambda o: None,
                    scope="private")
 
     def test_scope_parse_rejects_unknown(self):

@@ -17,7 +17,7 @@ def e(det):
 class TestRegistration:
     def test_create_and_fire(self, e):
         ran = []
-        rule = e.rule("r1", "e", lambda o: True, ran.append)
+        rule = e.rule("r1", "e", condition=lambda o: True, action=ran.append)
         assert rule.enabled
         e.raise_event("e")
         assert len(ran) == 1
@@ -25,9 +25,9 @@ class TestRegistration:
         assert rule.executed_count == 1
 
     def test_duplicate_name_rejected(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None)
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         with pytest.raises(DuplicateRule):
-            e.rule("r", "e", lambda o: True, lambda o: None)
+            e.rule("r", "e", condition=lambda o: True, action=lambda o: None)
 
     def test_unknown_rule_lookup_rejected(self, e):
         with pytest.raises(UnknownRule):
@@ -35,11 +35,11 @@ class TestRegistration:
 
     def test_non_callable_condition_rejected(self, e):
         with pytest.raises(RuleError):
-            e.rule("bad", "e", "not callable", lambda o: None)
+            e.rule("bad", "e", condition="not callable", action=lambda o: None)
 
     def test_string_mode_parsing(self, e):
         rule = e.rule(
-            "r", "e", lambda o: True, lambda o: None,
+            "r", "e", condition=lambda o: True, action=lambda o: None,
             context="CUMULATIVE", coupling="deferred",
             trigger_mode="previous", priority=10,
         )
@@ -50,13 +50,13 @@ class TestRegistration:
 
     def test_zero_arg_condition_and_action(self, e):
         ran = []
-        e.rule("r", "e", lambda: True, lambda: ran.append(1))
+        e.rule("r", "e", condition=lambda: True, action=lambda: ran.append(1))
         e.raise_event("e")
         assert ran == [1]
 
     def test_rules_listing(self, e):
-        e.rule("a", "e", lambda o: True, lambda o: None)
-        e.rule("b", "e", lambda o: True, lambda o: None)
+        e.rule("a", "e", condition=lambda o: True, action=lambda o: None)
+        e.rule("b", "e", condition=lambda o: True, action=lambda o: None)
         assert e.rules.names() == ["a", "b"]
         assert "a" in e.rules
         assert len(e.rules) == 2
@@ -65,7 +65,7 @@ class TestRegistration:
 class TestConditions:
     def test_false_condition_blocks_action(self, e):
         ran = []
-        e.rule("r", "e", lambda o: False, ran.append)
+        e.rule("r", "e", condition=lambda o: False, action=ran.append)
         e.raise_event("e")
         assert ran == []
         assert e.scheduler.stats.condition_rejections == 1
@@ -74,8 +74,8 @@ class TestConditions:
         ran = []
         e.rule(
             "threshold", "e",
-            lambda occ: occ.params.value("price") > 100,
-            ran.append,
+            condition=lambda occ: occ.params.value("price") > 100,
+            action=ran.append,
         )
         e.raise_event("e", price=50)
         e.raise_event("e", price=150)
@@ -86,21 +86,21 @@ class TestConditions:
 class TestEnableDisable:
     def test_disable_stops_firing(self, e):
         ran = []
-        e.rule("r", "e", lambda o: True, ran.append)
+        e.rule("r", "e", condition=lambda o: True, action=ran.append)
         e.rules.disable("r")
         e.raise_event("e")
         assert ran == []
 
     def test_reenable_resumes(self, e):
         ran = []
-        e.rule("r", "e", lambda o: True, ran.append)
+        e.rule("r", "e", condition=lambda o: True, action=ran.append)
         e.rules.disable("r")
         e.rules.enable("r")
         e.raise_event("e")
         assert len(ran) == 1
 
     def test_delete_removes_rule(self, e):
-        e.rule("r", "e", lambda o: True, lambda o: None)
+        e.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         e.rules.delete("r")
         with pytest.raises(UnknownRule):
             e.rules.get("r")
@@ -108,7 +108,7 @@ class TestEnableDisable:
 
     def test_create_disabled(self, e):
         ran = []
-        e.rule("r", "e", lambda o: True, ran.append, enabled=False)
+        e.rule("r", "e", condition=lambda o: True, action=ran.append, enabled=False)
         e.raise_event("e")
         assert ran == []
         e.rules.enable("r")
@@ -148,19 +148,19 @@ class TestTriggerModes:
 class TestMultipleRules:
     def test_one_event_triggers_several_rules(self, e):
         order = []
-        e.rule("r1", "e", lambda o: True, lambda o: order.append("r1"))
-        e.rule("r2", "e", lambda o: True, lambda o: order.append("r2"))
-        e.rule("r3", "e", lambda o: False, lambda o: order.append("r3"))
+        e.rule("r1", "e", condition=lambda o: True, action=lambda o: order.append("r1"))
+        e.rule("r2", "e", condition=lambda o: True, action=lambda o: order.append("r2"))
+        e.rule("r3", "e", condition=lambda o: False, action=lambda o: order.append("r3"))
         e.raise_event("e")
         assert order == ["r1", "r2"]
 
     def test_priority_order_high_first(self, e):
         order = []
-        e.rule("low", "e", lambda o: True, lambda o: order.append("low"),
+        e.rule("low", "e", condition=lambda o: True, action=lambda o: order.append("low"),
                priority=1)
-        e.rule("high", "e", lambda o: True, lambda o: order.append("high"),
+        e.rule("high", "e", condition=lambda o: True, action=lambda o: order.append("high"),
                priority=10)
-        e.rule("mid", "e", lambda o: True, lambda o: order.append("mid"),
+        e.rule("mid", "e", condition=lambda o: True, action=lambda o: order.append("mid"),
                priority=5)
         e.raise_event("e")
         assert order == ["high", "mid", "low"]
@@ -168,7 +168,7 @@ class TestMultipleRules:
     def test_same_priority_keeps_trigger_order(self, e):
         order = []
         for i in range(5):
-            e.rule(f"r{i}", "e", lambda o: True,
-                   lambda o, i=i: order.append(i), priority=3)
+            e.rule(f"r{i}", "e", condition=lambda o: True,
+                   action=lambda o, i=i: order.append(i), priority=3)
         e.raise_event("e")
         assert order == [0, 1, 2, 3, 4]

@@ -16,10 +16,10 @@ class TestNestedTriggering:
         det.explicit_event("outer")
         det.explicit_event("inner")
         order = []
-        det.rule("r_outer", "outer", lambda o: True,
-                 lambda o: (order.append("outer"), det.raise_event("inner")))
-        det.rule("r_inner", "inner", lambda o: True,
-                 lambda o: order.append("inner"))
+        det.rule("r_outer", "outer", condition=lambda o: True,
+                 action=lambda o: (order.append("outer"), det.raise_event("inner")))
+        det.rule("r_inner", "inner", condition=lambda o: True,
+                 action=lambda o: order.append("inner"))
         det.raise_event("outer")
         assert order == ["outer", "inner"]
 
@@ -34,11 +34,11 @@ class TestNestedTriggering:
             det.raise_event("child")  # nested trigger: runs inline
             order.append("parent-end")
 
-        det.rule("parent", "e", lambda o: True, parent_action, priority=5)
-        det.rule("sibling", "e", lambda o: True,
-                 lambda o: order.append("sibling"), priority=1)
-        det.rule("childr", "child", lambda o: True,
-                 lambda o: order.append("child"))
+        det.rule("parent", "e", condition=lambda o: True, action=parent_action, priority=5)
+        det.rule("sibling", "e", condition=lambda o: True,
+                 action=lambda o: order.append("sibling"), priority=1)
+        det.rule("childr", "child", condition=lambda o: True,
+                 action=lambda o: order.append("child"))
         det.raise_event("e")
         assert order == ["parent-start", "child", "parent-end", "sibling"]
 
@@ -52,15 +52,15 @@ class TestNestedTriggering:
             if depth < 10:
                 det.raise_event("lvl", d=depth + 1)
 
-        det.rule("nest", "lvl", lambda o: True, action)
+        det.rule("nest", "lvl", condition=lambda o: True, action=action)
         det.raise_event("lvl", d=1)
         assert depths == list(range(1, 11))
         assert det.scheduler.stats.max_depth_seen == 10
 
     def test_runaway_nesting_is_stopped(self, det):
         det.explicit_event("loop")
-        det.rule("fork", "loop", lambda o: True,
-                 lambda o: det.raise_event("loop"))
+        det.rule("fork", "loop", condition=lambda o: True,
+                 action=lambda o: det.raise_event("loop"))
         with pytest.raises(RuleExecutionError):
             det.raise_event("loop")
 
@@ -68,8 +68,8 @@ class TestNestedTriggering:
 class TestErrors:
     def test_failing_action_raises_rule_execution_error(self, det):
         det.explicit_event("e")
-        det.rule("bad", "e", lambda o: True,
-                 lambda o: (_ for _ in ()).throw(ValueError("boom")))
+        det.rule("bad", "e", condition=lambda o: True,
+                 action=lambda o: (_ for _ in ()).throw(ValueError("boom")))
         with pytest.raises(RuleExecutionError) as info:
             det.raise_event("e")
         assert info.value.rule_name == "bad"
@@ -78,8 +78,8 @@ class TestErrors:
     def test_failing_condition_reported_as_condition_phase(self, det):
         det.explicit_event("e")
         det.rule("bad", "e",
-                 lambda o: (_ for _ in ()).throw(KeyError("missing")),
-                 lambda o: None)
+                 condition=lambda o: (_ for _ in ()).throw(KeyError("missing")),
+                 action=lambda o: None)
         with pytest.raises(RuleExecutionError) as info:
             det.raise_event("e")
         assert info.value.phase == "condition"
@@ -89,10 +89,10 @@ class TestErrors:
         try:
             det.explicit_event("e")
             ran = []
-            det.rule("bad", "e", lambda o: True,
-                     lambda o: (_ for _ in ()).throw(ValueError("x")),
+            det.rule("bad", "e", condition=lambda o: True,
+                     action=lambda o: (_ for _ in ()).throw(ValueError("x")),
                      priority=10)
-            det.rule("good", "e", lambda o: True, ran.append, priority=1)
+            det.rule("good", "e", condition=lambda o: True, action=ran.append, priority=1)
             det.raise_event("e")  # no exception escapes
             assert len(ran) == 1
             assert len(det.scheduler.errors) == 1
@@ -118,7 +118,7 @@ class TestSubtransactions:
         def action(occ):
             seen.append(det.current_transaction())
 
-        det.rule("r", "e", lambda o: True, action)
+        det.rule("r", "e", condition=lambda o: True, action=action)
         det.raise_event("e")
         assert len(seen) == 1
         sub = seen[0]
@@ -143,7 +143,7 @@ class TestSubtransactions:
             counter.value = 99
             raise ValueError("fail after mutation")
 
-        det.rule("r", "e", lambda o: True, action)
+        det.rule("r", "e", condition=lambda o: True, action=action)
         with pytest.raises(RuleExecutionError):
             det.raise_event("e")
         assert counter.value == 0  # restored by subtransaction abort
@@ -156,11 +156,11 @@ class TestSubtransactions:
         det.set_current_transaction(top)
         depths = []
 
-        det.rule("r_out", "outer", lambda o: True,
-                 lambda o: (depths.append(det.current_transaction().depth),
+        det.rule("r_out", "outer", condition=lambda o: True,
+                 action=lambda o: (depths.append(det.current_transaction().depth),
                             det.raise_event("inner")))
-        det.rule("r_in", "inner", lambda o: True,
-                 lambda o: depths.append(det.current_transaction().depth))
+        det.rule("r_in", "inner", condition=lambda o: True,
+                 action=lambda o: depths.append(det.current_transaction().depth))
         det.raise_event("outer")
         assert depths == [1, 2]
 
@@ -168,8 +168,8 @@ class TestSubtransactions:
         det, __ = with_txns
         det.explicit_event("e")
         seen = []
-        det.rule("r", "e", lambda o: True,
-                 lambda o: seen.append(det.current_transaction()))
+        det.rule("r", "e", condition=lambda o: True,
+                 action=lambda o: seen.append(det.current_transaction()))
         det.raise_event("e")
         assert seen == [None]
 
@@ -191,7 +191,7 @@ class TestThreadedExecutor:
             results.append(threading.current_thread().name)
 
         for i in range(3):
-            tdet.rule(f"r{i}", "e", lambda o: True, action, priority=5)
+            tdet.rule(f"r{i}", "e", condition=lambda o: True, action=action, priority=5)
         tdet.raise_event("e")
         assert len(results) == 3
 
@@ -207,10 +207,10 @@ class TestThreadedExecutor:
             return action
 
         for i in range(3):
-            tdet.rule(f"hi{i}", "e", lambda o: True, make_action("hi"),
+            tdet.rule(f"hi{i}", "e", condition=lambda o: True, action=make_action("hi"),
                       priority=10)
         for i in range(3):
-            tdet.rule(f"lo{i}", "e", lambda o: True, make_action("lo"),
+            tdet.rule(f"lo{i}", "e", condition=lambda o: True, action=make_action("lo"),
                       priority=1)
         tdet.raise_event("e")
         assert order[:3] == ["hi", "hi", "hi"]
@@ -228,7 +228,7 @@ class TestDetachedCoupling:
         det.explicit_event("e")
         handled = []
         det.detached_handler = handled.append
-        det.rule("d", "e", lambda o: True, lambda o: None,
+        det.rule("d", "e", condition=lambda o: True, action=lambda o: None,
                  coupling="detached")
         det.raise_event("e")
         assert len(handled) == 1
@@ -238,6 +238,6 @@ class TestDetachedCoupling:
     def test_detached_without_handler_runs_standalone(self, det):
         det.explicit_event("e")
         ran = []
-        det.rule("d", "e", lambda o: True, ran.append, coupling="detached")
+        det.rule("d", "e", condition=lambda o: True, action=ran.append, coupling="detached")
         det.raise_event("e")
         assert len(ran) == 1

@@ -159,7 +159,7 @@ class TestDeferredRuleTable:
         system = Sentinel(name="conformance", activate=False)
         system.explicit_event("E")
         fired = []
-        system.rule("deferred", "E", lambda o: True, fired.append,
+        system.rule("deferred", "E", condition=lambda o: True, action=fired.append,
                     coupling="deferred")
         with system.transaction():
             system.raise_event("E", idx=1)

@@ -23,7 +23,7 @@ class TestSnapshotCapture:
         node = det.primitive_event("dep", "Account", "end", "deposit",
                                    snapshot_state=True)
         fired = []
-        det.rule("r", node, lambda o: True, fired.append)
+        det.rule("r", node, condition=lambda o: True, action=fired.append)
         acct = Account("alice", 100.0)
         det.notify(acct, "Account", "deposit", "end", {"amount": 10})
         acct.balance = 999.0  # later mutation
@@ -35,14 +35,14 @@ class TestSnapshotCapture:
         node = det.primitive_event("dep", "Account", "end", "deposit",
                                    snapshot_state=True)
         fired = []
-        det.rule("r", node, lambda o: True, fired.append)
+        det.rule("r", node, condition=lambda o: True, action=fired.append)
         det.notify(Account("bob", 1.0), "Account", "deposit", "end")
         assert "_secret" not in fired[0].params.state_of("dep")
 
     def test_snapshot_off_by_default(self, det):
         node = det.primitive_event("dep", "Account", "end", "deposit")
         fired = []
-        det.rule("r", node, lambda o: True, fired.append)
+        det.rule("r", node, condition=lambda o: True, action=fired.append)
         det.notify(Account("carol", 1.0), "Account", "deposit", "end")
         assert fired[0].params[0].state_snapshot is None
         with pytest.raises(KeyError):
@@ -56,7 +56,7 @@ class TestSnapshotCapture:
         wd = det.primitive_event("wd", "Account", "end", "withdraw",
                                  snapshot_state=True)
         fired = []
-        det.rule("r", det.seq(dep, wd), lambda o: True, fired.append)
+        det.rule("r", det.seq(dep, wd), condition=lambda o: True, action=fired.append)
         acct = Account("dave", 100.0)
         det.notify(acct, "Account", "deposit", "end")
         acct.balance = 70.0
@@ -72,7 +72,7 @@ class TestSnapshotCapture:
                                    snapshot_state=True)
         close = det.explicit_event("close")
         fired = []
-        det.rule("r", det.seq(node, close), lambda o: True, fired.append,
+        det.rule("r", det.seq(node, close), condition=lambda o: True, action=fired.append,
                  context="cumulative")
         acct = Account("erin", 10.0)
         det.notify(acct, "Account", "deposit", "end")
@@ -91,7 +91,7 @@ class TestSnapshotCapture:
         node = det.primitive_event("h", "Holder", "end", "touch",
                                    snapshot_state=True)
         fired = []
-        det.rule("r", node, lambda o: True, fired.append)
+        det.rule("r", node, condition=lambda o: True, action=fired.append)
         det.notify(Holder(), "Holder", "touch", "end")
         assert fired[0].params.state_of("h")["data"] == "[1, 2, 3]"
 

@@ -26,8 +26,8 @@ class TestMatching:
             det, handler=lambda ctx: (hits.append(ctx.rule.name),
                                       BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("watched", "e", lambda o: True, lambda o: None)
-        det.rule("other", "e", lambda o: True, lambda o: None)
+        det.rule("watched", "e", condition=lambda o: True, action=lambda o: None)
+        det.rule("other", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_on_rule("watched")
         det.raise_event("e")
         assert hits == ["watched"]
@@ -39,8 +39,8 @@ class TestMatching:
             det, handler=lambda ctx: (hits.append(ctx.rule.name),
                                       BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("r1", "e", lambda o: True, lambda o: None)
-        det.rule("r2", "e", lambda o: True, lambda o: None)
+        det.rule("r1", "e", condition=lambda o: True, action=lambda o: None)
+        det.rule("r2", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_on_event("e")
         det.raise_event("e")
         assert sorted(hits) == ["r1", "r2"]
@@ -52,7 +52,7 @@ class TestMatching:
             det, handler=lambda ctx: (hits.append(
                 ctx.occurrence.params.value("n")), BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_when(lambda occ: occ.params.value("n") > 5)
         det.raise_event("e", n=1)
         det.raise_event("e", n=9)
@@ -65,7 +65,7 @@ class TestMatching:
             det, handler=lambda ctx: (hits.append(1),
                                       BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_on_rule("r", one_shot=True)
         det.raise_event("e")
         det.raise_event("e")
@@ -79,7 +79,7 @@ class TestMatching:
             det, handler=lambda ctx: (hits.append(1),
                                       BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         bp = manager.break_on_rule("r")
         bp.enabled = False
         det.raise_event("e")
@@ -93,7 +93,7 @@ class TestActions:
         manager = BreakpointManager(
             det, handler=lambda ctx: BreakAction.SKIP
         ).attach()
-        det.rule("r", "e", lambda o: True, ran.append)
+        det.rule("r", "e", condition=lambda o: True, action=ran.append)
         bp = manager.break_on_rule("r", one_shot=True)
         det.raise_event("e")  # skipped
         assert ran == []
@@ -105,7 +105,7 @@ class TestActions:
         manager = BreakpointManager(
             det, handler=lambda ctx: BreakAction.ABORT
         ).attach()
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_on_rule("r", one_shot=True)
         with pytest.raises(RuleExecutionError) as info:
             det.raise_event("e")
@@ -118,7 +118,7 @@ class TestActions:
         manager = BreakpointManager(
             det, handler=lambda ctx: BreakAction.SKIP
         ).attach()
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         manager.break_on_rule("r")
         before = det.scheduler.stats.condition_rejections
         det.raise_event("e")
@@ -134,9 +134,9 @@ class TestContext:
             det, handler=lambda ctx: (depths.append(ctx.depth),
                                       BreakAction.CONTINUE)[1]
         ).attach()
-        det.rule("outer", "e", lambda o: True,
-                 lambda o: det.raise_event("inner"))
-        det.rule("nested", "inner", lambda o: True, lambda o: None)
+        det.rule("outer", "e", condition=lambda o: True,
+                 action=lambda o: det.raise_event("inner"))
+        det.rule("nested", "inner", condition=lambda o: True, action=lambda o: None)
         manager.break_on_rule("nested")
         det.raise_event("e")
         assert depths == [2]  # nested under the outer rule
@@ -145,7 +145,7 @@ class TestContext:
         manager.detach()
 
     def test_context_manager_protocol(self, det):
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         hits = []
         manager = BreakpointManager(
             det, handler=lambda ctx: (hits.append(1),

@@ -29,7 +29,7 @@ class TestTraceRecorder:
     def test_records_occurrences(self, traced):
         det, recorder = traced
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         det.raise_event("e", n=5)
         occurrences = recorder.of_kind("occurrence")
         assert len(occurrences) == 1
@@ -40,7 +40,7 @@ class TestTraceRecorder:
         det, recorder = traced
         det.explicit_event("a")
         det.explicit_event("b")
-        det.rule("r", det.and_("a", "b"), lambda o: True, lambda o: None,
+        det.rule("r", det.and_("a", "b"), condition=lambda o: True, action=lambda o: None,
                  context="chronicle")
         det.raise_event("a")
         det.raise_event("b")
@@ -52,7 +52,7 @@ class TestTraceRecorder:
     def test_records_trigger_and_execution_lifecycle(self, traced):
         det, recorder = traced
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         det.raise_event("e")
         kinds = [e.kind for e in recorder.events]
         assert "trigger" in kinds
@@ -64,9 +64,9 @@ class TestTraceRecorder:
         det, recorder = traced
         det.explicit_event("outer")
         det.explicit_event("inner")
-        det.rule("parent", "outer", lambda o: True,
-                 lambda o: det.raise_event("inner"))
-        det.rule("child", "inner", lambda o: True, lambda o: None)
+        det.rule("parent", "outer", condition=lambda o: True,
+                 action=lambda o: det.raise_event("inner"))
+        det.rule("child", "inner", condition=lambda o: True, action=lambda o: None)
         det.raise_event("outer")
         assert ("parent", "child") in recorder.rule_edges()
 
@@ -74,8 +74,8 @@ class TestTraceRecorder:
         det = LocalEventDetector(error_policy="abort_rule")
         recorder = TraceRecorder(det).attach()
         det.explicit_event("e")
-        det.rule("bad", "e", lambda o: True,
-                 lambda o: (_ for _ in ()).throw(ValueError("x")))
+        det.rule("bad", "e", condition=lambda o: True,
+                 action=lambda o: (_ for _ in ()).throw(ValueError("x")))
         det.raise_event("e")
         assert len(recorder.of_kind("failed")) == 1
         det.shutdown()
@@ -83,7 +83,7 @@ class TestTraceRecorder:
     def test_objects_touched(self, traced):
         det, recorder = traced
         det.primitive_event("pe", "Widget", "end", "poke")
-        det.rule("r", "pe", lambda o: True, lambda o: None)
+        det.rule("r", "pe", condition=lambda o: True, action=lambda o: None)
         det.notify("widget-1", "Widget", "poke", "end")
         touched = recorder.objects_touched()
         assert touched == {"widget-1": ["pe"]}
@@ -91,7 +91,7 @@ class TestTraceRecorder:
     def test_detach_stops_recording(self, traced):
         det, recorder = traced
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         recorder.detach()
         det.raise_event("e")
         assert len(recorder) == 0
@@ -100,7 +100,7 @@ class TestTraceRecorder:
     def test_clear(self, traced):
         det, recorder = traced
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         det.raise_event("e")
         assert len(recorder) > 0
         recorder.clear()
@@ -113,7 +113,7 @@ class TestRenderers:
         det.explicit_event("b")
         det.explicit_event("c")
         expr = det.seq(det.and_("a", "b"), "c", name="watched")
-        det.rule("r", expr, lambda o: True, lambda o: None)
+        det.rule("r", expr, condition=lambda o: True, action=lambda o: None)
         text = render_event_graph(det.graph)
         assert "SEQ: watched" in text
         assert "AND" in text
@@ -124,15 +124,15 @@ class TestRenderers:
         det.explicit_event("a")
         det.explicit_event("b")
         shared = det.and_("a", "b")
-        det.rule("r1", shared, lambda o: True, lambda o: None)
-        det.rule("r2", det.or_(shared, "a"), lambda o: True, lambda o: None)
+        det.rule("r1", shared, condition=lambda o: True, action=lambda o: None)
+        det.rule("r2", det.or_(shared, "a"), condition=lambda o: True, action=lambda o: None)
         text = render_event_graph(det.graph)
         assert "(shared)" in text
 
     def test_timeline_rendering(self, det):
         recorder = TraceRecorder(det).attach()
         det.explicit_event("e")
-        det.rule("r", "e", lambda o: True, lambda o: None)
+        det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
         det.raise_event("e", n=1)
         text = render_timeline(recorder)
         assert "! e(n=1)" in text
@@ -144,9 +144,9 @@ class TestRenderers:
         recorder = TraceRecorder(det).attach()
         det.explicit_event("outer")
         det.explicit_event("inner")
-        det.rule("parent", "outer", lambda o: True,
-                 lambda o: det.raise_event("inner"))
-        det.rule("child", "inner", lambda o: True, lambda o: None)
+        det.rule("parent", "outer", condition=lambda o: True,
+                 action=lambda o: det.raise_event("inner"))
+        det.rule("child", "inner", condition=lambda o: True, action=lambda o: None)
         det.raise_event("outer")
         text = render_rule_interactions(recorder)
         assert "parent" in text

@@ -20,7 +20,7 @@ def build_app(det):
     det.primitive_event("withdraw", "Account", "end", "withdraw")
     fired = []
     det.rule("both", det.and_("deposit", "withdraw"),
-             lambda o: True, fired.append)
+             condition=lambda o: True, action=fired.append)
     return fired
 
 
@@ -115,7 +115,7 @@ class TestReplay:
         fired = []
         det.rule("cumulative_view",
                  det.and_("deposit", "withdraw"),
-                 lambda o: True, fired.append, context="cumulative")
+                 condition=lambda o: True, action=fired.append, context="cumulative")
         replay(EventLog(path), det, mode="execute")
         assert len(fired) == 1
         assert len(fired[0].params.by_event("deposit")) == 1

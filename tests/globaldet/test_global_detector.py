@@ -57,7 +57,7 @@ class TestGlobalComposites:
         assert g1 == "app1.order_placed"
         detected = []
         ged.detector.rule(
-            "watch", ged.and_(g1, g2), lambda o: True, detected.append
+            "watch", ged.and_(g1, g2), condition=lambda o: True, action=detected.append
         )
         s1.raise_event("order_placed", sku="X1")
         s2.raise_event("stock_updated", sku="X1")
@@ -72,8 +72,8 @@ class TestGlobalComposites:
         g1 = app1.export_event("a")
         g2 = app2.export_event("b")
         detected = []
-        ged.detector.rule("w", ged.seq(g1, g2), lambda o: True,
-                          detected.append)
+        ged.detector.rule("w", ged.seq(g1, g2), condition=lambda o: True,
+                          action=detected.append)
         # Raise in the wrong order: no detection.
         s2.raise_event("b")
         s1.raise_event("a")
@@ -89,7 +89,7 @@ class TestGlobalComposites:
         s1.explicit_event("public")
         g = app1.export_event("public")
         detected = []
-        ged.detector.rule("w", g, lambda o: True, detected.append)
+        ged.detector.rule("w", g, condition=lambda o: True, action=detected.append)
         s1.raise_event("private")
         ged.run_to_fixpoint()
         assert detected == []
@@ -105,7 +105,7 @@ class TestDelivery:
         both = ged.and_(g1, g2, name="both")
         app2.subscribe_global(both, "global_alert")
         ran = []
-        s2.rule("react", "global_alert", lambda o: True, ran.append)
+        s2.rule("react", "global_alert", condition=lambda o: True, action=ran.append)
         s1.raise_event("e1", n=1)
         s2.raise_event("e2", n=2)
         ged.run_to_fixpoint()
@@ -118,7 +118,7 @@ class TestDelivery:
         g1 = app1.export_event("e1")
         app2.subscribe_global(ged.event(g1), "mirror")
         ran = []
-        s2.rule("detached_mirror", "mirror", lambda o: True, ran.append,
+        s2.rule("detached_mirror", "mirror", condition=lambda o: True, action=ran.append,
                 coupling="detached")
         s1.raise_event("e1")
         ged.run_to_fixpoint()
@@ -137,7 +137,7 @@ class TestDelivery:
         det.explicit_event("x")
         g = app.export_event("x")
         hits = []
-        ged.detector.rule("w", ged.event(g), lambda o: True, hits.append)
+        ged.detector.rule("w", ged.event(g), condition=lambda o: True, action=hits.append)
         det.raise_event("x")
         ged.run_to_fixpoint()
         assert len(hits) == 1
@@ -151,7 +151,7 @@ class TestDelivery:
         det.explicit_event("x")
         g = app.export_event("x")
         hits = []
-        ged.detector.rule("w", ged.event(g), lambda o: True, hits.append)
+        ged.detector.rule("w", ged.event(g), condition=lambda o: True, action=hits.append)
         det.raise_event("x")  # no pump needed
         assert len(hits) == 1
         det.shutdown()

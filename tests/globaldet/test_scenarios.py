@@ -25,7 +25,7 @@ class TestThreeApplications:
         ged, systems, __, globals_ = trio
         expr = ged.and_(ged.and_(globals_[0], globals_[1]), globals_[2])
         hits = []
-        ged.detector.rule("all3", expr, lambda o: True, hits.append)
+        ged.detector.rule("all3", expr, condition=lambda o: True, action=hits.append)
         for s in systems:
             s.raise_event("sig")
         ged.run_to_fixpoint()
@@ -38,7 +38,7 @@ class TestThreeApplications:
         ged, systems, __, globals_ = trio
         expr = ged.not_(globals_[0], globals_[1], globals_[2])
         hits = []
-        ged.detector.rule("quiet", expr, lambda o: True, hits.append)
+        ged.detector.rule("quiet", expr, condition=lambda o: True, action=hits.append)
         systems[0].raise_event("sig")
         systems[2].raise_event("sig")
         ged.run_to_fixpoint()
@@ -56,8 +56,8 @@ class TestThreeApplications:
         endpoints[1].subscribe_global(node, "mirror")
         endpoints[2].subscribe_global(node, "mirror")
         received = {1: [], 2: []}
-        systems[1].rule("r", "mirror", lambda o: True, received[1].append)
-        systems[2].rule("r", "mirror", lambda o: True, received[2].append)
+        systems[1].rule("r", "mirror", condition=lambda o: True, action=received[1].append)
+        systems[2].rule("r", "mirror", condition=lambda o: True, action=received[2].append)
         systems[0].raise_event("sig", payload=7)
         ged.run_to_fixpoint()
         assert len(received[1]) == 1
@@ -70,7 +70,7 @@ class TestGlobalContexts:
         ged, systems, __, globals_ = trio
         expr = ged.and_(globals_[0], globals_[1])
         hits = []
-        ged.detector.rule("cum", expr, lambda o: True, hits.append,
+        ged.detector.rule("cum", expr, condition=lambda o: True, action=hits.append,
                           context="cumulative")
         systems[0].raise_event("sig", n=1)
         systems[0].raise_event("sig", n=2)
@@ -85,7 +85,7 @@ class TestGlobalContexts:
         ged, systems, __, globals_ = trio
         expr = ged.aperiodic_star(globals_[0], globals_[1], globals_[2])
         hits = []
-        ged.detector.rule("batch", expr, lambda o: True, hits.append)
+        ged.detector.rule("batch", expr, condition=lambda o: True, action=hits.append)
         systems[0].raise_event("sig")  # open
         systems[1].raise_event("sig", n=1)
         systems[1].raise_event("sig", n=2)
@@ -115,7 +115,7 @@ class TestRobustness:
         expr = ged.seq(globals_[0], globals_[1])
         endpoints[2].subscribe_global(expr, "merged")
         got = []
-        systems[2].rule("r", "merged", lambda o: True, got.append)
+        systems[2].rule("r", "merged", condition=lambda o: True, action=got.append)
         systems[0].raise_event("sig", v="first")
         systems[1].raise_event("sig", v="second")
         ged.run_to_fixpoint()

@@ -7,7 +7,6 @@ clearing house; a crash; and recovery that preserves everything the
 rules did. If this passes, the architecture hangs together end to end.
 """
 
-import pytest
 
 from repro import Persistent, Reactive, Sentinel, event
 from repro.globaldet import GlobalEventDetector
@@ -54,8 +53,8 @@ def test_capstone_two_applications(tmp_path):
     # Local deferred rule in the desk: one audit row per transaction.
     desk_audit = []
     desk_sys.rule(
-        "DeskAudit", desk_events["trade_booked"], lambda o: True,
-        lambda o: desk_audit.append(len(o.params.by_event(
+        "DeskAudit", desk_events["trade_booked"], condition=lambda o: True,
+        action=lambda o: desk_audit.append(len(o.params.by_event(
             "Desk_trade_booked"))),
         context="cumulative", coupling="deferred",
     )
@@ -92,7 +91,7 @@ def test_capstone_two_applications(tmp_path):
         settlements.append(occurrence.params.value("symbol"))
 
     house_sys.register_class(Trade)
-    house_sys.rule("Settle", "settlement_due", lambda o: True, settle,
+    house_sys.rule("Settle", "settlement_due", condition=lambda o: True, action=settle,
                    coupling="detached")
 
     # ---- the story -------------------------------------------------------

@@ -4,7 +4,6 @@ Each test combines features that interact in non-obvious ways; the
 point is that the combinations compose, not just the features alone.
 """
 
-import pytest
 
 from repro import Persistent, Reactive, Sentinel, ThreadedExecutor, event
 from repro.core import conditions as when
@@ -42,7 +41,7 @@ class TestDeferredWithThreadedExecutor:
             fired.append(occ)
 
         for i in range(3):
-            system.rule(f"d{i}", events["read"], lambda o: True, observe,
+            system.rule(f"d{i}", events["read"], condition=lambda o: True, action=observe,
                         coupling="deferred", priority=5)
         with system.transaction() as txn:
             sensor = Sensor("alpha")
@@ -60,11 +59,11 @@ class TestNamedPrioritiesWithDeferred:
         system, events = build(tmp_path)
         system.detector.priorities.define_ordered(["alarms", "reports"])
         order = []
-        system.rule("report", events["read"], lambda o: True,
-                    lambda o: order.append("report"),
+        system.rule("report", events["read"], condition=lambda o: True,
+                    action=lambda o: order.append("report"),
                     coupling="deferred", priority="reports")
-        system.rule("alarm", events["read"], lambda o: True,
-                    lambda o: order.append("alarm"),
+        system.rule("alarm", events["read"], condition=lambda o: True,
+                    action=lambda o: order.append("alarm"),
                     coupling="deferred", priority="alarms")
         with system.transaction() as txn:
             sensor = Sensor("beta")
@@ -80,8 +79,8 @@ class TestConditionsOverCumulativeDeferred:
         flagged = []
         system.rule(
             "HighVolume", events["read"],
-            when.total_above("value", 100.0),
-            flagged.append,
+            condition=when.total_above("value", 100.0),
+            action=flagged.append,
             context="cumulative", coupling="deferred",
         )
         with system.transaction() as txn:
@@ -103,8 +102,8 @@ class TestScopedRulesWithPersistence:
     def test_private_rule_over_persistent_objects(self, tmp_path):
         system, events = build(tmp_path)
         audit = []
-        system.rule("SecretAudit", events["read"], lambda o: True,
-                    audit.append, scope="private", owner="auditor")
+        system.rule("SecretAudit", events["read"], condition=lambda o: True,
+                    action=audit.append, scope="private", owner="auditor")
         assert "SecretAudit" not in system.rules.names(requester="app")
         with system.transaction() as txn:
             sensor = Sensor("eps")
@@ -118,11 +117,11 @@ class TestMetaRulesWithTransactions:
     def test_meta_rule_runs_in_nested_subtransaction(self, tmp_path):
         system, events = build(tmp_path)
         depths = []
-        system.rule("worker", events["read"], lambda o: True,
-                    lambda o: None)
+        system.rule("worker", events["read"], condition=lambda o: True,
+                    action=lambda o: None)
         done = system.detector.rule_execution_event("worker_done", "worker")
-        system.rule("meta", done, lambda o: True,
-                    lambda o: depths.append(
+        system.rule("meta", done, condition=lambda o: True,
+                    action=lambda o: depths.append(
                         system.detector.current_transaction().depth))
         with system.transaction() as txn:
             sensor = Sensor("zeta")
@@ -143,8 +142,8 @@ class TestSnapshotWithDeferred:
         trail = []
         system.rule(
             "History", node,
-            lambda o: True,
-            lambda o: trail.extend(
+            condition=lambda o: True,
+            action=lambda o: trail.extend(
                 p.state_snapshot for p in o.params.by_event("read_v")
             ),
             context="cumulative", coupling="deferred",

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro import Persistent, Reactive, Sentinel, event, set_current_detector
+from repro import Persistent, Reactive, Sentinel, event
 from repro.errors import RuleExecutionError
 
 
@@ -46,7 +46,7 @@ class TestRulesOverPersistentObjects:
             ledger.fees += 1.0
             txn.mark_dirty(ledger)
 
-        system.rule("Fee", events["deposited"], lambda o: True, charge_fee)
+        system.rule("Fee", events["deposited"], condition=lambda o: True, action=charge_fee)
         with system.transaction() as txn:
             txn.persist(Ledger(), name="ledger")
         with system.transaction() as txn:
@@ -69,8 +69,8 @@ class TestRulesOverPersistentObjects:
             raise ValueError("compliance check failed")
 
         system.rule("Compliance", events["withdrawing"],
-                    lambda occ: occ.params.value("amount") > 100,
-                    bad_rule)
+                    condition=lambda occ: occ.params.value("amount") > 100,
+                    action=bad_rule)
         with system.transaction() as txn:
             txn.persist(Account("bob", 500.0), name="bob")
         with pytest.raises(RuleExecutionError):
@@ -92,8 +92,8 @@ class TestRulesOverPersistentObjects:
             acct.last_audited_balance = acct.balance
             txn.mark_dirty(acct)
 
-        system.rule("AuditBalance", events["deposited"], lambda o: True,
-                    snapshot, coupling="deferred")
+        system.rule("AuditBalance", events["deposited"], condition=lambda o: True,
+                    action=snapshot, coupling="deferred")
         with system.transaction() as txn:
             carol = Account("carol")
             txn.persist(carol, name="carol")
@@ -112,8 +112,8 @@ class TestCrashConsistency:
         system, events = open_system(tmp_path / "db")
         system.rule(
             "Bonus", events["deposited"],
-            lambda occ: occ.params.value("amount") >= 100,
-            lambda occ: _bonus(system),
+            condition=lambda occ: occ.params.value("amount") >= 100,
+            action=lambda occ: _bonus(system),
         )
 
         def _bonus(sys_):
@@ -213,14 +213,14 @@ class TestSpecLanguageOverPersistence:
 class TestObservabilityStack:
     def test_debugger_and_eventlog_together(self, tmp_path):
         from repro.debugger import TraceRecorder, render_timeline
-        from repro.eventlog import EventLog, attach_logger, replay
+        from repro.eventlog import attach_logger, replay
 
         system, events = open_system(tmp_path / "db")
         log = attach_logger(system.detector)
         recorder = TraceRecorder(system.detector).attach()
         fired = []
-        system.rule("Watch", events["deposited"], lambda o: True,
-                    fired.append)
+        system.rule("Watch", events["deposited"], condition=lambda o: True,
+                    action=fired.append)
         with system.transaction() as txn:
             acct = Account("grace")
             txn.persist(acct, name="grace")
@@ -233,7 +233,7 @@ class TestObservabilityStack:
         fresh = Sentinel(name="replayer", activate=False)
         Account.register_events(fresh.detector)
         fresh.rule("Watch", fresh.event("Account_deposited"),
-                   lambda o: True, lambda o: None)
+                   condition=lambda o: True, action=lambda o: None)
         report = replay(log, fresh.detector, mode="collect")
         assert "Watch" in report.triggered_rules()
         recorder.detach()

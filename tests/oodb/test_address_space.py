@@ -1,6 +1,5 @@
 """Unit tests for the address-space manager (one OID, one object)."""
 
-import pytest
 
 from repro.oodb.address_space import AddressSpaceManager
 from repro.oodb.object_model import OID, Persistent

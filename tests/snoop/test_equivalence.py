@@ -9,7 +9,6 @@ firings over the same event stream.
 import random
 
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.detector import LocalEventDetector

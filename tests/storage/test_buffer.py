@@ -5,7 +5,6 @@ import pytest
 from repro.errors import BufferError_
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
-from repro.storage.page import SlottedPage
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 
 

@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.errors import DeadlockError, LockTimeout, TransactionError
 from repro.storage.manager import StorageManager

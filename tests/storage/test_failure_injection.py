@@ -1,10 +1,8 @@
 """Failure injection: crashes at adversarial points in the protocol."""
 
-import pytest
 
-from repro.errors import RecordNotFound
 from repro.storage.manager import StorageManager
-from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+from repro.storage.wal import LogRecord, LogRecordType
 
 
 class TestCrashDuringAbort:

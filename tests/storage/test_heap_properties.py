@@ -1,10 +1,8 @@
 """Property tests: the heap file against a dict reference model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import RecordNotFound
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
 from repro.storage.heap import HeapFile

@@ -1,6 +1,5 @@
 """Unit tests for the write-ahead log."""
 
-import pytest
 
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 

@@ -1,0 +1,95 @@
+"""End-to-end acceptance: the stock example traced against a database.
+
+Running the classic stock cascade (a reactive ``set_price`` method
+event triggering immediate and detached rules) inside a transaction
+over a database directory must produce a *single* span tree covering
+notification -> graph propagation -> detection -> rule subtransaction
+-> WAL flush, with the detached rule linked in via ``parent_span_id``.
+"""
+
+
+from repro import Reactive, Sentinel, TraceLogProcessor, event
+from repro.telemetry.events import (
+    Detection,
+    GraphPropagation,
+    NotificationReceived,
+    RuleExecution,
+    TransactionSpan,
+    WalFlush,
+)
+
+
+class Stock(Reactive):
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    @event(end="price_set")
+    def set_price(self, price):
+        self.price = price
+
+
+def test_stock_cascade_yields_single_span_tree(tmp_path):
+    system = Sentinel(directory=tmp_path / "db", name="stocks")
+    trace = system.telemetry.attach(TraceLogProcessor())
+    events = system.register_class(Stock)
+
+    fired = []
+    system.rule(
+        "SpikeAlert", events["price_set"],
+        condition=lambda occ: occ.params.value("price") > 100,
+        action=lambda occ: fired.append("immediate"),
+    )
+    system.rule(
+        "AuditTrail", events["price_set"],
+        action=lambda occ: fired.append("detached"),
+        coupling="detached",
+    )
+
+    ibm = Stock("IBM", 50.0)
+    trace.clear()
+    with system.transaction():
+        ibm.set_price(120.0)
+    system.wait_detached()
+    assert sorted(fired) == ["detached", "immediate"]
+
+    log = trace.events()
+    spans = {e.span_id: e for e in log}
+
+    def root_of(e):
+        while e.parent_span_id is not None:
+            e = spans[e.parent_span_id]
+        return e.span_id
+
+    txn_spans = [e for e in log if isinstance(e, TransactionSpan)]
+    assert len(txn_spans) == 1 and txn_spans[0].outcome == "committed"
+    root = txn_spans[0].span_id
+
+    # Every lifecycle stage appears, and every event chains to the one
+    # transaction root — detached execution included.
+    stages = {
+        NotificationReceived: False,
+        GraphPropagation: False,
+        Detection: False,
+        RuleExecution: False,
+        WalFlush: False,
+    }
+    for e in log:
+        for cls in stages:
+            if isinstance(e, cls):
+                stages[cls] = True
+        assert root_of(e) == root, f"{e} escaped the transaction tree"
+    assert all(stages.values()), f"missing stages: {stages}"
+
+    rule_spans = {e.rule_name: e for e in log if isinstance(e, RuleExecution)}
+    assert rule_spans["SpikeAlert"].coupling == "immediate"
+    assert rule_spans["AuditTrail"].coupling == "detached"
+    assert rule_spans["AuditTrail"].parent_span_id is not None
+
+    # The rendered tree has the transaction as its sole root.
+    rendered = trace.render()
+    top_level = [
+        line for line in rendered.splitlines() if not line.startswith(" ")
+    ]
+    assert len(top_level) == 1 and top_level[0].startswith("txn#")
+    system.close()

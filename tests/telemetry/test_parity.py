@@ -1,0 +1,120 @@
+"""Registry counters stay equal to the legacy per-module stats fields.
+
+The metrics registry supersedes the scattered stats dataclasses;
+these tests prove both views of the same instrumentation agree under a
+representative workload, so ``Sentinel.report()`` can be sourced from
+the registry without changing its numbers.
+"""
+
+import pytest
+
+from repro import Persistent, Sentinel
+
+
+PARITY = [
+    # (registry counter, stats object, field)
+    ("detector.notifications", "detector", "notifications"),
+    ("detector.suppressed", "detector", "suppressed"),
+    ("rules.triggers", "detector", "triggers"),
+    ("detector.detached_dispatches", "detector", "detached_dispatches"),
+    ("graph.detections", "graph", "detections"),
+    ("rules.executions", "scheduler", "executions"),
+    ("rules.condition_rejections", "scheduler", "condition_rejections"),
+    ("rules.failures", "scheduler", "failures"),
+]
+
+
+def stats_value(system, owner, fieldname):
+    stats = {
+        "detector": system.detector.stats,
+        "graph": system.detector.graph.stats,
+        "scheduler": system.detector.scheduler.stats,
+    }[owner]
+    return getattr(stats, fieldname)
+
+
+def run_workload(system):
+    system.explicit_event("e")
+    system.explicit_event("f")
+    seq = system.detector.seq("e", "f", name="ef")
+    system.rule("pass", "e",
+                condition=lambda o: o.params.value("n", 0) > 0,
+                action=lambda o: None)
+    system.rule("composite", seq, action=lambda o: None)
+    system.rule("det", "f", action=lambda o: None, coupling="detached")
+
+    def failing(occ):
+        raise ValueError("boom")
+
+    system.rule("bad", "e", action=failing)
+
+    def querying(occ):
+        # Method notifications from inside a condition are suppressed.
+        system.detector.notify(None, "Probe", "peek", "end", {})
+        return False
+
+    system.rule("nosy", "f", condition=querying, action=lambda o: None)
+
+    with system.transaction():
+        system.raise_event("e", n=1)
+        system.raise_event("e", n=0)
+        system.raise_event("f", n=1)
+    system.wait_detached()
+
+
+@pytest.mark.parametrize("counter,owner,fieldname",
+                         PARITY, ids=[p[0] for p in PARITY])
+def test_counter_matches_legacy_stats(counter, owner, fieldname):
+    system = Sentinel(name="parity", error_policy="abort_rule")
+    run_workload(system)
+    registry = system.metrics.registry
+    assert registry.value(counter) == stats_value(system, owner, fieldname), (
+        f"{counter} diverged from {owner}.{fieldname}"
+    )
+    assert registry.value(counter) > 0, f"workload never exercised {counter}"
+    system.close()
+
+
+def test_report_equals_legacy_report():
+    """The registry-backed report matches a stats-backed run exactly."""
+    metered = Sentinel(name="app", error_policy="abort_rule")
+    run_workload(metered)
+    bare = Sentinel(name="app", error_policy="abort_rule", metrics=False)
+    run_workload(bare)
+    metered_dict = metered.report().to_dict()
+    bare_dict = bare.report().to_dict()
+    assert metered_dict == bare_dict
+    metered.close()
+    bare.close()
+
+
+def test_explicit_raises_counted_separately():
+    """raise_event never bumped DetectorStats.notifications; the
+    registry mirrors the split as detector.raises."""
+    system = Sentinel(name="raises")
+    system.explicit_event("e")
+    system.raise_event("e")
+    system.raise_event("e")
+    registry = system.metrics.registry
+    assert registry.value("detector.raises") == 2
+    assert registry.value("detector.notifications") == (
+        system.detector.stats.notifications
+    )
+    system.close()
+
+
+def test_storage_counters(tmp_path):
+    system = Sentinel(directory=tmp_path / "db", name="stored")
+
+    class Doc(Persistent):
+        def __init__(self, body):
+            self.body = body
+
+    system.db.registry.register(Doc)
+    with system.transaction() as txn:
+        txn.persist(Doc("hello"))
+    registry = system.metrics.registry
+    assert registry.value("wal.flushes") >= 1
+    assert registry.value("wal.records") >= 2  # begin + insert + commit
+    assert registry.value("txn.committed") == 1
+    system.close()

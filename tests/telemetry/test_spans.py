@@ -1,0 +1,216 @@
+"""Span-tree integrity across the full rule-execution lifecycle."""
+
+import threading
+
+
+from repro import Sentinel, TraceLogProcessor
+from repro.telemetry.events import (
+    ConditionEvaluated,
+    Detection,
+    GraphPropagation,
+    NotificationReceived,
+    RuleExecution,
+    RuleTriggered,
+    TransactionSpan,
+)
+
+
+def by_type(events, cls):
+    return [e for e in events if isinstance(e, cls)]
+
+
+def index(events):
+    return {e.span_id: e for e in events}
+
+
+class TestBasicNesting:
+    def test_notify_propagate_rule_condition_chain(self):
+        system = Sentinel(name="spans")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("e")
+        system.rule("r", "e",
+                    condition=lambda o: True,
+                    action=lambda o: None)
+        trace.clear()
+        system.raise_event("e")
+
+        events = trace.events()
+        spans = index(events)
+        notify = by_type(events, NotificationReceived)
+        assert len(notify) == 1 and notify[0].source == "explicit"
+        propagate = by_type(events, GraphPropagation)
+        assert propagate and propagate[0].parent_span_id == notify[0].span_id
+        detection = by_type(events, Detection)
+        assert detection[0].parent_span_id == propagate[0].span_id
+        trigger = by_type(events, RuleTriggered)
+        assert trigger[0].parent_span_id == propagate[0].span_id
+        rule = by_type(events, RuleExecution)
+        assert len(rule) == 1
+        assert rule[0].outcome == "completed"
+        # The rule executed while the propagation span was still open.
+        assert rule[0].parent_span_id == propagate[0].span_id
+        condition = by_type(events, ConditionEvaluated)
+        assert condition[0].parent_span_id == rule[0].span_id
+        assert condition[0].satisfied is True
+        # Every parent link resolves inside the buffer.
+        for event in events:
+            if event.parent_span_id is not None:
+                assert event.parent_span_id in spans
+        system.close()
+
+    def test_rejected_and_failed_outcomes(self):
+        system = Sentinel(name="outcomes", error_policy="abort_rule")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("e")
+        system.rule("reject", "e",
+                    condition=lambda o: False,
+                    action=lambda o: None)
+        system.raise_event("e")
+        rule = by_type(trace.events(), RuleExecution)[0]
+        assert rule.outcome == "rejected"
+
+        def boom(occ):
+            raise ValueError("x")
+
+        trace.clear()
+        system.rule("fail", "e", action=boom)
+        system.raise_event("e")
+        outcomes = {
+            e.rule_name: e.outcome
+            for e in by_type(trace.events(), RuleExecution)
+        }
+        assert outcomes["fail"] == "failed"
+        system.close()
+
+    def test_nested_rule_spans_nest(self):
+        system = Sentinel(name="nested")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("outer")
+        system.explicit_event("inner")
+        system.rule("inner_rule", "inner", action=lambda o: None)
+        system.rule("outer_rule", "outer",
+                    action=lambda o: system.raise_event("inner"))
+        trace.clear()
+        system.raise_event("outer")
+        events = trace.events()
+        rules = {e.rule_name: e for e in by_type(events, RuleExecution)}
+        assert rules["outer_rule"].depth == 1
+        assert rules["inner_rule"].depth == 2
+        # inner_rule's chain re-roots under outer_rule's span via the
+        # nested notify.
+        spans = index(events)
+        node = rules["inner_rule"]
+        seen = set()
+        while node.parent_span_id is not None:
+            assert node.span_id not in seen
+            seen.add(node.span_id)
+            node = spans[node.parent_span_id]
+        assert rules["outer_rule"].span_id in seen | {node.span_id}
+        system.close()
+
+
+class TestTransactionTree:
+    def test_single_tree_covers_whole_transaction(self, tmp_path):
+        """The acceptance scenario: one root span per transaction."""
+        system = Sentinel(directory=tmp_path / "db", name="tree")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("e")
+        fired = []
+        system.rule("r", "e", action=lambda o: fired.append(1))
+        trace.clear()
+        with system.transaction():
+            system.raise_event("e")
+        events = trace.events()
+        txn_spans = by_type(events, TransactionSpan)
+        assert len(txn_spans) == 1
+        assert txn_spans[0].outcome == "committed"
+        root_id = txn_spans[0].span_id
+        assert txn_spans[0].parent_span_id is None
+
+        spans = index(events)
+
+        def root_of(event):
+            while event.parent_span_id is not None:
+                event = spans[event.parent_span_id]
+            return event.span_id
+
+        # Notifications, rule execution, and the commit-time WAL flush
+        # all land in the same tree.
+        for event in events:
+            assert root_of(event) == root_id
+        assert fired == [1]
+        system.close()
+
+    def test_abort_outcome(self):
+        system = Sentinel(name="aborting")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        txn = system.begin()
+        system.abort(txn)
+        txn_spans = by_type(trace.events(), TransactionSpan)
+        assert txn_spans[-1].outcome == "aborted"
+        system.close()
+
+    def test_render_shows_indented_tree(self):
+        system = Sentinel(name="render")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("e")
+        system.rule("r", "e", action=lambda o: None)
+        trace.clear()
+        with system.transaction():
+            system.raise_event("e")
+        text = trace.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("txn#")
+        assert any(line.startswith("  notify#") for line in lines)
+        assert any("rule_name='r'" in line for line in lines)
+        system.close()
+
+
+class TestCascade:
+    def test_immediate_deferred_detached_cascade(self):
+        """Spans from all three coupling modes link into one tree."""
+        system = Sentinel(name="cascade")
+        trace = system.telemetry.attach(TraceLogProcessor())
+        system.explicit_event("e")
+        ran = {"immediate": False, "deferred": False, "detached": False}
+        detached_thread = {}
+
+        def run(mode):
+            def action(occ):
+                ran[mode] = True
+                if mode == "detached":
+                    detached_thread["name"] = threading.current_thread().name
+            return action
+
+        system.rule("imm", "e", action=run("immediate"),
+                    coupling="immediate")
+        system.rule("def", "e", action=run("deferred"),
+                    coupling="deferred")
+        system.rule("det", "e", action=run("detached"),
+                    coupling="detached")
+        trace.clear()
+        with system.transaction():
+            system.raise_event("e")
+        system.wait_detached()
+        assert all(ran.values())
+        assert detached_thread["name"].startswith("detached-")
+
+        events = trace.events()
+        spans = index(events)
+        rules = {e.rule_name: e for e in by_type(events, RuleExecution)}
+        assert set(rules) >= {"imm", "def", "det"}
+        assert rules["det"].coupling == "detached"
+
+        txn_root = by_type(events, TransactionSpan)[0].span_id
+
+        def root_of(event):
+            while event.parent_span_id is not None:
+                event = spans[event.parent_span_id]
+            return event.span_id
+
+        # The detached rule ran on another thread in its own top-level
+        # transaction, but its span still chains into the triggering
+        # transaction's tree via the captured parent span id.
+        for name in ("imm", "def", "det"):
+            assert root_of(rules[name]) == txn_root, name
+        system.close()

@@ -65,8 +65,8 @@ def build_via_decorators(detector, fired):
     churn = detector.seq("Till_sale", "Till_refund", name="Till_churn")
     detector.rule(
         "Flag", churn,
-        lambda occ: occ.params.value("amount", "Till_sale") >= 100,
-        fired.append, context="chronicle",
+        condition=lambda occ: occ.params.value("amount", "Till_sale") >= 100,
+        action=fired.append, context="chronicle",
     )
     return Till
 

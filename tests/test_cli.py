@@ -88,3 +88,46 @@ class TestReplay:
         log_path.write_text("")
         assert main(["replay", spec_file, str(log_path)]) == 0
         assert "no rules would have fired" in capsys.readouterr().out
+
+
+class TestTrace:
+    @pytest.fixture()
+    def log_file(self, tmp_path):
+        entries = [
+            {"event_name": "STOCK_e1", "at": 1.0, "class_name": "STOCK",
+             "instance": "obj1", "method_name": "sell_stock",
+             "modifier": "end", "arguments": [["qty", 5]], "txn_id": 1},
+            {"event_name": "STOCK_e2", "at": 2.0, "class_name": "STOCK",
+             "instance": "obj1", "method_name": "set_price",
+             "modifier": "begin", "arguments": [["price", 9.5]],
+             "txn_id": 1},
+        ]
+        path = tmp_path / "events.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+        return str(path)
+
+    def test_trace_prints_span_tree_and_counters(
+            self, spec_file, log_file, capsys):
+        assert main(["trace", spec_file, log_file]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2 events" in out
+        # span tree: the rule execution nests under its notification
+        assert "notify#" in out
+        assert "\n  propagate#" in out
+        assert "rule#" in out and "R1" in out
+        # the counter summary is on by default
+        assert "counters:" in out
+        assert "rules.executions: 1" in out
+        assert "latency:" in out
+
+    def test_no_metrics_flag(self, spec_file, log_file, capsys):
+        assert main(["trace", spec_file, log_file, "--no-metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "notify#" in out
+        assert "counters:" not in out
+
+    def test_capacity_bounds_trace(self, spec_file, log_file, capsys):
+        assert main(["trace", spec_file, log_file, "--capacity", "1"]) == 0
+        out = capsys.readouterr().out
+        # only the last event survives the 1-slot ring buffer
+        assert out.count("#") <= 2

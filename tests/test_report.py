@@ -1,35 +1,81 @@
-"""Tests for the Sentinel status report."""
+"""Tests for the Sentinel status report (a SystemReport dataclass)."""
 
-import pytest
 
 from repro import Sentinel
+from repro.sentinel import SystemReport
 
 
 def test_report_counts_activity(tmp_path):
     system = Sentinel(directory=tmp_path / "db", name="reporting")
     system.explicit_event("e")
-    system.rule("r", "e", lambda o: o.params.value("n") > 0,
-                lambda o: None)
+    system.rule("r", "e",
+                condition=lambda o: o.params.value("n") > 0,
+                action=lambda o: None)
     with system.transaction():
         system.raise_event("e", n=1)
         system.raise_event("e", n=0)
 
-    data = system.report()
-    assert data["name"] == "reporting"
-    assert data["rules"]["defined"] >= 3  # r + two flush rules
-    assert data["rules"]["executions"] >= 1
-    assert data["rules"]["condition_rejections"] == 1
-    assert data["notifications"]["triggers"] >= 2
-    assert data["events"]["detections"] >= 2
-    assert "storage" in data
-    assert data["storage"]["wal_flushed_lsn"] >= 0
+    report = system.report()
+    assert isinstance(report, SystemReport)
+    assert report.name == "reporting"
+    assert report.rules["defined"] >= 3  # r + two flush rules
+    assert report.rules["executions"] >= 1
+    assert report.rules["condition_rejections"] == 1
+    assert report.notifications["triggers"] >= 2
+    assert report.events["detections"] >= 2
+    assert report.storage is not None
+    assert report.storage["wal_flushed_lsn"] >= 0
+    system.close()
+
+
+def test_report_dict_back_compat(tmp_path):
+    """to_dict() (and indexing) keep the pre-telemetry dict shape."""
+    system = Sentinel(directory=tmp_path / "db", name="legacy")
+    data = system.report().to_dict()
+    assert set(data) == {"name", "events", "notifications", "rules",
+                         "storage"}
+    report = system.report()
+    assert report["name"] == "legacy"
+    assert "storage" in report
+    assert report["rules"]["defined"] == data["rules"]["defined"]
+    system.close()
+
+
+def test_report_sourced_from_metrics_registry():
+    """With the default CounterProcessor, counters come from telemetry."""
+    system = Sentinel(name="metered")
+    system.explicit_event("e")
+    system.rule("r", "e", action=lambda o: None)
+    system.raise_event("e")
+    report = system.report()
+    assert system.metrics is not None
+    registry = system.metrics.registry
+    assert report.rules["executions"] == registry.value("rules.executions")
+    assert report.events["detections"] == registry.value("graph.detections")
+    assert report.metrics["counters"]["rules.executions"] >= 1
+    # Span durations land in per-stage histograms.
+    assert report.metrics["histograms"]["rule.ms"]["count"] >= 1
+    system.close()
+
+
+def test_report_metrics_disabled_falls_back_to_stats():
+    system = Sentinel(name="bare", metrics=False)
+    assert system.metrics is None
+    assert not system.telemetry.active
+    system.explicit_event("e")
+    system.rule("r", "e", action=lambda o: None)
+    system.raise_event("e")
+    report = system.report()
+    assert report.rules["executions"] == 1
+    assert report.metrics == {}
     system.close()
 
 
 def test_report_without_database_omits_storage():
     system = Sentinel(name="volatile")
-    data = system.report()
-    assert "storage" not in data
+    report = system.report()
+    assert report.storage is None
+    assert "storage" not in report.to_dict()
     system.close()
 
 
@@ -46,8 +92,9 @@ def test_report_text_renders_sections(tmp_path):
 def test_report_tracks_failures():
     system = Sentinel(name="failing", error_policy="abort_rule")
     system.explicit_event("e")
-    system.rule("bad", "e", lambda o: True,
-                lambda o: (_ for _ in ()).throw(ValueError("x")))
+    system.rule("bad", "e",
+                condition=lambda o: True,
+                action=lambda o: (_ for _ in ()).throw(ValueError("x")))
     system.raise_event("e")
-    assert system.report()["rules"]["failures"] == 1
+    assert system.report().rules["failures"] == 1
     system.close()

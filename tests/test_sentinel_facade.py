@@ -63,7 +63,7 @@ class TestTransactionLifecycle:
         aborted = []
         from repro.core.deferred import ABORT_TRANSACTION
 
-        s.rule("watch", ABORT_TRANSACTION, lambda o: True, aborted.append)
+        s.rule("watch", ABORT_TRANSACTION, condition=lambda o: True, action=aborted.append)
         s.begin()
         s.close()
         assert len(aborted) == 1
@@ -85,7 +85,7 @@ class TestEventApiPassthroughs:
         s = Sentinel(clock=SimulatedClock(), name="temporal")
         node = s.temporal_event("alarm", at=10.0)
         hits = []
-        s.rule("r", node, lambda o: True, hits.append)
+        s.rule("r", node, condition=lambda o: True, action=hits.append)
         s.advance_time(10.0)
         assert len(hits) == 1
         s.close()
@@ -109,7 +109,7 @@ class TestRegisterClass:
         nodes = system.register_class(Gadget)
         assert "used" in nodes
         hits = []
-        system.rule("r", nodes["used"], lambda o: True, hits.append)
+        system.rule("r", nodes["used"], condition=lambda o: True, action=hits.append)
         Gadget().use()
         assert len(hits) == 1
 
@@ -137,8 +137,8 @@ class TestMultipleSystems:
         s1.explicit_event("e")
         s2.explicit_event("e")
         hits1, hits2 = [], []
-        s1.rule("r", "e", lambda o: True, hits1.append)
-        s2.rule("r", "e", lambda o: True, hits2.append)
+        s1.rule("r", "e", condition=lambda o: True, action=hits1.append)
+        s2.rule("r", "e", condition=lambda o: True, action=hits2.append)
         s1.raise_event("e")
         assert len(hits1) == 1
         assert hits2 == []
@@ -160,8 +160,8 @@ class TestScopedActivation:
         hits1, hits2 = [], []
         n1 = Pinger.register_events(s1.detector)
         n2 = Pinger.register_events(s2.detector)
-        s1.rule("r", n1["pinged"], lambda o: True, hits1.append)
-        s2.rule("r", n2["pinged"], lambda o: True, hits2.append)
+        s1.rule("r", n1["pinged"], condition=lambda o: True, action=hits1.append)
+        s2.rule("r", n2["pinged"], condition=lambda o: True, action=hits2.append)
         pinger = Pinger()
         s1.activate()
         with s2.active():

@@ -5,7 +5,6 @@ whose entire ancestor chain committed; any mutation under an aborted
 ancestor is rolled back.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,67 @@
+"""One-shot migration of positional ``rule()`` calls to keywords.
+
+Finds every ``<expr>.rule(name, event, condition, action, ...)`` call
+in the given files and inserts ``condition=`` / ``action=`` before the
+third and fourth positional arguments (the first two, name and event,
+stay positional). Idempotent: calls that already use keywords are left
+alone.
+
+Usage::
+
+    python tools/migrate_rule_calls.py [--check] FILES...
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def rule_call_edits(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, keyword) insertions for positional rule() args."""
+    edits: list[tuple[int, int, str]] = []
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "rule"):
+            continue
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            continue
+        for keyword, index in (("condition=", 2), ("action=", 3)):
+            if len(node.args) > index:
+                arg = node.args[index]
+                edits.append((arg.lineno, arg.col_offset, keyword))
+    return edits
+
+
+def migrate(source: str) -> str:
+    lines = source.splitlines(keepends=True)
+    # Apply bottom-up so earlier offsets stay valid.
+    for line, col, keyword in sorted(rule_call_edits(source), reverse=True):
+        text = lines[line - 1]
+        lines[line - 1] = text[:col] + keyword + text[col:]
+    return "".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    paths = [Path(a) for a in argv if not a.startswith("--")]
+    changed = 0
+    for path in paths:
+        source = path.read_text()
+        migrated = migrate(source)
+        if migrated != source:
+            changed += 1
+            if check:
+                print(f"would rewrite {path}")
+            else:
+                path.write_text(migrated)
+                print(f"rewrote {path}")
+    return 1 if (check and changed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
