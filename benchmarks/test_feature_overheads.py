@@ -64,7 +64,7 @@ def test_scope_has_no_dispatch_cost(scope, benchmark):
 
 
 @pytest.mark.parametrize(
-    "processors", ["none", "counters", "trace", "both"],
+    "processors", ["none", "counters", "trace", "profiler", "both"],
 )
 def test_telemetry_overhead(processors, benchmark):
     """Tracing is pay-as-you-go: zero processors = dormant hub."""
@@ -73,6 +73,10 @@ def test_telemetry_overhead(processors, benchmark):
         det.telemetry.attach(CounterProcessor())
     if processors in ("trace", "both"):
         det.telemetry.attach(TraceLogProcessor())
+    if processors == "profiler":
+        from repro.monitor import RuleProfiler
+
+        det.telemetry.attach(RuleProfiler(slow_ms=1000.0))
     det.explicit_event("e")
     det.rule("r", "e", condition=lambda o: True, action=lambda o: None)
     benchmark(lambda: det.raise_event("e", n=1))
@@ -113,6 +117,24 @@ def test_zero_processor_emit_is_near_noop():
     # other (generous 50% bound — the point is catching accidental
     # always-on tracing, which costs multiples, not percents).
     assert toggled < baseline * 1.5
+
+
+def test_metrics_rendering_is_off_the_hot_path(benchmark):
+    """/metrics rendering cost falls on the scraper, not rule dispatch.
+
+    Renders a realistically-populated registry; the point is keeping
+    exposition assembly cheap enough for aggressive scrape intervals.
+    """
+    from repro.monitor.prometheus import render_metrics
+    from repro.telemetry.processors import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for i in range(50):
+        registry.counter("graph.detections.recent" if i % 4 == 0
+                         else f"stage{i}.count").inc(i)
+        registry.histogram(f"rule:R{i}").observe(float(i) / 7.0)
+    text = benchmark(lambda: render_metrics(registry))
+    assert "sentinel_rule_latency_ms_bucket" in text
 
 
 @pytest.mark.parametrize("named", [False, True], ids=["int", "named-class"])

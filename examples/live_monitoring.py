@@ -1,0 +1,131 @@
+"""Live monitoring: the introspection endpoint over a running system.
+
+The full observability loop in one script:
+
+* start the monitor (`Sentinel.monitor`) on an OS-assigned port,
+* run the stock-portfolio workload while scraping `/metrics`,
+* read `/health`, `/spans`, `/graph`, and `/profile`,
+* export the span stream as JSONL and re-render it offline,
+* let the FlightRecorder dump the ring when a rule fails.
+
+Run:  python examples/live_monitoring.py
+"""
+
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro import FlightRecorder, Reactive, Sentinel, event
+from repro.monitor import JsonlSpanExporter, load_events
+from repro.telemetry import TraceLogProcessor
+
+
+class Stock(Reactive):
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    @event(end="price_set")
+    def set_price(self, price):
+        self.price = price
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read().decode()
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="sentinel-monitor-"))
+    # abort_rule: a failing rule aborts its own subtransaction instead
+    # of tearing down the enclosing transaction (we fail one on purpose).
+    system = Sentinel(name="portfolio", error_policy="abort_rule")
+    events = system.register_class(Stock)
+
+    spikes = []
+    system.rule(
+        "SpikeAlert", events["price_set"],
+        condition=lambda occ: occ.params.value("price") > 100,
+        action=lambda occ: spikes.append(occ.params.value("price")),
+    )
+
+    def fragile_action(occ):
+        raise ValueError("simulated downstream outage")
+
+    system.rule("FragileSync", events["price_set"],
+                condition=lambda occ: occ.params.value("price") < 0,
+                action=fragile_action)
+
+    # One call wires the introspection layer: span ring, profiler,
+    # HTTP server. The recorder and exporter attach like any processor.
+    server = system.monitor(port=0, slow_ms=25.0)
+    recorder = system.telemetry.attach(
+        FlightRecorder(workdir / "flight", hub=system.telemetry)
+    )
+    exporter = system.telemetry.attach(
+        JsonlSpanExporter(workdir / "spans.jsonl")
+    )
+    print(f"monitor serving on {server.url}")
+
+    stock = Stock("IBM", 95.0)
+    for price in (98.0, 104.0, 101.5, 99.0, 120.0):
+        with system.transaction():
+            stock.set_price(price)
+    assert spikes == [104.0, 101.5, 120.0]
+
+    # --- /metrics: Prometheus text exposition --------------------------
+    metrics = get(server.url + "/metrics")
+    assert "sentinel_rules_executions_total" in metrics
+    assert ('sentinel_rule_outcomes_total{rule="SpikeAlert",'
+            'outcome="completed"} 3') in metrics
+    assert 'sentinel_graph_detections_by_context_total' in metrics
+    print("scraped /metrics:", len(metrics.splitlines()), "lines")
+
+    # --- /health: liveness with storage + backlog detail ---------------
+    health = json.loads(get(server.url + "/health"))
+    assert health["healthy"] is True and health["status"] == "ok"
+    print("health:", health["status"])
+
+    # --- /spans: the same tree `repro trace` renders -------------------
+    spans = json.loads(get(server.url + "/spans"))
+    assert spans["buffered"] > 0
+    assert "SpikeAlert" in spans["rendered"]
+    print("spans buffered:", spans["buffered"], "of", spans["capacity"])
+
+    # --- /graph: per-node occurrence counts per context ----------------
+    graph = json.loads(get(server.url + "/graph"))
+    nodes = {node["name"]: node for node in graph["nodes"]}
+    assert nodes["Stock_price_set"]["detections"]["recent"] == 5
+    assert "SpikeAlert" in nodes["Stock_price_set"]["rule_subscribers"]
+    print("graph nodes:", len(graph["nodes"]))
+
+    # --- /profile: per-rule wall time, split by phase ------------------
+    profile = json.loads(get(server.url + "/profile"))
+    by_rule = {entry["rule"]: entry for entry in profile["rules"]}
+    assert set(by_rule["SpikeAlert"]["phases"]) == {
+        "condition", "action", "commit"
+    }
+    print("profiled rules:", sorted(by_rule))
+
+    # --- flight recorder: a failing rule dumps the span ring -----------
+    with system.transaction():
+        stock.set_price(-1.0)  # FragileSync's condition holds -> raise
+    assert recorder.dumps, "rule failure should have dumped the ring"
+    dumped = load_events(recorder.dumps[0])
+    print("flight dump:", recorder.dumps[0].name, f"({len(dumped)} events)")
+
+    # --- offline replay of the exported span stream --------------------
+    exporter.close()
+    offline = load_events(workdir / "spans.jsonl")
+    rendered = TraceLogProcessor().render(offline)
+    assert "SpikeAlert" in rendered
+    print("offline replay:", len(offline), "spans re-rendered")
+
+    system.close()
+    assert not server.running
+    print("closed cleanly; monitor stopped")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,13 @@ from repro.sentinel import (
     SystemReport,
 )
 from repro.storage.manager import StorageManager
+from repro.monitor import (
+    FlightRecorder,
+    JsonlSpanExporter,
+    MonitorServer,
+    RuleProfiler,
+    load_events,
+)
 from repro.telemetry import (
     CounterProcessor,
     MetricsRegistry,
@@ -108,5 +115,10 @@ __all__ = [
     "TimingProcessor",
     "TraceLogProcessor",
     "MetricsRegistry",
+    "MonitorServer",
+    "RuleProfiler",
+    "FlightRecorder",
+    "JsonlSpanExporter",
+    "load_events",
     "__version__",
 ]

@@ -9,7 +9,13 @@ sources; this CLI exposes the same pipeline:
 * ``replay``  — run a JSON-lines event log (``repro.eventlog`` format)
   through a spec in collect mode and report which rules would fire.
 * ``trace``   — execute an event log through a spec with telemetry on
-  and print the resulting span trees plus the metrics summary.
+  and print the resulting span trees plus the metrics summary; with
+  ``--export-spans`` the raw spans are also written as JSONL, and with
+  ``--spans`` a previously exported JSONL span file is re-rendered
+  offline (no spec or log needed).
+* ``monitor`` — build a spec, replay a log through it, and serve the
+  live introspection endpoints (``/metrics``, ``/health``, ``/spans``,
+  ``/graph``, ``/profile``) over HTTP.
 
 Conditions and actions referenced by the spec are stubbed (always-true
 conditions, counting actions), so specs can be validated without the
@@ -22,12 +28,15 @@ Usage::
     python -m repro graph myspec.sentinel
     python -m repro replay myspec.sentinel events.jsonl
     python -m repro trace myspec.sentinel events.jsonl
+    python -m repro trace --spans exported.jsonl
+    python -m repro monitor myspec.sentinel events.jsonl --port 9464
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Optional
@@ -128,20 +137,46 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Execute an event log with telemetry on; print the span trees."""
+    """Execute an event log with telemetry on; print the span trees.
+
+    With ``--spans FILE`` no replay happens: the exported JSONL span
+    stream is loaded and re-rendered offline with the same renderer.
+    """
     from repro.telemetry import CounterProcessor, TraceLogProcessor
 
+    if args.spans:
+        from repro.monitor import load_events
+
+        events = load_events(args.spans)
+        print(f"loaded {len(events)} spans from {args.spans}")
+        print()
+        sys.stdout.write(TraceLogProcessor().render(events))
+        return 0
+    if not args.spec or not args.log:
+        print("error: trace needs SPEC and LOG (or --spans FILE)",
+              file=sys.stderr)
+        return 2
     spec = _load_spec(args.spec)
     detector, __ = _build(spec)
     trace_log = detector.telemetry.attach(
         TraceLogProcessor(capacity=args.capacity)
     )
     counters = detector.telemetry.attach(CounterProcessor())
+    exporter = None
+    if args.export_spans:
+        from repro.monitor import JsonlSpanExporter
+
+        exporter = detector.telemetry.attach(
+            JsonlSpanExporter(args.export_spans)
+        )
     log = EventLog(args.log)
     report = replay_log(log, detector, mode="execute")
     print(f"replayed {report.events_replayed} events from {args.log}")
     print()
     sys.stdout.write(trace_log.render())
+    if exporter is not None:
+        exporter.close()
+        print(f"exported {exporter.exported} spans to {args.export_spans}")
     if args.metrics:
         print()
         print("counters:")
@@ -152,6 +187,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print(f"  {name}: n={summary['count']} "
                   f"mean={summary['mean_ms']}ms max={summary['max_ms']}ms")
     detector.shutdown()
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Serve the live introspection endpoints over a spec replay."""
+    from repro.monitor import MonitorServer, RuleProfiler
+    from repro.telemetry import CounterProcessor, TraceLogProcessor
+
+    spec = _load_spec(args.spec)
+    detector, __ = _build(spec)
+    trace_log = detector.telemetry.attach(
+        TraceLogProcessor(capacity=args.capacity)
+    )
+    counters = detector.telemetry.attach(CounterProcessor())
+    profiler = detector.telemetry.attach(RuleProfiler(slow_ms=args.slow_ms))
+    if args.log:
+        report = replay_log(EventLog(args.log), detector, mode="execute")
+        print(f"replayed {report.events_replayed} events from {args.log}")
+    server = MonitorServer(
+        registry=counters.registry,
+        health=detector.health,
+        trace=trace_log,
+        graph=detector.graph_snapshot,
+        profiler=profiler,
+        host=args.host,
+        port=args.port,
+    ).start()
+    print(f"serving on {server.url} "
+          f"(/metrics /health /spans /graph /profile)")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        detector.shutdown()
+    if profiler.rules:
+        print()
+        sys.stdout.write(profiler.report_text())
     return 0
 
 
@@ -184,13 +262,37 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="execute an event log and print trace span trees"
     )
-    trace.add_argument("spec")
-    trace.add_argument("log")
+    trace.add_argument("spec", nargs="?", default=None)
+    trace.add_argument("log", nargs="?", default=None)
     trace.add_argument("--capacity", type=int, default=4096,
                        help="trace ring-buffer size (default 4096)")
     trace.add_argument("--no-metrics", dest="metrics", action="store_false",
                        help="omit the counter/latency summary")
+    trace.add_argument("--export-spans", default=None, metavar="FILE",
+                       help="also write the raw spans as JSONL to FILE")
+    trace.add_argument("--spans", default=None, metavar="FILE",
+                       help="render a previously exported JSONL span file "
+                            "instead of replaying")
     trace.set_defaults(func=cmd_trace)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="replay a log through a spec and serve /metrics, /health, "
+             "/spans, /graph, /profile over HTTP",
+    )
+    monitor.add_argument("spec")
+    monitor.add_argument("log", nargs="?", default=None)
+    monitor.add_argument("--host", default="127.0.0.1")
+    monitor.add_argument("--port", type=int, default=0,
+                         help="0 = OS-assigned (printed on startup)")
+    monitor.add_argument("--capacity", type=int, default=4096,
+                         help="trace ring-buffer size (default 4096)")
+    monitor.add_argument("--slow-ms", type=float, default=None,
+                         help="slow-rule threshold for the profiler")
+    monitor.add_argument("--duration", type=float, default=None,
+                         help="serve for N seconds then exit "
+                              "(default: until interrupted)")
+    monitor.set_defaults(func=cmd_monitor)
 
     return parser
 

@@ -562,6 +562,26 @@ class LocalEventDetector:
         for listener in self._global_listeners:
             listener(occurrence)
 
+    # -- introspection ---------------------------------------------------------------------
+
+    def graph_snapshot(self) -> dict:
+        """The event graph's monitor view (see ``EventGraph.snapshot``)."""
+        return self.graph.snapshot()
+
+    def health(self) -> dict:
+        """Liveness data for the monitor's ``/health`` (detector slice)."""
+        return {
+            "name": self.name,
+            "suppressed": self._is_suppressed(),
+            "collect_mode": self.collect_mode,
+            "rule_errors": len(self.scheduler.errors),
+            "telemetry": {
+                "active": self.telemetry.active,
+                "processors": len(self.telemetry.processors),
+                "dropped": self.telemetry.dropped,
+            },
+        }
+
     # -- maintenance ---------------------------------------------------------------------
 
     def flush(self, event_name: Optional[str] = None,

@@ -45,6 +45,8 @@ class EventNode:
         self.rule_subscribers: list["Rule"] = []
         self._context_counts: dict[ParameterContext, int] = {}
         self._state: dict[ParameterContext, Any] = {}
+        #: occurrence count per parameter context (monitor ``/graph``)
+        self.detections_by_context: dict[ParameterContext, int] = {}
         for port, child in enumerate(self.children):
             child.event_subscribers.append((self, port))
         graph.register(self)
@@ -113,9 +115,32 @@ class EventNode:
 
     # -- propagation ------------------------------------------------------------------
 
+    def pending_depth(self) -> int:
+        """Best-effort count of occurrences queued in this node's state.
+
+        Operator state is a per-context container of pending
+        occurrences (deques per side for AND, a deque for SEQ/NOT,
+        open windows for P/P*); the monitor's ``/graph`` endpoint
+        reports the sum as the node's queue depth. Stateless nodes
+        report 0.
+        """
+        total = 0
+        for state in self._state.values():
+            if state is None:
+                continue
+            sides = getattr(state, "sides", None)
+            if sides is not None:
+                total += sum(len(side) for side in sides)
+            elif hasattr(state, "__len__"):
+                total += len(state)
+        return total
+
     def signal(self, occurrence: Occurrence, ctx: ParameterContext) -> None:
         """Deliver a detection of this node to its subscribers."""
         self.graph.stats.detections += 1
+        self.detections_by_context[ctx] = (
+            self.detections_by_context.get(ctx, 0) + 1
+        )
         telemetry = self.graph.telemetry
         if telemetry.active:
             telemetry.point(

@@ -271,6 +271,49 @@ class EventGraph:
             name,
         )
 
+    # -- introspection -----------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of the graph for the monitor's ``/graph``.
+
+        One entry per node: operator, children, subscriber counts,
+        active parameter contexts with their reference counts,
+        per-context occurrence (detection) counts, and the pending
+        queue depth of the node's detection state.
+        """
+        nodes = []
+        for node in list(self._nodes):
+            nodes.append({
+                "name": node.display_name,
+                "operator": node.operator,
+                "children": [c.display_name for c in node.children],
+                "event_subscribers": len(node.event_subscribers),
+                "rule_subscribers": [r.name for r in node.rule_subscribers],
+                "contexts": {
+                    ctx.value: node.context_count(ctx)
+                    for ctx in node.active_contexts()
+                },
+                "detections": {
+                    ctx.value: count
+                    for ctx, count in sorted(
+                        node.detections_by_context.items(),
+                        key=lambda item: item[0].value,
+                    )
+                },
+                "queue_depth": node.pending_depth(),
+            })
+        return {
+            "nodes": nodes,
+            "stats": {
+                "nodes": len(self._nodes),
+                "named": len(self._by_name),
+                "nodes_created": self.stats.nodes_created,
+                "shared_hits": self.stats.shared_hits,
+                "detections": self.stats.detections,
+                "propagations": self.stats.propagations,
+            },
+        }
+
     # -- maintenance -----------------------------------------------------------------------
 
     def flush(self, event_name: Optional[str] = None,

@@ -22,6 +22,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from itertools import groupby
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.params import Occurrence
@@ -218,7 +219,14 @@ class RuleScheduler:
             executed = self._evaluate(rule, activation.occurrence, span)
             self._signal_rule_event(rule, "end")
             if sub is not None:
-                sub.commit()
+                if span is not None:
+                    commit_start = perf_counter()
+                    sub.commit()
+                    span.set(
+                        commit_ms=(perf_counter() - commit_start) * 1000.0
+                    )
+                else:
+                    sub.commit()
             if span is not None:
                 span.set(outcome="completed" if executed else "rejected")
             self._notify("done", rule, activation.occurrence, depth=depth)
@@ -273,6 +281,11 @@ class RuleScheduler:
         finally:
             if condition_span is not None:
                 condition_span.close(satisfied=satisfied)
+                span.set(
+                    condition_ms=(
+                        perf_counter() - condition_span.started
+                    ) * 1000.0
+                )
         self._notify("condition", rule, occurrence, satisfied=satisfied,
                      depth=self._depth())
         if not satisfied:

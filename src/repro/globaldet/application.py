@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Union
 from repro.core.detector import LocalEventDetector
 from repro.core.params import Occurrence, PrimitiveOccurrence
 from repro.globaldet.channel import Channel
+from repro.telemetry.events import GlobalDetectionDelivered, GlobalEventSent
 
 if TYPE_CHECKING:
     from repro.globaldet.global_detector import GlobalEventDetector
@@ -39,7 +40,10 @@ class Application:
         )
         self.ged = ged
         #: downward channel: global detections -> this application
-        self.downlink = Channel(sink=self._on_global_detection, direct=direct)
+        self.downlink = Channel(
+            sink=self._on_global_detection, direct=direct,
+            telemetry=self.detector.telemetry, name=f"{name}.downlink",
+        )
         self.detector.add_global_listener(self._forward)
 
     # -- exporting local events -------------------------------------------------
@@ -51,7 +55,15 @@ class Application:
 
     def _forward(self, occurrence: PrimitiveOccurrence) -> None:
         # All applications share the global detector's inbox so the
-        # cross-application arrival order is preserved.
+        # cross-application arrival order is preserved. The send point
+        # is emitted through the *local* hub: the uplink belongs to the
+        # trace tree of the transaction that signaled the event.
+        telemetry = self.detector.telemetry
+        if telemetry.active:
+            telemetry.point(
+                GlobalEventSent, application=self.name,
+                event_name=occurrence.event_name,
+            )
         self.ged.inbox.send((self.name, occurrence))
 
     # -- receiving global detections --------------------------------------------------
@@ -73,7 +85,18 @@ class Application:
     def _on_global_detection(self, message) -> None:
         local_event, occurrence = message
         params = _flatten_params(occurrence)
-        self.detector.raise_event(local_event, **params)
+        telemetry = self.detector.telemetry
+        if not telemetry.active:
+            self.detector.raise_event(local_event, **params)
+            return
+        # The deliver span covers the local re-raise, so the rule
+        # cascade the delivery triggers (typically detached rules, per
+        # Fig. 2) nests inside it.
+        with telemetry.span(
+            GlobalDetectionDelivered, application=self.name,
+            event_name=local_event,
+        ):
+            self.detector.raise_event(local_event, **params)
 
     def drain(self) -> int:
         """Deliver queued global detections into this application."""

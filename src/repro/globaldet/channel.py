@@ -7,6 +7,13 @@ with two delivery disciplines:
 * **queued** (default) — messages accumulate until ``drain`` is called,
   making inter-application tests deterministic;
 * **direct** — messages invoke the sink immediately on ``send``.
+
+Channels are telemetry-instrumented: given a hub (and a name), every
+``send`` and every sink delivery emits a
+:class:`~repro.telemetry.events.ChannelMessage` point carrying the
+queue depth after the operation, which is what the monitor's backlog
+view reads. With no hub (or a dormant one) the paths cost one
+attribute check, same as every other instrumented site.
 """
 
 from __future__ import annotations
@@ -15,34 +22,52 @@ import threading
 from collections import deque
 from typing import Any, Callable, Optional
 
+from repro.telemetry.events import ChannelMessage
+from repro.telemetry.hub import TelemetryHub
+
 
 class Channel:
     """FIFO message channel with pluggable delivery."""
 
     def __init__(self, sink: Optional[Callable[[Any], None]] = None,
-                 direct: bool = False):
+                 direct: bool = False,
+                 telemetry: Optional[TelemetryHub] = None,
+                 name: str = "channel"):
         self._sink = sink
         self._direct = direct
         self._queue: deque = deque()
         self._lock = threading.Lock()
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self.name = name
         self.sent = 0
         self.delivered = 0
 
     def connect(self, sink: Callable[[Any], None]) -> None:
         self._sink = sink
 
+    def _trace(self, kind: str, pending: int) -> None:
+        if self.telemetry.active:
+            self.telemetry.point(
+                ChannelMessage, channel=self.name, kind=kind,
+                pending=pending,
+            )
+
     def send(self, message: Any) -> None:
         with self._lock:
             self.sent += 1
             if self._direct and self._sink is not None:
                 deliver_now = True
+                pending = len(self._queue)
             else:
                 self._queue.append(message)
                 deliver_now = False
+                pending = len(self._queue)
+        self._trace("send", pending)
         if deliver_now:
             self._sink(message)
             with self._lock:
                 self.delivered += 1
+            self._trace("deliver", pending)
 
     def drain(self, limit: Optional[int] = None) -> int:
         """Deliver queued messages in order; returns how many."""
@@ -54,9 +79,11 @@ class Channel:
                 if not self._queue:
                     break
                 message = self._queue.popleft()
+                pending = len(self._queue)
             self._sink(message)
             with self._lock:
                 self.delivered += 1
+            self._trace("deliver", pending)
             count += 1
         return count
 

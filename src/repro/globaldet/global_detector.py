@@ -19,6 +19,7 @@ from repro.core.detector import LocalEventDetector
 from repro.core.events.base import EventNode
 from repro.errors import GlobalDetectorError, UnknownApplication
 from repro.globaldet.application import Application
+from repro.telemetry.events import GlobalEventReceived
 
 if TYPE_CHECKING:
     from repro.sentinel import Sentinel
@@ -32,13 +33,17 @@ class GlobalEventDetector:
         # The global graph reuses a LocalEventDetector: its "rules" are
         # the delivery subscriptions.
         self.detector = LocalEventDetector(clock=clock, name="$GLOBAL")
+        #: the global detector's telemetry hub (the internal detector's,
+        #: so global graph propagation traces alongside the receive span)
+        self.telemetry = self.detector.telemetry
         self.applications: dict[str, Application] = {}
         self._subscription_ids = itertools.count(1)
         # Single inbox shared by all uplinks: cross-application arrival
         # order is the global event order (one Exodus server, one wire).
         from repro.globaldet.channel import Channel
 
-        self.inbox = Channel(sink=self._on_local_event, direct=direct)
+        self.inbox = Channel(sink=self._on_local_event, direct=direct,
+                             telemetry=self.telemetry, name="$GLOBAL.inbox")
 
     # -- registration -----------------------------------------------------------
 
@@ -116,11 +121,24 @@ class GlobalEventDetector:
     def _on_local_event(self, message) -> None:
         app_name, occurrence = message
         global_name = f"{app_name}.{occurrence.event_name}"
-        if not self.detector.graph.has(global_name):
+        known = self.detector.graph.has(global_name)
+        if not self.telemetry.active:
+            if known:
+                self.detector.raise_event(
+                    global_name, **dict(occurrence.arguments)
+                )
             return  # exported but never imported: drop silently
-        self.detector.raise_event(
-            global_name, **dict(occurrence.arguments)
-        )
+        # The receive span covers the re-raise into the global graph,
+        # so global composite detections and delivery-rule executions
+        # (the $deliver subscriptions) nest inside it.
+        with self.telemetry.span(
+            GlobalEventReceived, application=app_name,
+            event_name=occurrence.event_name, known=known,
+        ):
+            if known:
+                self.detector.raise_event(
+                    global_name, **dict(occurrence.arguments)
+                )
 
     # -- pumping -----------------------------------------------------------------------------
 
@@ -146,6 +164,21 @@ class GlobalEventDetector:
         raise GlobalDetectorError(
             f"global event traffic did not quiesce in {max_rounds} rounds"
         )
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Queue backlogs across the inter-application fabric."""
+        return {
+            "applications": sorted(self.applications),
+            "inbox_pending": self.inbox.pending,
+            "inbox_sent": self.inbox.sent,
+            "inbox_delivered": self.inbox.delivered,
+            "downlinks": {
+                name: app.downlink.pending
+                for name, app in sorted(self.applications.items())
+            },
+        }
 
     def shutdown(self) -> None:
         self.detector.shutdown()

@@ -1,0 +1,61 @@
+"""Live introspection: metrics/health/span endpoints, profiler, recorder.
+
+``repro.monitor`` turns the internal telemetry of PR 1 into something
+you can point a scraper or a human at:
+
+* :class:`MonitorServer` — stdlib HTTP endpoints (``/metrics`` in
+  Prometheus text format, ``/health``, ``/spans``, ``/graph``,
+  ``/profile``);
+* :class:`RuleProfiler` — per-rule wall time split into
+  condition/action/commit phases, per-node propagation latency,
+  slow-rule detection;
+* :class:`FlightRecorder` — a bounded ring of recent spans dumped as
+  JSONL when a rule subtransaction aborts or a processor raises;
+* :class:`JsonlSpanExporter` / :func:`load_events` — durable span
+  streams replayable offline with ``repro trace --spans``.
+
+Quickstart::
+
+    from repro import Sentinel
+
+    system = Sentinel(name="app")
+    server = system.monitor(port=9464)   # scrape http://127.0.0.1:9464/metrics
+    ...
+    system.close()                       # also shuts the server down
+"""
+
+from repro.monitor.exporter import (
+    JsonlSpanExporter,
+    dump_events,
+    event_from_dict,
+    event_to_dict,
+    iter_events,
+    load_events,
+)
+from repro.monitor.profiler import (
+    NodeProfile,
+    RuleProfile,
+    RuleProfiler,
+    SlowRuleRecord,
+)
+from repro.monitor.prometheus import render_metrics, render_registry, sanitize
+from repro.monitor.recorder import FlightRecorder
+from repro.monitor.server import MonitorServer
+
+__all__ = [
+    "MonitorServer",
+    "RuleProfiler",
+    "RuleProfile",
+    "NodeProfile",
+    "SlowRuleRecord",
+    "FlightRecorder",
+    "JsonlSpanExporter",
+    "load_events",
+    "iter_events",
+    "dump_events",
+    "event_to_dict",
+    "event_from_dict",
+    "render_metrics",
+    "render_registry",
+    "sanitize",
+]

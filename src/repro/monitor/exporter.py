@@ -1,0 +1,117 @@
+"""JSONL span export and reload.
+
+Every trace event serializes to one JSON line (``type`` plus the
+dataclass fields — all simple types by construction), so an exported
+stream is greppable, appendable, and cheap to ship. The loader
+rebuilds real :class:`TraceEvent` objects, which is what lets
+``repro trace --spans`` re-render a recorded run offline with the very
+same tree renderer the live system uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional
+
+from repro.telemetry.events import ALL_EVENT_TYPES, TraceEvent
+from repro.telemetry.processors import TelemetryProcessor
+
+_TYPES: dict[str, type[TraceEvent]] = {
+    cls.__name__: cls for cls in ALL_EVENT_TYPES
+}
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """One event as a JSON-safe dict, its class name under ``type``."""
+    data = dataclasses.asdict(event)
+    data["type"] = type(event).__name__
+    return data
+
+
+def event_from_dict(data: dict) -> Optional[TraceEvent]:
+    """Rebuild an event; None for unknown types (forward compatibility)."""
+    cls = _TYPES.get(data.get("type", ""))
+    if cls is None:
+        return None
+    fields = {f.name for f in dataclasses.fields(cls)}
+    return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+def dump_events(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    """Write events as JSONL; returns how many lines were written."""
+    count = 0
+    for event in events:
+        stream.write(json.dumps(event_to_dict(event), sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_events(path: str | os.PathLike) -> list[TraceEvent]:
+    """Read an exported JSONL span file back into trace events.
+
+    Blank lines and records of unknown type (e.g. a metadata header
+    written by the flight recorder) are skipped.
+    """
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            event = event_from_dict(json.loads(line))
+            if event is not None:
+                events.append(event)
+    return events
+
+
+def iter_events(path: str | os.PathLike) -> Iterator[TraceEvent]:
+    """Streaming variant of :func:`load_events`."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            event = event_from_dict(json.loads(line))
+            if event is not None:
+                yield event
+
+
+class JsonlSpanExporter(TelemetryProcessor):
+    """Streams every trace event to a JSONL file as it is emitted.
+
+    ``sample`` keeps every Nth event (1 = all); span trees stay
+    renderable under sampling because orphans render as roots. The
+    file is line-buffered so a crashed process leaves whole records.
+    """
+
+    def __init__(self, path: str | os.PathLike, sample: int = 1):
+        if sample < 1:
+            raise ValueError("sample must be >= 1")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.sample = sample
+        self.exported = 0
+        self._seen = 0
+        self._stream: Optional[IO[str]] = open(
+            self.path, "a", encoding="utf-8", buffering=1
+        )
+
+    def handle(self, event: TraceEvent) -> None:
+        if self._stream is None:
+            return
+        self._seen += 1
+        if self._seen % self.sample:
+            return
+        self._stream.write(
+            json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+        )
+        self.exported += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None

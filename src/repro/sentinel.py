@@ -26,7 +26,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.clock import Clock
 from repro.core.deferred import (
@@ -57,8 +57,15 @@ from repro.oodb.database import OODBTransaction, OpenOODB
 from repro.oodb.object_model import Persistent
 from repro.telemetry.events import TransactionSpan
 from repro.telemetry.hub import TelemetryHub, TelemetrySpan
-from repro.telemetry.processors import CounterProcessor
+from repro.telemetry.processors import (
+    CounterProcessor,
+    TelemetryProcessor,
+    TraceLogProcessor,
+)
 from repro.transactions.nested import NestedTransaction, NestedTransactionManager
+
+if TYPE_CHECKING:
+    from repro.monitor import FlightRecorder, MonitorServer, RuleProfiler
 
 FLUSH_ON_COMMIT_RULE = "$flush_on_commit"
 FLUSH_ON_ABORT_RULE = "$flush_on_abort"
@@ -219,6 +226,10 @@ class Sentinel:
         self._closing = False
         self._local = threading.local()
         self._closed = False
+        #: the live monitor server, if one was started (see ``monitor``)
+        self._monitor: Optional["MonitorServer"] = None
+        #: processors the monitor attached; detached again on close
+        self._monitor_processors: list[TelemetryProcessor] = []
         if flush_on_boundaries:
             self._install_flush_rules()
         if self.db is not None:
@@ -675,6 +686,105 @@ class Sentinel:
                 lines.append(f"    {key}: {value}")
         return "\n".join(lines) + "\n"
 
+    def health(self) -> dict:
+        """Liveness snapshot: the monitor's ``/health`` payload.
+
+        ``healthy`` flips to False the moment ``close()`` begins, so a
+        scraper (or load balancer) sees the instance drain before the
+        endpoint itself goes away.
+        """
+        if self._closed:
+            status = "closed"
+        elif self._closing:
+            status = "closing"
+        else:
+            status = "ok"
+        with self._detached_lock:
+            backlog = sum(
+                1 for t in self._detached_threads if t.is_alive()
+            )
+        data = {
+            "healthy": status == "ok",
+            "status": status,
+            "name": self.name,
+            "detached_backlog": backlog,
+            "detector": self.detector.health(),
+        }
+        if self.db is not None:
+            wal = self.db.storage.wal
+            stats = self.db.storage.buffer_pool.stats
+            data["storage"] = {
+                # records appended but not yet forced to disk
+                "wal_flush_lag": max(0, wal.next_lsn - wal.flushed_lsn - 1),
+                "wal_flushed_lsn": wal.flushed_lsn,
+                "buffer_hit_rate": round(stats.hit_rate(), 4),
+                "buffer_evictions": stats.evictions,
+            }
+        return data
+
+    # =====================================================================
+    # Live monitoring
+    # =====================================================================
+
+    def monitor(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        spans: bool = True,
+        span_capacity: int = 4096,
+        profile: bool = True,
+        slow_ms: Optional[float] = None,
+        recorder_dir: Optional[str | os.PathLike] = None,
+    ) -> "MonitorServer":
+        """Start (or return) the live monitoring endpoint.
+
+        Attaches the processors the endpoints need — a
+        :class:`TraceLogProcessor` for ``/spans`` (``spans=True``), a
+        :class:`~repro.monitor.RuleProfiler` for ``/profile`` and the
+        labelled ``/metrics`` families (``profile=True``, with
+        ``slow_ms`` as the slow-rule threshold), and a
+        :class:`~repro.monitor.FlightRecorder` when ``recorder_dir``
+        is given — then serves on ``host:port`` (port 0 = OS-assigned;
+        read ``server.port``). The server lives until :meth:`close`,
+        which detaches those processors again and shuts it down last,
+        so ``/health`` reports the drain.
+        """
+        if self._monitor is not None:
+            return self._monitor
+        if self._closed:
+            raise InvalidTransactionState("system is closed")
+        from repro.monitor import FlightRecorder, MonitorServer, RuleProfiler
+
+        trace: Optional[TraceLogProcessor] = None
+        if spans:
+            trace = self.telemetry.attach(
+                TraceLogProcessor(capacity=span_capacity)
+            )
+            self._monitor_processors.append(trace)
+        profiler: Optional["RuleProfiler"] = None
+        if profile:
+            profiler = self.telemetry.attach(RuleProfiler(slow_ms=slow_ms))
+            self._monitor_processors.append(profiler)
+        if recorder_dir is not None:
+            recorder: "FlightRecorder" = self.telemetry.attach(
+                FlightRecorder(recorder_dir, hub=self.telemetry)
+            )
+            self._monitor_processors.append(recorder)
+        self._monitor = MonitorServer(
+            registry=self.metrics.registry if self.metrics else None,
+            health=self.health,
+            trace=trace,
+            graph=self.detector.graph_snapshot,
+            profiler=profiler,
+            host=host,
+            port=port,
+        ).start()
+        return self._monitor
+
+    @property
+    def monitor_server(self) -> Optional["MonitorServer"]:
+        return self._monitor
+
     # =====================================================================
     # Lifecycle
     # =====================================================================
@@ -699,6 +809,15 @@ class Sentinel:
 
         if get_current_detector() is self.detector:
             set_current_detector(None)
+        # The monitor goes down last: /health keeps answering (503,
+        # status "closing") for the whole drain above.
+        if self._monitor is not None:
+            self._monitor.close()
+            self._monitor = None
+        for processor in self._monitor_processors:
+            self.telemetry.detach(processor)
+            processor.close()
+        self._monitor_processors.clear()
         self._closed = True
 
     def __enter__(self) -> "Sentinel":

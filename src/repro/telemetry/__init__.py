@@ -26,9 +26,13 @@ cookbook.
 from repro.telemetry.events import (
     ALL_EVENT_TYPES,
     BufferEviction,
+    ChannelMessage,
     ConditionEvaluated,
     DetachedDispatch,
     Detection,
+    GlobalDetectionDelivered,
+    GlobalEventReceived,
+    GlobalEventSent,
     GraphPropagation,
     NotificationReceived,
     NotificationSuppressed,
@@ -72,6 +76,10 @@ __all__ = [
     "RuleExecution",
     "SubtransactionBoundary",
     "TransactionSpan",
+    "GlobalEventSent",
+    "GlobalEventReceived",
+    "GlobalDetectionDelivered",
+    "ChannelMessage",
     "WalFlush",
     "BufferEviction",
     "INHERIT",

@@ -157,7 +157,10 @@ class RuleExecution(TraceEvent):
     ``outcome`` is ``completed`` (condition held, action ran),
     ``rejected`` (condition false) or ``failed`` (condition or action
     raised). For detached rules ``parent_span_id`` points back into the
-    triggering transaction's trace tree.
+    triggering transaction's trace tree. ``condition_ms`` and
+    ``commit_ms`` break the total duration into phases (the remainder
+    is action time); the profiler attributes per-rule wall time from
+    them.
     """
 
     stage: ClassVar[str] = "rule"
@@ -167,6 +170,8 @@ class RuleExecution(TraceEvent):
     coupling: str
     depth: int
     outcome: str = "completed"
+    condition_ms: float = 0.0
+    commit_ms: float = 0.0
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -190,6 +195,71 @@ class TransactionSpan(TraceEvent):
 
     txn_id: int
     outcome: str = "committed"
+
+
+# =========================================================================
+# Global (inter-application) stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class GlobalEventSent(TraceEvent):
+    """A local occurrence of an exported event left for the global
+    detector (Fig. 2's uplink)."""
+
+    stage: ClassVar[str] = "global.send"
+
+    application: str
+    event_name: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class GlobalEventReceived(TraceEvent):
+    """The global detector consumed one uplinked occurrence.
+
+    The span covers the re-raise into the global event graph, so any
+    global composite detections and delivery subscriptions it causes
+    nest inside it. ``known`` is False when the event was exported but
+    never imported (the occurrence is dropped).
+    """
+
+    stage: ClassVar[str] = "global.receive"
+    is_span: ClassVar[bool] = True
+
+    application: str
+    event_name: str
+    known: bool = True
+
+
+@dataclass(frozen=True, kw_only=True)
+class GlobalDetectionDelivered(TraceEvent):
+    """A global detection was re-raised in a subscriber application.
+
+    The span covers the local ``raise_event`` — i.e. the local rule
+    cascade the delivery triggers (typically detached rules).
+    """
+
+    stage: ClassVar[str] = "global.deliver"
+    is_span: ClassVar[bool] = True
+
+    application: str
+    event_name: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class ChannelMessage(TraceEvent):
+    """A message moved through an inter-application channel.
+
+    ``kind`` is ``send`` (enqueued or delivered directly) or
+    ``deliver`` (handed to the sink); ``pending`` is the queue depth
+    after the operation, which is what the monitor's backlog gauges
+    read.
+    """
+
+    stage: ClassVar[str] = "channel"
+
+    channel: str
+    kind: str
+    pending: int = 0
 
 
 # =========================================================================
@@ -228,6 +298,10 @@ ALL_EVENT_TYPES: tuple[type[TraceEvent], ...] = (
     RuleExecution,
     SubtransactionBoundary,
     TransactionSpan,
+    GlobalEventSent,
+    GlobalEventReceived,
+    GlobalDetectionDelivered,
+    ChannelMessage,
     WalFlush,
     BufferEviction,
 )

@@ -13,15 +13,20 @@ failures, but a slow processor still slows the instrumented paths.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from collections import deque
 from typing import Callable, Iterable, Optional
 
 from repro.telemetry.events import (
     BufferEviction,
+    ChannelMessage,
     ConditionEvaluated,
     DetachedDispatch,
     Detection,
+    GlobalDetectionDelivered,
+    GlobalEventReceived,
+    GlobalEventSent,
     GraphPropagation,
     NotificationReceived,
     NotificationSuppressed,
@@ -168,6 +173,10 @@ class CounterProcessor(TelemetryProcessor):
             TransactionSpan: self._on_txn,
             WalFlush: self._on_wal_flush,
             BufferEviction: self._on_eviction,
+            GlobalEventSent: self._on_global_sent,
+            GlobalEventReceived: self._on_global_received,
+            GlobalDetectionDelivered: self._on_global_delivered,
+            ChannelMessage: self._on_channel,
         }
 
     def _on_notification(self, event: NotificationReceived) -> None:
@@ -208,6 +217,20 @@ class CounterProcessor(TelemetryProcessor):
 
     def _on_eviction(self, event: BufferEviction) -> None:
         self.registry.counter("buffer.evictions").inc()
+
+    def _on_global_sent(self, event: GlobalEventSent) -> None:
+        self.registry.counter("global.sent").inc()
+
+    def _on_global_received(self, event: GlobalEventReceived) -> None:
+        self.registry.counter("global.received").inc()
+        if not event.known:
+            self.registry.counter("global.dropped").inc()
+
+    def _on_global_delivered(self, event: GlobalDetectionDelivered) -> None:
+        self.registry.counter("global.delivered").inc()
+
+    def _on_channel(self, event: ChannelMessage) -> None:
+        self.registry.counter(f"channel.{event.kind}").inc()
 
     def _on_rule(self, event: RuleExecution) -> None:
         r = self.registry
@@ -266,37 +289,83 @@ class TimingProcessor(TelemetryProcessor):
 
 
 class TraceLogProcessor(TelemetryProcessor):
-    """Ring buffer of trace events with a span-tree text renderer."""
+    """Ring buffer of trace events with a span-tree text renderer.
+
+    The buffer is a fixed-capacity ring: once full, appending a new
+    event evicts the oldest one. Spans are emitted on close (children
+    before parents), so eviction can orphan an event whose parent span
+    closed long ago — orphans render as tree roots rather than
+    disappearing. Readers snapshot the buffer exactly once under a
+    lock, so rendering while rule threads are still appending never
+    sees a half-updated ring.
+    """
 
     def __init__(self, capacity: int = 4096):
         self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._buffer.maxlen or 0
 
     def handle(self, event: TraceEvent) -> None:
-        self._buffer.append(event)
+        with self._lock:
+            self._buffer.append(event)
 
     def events(self) -> list[TraceEvent]:
-        return list(self._buffer)
+        with self._lock:
+            return list(self._buffer)
 
     def clear(self) -> None:
-        self._buffer.clear()
+        with self._lock:
+            self._buffer.clear()
 
     # -- tree rendering ------------------------------------------------------
 
     def roots(self) -> list[TraceEvent]:
         """Events whose parent is absent from the buffer (tree roots)."""
-        present = {e.span_id for e in self._buffer}
+        pool = self.events()
+        present = {e.span_id for e in pool}
         return [
-            e for e in self._buffer
+            e for e in pool
             if e.parent_span_id is None or e.parent_span_id not in present
         ]
 
-    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
-        """The buffered events as an indented span tree.
+    def trees(self, events: Optional[Iterable[TraceEvent]] = None) -> list[dict]:
+        """The buffered events as parent-linked trees of plain dicts.
 
-        Spans are emitted on close (children first); the tree is rebuilt
-        from parent links and printed in start order (span-id order).
+        Each node is the event's fields (via
+        :func:`~repro.telemetry.events` dataclass introspection) plus
+        ``type`` and ``children``; orphans whose parents were evicted
+        out of the ring become roots. This is the ``/spans`` endpoint's
+        payload and the JSONL exporter's in-memory shape.
         """
-        pool = list(self._buffer) if events is None else list(events)
+        import dataclasses
+
+        pool = self.events() if events is None else list(events)
+        children = self._group(pool)
+
+        def node(event: TraceEvent) -> dict:
+            data = dataclasses.asdict(event)
+            data["type"] = type(event).__name__
+            data["stage"] = event.stage
+            data["children"] = [
+                node(child) for child in children.get(event.span_id, ())
+            ]
+            return data
+
+        return [node(root) for root in children.get(None, ())]
+
+    def _group(
+        self, pool: list[TraceEvent]
+    ) -> dict[Optional[int], list[TraceEvent]]:
+        """Group one snapshot by parent; evicted parents map to None.
+
+        Works from a single snapshot so the ``present`` set and the
+        grouping always agree — grouping against a live ring could file
+        a child under a parent that only arrived after the snapshot,
+        silently dropping it from the output.
+        """
         children: dict[Optional[int], list[TraceEvent]] = {}
         present = {e.span_id for e in pool}
         for event in pool:
@@ -305,10 +374,26 @@ class TraceLogProcessor(TelemetryProcessor):
             children.setdefault(key, []).append(event)
         for siblings in children.values():
             siblings.sort(key=lambda e: e.span_id)
+        return children
+
+    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """The buffered events as an indented span tree.
+
+        Spans are emitted on close (children first); the tree is rebuilt
+        from parent links and printed in start order (span-id order).
+        The walk is iterative, so a trace nested thousands of spans deep
+        (a long rule cascade filling the whole ring) cannot blow the
+        interpreter recursion limit.
+        """
+        pool = self.events() if events is None else list(events)
+        children = self._group(pool)
 
         lines: list[str] = []
-
-        def walk(event: TraceEvent, depth: int) -> None:
+        stack: list[tuple[TraceEvent, int]] = [
+            (root, 0) for root in reversed(children.get(None, ()))
+        ]
+        while stack:
+            event, depth = stack.pop()
             duration = (
                 f" [{event.duration_ms:.3f}ms]" if event.is_span else ""
             )
@@ -318,9 +403,6 @@ class TraceLogProcessor(TelemetryProcessor):
                 f"{'  ' * depth}{event.stage}#{event.span_id}"
                 f"{summary}{duration}"
             )
-            for child in children.get(event.span_id, ()):
-                walk(child, depth + 1)
-
-        for root in children.get(None, ()):
-            walk(root, 0)
+            for child in reversed(children.get(event.span_id, ())):
+                stack.append((child, depth + 1))
         return "\n".join(lines) + ("\n" if lines else "")

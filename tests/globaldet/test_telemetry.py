@@ -1,0 +1,189 @@
+"""Telemetry spans across the inter-application fabric (Fig. 2).
+
+Satellite coverage for the instrumented global path: uplink send
+points, channel queue-depth points, the global detector's receive
+spans, and delivery spans wrapping the subscriber's local re-raise.
+"""
+
+from repro import CounterProcessor, Sentinel, TraceLogProcessor
+from repro.globaldet import Channel, GlobalEventDetector
+from repro.telemetry.events import (
+    ChannelMessage,
+    GlobalDetectionDelivered,
+    GlobalEventReceived,
+    GlobalEventSent,
+    NotificationReceived,
+    RuleExecution,
+)
+from repro.telemetry.hub import TelemetryHub
+
+
+def by_type(events, cls):
+    return [e for e in events if isinstance(e, cls)]
+
+
+class TestChannelInstrumentation:
+    def test_send_and_deliver_emit_queue_depth_points(self):
+        hub = TelemetryHub()
+        trace = hub.attach(TraceLogProcessor())
+        received = []
+        channel = Channel(sink=received.append, telemetry=hub, name="up")
+        channel.send("m1")
+        channel.send("m2")
+        channel.drain()
+        messages = by_type(trace.events(), ChannelMessage)
+        assert [(m.kind, m.pending) for m in messages] == [
+            ("send", 1), ("send", 2), ("deliver", 1), ("deliver", 0),
+        ]
+        assert all(m.channel == "up" for m in messages)
+
+    def test_direct_channel_traces_send_then_deliver(self):
+        hub = TelemetryHub()
+        trace = hub.attach(TraceLogProcessor())
+        channel = Channel(sink=lambda m: None, direct=True,
+                          telemetry=hub, name="d")
+        channel.send("m")
+        kinds = [m.kind for m in by_type(trace.events(), ChannelMessage)]
+        assert kinds == ["send", "deliver"]
+
+    def test_uninstrumented_channel_stays_silent(self):
+        channel = Channel(sink=lambda m: None)
+        channel.send("m")  # no hub: must not raise, nothing recorded
+        assert channel.telemetry.active is False
+
+
+class TestGlobalEventFlow:
+    def setup_pair(self):
+        ged = GlobalEventDetector()
+        producer = Sentinel(name="producer", activate=False)
+        consumer = Sentinel(name="consumer", activate=False)
+        app1 = ged.register(producer)
+        app2 = ged.register(consumer)
+        return ged, producer, consumer, app1, app2
+
+    def test_spans_cover_send_receive_deliver(self):
+        ged, producer, consumer, app1, app2 = self.setup_pair()
+        local_trace = producer.telemetry.attach(TraceLogProcessor())
+        global_trace = ged.telemetry.attach(TraceLogProcessor())
+        consumer_trace = consumer.telemetry.attach(TraceLogProcessor())
+
+        producer.explicit_event("order_placed")
+        exported = app1.export_event("order_placed")
+        app2.subscribe_global(exported, "order_seen")
+        fired = []
+        consumer.rule("React", "order_seen",
+                      condition=lambda o: True,
+                      action=lambda o: fired.append(o.params.value("sku")))
+
+        producer.raise_event("order_placed", sku="X1")
+        ged.run_to_fixpoint()
+        assert fired == ["X1"]
+
+        # Uplink: the send point rides the producer's trace tree.
+        sends = by_type(local_trace.events(), GlobalEventSent)
+        assert len(sends) == 1
+        assert sends[0].application == "producer"
+        assert sends[0].event_name == "order_placed"
+        assert sends[0].parent_span_id is not None
+
+        # Global side: the receive span wraps the global re-raise.
+        received = by_type(global_trace.events(), GlobalEventReceived)
+        assert len(received) == 1
+        assert received[0].known is True
+        notify = by_type(global_trace.events(), NotificationReceived)
+        assert any(
+            n.parent_span_id == received[0].span_id for n in notify
+        )
+        # The delivery subscription executed inside the global graph.
+        deliveries = by_type(global_trace.events(), RuleExecution)
+        assert any(
+            r.rule_name.startswith("$deliver") for r in deliveries
+        )
+
+        # Consumer side: the deliver span wraps the local cascade.
+        delivered = by_type(consumer_trace.events(),
+                            GlobalDetectionDelivered)
+        assert len(delivered) == 1
+        assert delivered[0].application == "consumer"
+        assert delivered[0].event_name == "order_seen"
+        spans = {e.span_id: e for e in consumer_trace.events()}
+        react = [
+            r for r in by_type(consumer_trace.events(), RuleExecution)
+            if r.rule_name == "React"
+        ]
+        assert len(react) == 1
+        node = react[0]
+        while node.parent_span_id is not None:
+            node = spans[node.parent_span_id]
+        assert node is delivered[0]
+
+        producer.close()
+        consumer.close()
+        ged.shutdown()
+
+    def test_counters_track_global_traffic(self):
+        ged, producer, consumer, app1, app2 = self.setup_pair()
+        global_counters = ged.telemetry.attach(CounterProcessor())
+        producer_counters = producer.metrics
+        consumer_counters = consumer.metrics
+
+        producer.explicit_event("a")
+        exported = app1.export_event("a")
+        app2.subscribe_global(exported, "a_seen")
+        consumer.rule("r", "a_seen", condition=lambda o: True,
+                      action=lambda o: None)
+
+        producer.raise_event("a")
+        producer.raise_event("a")
+        ged.run_to_fixpoint()
+
+        assert producer_counters.registry.value("global.sent") == 2
+        registry = global_counters.registry
+        assert registry.value("global.received") == 2
+        assert registry.value("global.dropped") == 0
+        assert registry.value("channel.send") == 2
+        assert registry.value("channel.deliver") == 2
+        assert consumer_counters.registry.value("global.delivered") == 2
+
+        producer.close()
+        consumer.close()
+        ged.shutdown()
+
+    def test_unknown_global_event_counts_as_dropped(self):
+        ged, producer, consumer, app1, app2 = self.setup_pair()
+        global_trace = ged.telemetry.attach(TraceLogProcessor())
+        global_counters = ged.telemetry.attach(CounterProcessor())
+
+        # Exported (forwarded up) but never imported into the global
+        # graph: the occurrence is dropped, visibly.
+        producer.explicit_event("orphan")
+        producer.detector.mark_global("orphan")
+        producer.raise_event("orphan")
+        ged.run_to_fixpoint()
+
+        received = by_type(global_trace.events(), GlobalEventReceived)
+        assert len(received) == 1
+        assert received[0].known is False
+        assert global_counters.registry.value("global.dropped") == 1
+
+        producer.close()
+        consumer.close()
+        ged.shutdown()
+
+    def test_ged_health_reports_backlogs(self):
+        ged, producer, consumer, app1, app2 = self.setup_pair()
+        producer.explicit_event("a")
+        app1.export_event("a")
+        producer.raise_event("a")  # queued, not yet pumped
+        health = ged.health()
+        assert health["applications"] == ["consumer", "producer"]
+        assert health["inbox_pending"] == 1
+        assert health["inbox_sent"] == 1
+        assert health["inbox_delivered"] == 0
+        assert health["downlinks"] == {"consumer": 0, "producer": 0}
+        ged.run_to_fixpoint()
+        assert ged.health()["inbox_pending"] == 0
+
+        producer.close()
+        consumer.close()
+        ged.shutdown()

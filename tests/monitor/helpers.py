@@ -1,0 +1,92 @@
+"""Shared helpers for monitor tests: HTTP fetch + exposition validator."""
+
+import re
+import urllib.error
+import urllib.request
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+Inf|NaN)$"
+)
+_LABEL = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def fetch(url: str, timeout: float = 5.0) -> tuple[int, str]:
+    """GET a URL; returns (status, body) — error statuses included."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def parse_labels(text) -> dict:
+    return dict(_LABEL.findall(text or ""))
+
+
+def assert_valid_exposition(text: str) -> dict:
+    """Structurally validate Prometheus text exposition (format 0.0.4).
+
+    Checks every sample line parses, every family is declared exactly
+    once with ``# TYPE``, histogram buckets are cumulative and end with
+    ``+Inf``, and ``_count`` agrees with the ``+Inf`` bucket. Returns
+    the family -> type mapping.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, str]] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            family, kind = line[len("# TYPE "):].split()
+            assert family not in types, f"family declared twice: {family}"
+            assert kind in ("counter", "gauge", "histogram"), line
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        samples.append(
+            (match["name"], parse_labels(match["labels"]), match["value"])
+        )
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base
+        return name
+
+    buckets: dict[tuple, list[tuple[str, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        family = family_of(name)
+        assert family in types, f"sample for undeclared family: {name}"
+        if types[family] != "histogram":
+            continue
+        series = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"
+        ))
+        if name.endswith("_bucket"):
+            assert "le" in labels, f"bucket without le: {name}{labels}"
+            numeric = (
+                float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+            )
+            buckets.setdefault((family, series), []).append(
+                (labels["le"], float(value), numeric)
+            )
+        elif name.endswith("_count"):
+            counts[(family, series)] = float(value)
+
+    for key, series_buckets in buckets.items():
+        bounds = [b for _, _, b in series_buckets]
+        assert bounds == sorted(bounds), f"bucket bounds out of order: {key}"
+        values = [v for _, v, _ in series_buckets]
+        assert values == sorted(values), f"non-cumulative buckets: {key}"
+        assert series_buckets[-1][0] == "+Inf", f"missing +Inf bucket: {key}"
+        assert counts.get(key) == values[-1], (
+            f"_count disagrees with +Inf bucket: {key}"
+        )
+    return types

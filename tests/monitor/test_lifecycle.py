@@ -1,0 +1,161 @@
+"""Monitor lifecycle through Sentinel: startup, drain, shutdown, e2e."""
+
+import json
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro import Reactive, Sentinel, event
+from repro.errors import SentinelError
+
+from tests.monitor.helpers import assert_valid_exposition, fetch
+
+
+class Stock(Reactive):
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    @event(end="price_set")
+    def set_price(self, price):
+        self.price = price
+
+
+class TestStartStop:
+    def test_monitor_is_idempotent_per_system(self):
+        system = Sentinel(name="once")
+        server = system.monitor(port=0)
+        assert system.monitor(port=0) is server
+        assert system.monitor_server is server
+        system.close()
+
+    def test_close_shuts_the_server_down(self):
+        system = Sentinel(name="stopping")
+        server = system.monitor(port=0)
+        url = server.url
+        assert server.running
+        assert fetch(url + "/health")[0] == 200
+        processors_before = len(system.telemetry._processors)
+        system.close()
+        assert not server.running
+        assert system.monitor_server is None
+        # The monitor's processors were detached again.
+        assert len(system.telemetry._processors) < processors_before
+        with pytest.raises(urllib.error.URLError):
+            fetch(url + "/health", timeout=1)
+
+    def test_monitor_after_close_is_refused(self):
+        system = Sentinel(name="dead")
+        system.close()
+        with pytest.raises(SentinelError):
+            system.monitor()
+
+    def test_storage_health_appears_with_a_database(self, tmp_path):
+        system = Sentinel(directory=tmp_path / "db", name="stored")
+        server = system.monitor(port=0)
+        system.explicit_event("e")
+        system.rule("r", "e", condition=lambda o: True,
+                    action=lambda o: None)
+        with system.transaction():
+            system.raise_event("e")
+        data = json.loads(fetch(server.url + "/health")[1])
+        storage = data["storage"]
+        assert storage["wal_flush_lag"] == 0  # flushed on commit
+        assert 0.0 <= storage["buffer_hit_rate"] <= 1.0
+        assert "buffer_evictions" in storage
+        system.close()
+
+
+class TestHealthDuringClose:
+    def test_health_flips_unhealthy_while_draining(self):
+        """/health answers 503 ("closing") while close() drains
+        detached rules — the server itself goes down last."""
+        system = Sentinel(name="draining")
+        server = system.monitor(port=0)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def hold(occ):
+            started.set()
+            gate.wait(10.0)
+
+        system.explicit_event("e")
+        system.rule("hold", "e", action=hold, coupling="detached")
+        with system.transaction():
+            system.raise_event("e")
+        assert started.wait(5.0), "detached rule never started"
+
+        closer = threading.Thread(target=system.close, name="closer")
+        closer.start()
+        try:
+            status, body = None, None
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                status, body = fetch(server.url + "/health")
+                if status == 503:
+                    break
+                time.sleep(0.01)
+            assert status == 503, "health never flipped unhealthy"
+            data = json.loads(body)
+            assert data["status"] == "closing"
+            assert data["healthy"] is False
+            assert data["detached_backlog"] >= 1
+        finally:
+            gate.set()
+            closer.join(10.0)
+        assert not closer.is_alive()
+        assert not server.running
+
+
+class TestEndToEndScrape:
+    def test_metrics_scrape_while_portfolio_runs(self):
+        """Concurrent Prometheus scrapes against a live workload."""
+        system = Sentinel(name="folio")
+        events = system.register_class(Stock)
+        fired = []
+        system.rule("Spike", events["price_set"],
+                    condition=lambda occ: occ.params.value("price") > 100,
+                    action=lambda occ: fired.append(1))
+        server = system.monitor(port=0)
+
+        statuses = []
+        failures = []
+        stop = threading.Event()
+
+        def scraper():
+            while not stop.is_set():
+                try:
+                    status, text = fetch(server.url + "/metrics")
+                    statuses.append(status)
+                    assert_valid_exposition(text)
+                except Exception as error:  # noqa: BLE001 - collect all
+                    failures.append(error)
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=scraper, name="scraper")
+        thread.start()
+        try:
+            stock = Stock("IBM", 50.0)
+            for i in range(40):
+                with system.transaction():
+                    stock.set_price(90.0 + i)
+        finally:
+            stop.set()
+            thread.join(10.0)
+        assert not failures, failures
+        assert statuses and all(status == 200 for status in statuses)
+        assert len(fired) == 29  # prices 101..129
+
+        __, final = fetch(server.url + "/metrics")
+        types = assert_valid_exposition(final)
+        assert ('sentinel_rule_outcomes_total{rule="Spike",'
+                'outcome="completed"} 29') in final
+        # price_set and commit_transaction both detect in RECENT,
+        # once per transaction.
+        assert ('sentinel_graph_detections_by_context_total'
+                '{context="recent"} 80') in final
+        assert types["sentinel_propagate_ms"] == "histogram"
+        system.close()
+        assert not server.running

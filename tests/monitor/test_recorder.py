@@ -1,0 +1,134 @@
+"""FlightRecorder: bounded span ring dumped on failure triggers."""
+
+import json
+
+from repro import FlightRecorder, Sentinel, load_events
+from repro.telemetry.events import RuleExecution, RuleTriggered
+
+
+def point(i, parent=None, at=0.0):
+    return RuleTriggered(span_id=i, parent_span_id=parent, at=at,
+                         rule_name="r", event_name="e")
+
+
+def failure(i, at=0.0, outcome="failed"):
+    return RuleExecution(span_id=i, parent_span_id=None, at=at,
+                         duration_ms=1.0, rule_name="bad", coupling="immediate",
+                         depth=1, outcome=outcome)
+
+
+class TestTriggers:
+    def test_failed_rule_execution_dumps_the_ring(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        for i in range(5):
+            recorder.handle(point(i, at=float(i)))
+        recorder.handle(failure(5, at=5.0))
+        assert len(recorder.dumps) == 1
+        dump = recorder.dumps[0]
+        header = json.loads(dump.read_text().splitlines()[0])
+        assert header["type"] == "FlightRecorderDump"
+        assert header["reason"] == "rule:bad:failed"
+        events = load_events(dump)  # the metadata header is skipped
+        assert len(events) == 6
+        assert isinstance(events[-1], RuleExecution)
+
+    def test_completed_and_rejected_do_not_trigger(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        recorder.handle(failure(1, outcome="completed"))
+        recorder.handle(failure(2, at=10.0, outcome="rejected"))
+        assert recorder.dumps == []
+
+    def test_disarmed_recorder_records_but_never_dumps(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, armed=False)
+        recorder.handle(failure(1))
+        assert recorder.dumps == []
+        assert len(recorder.events()) == 1
+        # Manual dump still works.
+        path = recorder.dump("manual")
+        assert json.loads(path.read_text().splitlines()[0])["reason"] == (
+            "manual"
+        )
+
+    def test_dumps_are_rate_limited_per_interval(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, min_interval_s=1.0)
+        recorder.handle(failure(1, at=100.0))
+        recorder.handle(failure(2, at=100.5))  # inside the window
+        recorder.handle(failure(3, at=101.6))  # outside
+        assert len(recorder.dumps) == 2
+
+
+class TestSampling:
+    def test_sampling_keeps_every_nth_event(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, sample=3, armed=False)
+        for i in range(9):
+            recorder.handle(point(i))
+        assert len(recorder.events()) == 3
+
+    def test_trigger_events_bypass_sampling(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, sample=100)
+        recorder.handle(failure(1, at=50.0))
+        events = recorder.events()
+        assert len(events) == 1 and isinstance(events[0], RuleExecution)
+        assert len(recorder.dumps) == 1
+
+    def test_capacity_bounds_the_ring(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, capacity=4, armed=False)
+        for i in range(10):
+            recorder.handle(point(i))
+        kept = [e.span_id for e in recorder.events()]
+        assert kept == [6, 7, 8, 9]
+
+
+class TestLiveSystem:
+    def test_rule_failure_in_a_sentinel_produces_a_dump(self, tmp_path):
+        system = Sentinel(name="crashy", error_policy="abort_rule")
+        recorder = system.telemetry.attach(
+            FlightRecorder(tmp_path, hub=system.telemetry,
+                           min_interval_s=0.0)
+        )
+        system.explicit_event("e")
+
+        def boom(occ):
+            raise ValueError("injected failure")
+
+        system.rule("fragile", "e", condition=lambda o: True, action=boom)
+        with system.transaction():
+            system.raise_event("e")
+        assert len(recorder.dumps) >= 1
+        header = json.loads(
+            recorder.dumps[0].read_text().splitlines()[0]
+        )
+        assert header["reason"].startswith(("rule:fragile:",
+                                            "subtxn_abort:"))
+        # The dumped stream replays through the standard loader; the
+        # last dump (triggers fire in close order) holds the failure.
+        events = load_events(recorder.dumps[-1])
+        assert any(
+            isinstance(e, RuleExecution) and e.outcome == "failed"
+            for e in events
+        )
+        system.close()
+
+    def test_processor_error_triggers_via_hub_dropped(self, tmp_path):
+        system = Sentinel(name="dropsy")
+
+        class Broken:
+            def handle(self, event):
+                raise RuntimeError("broken processor")
+
+            def close(self):
+                pass
+
+        system.telemetry.attach(Broken())
+        recorder = system.telemetry.attach(
+            FlightRecorder(tmp_path, hub=system.telemetry)
+        )
+        system.explicit_event("e")
+        system.raise_event("e")
+        assert system.telemetry.dropped > 0
+        assert len(recorder.dumps) >= 1
+        header = json.loads(
+            recorder.dumps[0].read_text().splitlines()[0]
+        )
+        assert header["reason"] == "processor_error"
+        system.close()

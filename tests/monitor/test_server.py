@@ -1,0 +1,251 @@
+"""MonitorServer endpoints over a live Sentinel system."""
+
+import json
+
+import pytest
+
+from repro import Reactive, RuleProfiler, Sentinel, TraceLogProcessor, event
+from repro.monitor import MonitorServer
+from repro.telemetry.processors import MetricsRegistry
+
+from tests.monitor.helpers import assert_valid_exposition, fetch
+
+
+class Stock(Reactive):
+    def __init__(self, symbol, price):
+        self.symbol = symbol
+        self.price = price
+
+    @event(end="price_set")
+    def set_price(self, price):
+        self.price = price
+
+    @event(end="sold")
+    def sell(self, qty):
+        return qty
+
+
+@pytest.fixture()
+def system():
+    """The stock example: a primitive rule plus a composite SEQ rule."""
+    system = Sentinel(name="stocks")
+    events = system.register_class(Stock)
+    fired = []
+    system.rule("Spike", events["price_set"],
+                condition=lambda occ: occ.params.value("price") > 100,
+                action=lambda occ: fired.append("spike"))
+    system.rule("PanicSale",
+                system.detector.seq(events["price_set"], events["sold"],
+                                    name="drop_then_sell"),
+                condition=lambda occ: True,
+                action=lambda occ: fired.append("panic"),
+                context="chronicle")
+    system.fired = fired
+    yield system
+    system.close()
+
+
+def run_workload(system):
+    stock = Stock("IBM", 90.0)
+    with system.transaction():
+        stock.set_price(120.0)
+        stock.sell(500)
+    assert "spike" in system.fired and "panic" in system.fired
+
+
+class TestRouting:
+    def test_index_and_unknown_paths(self):
+        with MonitorServer() as server:
+            status, body = fetch(server.url + "/")
+            assert status == 200
+            assert "/metrics" in json.loads(body)["endpoints"]
+            status, body = fetch(server.url + "/nope")
+            assert status == 404
+            status, __ = fetch(server.url + "/graph")
+            assert status == 404  # nothing wired
+
+    def test_health_defaults_and_503(self):
+        with MonitorServer() as server:
+            assert fetch(server.url + "/health")[0] == 200
+        flag = {"healthy": True}
+        with MonitorServer(health=lambda: dict(flag)) as server:
+            assert fetch(server.url + "/health")[0] == 200
+            flag["healthy"] = False
+            status, body = fetch(server.url + "/health")
+            assert status == 503
+            assert json.loads(body)["healthy"] is False
+
+    def test_broken_view_returns_500_not_crash(self):
+        def boom():
+            raise RuntimeError("snapshot failed")
+
+        with MonitorServer(health=boom) as server:
+            status, body = fetch(server.url + "/health")
+            assert status == 500
+            assert "snapshot failed" in body
+            # The server survives and keeps answering.
+            assert fetch(server.url + "/")[0] == 200
+
+    def test_restart_after_close_is_refused(self):
+        server = MonitorServer().start()
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            server.start()
+
+
+class TestMetricsEndpoint:
+    def test_exposition_covers_firings_latency_and_contexts(self, system):
+        server = system.monitor(port=0)
+        run_workload(system)
+        status, text = fetch(server.url + "/metrics")
+        assert status == 200
+        types = assert_valid_exposition(text)
+        # rule firings (user rules plus the flush-on-commit system rule)
+        assert "sentinel_rules_executions_total 3" in text
+        assert ('sentinel_rule_outcomes_total{rule="Spike",'
+                'outcome="completed"} 1') in text
+        # detection latency histograms
+        assert types["sentinel_propagate_ms"] == "histogram"
+        assert "sentinel_propagate_ms_bucket" in text
+        assert types["sentinel_rule_phase_ms"] == "histogram"
+        # per-context occurrence counters
+        assert ('sentinel_graph_detections_by_context_total'
+                '{context="recent"}') in text
+        assert ('sentinel_graph_detections_by_context_total'
+                '{context="chronicle"}') in text
+        assert ('sentinel_node_detections_total{event="drop_then_sell",'
+                'context="chronicle"} 1') in text
+
+    def test_content_type_is_exposition_format(self, system):
+        import urllib.request
+
+        server = system.monitor(port=0)
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert response.headers["Content-Type"] == (
+                "text/plain; version=0.0.4; charset=utf-8"
+            )
+
+
+class TestSpansEndpoint:
+    def test_spans_match_the_trace_renderer(self, system):
+        """/spans serves the very tree ``repro trace`` would render."""
+        trace = system.telemetry.attach(TraceLogProcessor())
+        server = MonitorServer(trace=trace).start()
+        try:
+            run_workload(system)
+            status, body = fetch(server.url + "/spans")
+            assert status == 200
+            data = json.loads(body)
+            assert data["rendered"] == trace.render()
+            assert data["buffered"] == len(trace.events())
+            assert data["capacity"] == trace.capacity
+        finally:
+            server.close()
+
+    def test_trees_preserve_parent_links(self, system):
+        server = system.monitor(port=0)
+        run_workload(system)
+        data = json.loads(fetch(server.url + "/spans")[1])
+        seen = []
+
+        def walk(node, parent_span):
+            seen.append(node["span_id"])
+            if parent_span is not None:
+                assert node["parent_span_id"] == parent_span
+            assert "type" in node and "stage" in node
+            for child in node["children"]:
+                walk(child, node["span_id"])
+
+        for root in data["trees"]:
+            walk(root, None)
+        assert len(seen) == data["buffered"]
+        assert len(set(seen)) == len(seen)
+        # The rule executions are in the payload.
+        flat = json.dumps(data["trees"])
+        assert '"Spike"' in flat and '"PanicSale"' in flat
+
+
+class TestGraphEndpoint:
+    def test_graph_snapshot_counts_per_context(self, system):
+        server = system.monitor(port=0)
+        run_workload(system)
+        data = json.loads(fetch(server.url + "/graph")[1])
+        nodes = {node["name"]: node for node in data["nodes"]}
+        primitive = nodes["Stock_price_set"]
+        assert primitive["operator"] == "PRIMITIVE"
+        assert primitive["detections"]["recent"] == 1
+        composite = nodes["drop_then_sell"]
+        assert composite["operator"] == "SEQ"
+        assert composite["children"] == ["Stock_price_set", "Stock_sold"]
+        assert composite["rule_subscribers"] == ["PanicSale"]
+        assert composite["detections"]["chronicle"] == 1
+        assert data["stats"]["detections"] >= 2
+
+    def test_queue_depth_reflects_pending_constituents(self):
+        system = Sentinel(name="depth")
+        system.explicit_event("a")
+        system.explicit_event("b")
+        node = system.detector.and_("a", "b", name="ab")
+        system.rule("pair", node, condition=lambda o: True,
+                    action=lambda o: None)
+        system.raise_event("a")  # left side queued, waiting for b
+        snapshot = system.detector.graph_snapshot()
+        ab = {n["name"]: n for n in snapshot["nodes"]}["ab"]
+        assert ab["queue_depth"] >= 1
+        system.raise_event("b")
+        snapshot = system.detector.graph_snapshot()
+        ab = {n["name"]: n for n in snapshot["nodes"]}["ab"]
+        assert ab["detections"]["recent"] == 1
+        system.close()
+
+
+class TestProfileEndpoint:
+    def test_profile_reports_rules_and_nodes(self, system):
+        server = system.monitor(port=0, slow_ms=1000.0)
+        run_workload(system)
+        data = json.loads(fetch(server.url + "/profile")[1])
+        assert data["slow_ms"] == 1000.0
+        rules = {entry["rule"] for entry in data["rules"]}
+        assert {"Spike", "PanicSale"} <= rules
+        assert all("phases" in entry for entry in data["rules"])
+
+    def test_profile_404_without_profiler(self):
+        with MonitorServer(registry=MetricsRegistry()) as server:
+            assert fetch(server.url + "/profile")[0] == 404
+
+
+class TestStandaloneComposition:
+    def test_manual_wiring_without_sentinel(self):
+        """The CLI path: bare detector + hand-attached processors."""
+        from repro.core.detector import LocalEventDetector
+        from repro.telemetry import CounterProcessor
+
+        detector = LocalEventDetector(name="bare")
+        counters = detector.telemetry.attach(CounterProcessor())
+        trace = detector.telemetry.attach(TraceLogProcessor())
+        profiler = detector.telemetry.attach(RuleProfiler())
+        detector.explicit_event("tick")
+        detector.rule("count", "tick", condition=lambda o: True,
+                      action=lambda o: None)
+        detector.raise_event("tick")
+        server = MonitorServer(
+            registry=counters.registry,
+            health=detector.health,
+            trace=trace,
+            graph=detector.graph_snapshot,
+            profiler=profiler,
+        ).start()
+        try:
+            status, text = fetch(server.url + "/metrics")
+            assert status == 200
+            assert_valid_exposition(text)
+            assert "sentinel_rules_executions_total 1" in text
+            health = json.loads(fetch(server.url + "/health")[1])
+            assert health["name"] == "bare"
+            assert health["telemetry"]["active"] is True
+            graph = json.loads(fetch(server.url + "/graph")[1])
+            assert any(n["name"] == "tick" for n in graph["nodes"])
+        finally:
+            server.close()
+            detector.shutdown()

@@ -1,0 +1,148 @@
+"""TraceLogProcessor ring-buffer behavior at and beyond wraparound.
+
+The ring holds the *newest* ``capacity`` events; spans close children
+before parents, so eviction can orphan events whose parent span is
+gone. Orphans must render as roots — never KeyError — and readers must
+see a single consistent snapshot even while writers append.
+"""
+
+import threading
+
+from repro import Sentinel, TraceLogProcessor
+from repro.telemetry.events import RuleTriggered, TransactionSpan
+
+
+def point(i, parent=None):
+    return RuleTriggered(span_id=i, parent_span_id=parent, at=float(i),
+                         rule_name=f"r{i}", event_name="e")
+
+
+class TestWraparound:
+    def test_oldest_events_are_evicted(self):
+        trace = TraceLogProcessor(capacity=3)
+        for i in range(10):
+            trace.handle(point(i))
+        assert [e.span_id for e in trace.events()] == [7, 8, 9]
+        assert trace.capacity == 3
+
+    def test_orphans_render_as_roots_after_parent_eviction(self):
+        trace = TraceLogProcessor(capacity=2)
+        # Child spans close (and are buffered) before their parent;
+        # here the grandparent chain 1 <- 2 <- 3 loses span 2.
+        trace.handle(point(1))
+        trace.handle(point(2, parent=1))
+        trace.handle(point(3, parent=2))
+        kept = trace.events()
+        assert [e.span_id for e in kept] == [2, 3]
+        roots = trace.roots()
+        # span 2's parent (1) was evicted: it is a root now.
+        assert [e.span_id for e in roots] == [2]
+        text = trace.render()  # must not KeyError on the missing parent
+        assert "trigger#2" in text
+        assert "\n  trigger#3" in text  # still nested under span 2
+
+    def test_every_buffered_event_renders_exactly_once(self):
+        trace = TraceLogProcessor(capacity=5)
+        # Two trees; eviction slices through the first one.
+        trace.handle(point(1))
+        for i in range(2, 5):
+            trace.handle(point(i, parent=1))
+        trace.handle(point(5))
+        trace.handle(point(6, parent=5))
+        kept = trace.events()
+        assert len(kept) == 5
+        text = trace.render()
+        for event in kept:
+            assert text.count(f"trigger#{event.span_id} ") == 1
+
+    def test_sibling_order_is_span_id_order(self):
+        trace = TraceLogProcessor(capacity=10)
+        trace.handle(point(3, parent=10))
+        trace.handle(point(1, parent=10))
+        trace.handle(point(2, parent=10))
+        trace.handle(
+            TransactionSpan(span_id=10, parent_span_id=None, at=0.0,
+                            duration_ms=1.0, txn_id=1)
+        )
+        lines = trace.render().splitlines()
+        assert lines[0].startswith("txn#10")
+        assert [line.strip().split(" ")[0] for line in lines[1:]] == [
+            "trigger#1", "trigger#2", "trigger#3"
+        ]
+
+    def test_deeply_nested_chain_renders_iteratively(self):
+        """A parent chain far beyond the recursion limit must render."""
+        trace = TraceLogProcessor(capacity=5000)
+        for i in range(3000):
+            trace.handle(point(i + 1, parent=i if i else None))
+        text = trace.render()
+        assert text.splitlines()[0].startswith("trigger#1 ")
+        assert len(text.splitlines()) == 3000
+
+    def test_trees_view_matches_buffer(self):
+        trace = TraceLogProcessor(capacity=3)
+        trace.handle(point(1))
+        trace.handle(point(2, parent=1))
+        trace.handle(point(3, parent=99))  # parent never buffered
+        trace.handle(point(4, parent=3))
+        trees = trace.trees()
+        assert [t["span_id"] for t in trees] == [2, 3]
+        assert trees[1]["children"][0]["span_id"] == 4
+        assert trees[0]["type"] == "RuleTriggered"
+        assert trees[0]["stage"] == "trigger"
+
+
+class TestConcurrentReaders:
+    def test_render_while_writers_append(self):
+        """Snapshot isolation: rendering during appends never raises."""
+        trace = TraceLogProcessor(capacity=64)
+        stop = threading.Event()
+        errors = []
+
+        def writer(base):
+            i = 0
+            while not stop.is_set():
+                trace.handle(point(base + i, parent=base + i - 1))
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    trace.render()
+                    trace.trees()
+                    trace.roots()
+            except Exception as error:  # noqa: BLE001 - fail the test
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(1_000_000,)),
+            threading.Thread(target=writer, args=(2_000_000,)),
+            threading.Thread(target=reader),
+        ]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert errors == []
+
+
+class TestLiveWraparound:
+    def test_small_ring_on_a_live_system(self):
+        system = Sentinel(name="ringy")
+        trace = system.telemetry.attach(TraceLogProcessor(capacity=8))
+        system.explicit_event("e")
+        system.rule("r", "e", condition=lambda o: True,
+                    action=lambda o: None)
+        for __ in range(20):
+            with system.transaction():
+                system.raise_event("e")
+        events = trace.events()
+        assert len(events) == 8
+        # Renders without error despite many evicted parents, and
+        # every surviving event appears in the output.
+        text = trace.render()
+        for event in events:
+            assert f"#{event.span_id}" in text
+        system.close()
