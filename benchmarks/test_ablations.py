@@ -28,7 +28,7 @@ def test_abl_share_node_count_and_detection(sharing, benchmark):
     hits = []
     # Twenty rules over the same expression.
     for i in range(20):
-        expr = det.and_("a", "b")
+        expr = (det.event('a') & det.event('b'))
         det.rule(f"r{i}", expr, condition=lambda o: True, action=hits.append)
     nodes = len(det.graph)
     print(f"\nABL-SHARE [{'on' if sharing else 'off'}]: "
@@ -88,7 +88,7 @@ def test_abl_flush_cross_transaction_contamination(flush, benchmark):
     system.explicit_event("a")
     system.explicit_event("b")
     contaminated = []
-    system.rule("pair", system.detector.and_("a", "b"), condition=lambda o: True,
+    system.rule("pair", (system.detector.event('a') & system.detector.event('b')), condition=lambda o: True,
                 action=contaminated.append)
 
     def split_pair_across_transactions():
@@ -117,7 +117,7 @@ def test_abl_flush_rules_are_deactivatable(benchmark):
     system.explicit_event("a")
     system.explicit_event("b")
     hits = []
-    system.rule("pair", system.detector.and_("a", "b"), condition=lambda o: True,
+    system.rule("pair", (system.detector.event('a') & system.detector.event('b')), condition=lambda o: True,
                 action=hits.append)
 
     def toggle_and_probe():

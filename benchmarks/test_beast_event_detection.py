@@ -152,7 +152,7 @@ def test_ed3_context_storage_requirements(benchmark):
             det = LocalEventDetector()
             a = det.explicit_event("a")
             b = det.explicit_event("b")
-            node = det.and_(a, b)
+            node = (a & b)
             det.rule("r", node, condition=lambda o: True, action=lambda o: None,
                      context=context)
             for i in range(100):

@@ -72,7 +72,7 @@ def test_rm4_enable_disable_cost(benchmark):
     det = LocalEventDetector()
     for name in ("a", "b", "c", "d"):
         det.explicit_event(name)
-    deep = det.seq(det.and_("a", "b"), det.or_("c", "d"))
+    deep = ((det.event('a') & det.event('b')) >> (det.event('c') | det.event('d')))
     det.rule("r", deep, condition=lambda o: True, action=lambda o: None)
 
     def toggle():
@@ -88,7 +88,7 @@ def test_rm5_rule_definition_cost(benchmark):
     det = LocalEventDetector()
     det.explicit_event("a")
     det.explicit_event("b")
-    shared = det.and_("a", "b")
+    shared = (det.event('a') & det.event('b'))
     counter = iter(range(10**9))
 
     def define_and_delete():

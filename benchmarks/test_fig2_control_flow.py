@@ -41,7 +41,7 @@ def test_fig2_step_sequence(benchmark):
     app2.explicit_event("ship")
 
     # Step 1+2: a primitive event feeds an immediate composite rule.
-    pair = app1.detector.and_("order", "order")  # trivially: order itself
+    pair = (app1.detector.event('order') & app1.detector.event('order'))  # trivially: order itself
     app1.rule(
         "immediate_pair", "order", condition=lambda o: True,
         action=lambda o: steps.append((2, "composite detection -> immediate rule")),
@@ -61,7 +61,7 @@ def test_fig2_step_sequence(benchmark):
     # Step 5: inter-application composite.
     g_order = ep1.export_event("order")
     g_ship = ep2.export_event("ship")
-    both = ged.seq(g_order, g_ship, name="order_then_ship")
+    both = ged.define("order_then_ship", (g_order >> g_ship))
     ep2.subscribe_global(both, "fulfillment")
     # Step 6: the delivered global event runs a detached rule (its own
     # subtransaction tree in app2).
@@ -119,7 +119,7 @@ def test_fig2_event_flush_between_transactions(benchmark):
     app.explicit_event("a")
     app.explicit_event("b")
     crossed = []
-    app.rule("cross", app.detector.and_("a", "b"), condition=lambda o: True,
+    app.rule("cross", (app.detector.event('a') & app.detector.event('b')), condition=lambda o: True,
              action=crossed.append)
 
     def two_transactions():

@@ -67,7 +67,7 @@ def test_simultaneous_context_scaling(contexts, benchmark):
     det = LocalEventDetector()
     det.explicit_event("a")
     det.explicit_event("b")
-    node = det.and_("a", "b")
+    node = (det.event('a') & det.event('b'))
     all_contexts = list(ParameterContext)[:contexts]
     for i, ctx in enumerate(all_contexts):
         det.rule(f"r{i}", node, condition=lambda o: True, action=lambda o: None,

@@ -49,7 +49,7 @@ class TestGlobalDetection:
             endpoint.export_event("tick")
             apps.append((system, endpoint))
         # Global event: ticks from app0 and app1 in sequence.
-        expr = ged.seq("app0.tick", "app1.tick")
+        expr = (ged.event('app0.tick') >> ged.event('app1.tick'))
         hits = []
         ged.detector.rule("watch", expr, condition=lambda o: True, action=hits.append)
 

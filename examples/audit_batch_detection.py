@@ -43,7 +43,7 @@ def trading_day(log_path):
     alerts = []
     system.rule(
         "BigTrade",
-        system.detector.or_(events["bought"], events["sold"]),
+        (events["bought"] | events["sold"]),
         condition=lambda occ: occ.params.value("qty") > 10_000,
         action=lambda occ: alerts.append(occ.params.value("qty")),
     )
@@ -69,9 +69,7 @@ def audit(log_path):
     # Front-running pattern: research tip followed by a buy of the same
     # symbol — in RECENT context the tip is not consumed by detection,
     # so one tip exposes every later buy.
-    tip_then_buy = system.detector.seq(
-        "TradingDesk_tipped", "TradingDesk_bought", name="front_run"
-    )
+    tip_then_buy = system.detector.define("front_run", (system.detector.event('TradingDesk_tipped') >> system.detector.event('TradingDesk_bought')))
     system.rule(
         "FrontRunning",
         tip_then_buy,

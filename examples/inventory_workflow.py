@@ -55,7 +55,7 @@ def main():
     g_stockout = warehouse_ep.export_event("Warehouse_stock_out")
 
     # Global composite: an order and a stock-out (any order of arrival).
-    shortage = ged.and_(g_order, g_stockout, name="shortage")
+    shortage = ged.define("shortage", (ged.event(g_order) & ged.event(g_stockout)))
 
     # Deliver detections into the warehouse app as a local explicit
     # event, and react there with a DETACHED rule (its own top-level

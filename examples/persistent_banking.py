@@ -62,7 +62,7 @@ def open_bank(directory):
     audit_rows = []
     system.rule(
         "Audit",
-        system.detector.or_(events["deposited"], events["withdrawn"]),
+        (events["deposited"] | events["withdrawn"]),
         condition=lambda occ: True,
         action=lambda occ: audit_rows.append(
             f"txn touched {len(occ.params.instances())} account(s), "

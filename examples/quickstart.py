@@ -39,7 +39,7 @@ def main():
     events = system.register_class(Stock)  # Stock_e1, Stock_e2, Stock_e3
 
     # event e4 = e1 ^ e2  (both a sale and a price change, any order)
-    e4 = system.detector.and_(events["e1"], events["e2"], name="Stock_e4")
+    e4 = system.detector.define("Stock_e4", (events["e1"] & events["e2"]))
 
     def cond1(occurrence):
         # Conditions are side-effect free; they see the parameter list.

@@ -49,8 +49,10 @@ from repro.core.scheduler import (
     SerialExecutor,
     ThreadedExecutor,
 )
+from repro.core.sharding import ShardedRuntime
 from repro.errors import EventError, UnknownEvent
 from repro.telemetry.events import (
+    BatchIngested,
     DetachedDispatch,
     GraphPropagation,
     NotificationReceived,
@@ -70,6 +72,24 @@ class DetectorStats:
     suppressed: int = 0
     triggers: int = 0
     detached_dispatches: int = 0
+    batches: int = 0
+
+
+def _warn_builder(method: str, replacement: str,
+                  stacklevel: int = 3) -> None:
+    """Deprecation notice for the binary builder methods.
+
+    The default warnings registry deduplicates on (message, category,
+    module, lineno), so each call *site* warns exactly once.
+    """
+    import warnings
+
+    warnings.warn(
+        f"detector.{method}(left, right) is deprecated; "
+        f"use the operator expression {replacement} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 class LocalEventDetector:
@@ -84,6 +104,7 @@ class LocalEventDetector:
         error_policy: str = "raise",
         name: str = "app",
         telemetry: Optional[TelemetryHub] = None,
+        shards: int = 1,
     ):
         self.name = name
         self.clock = clock if clock is not None else LogicalClock()
@@ -93,6 +114,15 @@ class LocalEventDetector:
         self.graph = EventGraph(self.clock, sharing=sharing,
                                 telemetry=self.telemetry)
         self.graph.set_emitter(self._on_trigger)
+        #: sharded detection runtime. With ``shards == 1`` (default) it
+        #: stays dormant — propagation is the seed's inline recursion,
+        #: merely serialized under a single ingestion stripe. With
+        #: ``shards > 1`` the graph routes every fan-out through the
+        #: runtime's driver (see :mod:`repro.core.sharding`).
+        self.runtime = ShardedRuntime(self, shards)
+        self.graph.shard_map = self.runtime.map
+        if self.runtime.active:
+            self.graph.runtime = self.runtime
         self.rules = RuleManager(self)
         from repro.core.priorities import PriorityScheme
 
@@ -186,13 +216,21 @@ class LocalEventDetector:
         return self.graph.define(name, node)
 
     # Operator passthroughs so applications rarely need graph access.
+    # The binary builders are deprecated in favor of the operator
+    # algebra (``a & b`` / ``a | b`` / ``a >> b``, see
+    # repro.core.events.algebra); they still resolve through the same
+    # sharing-aware graph factories, so old and new spellings return
+    # the same nodes.
     def and_(self, left, right, name=None):
+        _warn_builder("and_", "left & right")
         return self.graph.and_(self._n(left), self._n(right), name)
 
     def or_(self, left, right, name=None):
+        _warn_builder("or_", "left | right")
         return self.graph.or_(self._n(left), self._n(right), name)
 
     def seq(self, left, right, name=None):
+        _warn_builder("seq", "left >> right")
         return self.graph.seq(self._n(left), self._n(right), name)
 
     def not_(self, initiator, forbidden, terminator, name=None):
@@ -293,62 +331,15 @@ class LocalEventDetector:
             return []
         if isinstance(modifier, str):
             modifier = EventModifier.parse(modifier)
-        if isinstance(arguments, dict):
-            arguments = tuple(arguments.items())
-        arguments = tuple((k, atomic(v)) for k, v in arguments)
-        at = self.clock.tick()
-        if txn_id is None:
-            current = self.current_transaction()
-            txn_id = current.top_level_id if current is not None else None
         occurrences: list[PrimitiveOccurrence] = []
-        # Inheritance property: a method invocation on a subclass
-        # instance matches events declared on any ancestor class.
-        candidates = [class_name]
-        if instance is not None:
-            mro_names = [c.__name__ for c in type(instance).__mro__]
-            if class_name in mro_names:
-                candidates = mro_names
-
-        traced = telemetry.active
 
         def propagate() -> None:
-            nodes = [
-                node
-                for candidate in candidates
-                for node in self.graph.primitives_for(candidate)
-            ]
-            for node in nodes:
-                if not node.matches(
-                    node.class_name, method_name, modifier, instance
-                ):
-                    continue
-                occurrence = PrimitiveOccurrence(
-                    event_name=node.display_name,
-                    at=at,
-                    class_name=class_name,
-                    instance=self._identity(instance),
-                    method_name=method_name,
-                    modifier=modifier,
-                    arguments=arguments,
-                    txn_id=txn_id,
-                    state_snapshot=self._snapshot(node, instance),
-                )
-                occurrences.append(occurrence)
-                for listener in self.occurrence_listeners:
-                    listener(occurrence)
-                if traced:
-                    with telemetry.span(
-                        GraphPropagation,
-                        event_name=node.display_name,
-                        operator=node.operator,
-                    ):
-                        node.occur(occurrence)
-                else:
-                    node.occur(occurrence)
-                if node.display_name in self._global_events:
-                    self._forward_global(occurrence)
+            self._ingest_notify(
+                instance, class_name, method_name, modifier, arguments,
+                txn_id, occurrences,
+            )
 
-        if traced:
+        if telemetry.active:
             with telemetry.span(
                 NotificationReceived,
                 class_name=class_name, method_name=method_name,
@@ -359,6 +350,126 @@ class LocalEventDetector:
         else:
             self._dispatch(propagate)
         return occurrences
+
+    def notify_batch(
+        self,
+        items,
+        txn_id: Optional[int] = None,
+    ) -> list[PrimitiveOccurrence]:
+        """Signal many method invocations under one dispatch.
+
+        ``items`` is an iterable of ``(instance, class_name,
+        method_name, modifier)`` or ``(instance, class_name,
+        method_name, modifier, arguments)`` tuples. The whole batch is
+        ingested inside a single activation frame — one lock
+        acquisition per shard run instead of one per item, and one
+        :class:`~repro.telemetry.events.BatchIngested` span instead of
+        one ``NotificationReceived`` span per item. Each item still
+        gets its own clock tick, so occurrence order within the batch
+        is the item order, and the triggered rules run once, after the
+        last item's cascade.
+        """
+        items = list(items)
+        self.stats.batches += 1
+        self.stats.notifications += len(items)
+        telemetry = self.telemetry
+        if self._is_suppressed():
+            self.stats.suppressed += len(items)
+            if telemetry.active:
+                telemetry.point(
+                    NotificationSuppressed,
+                    class_name="$BATCH", method_name=f"{len(items)} items",
+                )
+            return []
+        occurrences: list[PrimitiveOccurrence] = []
+
+        def propagate() -> None:
+            for item in items:
+                instance, class_name, method_name, modifier = item[:4]
+                arguments = item[4] if len(item) > 4 else ()
+                self._ingest_notify(
+                    instance, class_name, method_name, modifier,
+                    arguments, txn_id, occurrences,
+                )
+
+        if telemetry.active:
+            with telemetry.span(
+                BatchIngested, size=len(items), source="method",
+            ) as span:
+                self._dispatch(propagate)
+                span.set(matched=len(occurrences))
+        else:
+            self._dispatch(propagate)
+        return occurrences
+
+    def _ingest_notify(
+        self,
+        instance: Any,
+        class_name: str,
+        method_name: str,
+        modifier: EventModifier | str,
+        arguments: dict[str, Any] | tuple,
+        txn_id: Optional[int],
+        occurrences: list[PrimitiveOccurrence],
+    ) -> None:
+        """Match one Notify item and signal it (runs inside a dispatch)."""
+        if isinstance(modifier, str):
+            modifier = EventModifier.parse(modifier)
+        if isinstance(arguments, dict):
+            arguments = tuple(arguments.items())
+        arguments = tuple((k, atomic(v)) for k, v in arguments)
+        at = self.clock.tick()
+        if txn_id is None:
+            current = self.current_transaction()
+            txn_id = current.top_level_id if current is not None else None
+        # Inheritance property: a method invocation on a subclass
+        # instance matches events declared on any ancestor class.
+        candidates = [class_name]
+        if instance is not None:
+            mro_names = [c.__name__ for c in type(instance).__mro__]
+            if class_name in mro_names:
+                candidates = mro_names
+        telemetry = self.telemetry
+        traced = telemetry.active
+        runtime = self.runtime
+        sharded = runtime.active
+        nodes = [
+            node
+            for candidate in candidates
+            for node in self.graph.primitives_for(candidate)
+        ]
+        for node in nodes:
+            if not node.matches(
+                node.class_name, method_name, modifier, instance
+            ):
+                continue
+            occurrence = PrimitiveOccurrence(
+                event_name=node.display_name,
+                at=at,
+                class_name=class_name,
+                instance=self._identity(instance),
+                method_name=method_name,
+                modifier=modifier,
+                arguments=arguments,
+                txn_id=txn_id,
+                state_snapshot=self._snapshot(node, instance),
+            )
+            occurrences.append(occurrence)
+            for listener in self.occurrence_listeners:
+                listener(occurrence)
+            if sharded:
+                runtime.submit_occur(node, occurrence)
+            elif traced:
+                with telemetry.span(
+                    GraphPropagation,
+                    event_name=node.display_name,
+                    operator=node.operator,
+                ):
+                    node.occur(occurrence)
+            else:
+                node.occur(occurrence)
+            if node.display_name in self._global_events:
+                self._forward_global(occurrence)
 
     def raise_event(self, name: str, txn_id: Optional[int] = None,
                     **params: Any) -> PrimitiveOccurrence:
@@ -392,18 +503,88 @@ class LocalEventDetector:
             self._dispatch(lambda: self._raise(node, occurrence))
         return occurrence
 
-    def _raise(self, node: ExplicitEventNode, occ: PrimitiveOccurrence) -> None:
-        for listener in self.occurrence_listeners:
-            listener(occ)
+    def raise_events(
+        self,
+        events,
+        txn_id: Optional[int] = None,
+    ) -> list[PrimitiveOccurrence]:
+        """Raise many explicit events under one dispatch.
+
+        ``events`` is an iterable of event names or ``(name, params)``
+        pairs (``params`` a dict). Like :meth:`notify_batch`, the whole
+        batch shares one activation frame and one
+        :class:`~repro.telemetry.events.BatchIngested` span; triggered
+        rules run once, after the last event's cascade. Every name is
+        resolved before any event is signaled, so an unknown or
+        non-explicit name raises without a partial batch.
+        """
+        items: list[tuple[str, dict]] = []
+        for item in events:
+            if isinstance(item, str):
+                items.append((item, {}))
+            else:
+                name, params = item
+                items.append((name, dict(params)))
+        nodes = []
+        for name, __ in items:
+            node = self.graph.get(name)
+            if not isinstance(node, ExplicitEventNode):
+                raise EventError(
+                    f"{name!r} is not an explicit event; only explicit "
+                    f"events can be raised directly"
+                )
+            nodes.append(node)
+        self.stats.batches += 1
+        occurrences: list[PrimitiveOccurrence] = []
+
+        def propagate() -> None:
+            for node, (name, params) in zip(nodes, items):
+                at = self.clock.tick()
+                if txn_id is None:
+                    current = self.current_transaction()
+                    tid = (
+                        current.top_level_id if current is not None else None
+                    )
+                else:
+                    tid = txn_id
+                occurrence = PrimitiveOccurrence(
+                    event_name=name,
+                    at=at,
+                    class_name="$EXPLICIT",
+                    arguments=tuple(
+                        (k, atomic(v)) for k, v in params.items()
+                    ),
+                    txn_id=tid,
+                )
+                occurrences.append(occurrence)
+                self._raise(node, occurrence)
+
         telemetry = self.telemetry
         if telemetry.active:
             with telemetry.span(
-                GraphPropagation,
-                event_name=node.display_name, operator=node.operator,
+                BatchIngested, size=len(items), source="explicit",
+                matched=len(items),
             ):
-                node.occur(occ)
+                self._dispatch(propagate)
         else:
-            node.occur(occ)
+            self._dispatch(propagate)
+        return occurrences
+
+    def _raise(self, node: ExplicitEventNode, occ: PrimitiveOccurrence) -> None:
+        for listener in self.occurrence_listeners:
+            listener(occ)
+        if self.runtime.active:
+            self.runtime.submit_occur(node, occ)
+        else:
+            telemetry = self.telemetry
+            if telemetry.active:
+                with telemetry.span(
+                    GraphPropagation,
+                    event_name=node.display_name, operator=node.operator,
+                ):
+                    node.occur(occ)
+            else:
+                node.occur(occ)
         if node.display_name in self._global_events:
             self._forward_global(occ)
 
@@ -436,7 +617,13 @@ class LocalEventDetector:
     def poll(self) -> None:
         """Check temporal nodes against the current clock."""
         now = self.clock.now()
-        self._dispatch(lambda: self.graph.poll(now))
+        if self.runtime.active:
+            self._dispatch(lambda: [
+                self.runtime.submit_poll(node, now)
+                for node in self.graph.temporal_nodes()
+            ])
+        else:
+            self._dispatch(lambda: self.graph.poll(now))
 
     # =====================================================================
     # Dispatch machinery
@@ -459,8 +646,21 @@ class LocalEventDetector:
         frames = self._frames()
         frame: list[RuleActivation] = []
         frames.append(frame)
+        runtime = self.runtime
         try:
-            propagate()
+            if runtime.active:
+                # Sharded: the propagate closure only stages roots on
+                # this thread's driver; the driver then runs the full
+                # cascade under per-shard locks.
+                propagate()
+                runtime.run()
+            else:
+                # Single shard: seed-style inline recursion, serialized
+                # under the one ingestion stripe. The lock is released
+                # before the frame's rules run, so actions that notify
+                # re-enter cleanly (including from executor threads).
+                with runtime.ingest_lock:
+                    propagate()
         finally:
             frames.pop()
         self._run_frame(frame)
@@ -569,25 +769,23 @@ class LocalEventDetector:
         return self.graph.snapshot()
 
     def health(self) -> dict:
-        """Liveness data for the monitor's ``/health`` (detector slice)."""
-        return {
-            "name": self.name,
-            "suppressed": self._is_suppressed(),
-            "collect_mode": self.collect_mode,
-            "rule_errors": len(self.scheduler.errors),
-            "telemetry": {
-                "active": self.telemetry.active,
-                "processors": len(self.telemetry.processors),
-                "dropped": self.telemetry.dropped,
-            },
-        }
+        """Liveness data for the monitor's ``/health`` (detector slice).
+
+        The payload shape is defined in :mod:`repro.reporting`, the
+        single schema module shared with ``Sentinel.health()`` and
+        ``SystemReport.to_dict()``.
+        """
+        from repro.reporting import detector_health
+
+        return detector_health(self)
 
     # -- maintenance ---------------------------------------------------------------------
 
     def flush(self, event_name: Optional[str] = None,
               ctx: Optional[ParameterContext] = None) -> None:
         """Discard pending detection state (transaction boundaries)."""
-        self.graph.flush(event_name, ctx)
+        with self.runtime.all_locks():
+            self.graph.flush(event_name, ctx)
 
     def _snapshot(self, node: PrimitiveEventNode,
                   instance: Any) -> Optional[tuple]:

@@ -6,6 +6,7 @@ subscriber list — parent operator nodes and rules — and per-context
 detection state enabled by reference counters.
 """
 
+from repro.core.events.algebra import E
 from repro.core.events.base import EventNode
 from repro.core.events.primitive import (
     ExplicitEventNode,
@@ -26,6 +27,7 @@ from repro.core.events.operators import (
 from repro.core.events.graph import EventGraph
 
 __all__ = [
+    "E",
     "EventNode",
     "PrimitiveEventNode",
     "TemporalEventNode",

@@ -1,0 +1,155 @@
+"""The Snoop operator algebra: event expressions as Python expressions.
+
+The paper writes composite events as *expressions* — ``E1 ∧ E2``,
+``E1 ; E2``, ``¬(E2)[E1, E3]`` — not as builder calls. This module
+gives :class:`~repro.core.events.base.EventNode` that surface:
+
+* ``a & b``  → AND (both occur, in any order)
+* ``a | b``  → OR  (either occurs)
+* ``a >> b`` → SEQ (``a`` strictly before ``b``)
+
+The non-binary operators live on the :class:`E` namespace so they read
+like the paper's notation::
+
+    from repro.core.events import E
+
+    audit = E.not_(deposit, audit_run, close)     # NOT
+    window = E.A(open_, tick, close)              # aperiodic
+    sampled = E.P(open_, 5.0, close)              # periodic
+    late = E.plus(deadline, 30.0)                 # PLUS
+
+Every spelling funnels into the same sharing-aware
+:class:`~repro.core.events.graph.EventGraph` factories, so ``a & b``
+returns the *same* node as ``graph.and_(a, b)`` built earlier — the
+hash-consed graph is the single source of truth and operator syntax is
+pure surface.
+
+Beware Python precedence: ``>>`` binds tighter than ``&``, which binds
+tighter than ``|``. ``a >> b & c`` means ``(a >> b) & c``; parenthesize
+mixed expressions rather than memorizing the table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.errors import EventError
+
+if TYPE_CHECKING:
+    from repro.core.events.base import EventNode
+
+EventRef = Union["EventNode", str]
+
+
+def _graph_of(*candidates: EventRef):
+    """The event graph shared by the expression's node operands."""
+    from repro.core.events.base import EventNode
+
+    graph = None
+    for candidate in candidates:
+        if not isinstance(candidate, EventNode):
+            continue
+        if graph is None:
+            graph = candidate.graph
+        elif candidate.graph is not graph:
+            raise EventError(
+                "cannot combine events from different event graphs"
+            )
+    if graph is None:
+        raise EventError(
+            "event expressions need at least one EventNode operand "
+            "(string names cannot locate the graph on their own)"
+        )
+    return graph
+
+
+def _resolve(graph, ref: EventRef) -> "EventNode":
+    return graph.get(ref) if isinstance(ref, str) else ref
+
+
+class E:
+    """Namespace for the non-binary Snoop operators.
+
+    Operands may be :class:`EventNode` instances or event names
+    (resolved through the graph of the first node operand; at least
+    one operand must be a node).
+    """
+
+    @staticmethod
+    def and_(left: EventRef, right: EventRef,
+             name: Optional[str] = None) -> "EventNode":
+        """``E1 ∧ E2`` — prefer the ``left & right`` spelling."""
+        graph = _graph_of(left, right)
+        return graph.and_(_resolve(graph, left), _resolve(graph, right), name)
+
+    @staticmethod
+    def or_(left: EventRef, right: EventRef,
+            name: Optional[str] = None) -> "EventNode":
+        """``E1 ∨ E2`` — prefer the ``left | right`` spelling."""
+        graph = _graph_of(left, right)
+        return graph.or_(_resolve(graph, left), _resolve(graph, right), name)
+
+    @staticmethod
+    def seq(left: EventRef, right: EventRef,
+            name: Optional[str] = None) -> "EventNode":
+        """``E1 ; E2`` — prefer the ``left >> right`` spelling."""
+        graph = _graph_of(left, right)
+        return graph.seq(_resolve(graph, left), _resolve(graph, right), name)
+
+    @staticmethod
+    def not_(initiator: EventRef, forbidden: EventRef,
+             terminator: EventRef,
+             name: Optional[str] = None) -> "EventNode":
+        """``¬(forbidden)[initiator, terminator]``."""
+        graph = _graph_of(initiator, forbidden, terminator)
+        return graph.not_(
+            _resolve(graph, initiator), _resolve(graph, forbidden),
+            _resolve(graph, terminator), name,
+        )
+
+    @staticmethod
+    def A(initiator: EventRef, middle: EventRef, terminator: EventRef,
+          name: Optional[str] = None) -> "EventNode":
+        """``A(E1, E2, E3)`` — aperiodic: each E2 inside [E1, E3)."""
+        graph = _graph_of(initiator, middle, terminator)
+        return graph.aperiodic(
+            _resolve(graph, initiator), _resolve(graph, middle),
+            _resolve(graph, terminator), name,
+        )
+
+    @staticmethod
+    def A_star(initiator: EventRef, middle: EventRef, terminator: EventRef,
+               name: Optional[str] = None) -> "EventNode":
+        """``A*(E1, E2, E3)`` — cumulative aperiodic, fires at E3."""
+        graph = _graph_of(initiator, middle, terminator)
+        return graph.aperiodic_star(
+            _resolve(graph, initiator), _resolve(graph, middle),
+            _resolve(graph, terminator), name,
+        )
+
+    @staticmethod
+    def P(initiator: EventRef, period: float, terminator: EventRef,
+          name: Optional[str] = None) -> "EventNode":
+        """``P(E1, t, E3)`` — periodic: a tick every ``period`` in [E1, E3)."""
+        graph = _graph_of(initiator, terminator)
+        return graph.periodic(
+            _resolve(graph, initiator), period,
+            _resolve(graph, terminator), name,
+        )
+
+    @staticmethod
+    def P_star(initiator: EventRef, period: float, terminator: EventRef,
+               name: Optional[str] = None) -> "EventNode":
+        """``P*(E1, t, E3)`` — cumulative periodic, fires at E3."""
+        graph = _graph_of(initiator, terminator)
+        return graph.periodic_star(
+            _resolve(graph, initiator), period,
+            _resolve(graph, terminator), name,
+        )
+
+    @staticmethod
+    def plus(initiator: EventRef, delay: float,
+             name: Optional[str] = None) -> "EventNode":
+        """``E1 + t`` — fires ``delay`` after each E1."""
+        graph = _graph_of(initiator)
+        return graph.plus(_resolve(graph, initiator), delay, name)

@@ -47,6 +47,8 @@ class EventNode:
         self._state: dict[ParameterContext, Any] = {}
         #: occurrence count per parameter context (monitor ``/graph``)
         self.detections_by_context: dict[ParameterContext, int] = {}
+        #: owner shard (assigned by ``graph.register`` from its shard map)
+        self.shard = 0
         for port, child in enumerate(self.children):
             child.event_subscribers.append((self, port))
         graph.register(self)
@@ -151,6 +153,12 @@ class EventNode:
             )
         if self.graph.observers:
             self.graph.notify_observers(self, occurrence, ctx)
+        runtime = self.graph.runtime
+        if runtime is not None:
+            # Sharded mode: defer the fan-out onto the driver stack so
+            # each subscriber runs under its own shard's lock stripe.
+            runtime.fanout(self, occurrence, ctx)
+            return
         for parent, port in self.event_subscribers:
             if parent.context_active(ctx):
                 self.graph.stats.propagations += 1
@@ -163,6 +171,61 @@ class EventNode:
                  ctx: ParameterContext) -> None:
         """Child at ``port`` detected ``occurrence`` in ``ctx``."""
         raise NotImplementedError(f"{type(self).__name__} has no children")
+
+    # -- Snoop operator algebra (see repro.core.events.algebra) ----------------
+
+    def _operand(self, other: Any) -> Optional["EventNode"]:
+        """Coerce an operator operand; None means NotImplemented."""
+        if isinstance(other, str):
+            other = self.graph.get(other)
+        if not isinstance(other, EventNode):
+            return None
+        if other.graph is not self.graph:
+            from repro.errors import EventError
+
+            raise EventError(
+                "cannot combine events from different event graphs"
+            )
+        return other
+
+    def __and__(self, other: Any) -> "EventNode":
+        """``a & b`` — Snoop AND (both occur, in any order)."""
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.and_(self, operand)
+
+    def __rand__(self, other: Any) -> "EventNode":
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.and_(operand, self)
+
+    def __or__(self, other: Any) -> "EventNode":
+        """``a | b`` — Snoop OR (either occurs)."""
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.or_(self, operand)
+
+    def __ror__(self, other: Any) -> "EventNode":
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.or_(operand, self)
+
+    def __rshift__(self, other: Any) -> "EventNode":
+        """``a >> b`` — Snoop SEQ (``a`` strictly before ``b``)."""
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.seq(self, operand)
+
+    def __rrshift__(self, other: Any) -> "EventNode":
+        operand = self._operand(other)
+        if operand is None:
+            return NotImplemented
+        return self.graph.seq(operand, self)
 
     def poll(self, now: float) -> None:
         """Hook for temporal nodes; called when the clock advances."""

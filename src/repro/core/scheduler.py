@@ -19,6 +19,7 @@ the triggering action returns from its ``notify``.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from itertools import groupby
@@ -303,3 +304,232 @@ class RuleScheduler:
 
     def shutdown(self) -> None:
         self.executor.shutdown()
+
+
+# =========================================================================
+# Detached-rule queue
+# =========================================================================
+
+@dataclass
+class DetachedQueueStats:
+    submitted: int = 0
+    executed: int = 0
+    dropped: int = 0
+    spilled: int = 0
+    blocked: int = 0
+    errors: int = 0
+
+
+class DetachedRuleQueue:
+    """A bounded queue of DETACHED-coupled activations with backpressure.
+
+    The thread-per-activation scheme the facade used before has no
+    bound: a trigger storm creates a thread storm. This queue caps the
+    backlog at ``capacity`` and resolves overflow with one of three
+    policies:
+
+    * ``"block"`` — the producing (triggering) thread waits for room;
+      detection slows down instead of memory growing without bound;
+    * ``"drop_oldest"`` — the oldest queued activation is discarded to
+      make room (freshest-wins, for advisory rules);
+    * ``"spill"`` — the oldest queued activation is handed to the
+      spill sink (e.g. an event log via :func:`eventlog_spill`) for
+      later batch replay, then discarded from the queue.
+
+    ``workers`` daemon threads drain the queue through ``runner`` (the
+    facade's run-in-fresh-top-level-transaction body). Worker errors
+    are recorded in ``errors`` — a failing detached rule must not kill
+    the drain loop. Every overflow emits a
+    :class:`~repro.telemetry.events.DetachedOverflow` point.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[RuleActivation], None],
+        capacity: int = 256,
+        policy: str = "block",
+        workers: int = 2,
+        spill_sink: Optional[Callable[[RuleActivation], None]] = None,
+        telemetry=None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ("block", "drop_oldest", "spill"):
+            raise ValueError(
+                f"policy must be 'block', 'drop_oldest' or 'spill', "
+                f"got {policy!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        from repro.telemetry.hub import TelemetryHub
+
+        self._runner = runner
+        self.capacity = capacity
+        self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else TelemetryHub()
+        self._spill_sink = spill_sink
+        #: activations spilled with no sink configured (inspect/replay)
+        self.spill_log: list[RuleActivation] = []
+        self.stats = DetachedQueueStats()
+        self.errors: list[tuple[str, Exception]] = []
+        self._queue: deque[RuleActivation] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._drain, name=f"detached-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- producer side -----------------------------------------------------------
+
+    def submit(self, activation: RuleActivation) -> None:
+        """Enqueue one activation, applying the overflow policy."""
+        spill_out: list[RuleActivation] = []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("detached queue is closed")
+            while len(self._queue) >= self.capacity:
+                self._overflow_point(activation)
+                if self.policy == "block":
+                    self.stats.blocked += 1
+                    self._not_full.wait()
+                    if self._closed:
+                        raise RuntimeError("detached queue is closed")
+                elif self.policy == "drop_oldest":
+                    self._queue.popleft()
+                    self.stats.dropped += 1
+                else:  # spill
+                    spill_out.append(self._queue.popleft())
+                    self.stats.spilled += 1
+            self._queue.append(activation)
+            self.stats.submitted += 1
+            self._not_empty.notify()
+        # The sink runs outside the lock: it may be arbitrarily slow
+        # (file-backed event log) and must not stall the workers.
+        for victim in spill_out:
+            self._spill(victim)
+
+    def _overflow_point(self, activation: RuleActivation) -> None:
+        if self.telemetry.active:
+            from repro.telemetry.events import DetachedOverflow
+
+            self.telemetry.point(
+                DetachedOverflow,
+                rule_name=activation.rule.name,
+                policy=self.policy,
+                backlog=len(self._queue),
+            )
+
+    def _spill(self, activation: RuleActivation) -> None:
+        if self._spill_sink is not None:
+            self._spill_sink(activation)
+        else:
+            self.spill_log.append(activation)
+
+    # -- worker side ----------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._not_empty.wait()
+                if not self._queue and self._closed:
+                    return
+                activation = self._queue.popleft()
+                self._active += 1
+                self._not_full.notify()
+            try:
+                self._runner(activation)
+            except Exception as exc:
+                self.errors.append((activation.rule.name, exc))
+                self.stats.errors += 1
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    self.stats.executed += 1
+                    if not self._queue and self._active == 0:
+                        self._idle.notify_all()
+
+    # -- synchronization ------------------------------------------------------------
+
+    def backlog(self) -> int:
+        """Queued + currently executing activations."""
+        with self._lock:
+            return len(self._queue) + self._active
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty and every worker is idle.
+
+        Returns False if ``timeout`` (seconds) elapsed first; ``None``
+        waits forever.
+        """
+        deadline = (
+            perf_counter() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            while self._queue or self._active:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - perf_counter()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain outstanding work, then stop the workers."""
+        self.join(timeout)
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for worker in self._workers:
+            worker.join(timeout if timeout is not None else None)
+
+    def snapshot(self) -> dict:
+        """Gauges and counters for ``/metrics`` and ``/health``."""
+        with self._lock:
+            depth = len(self._queue)
+            active = self._active
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "depth": depth,
+            "active": active,
+            "submitted": self.stats.submitted,
+            "executed": self.stats.executed,
+            "dropped": self.stats.dropped,
+            "spilled": self.stats.spilled,
+            "blocked": self.stats.blocked,
+            "errors": self.stats.errors,
+        }
+
+
+def eventlog_spill(log) -> Callable[[RuleActivation], None]:
+    """Adapt an :class:`~repro.eventlog.log.EventLog` into a spill sink.
+
+    A spilled activation is recorded as its triggering occurrence's
+    primitive constituents, so a later batch :func:`~repro.eventlog.replay.replay`
+    of the log re-detects the composite and re-triggers the rule.
+    """
+    from repro.core.params import PrimitiveOccurrence
+
+    def sink(activation: RuleActivation) -> None:
+        def walk(occurrence) -> None:
+            if isinstance(occurrence, PrimitiveOccurrence):
+                log.append(occurrence)
+                return
+            for constituent in getattr(occurrence, "constituents", ()):
+                walk(constituent)
+
+        walk(activation.occurrence)
+
+    return sink

@@ -1,0 +1,317 @@
+"""Sharded detection runtime: lock stripes over the event graph.
+
+The paper's local detector is one instance per application — one lock
+domain. This module partitions detection state into ``N`` shards keyed
+by event-class / event-name identity so independent event classes can
+be detected concurrently:
+
+* every event node is pinned to a shard at registration time —
+  primitives by ``crc32(class_name)`` (all events of one class, class-
+  and instance-level, co-locate so their relative order is preserved),
+  named explicit/temporal events by ``crc32(name)``;
+* a composite node is pinned to the *minimum* of its children's shards
+  — a deterministic owner, so both the single- and multi-shard
+  configuration agree on where a composite's state lives;
+* each shard has its own re-entrant lock stripe and a pending-delivery
+  :class:`~repro.globaldet.channel.Channel` (the same transport the
+  global detector uses between applications): when a cascade crosses
+  from one shard into a composite owned by another, the edge is routed
+  through the owner shard's channel, which counts and traces the
+  hand-off before it lands on the dispatching thread's driver queue.
+
+**The driver.** With ``shards > 1``, ``EventNode.signal`` stops
+recursing inline; it pushes its fan-out (parent deliveries, then rule
+emits, in subscriber order) onto a per-thread driver stack. The driver
+pops entries LIFO — which reproduces exactly the depth-first pre-order
+walk of the inline recursion — executing each under its owner shard's
+lock. Only *one* shard lock is ever held at a time (the driver releases
+shard ``i`` before taking shard ``j``), so lock order cannot deadlock,
+while same-shard runs of consecutive entries amortize to a single
+acquisition. Rule activations collected during the cascade run after
+the driver drains, outside all shard locks.
+
+With ``shards == 1`` the runtime stays dormant (``active`` is False):
+propagation keeps the seed's inline recursion and the detector merely
+serializes ingestion under the single stripe — the thread-safety
+baseline the stress suite relies on.
+
+Definition-time operations (declaring events and rules) are not
+synchronized against in-flight detection; define the graph before
+signaling from multiple threads, as with the seed detector.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.telemetry.events import GraphPropagation
+
+if TYPE_CHECKING:
+    from repro.core.detector import LocalEventDetector
+    from repro.core.events.base import EventNode
+    from repro.telemetry.hub import TelemetrySpan
+
+# Driver entry kinds (index 0 of each entry tuple).
+_OCCUR = 0   # (kind, shard, node, occurrence)          — root primitive
+_EDGE = 1    # (kind, shard, parent, port, occ, ctx)    — parent delivery
+_EMIT = 2    # (kind, shard, rule, occurrence)          — rule trigger
+_POLL = 3    # (kind, shard, node, now)                 — temporal poll
+
+
+@dataclass
+class ShardStats:
+    """Per-shard counters, mutated under the shard's lock stripe."""
+
+    #: root occurrences (primitive occur / temporal poll) executed here
+    occurrences: int = 0
+    #: node detections signaled by nodes owned by this shard
+    detections: int = 0
+    #: cascade edges this shard forwarded to a different owner shard
+    cross_shard_out: int = 0
+    #: cascade edges received from other shards via the pending channel
+    cross_shard_in: int = 0
+    #: times the driver (re-)acquired this shard's lock
+    lock_acquisitions: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "occurrences": self.occurrences,
+            "detections": self.detections,
+            "cross_shard_out": self.cross_shard_out,
+            "cross_shard_in": self.cross_shard_in,
+            "lock_acquisitions": self.lock_acquisitions,
+        }
+
+
+class ShardMap:
+    """Deterministic event-node -> shard assignment."""
+
+    def __init__(self, shards: int):
+        self.shards = shards
+
+    def shard_for_key(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % self.shards
+
+    def assign(self, node: "EventNode") -> int:
+        if self.shards == 1:
+            return 0
+        if node.children:
+            # Deterministic owner for cross-shard composites: the
+            # minimum of the constituent shards.
+            return min(child.shard for child in node.children)
+        class_name = getattr(node, "class_name", None)
+        key = class_name if class_name is not None else node.display_name
+        return self.shard_for_key(key)
+
+
+class ShardedRuntime:
+    """Lock stripes, pending channels, and the cascade driver."""
+
+    def __init__(self, detector: "LocalEventDetector", shards: int = 1):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.detector = detector
+        self.graph = detector.graph
+        self.telemetry = detector.telemetry
+        self.shards = shards
+        #: True iff propagation routes through the driver (N > 1)
+        self.active = shards > 1
+        self.map = ShardMap(shards)
+        self.locks = [threading.RLock() for __ in range(shards)]
+        #: the single-shard ingestion stripe (shard 0's lock)
+        self.ingest_lock = self.locks[0]
+        self.stats = [ShardStats() for __ in range(shards)]
+        from repro.globaldet.channel import Channel
+
+        #: per-shard pending-delivery channels for cross-shard edges;
+        #: direct mode — the sink lands on the sender's driver stack,
+        #: serialized later under the receiving shard's lock.
+        self.channels = [
+            Channel(sink=self._deliver, direct=True,
+                    telemetry=self.telemetry, name=f"shard{i}.pending")
+            for i in range(shards)
+        ]
+        self._local = threading.local()
+
+    # -- per-thread driver state ------------------------------------------------
+
+    def _stack(self) -> list[tuple]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _buffer(self) -> list[tuple]:
+        """Fan-out entries generated by the driver step in progress.
+
+        The driver pushes the buffer onto its stack *reversed* after
+        each step, so entries run in generation order, before any
+        previously queued sibling — the exact linearization of the
+        seed's inline pre-order recursion (one ``occur`` signaling in
+        several contexts fans out context by context, in order).
+        """
+        buffer = getattr(self._local, "buffer", None)
+        if buffer is None:
+            buffer = []
+            self._local.buffer = buffer
+        return buffer
+
+    def _roots(self) -> list[tuple]:
+        roots = getattr(self._local, "roots", None)
+        if roots is None:
+            roots = []
+            self._local.roots = roots
+        return roots
+
+    def _deliver(self, entry: tuple) -> None:
+        """Channel sink: a cross-shard edge lands on the step buffer."""
+        self.stats[entry[1]].cross_shard_in += 1
+        self._buffer().append(entry)
+
+    # -- ingestion (called from the detector's propagate closures) ---------------
+
+    def submit_occur(self, node: "EventNode",
+                     occurrence: Any) -> None:
+        self._roots().append((_OCCUR, node.shard, node, occurrence))
+
+    def submit_poll(self, node: "EventNode", now: float) -> None:
+        self._roots().append((_POLL, node.shard, node, now))
+
+    # -- fan-out (called from EventNode.signal in sharded mode) -------------------
+
+    def fanout(self, node: "EventNode", occurrence: Any, ctx: Any) -> None:
+        """Defer ``node``'s subscriber fan-out into the step buffer.
+
+        Entries land in subscriber order; the driver pushes the buffer
+        reversed after the current step, so its LIFO pop runs them in
+        this order — the pre-order walk inline recursion would take.
+        """
+        shard = node.shard
+        stats = self.stats[shard]
+        stats.detections += 1
+        graph = self.graph
+        buffer = self._buffer()
+        for parent, port in node.event_subscribers:
+            if parent.context_active(ctx):
+                graph.stats.propagations += 1
+                entry = (_EDGE, parent.shard, parent, port, occurrence, ctx)
+                if parent.shard != shard:
+                    # Route through the owner shard's pending channel:
+                    # the hand-off is counted and traced, and the sink
+                    # lands the entry back in this thread's buffer.
+                    stats.cross_shard_out += 1
+                    self.channels[parent.shard].send(entry)
+                else:
+                    buffer.append(entry)
+        for rule in list(node.rule_subscribers):
+            if rule.wants(ctx, occurrence):
+                buffer.append((_EMIT, shard, rule, occurrence))
+
+    # -- the driver ----------------------------------------------------------------
+
+    def run(self) -> None:
+        """Drain this thread's pending roots and their full cascades.
+
+        Called with no shard lock held; holds exactly one at any moment
+        and switches stripes only when the next entry's owner differs.
+        """
+        roots = self._roots()
+        if not roots:
+            return
+        stack = self._stack()
+        stack.extend(reversed(roots))
+        roots.clear()
+        telemetry = self.telemetry
+        locks, stats = self.locks, self.stats
+        held: Optional[int] = None
+        #: open GraphPropagation spans and the stack depth below them
+        barriers: list[tuple["TelemetrySpan", int]] = []
+        try:
+            while stack:
+                entry = stack.pop()
+                kind = entry[0]
+                if kind == _EMIT:
+                    self.graph.emit(entry[2], entry[3])
+                else:
+                    shard = entry[1]
+                    if shard != held:
+                        if held is not None:
+                            locks[held].release()
+                        locks[shard].acquire()
+                        held = shard
+                        stats[shard].lock_acquisitions += 1
+                    if kind == _EDGE:
+                        __, __, parent, port, occurrence, ctx = entry
+                        parent.on_child(port, occurrence, ctx)
+                    else:  # _OCCUR or _POLL: a cascade root
+                        node = entry[2]
+                        stats[shard].occurrences += 1
+                        if telemetry.active:
+                            barriers.append((
+                                telemetry.span(
+                                    GraphPropagation,
+                                    event_name=node.display_name,
+                                    operator=node.operator,
+                                ),
+                                len(stack),
+                            ))
+                        if kind == _OCCUR:
+                            node.occur(entry[3])
+                        else:
+                            node.poll(entry[3])
+                buffer = self._buffer()
+                if buffer:
+                    stack.extend(reversed(buffer))
+                    buffer.clear()
+                # A root's cascade is complete once the stack is back
+                # down to the depth below it; close its span.
+                while barriers and len(stack) <= barriers[-1][1]:
+                    barriers.pop()[0].close()
+        finally:
+            if held is not None:
+                locks[held].release()
+            for span, __ in reversed(barriers):
+                span.close()
+
+    # -- whole-graph exclusion (flush, shutdown) -------------------------------------
+
+    @contextmanager
+    def all_locks(self) -> Iterator[None]:
+        """Hold every stripe (in index order — deadlock-free against the
+        driver, which never holds more than one)."""
+        for lock in self.locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self.locks):
+                lock.release()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Per-shard metric rows for ``/metrics`` and ``/health``."""
+        rows = []
+        for index, stats in enumerate(self.stats):
+            row: dict[str, Any] = {"shard": index}
+            row.update(stats.snapshot())
+            row["pending"] = self.channels[index].pending
+            row["forwarded"] = self.channels[index].sent
+            if not self.active and index == 0:
+                # Dormant runtime: detections happen inline in the
+                # graph; mirror its counter so the family stays live.
+                row["detections"] = self.graph.stats.detections
+            rows.append(row)
+        return rows
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "count": self.shards,
+            "sharded": self.active,
+            "per_shard": self.snapshot(),
+        }

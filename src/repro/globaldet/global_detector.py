@@ -72,14 +72,33 @@ class GlobalEventDetector:
     def event(self, name: str) -> EventNode:
         return self.detector.event(name)
 
+    def define(self, name: str, node: EventNode) -> EventNode:
+        """Name a global event expression for reuse."""
+        return self.detector.define(name, node)
+
+    # The binary builders are deprecated: combine the imported global
+    # events with the operator algebra instead (``a & b`` / ``a | b`` /
+    # ``a >> b``). Both spellings share the same graph nodes.
     def and_(self, left, right, name=None):
-        return self.detector.and_(left, right, name)
+        from repro.core.detector import _warn_builder
+
+        _warn_builder("and_", "left & right")
+        g = self.detector
+        return g.graph.and_(g._n(left), g._n(right), name)
 
     def or_(self, left, right, name=None):
-        return self.detector.or_(left, right, name)
+        from repro.core.detector import _warn_builder
+
+        _warn_builder("or_", "left | right")
+        g = self.detector
+        return g.graph.or_(g._n(left), g._n(right), name)
 
     def seq(self, left, right, name=None):
-        return self.detector.seq(left, right, name)
+        from repro.core.detector import _warn_builder
+
+        _warn_builder("seq", "left >> right")
+        g = self.detector
+        return g.graph.seq(g._n(left), g._n(right), name)
 
     def not_(self, initiator, forbidden, terminator, name=None):
         return self.detector.not_(initiator, forbidden, terminator, name)

@@ -44,6 +44,7 @@ class MonitorServer:
         host: str = "127.0.0.1",
         port: int = 0,
         prefix: str = "sentinel",
+        extra_metrics: Optional[Callable[[], list[str]]] = None,
     ):
         self.registry = registry
         self.health = health
@@ -51,6 +52,10 @@ class MonitorServer:
         self.graph = graph
         self.profiler = profiler
         self.prefix = prefix
+        #: callable returning extra exposition lines appended to
+        #: ``/metrics`` at scrape time (per-shard and detached-queue
+        #: families, which live outside the metrics registry)
+        self.extra_metrics = extra_metrics
         monitor = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -154,10 +159,11 @@ class MonitorServer:
 
     def _metrics_text(self) -> str:
         registries = [self.registry] if self.registry is not None else []
-        extra = (
-            self.profiler.prometheus_lines(self.prefix)
-            if self.profiler is not None else ()
-        )
+        extra: list[str] = []
+        if self.profiler is not None:
+            extra.extend(self.profiler.prometheus_lines(self.prefix))
+        if self.extra_metrics is not None:
+            extra.extend(self.extra_metrics())
         return render_metrics(registries, prefix=self.prefix,
                               extra_lines=extra)
 

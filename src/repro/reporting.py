@@ -1,0 +1,157 @@
+"""The shared status-report schema.
+
+Three views of a running active system used to assemble their payloads
+independently — ``SystemReport.to_dict()`` (the ``report`` CLI),
+``Sentinel.health()`` (the monitor's ``/health``), and
+``LocalEventDetector.health()`` (the detector slice nested inside it).
+Drift between them meant a key present in one view silently missing
+from another. This module is now the single place the shapes are
+defined; the three callers delegate here, and the schema tests assert
+against these builders only.
+
+Builders return plain JSON-safe dicts. Key names are part of the
+public monitoring contract — scrapers and the CLI parse them — so
+changes here are API changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.core.detector import LocalEventDetector
+    from repro.core.scheduler import DetachedRuleQueue
+    from repro.core.sharding import ShardedRuntime
+    from repro.sentinel import Sentinel, SystemReport
+
+
+# =========================================================================
+# Building blocks
+# =========================================================================
+
+def shard_health(runtime: "ShardedRuntime") -> dict[str, Any]:
+    """The sharded runtime's slice: count, mode, per-shard counters."""
+    return {
+        "count": runtime.shards,
+        "sharded": runtime.active,
+        "per_shard": runtime.snapshot(),
+    }
+
+
+def detached_queue_health(queue: "DetachedRuleQueue") -> dict[str, Any]:
+    """The detached-rule queue's gauges and counters."""
+    return queue.snapshot()
+
+
+def telemetry_health(telemetry) -> dict[str, Any]:
+    return {
+        "active": telemetry.active,
+        "processors": len(telemetry.processors),
+        "dropped": telemetry.dropped,
+    }
+
+
+# =========================================================================
+# The three public payloads
+# =========================================================================
+
+def detector_health(detector: "LocalEventDetector") -> dict[str, Any]:
+    """``LocalEventDetector.health()``: the detector slice of /health."""
+    return {
+        "name": detector.name,
+        "suppressed": detector._is_suppressed(),
+        "collect_mode": detector.collect_mode,
+        "shards": shard_health(detector.runtime),
+        "rule_errors": len(detector.scheduler.errors),
+        "telemetry": telemetry_health(detector.telemetry),
+    }
+
+
+def system_health(system: "Sentinel") -> dict[str, Any]:
+    """``Sentinel.health()``: the monitor's full /health payload."""
+    if system._closed:
+        status = "closed"
+    elif system._closing:
+        status = "closing"
+    else:
+        status = "ok"
+    data: dict[str, Any] = {
+        "healthy": status == "ok",
+        "status": status,
+        "name": system.name,
+        "detached_backlog": system.detached.backlog(),
+        "detached_queue": detached_queue_health(system.detached),
+        "detector": detector_health(system.detector),
+    }
+    if system.db is not None:
+        wal = system.db.storage.wal
+        stats = system.db.storage.buffer_pool.stats
+        data["storage"] = {
+            # records appended but not yet forced to disk
+            "wal_flush_lag": max(0, wal.next_lsn - wal.flushed_lsn - 1),
+            "wal_flushed_lsn": wal.flushed_lsn,
+            "buffer_hit_rate": round(stats.hit_rate(), 4),
+            "buffer_evictions": stats.evictions,
+        }
+    return data
+
+
+def system_report_dict(report: "SystemReport") -> dict[str, Any]:
+    """``SystemReport.to_dict()``: the report CLI / API payload."""
+    data: dict[str, Any] = {
+        "name": report.name,
+        "events": dict(report.events),
+        "notifications": dict(report.notifications),
+        "rules": dict(report.rules),
+    }
+    if report.storage is not None:
+        data["storage"] = dict(report.storage)
+    return data
+
+
+# =========================================================================
+# Prometheus families for the runtime slices
+# =========================================================================
+
+def runtime_metric_lines(system: "Sentinel",
+                         prefix: str = "sentinel") -> list[str]:
+    """Exposition lines for the per-shard and detached-queue families.
+
+    These are live gauges/counters read from the runtime structures at
+    scrape time (not from the metrics registry), labelled by shard:
+    ``<prefix>_shard_occurrences_total{shard="0"} ...`` plus the
+    detached queue's depth/capacity gauges and outcome counters.
+    """
+    from repro.monitor.prometheus import render_gauge
+
+    lines: list[str] = []
+    shard_counters = (
+        "occurrences", "detections", "cross_shard_out", "cross_shard_in",
+        "lock_acquisitions", "forwarded",
+    )
+    rows = system.detector.runtime.snapshot()
+    for metric in shard_counters:
+        family = f"{prefix}_shard_{metric}_total"
+        lines.append(f"# TYPE {family} counter")
+        for row in rows:
+            lines.append(f'{family}{{shard="{row["shard"]}"}} {row[metric]}')
+    family = f"{prefix}_shard_pending"
+    lines.append(f"# TYPE {family} gauge")
+    for row in rows:
+        lines.append(f'{family}{{shard="{row["shard"]}"}} {row["pending"]}')
+    lines.extend(render_gauge(
+        f"{prefix}_shards", system.detector.runtime.shards,
+        help_text="Configured detection shard count",
+    ))
+
+    queue = system.detached.snapshot()
+    for gauge in ("depth", "active", "capacity"):
+        lines.extend(render_gauge(
+            f"{prefix}_detached_queue_{gauge}", queue[gauge]
+        ))
+    for counter in ("submitted", "executed", "dropped", "spilled",
+                    "blocked", "errors"):
+        family = f"{prefix}_detached_queue_{counter}_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {queue[counter]}")
+    return lines

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import os
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator, Optional
@@ -51,7 +50,12 @@ from repro.core.rules import (
     always,
     resolve_positional_rule_args,
 )
-from repro.core.scheduler import RuleActivation, SerialExecutor, ThreadedExecutor
+from repro.core.scheduler import (
+    DetachedRuleQueue,
+    RuleActivation,
+    SerialExecutor,
+    ThreadedExecutor,
+)
 from repro.errors import InvalidTransactionState
 from repro.oodb.database import OODBTransaction, OpenOODB
 from repro.oodb.object_model import Persistent
@@ -91,15 +95,9 @@ class SystemReport:
     metrics: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        data: dict[str, Any] = {
-            "name": self.name,
-            "events": dict(self.events),
-            "notifications": dict(self.notifications),
-            "rules": dict(self.rules),
-        }
-        if self.storage is not None:
-            data["storage"] = dict(self.storage)
-        return data
+        from repro.reporting import system_report_dict
+
+        return system_report_dict(self)
 
     def __getitem__(self, key: str) -> Any:
         return self.to_dict()[key]
@@ -195,6 +193,11 @@ class Sentinel:
         pool_size: int = 128,
         activate: bool = True,
         metrics: bool = True,
+        shards: int = 1,
+        detached_capacity: int = 256,
+        detached_policy: str = "block",
+        detached_workers: int = 2,
+        detached_spill=None,
     ):
         self.name = name
         #: one telemetry hub shared by every layer (detector, event
@@ -218,10 +221,21 @@ class Sentinel:
             error_policy=error_policy,
             name=name,
             telemetry=self.telemetry,
+            shards=shards,
         )
         ensure_system_events(self.detector)
         self.detector.detached_handler = self._run_detached
-        self._detached_threads: list[threading.Thread] = []
+        #: bounded detached-rule queue; overflow resolved by
+        #: ``detached_policy`` ("block" / "drop_oldest" / "spill", see
+        #: :class:`~repro.core.scheduler.DetachedRuleQueue`)
+        self.detached = DetachedRuleQueue(
+            runner=self._execute_detached,
+            capacity=detached_capacity,
+            policy=detached_policy,
+            workers=detached_workers,
+            spill_sink=detached_spill,
+            telemetry=self.telemetry,
+        )
         self._detached_lock = threading.Lock()
         self._closing = False
         self._local = threading.local()
@@ -312,6 +326,10 @@ class Sentinel:
     def event(self, name: str):
         return self.detector.event(name)
 
+    def define(self, name: str, node):
+        """Name an event expression for reuse (see ``detector.define``)."""
+        return self.detector.define(name, node)
+
     def rule(
         self,
         name: str,
@@ -344,6 +362,18 @@ class Sentinel:
     def raise_event(self, name: str, txn_id: Optional[int] = None,
                     **params: Any) -> PrimitiveOccurrence:
         return self.detector.raise_event(name, txn_id=txn_id, **params)
+
+    def raise_events(self, events,
+                     txn_id: Optional[int] = None) -> list[PrimitiveOccurrence]:
+        """Raise many explicit events under one batched dispatch
+        (see :meth:`~repro.core.detector.LocalEventDetector.raise_events`)."""
+        return self.detector.raise_events(events, txn_id=txn_id)
+
+    def notify_batch(self, items,
+                     txn_id: Optional[int] = None) -> list[PrimitiveOccurrence]:
+        """Ingest many Notify items under one batched dispatch
+        (see :meth:`~repro.core.detector.LocalEventDetector.notify_batch`)."""
+        return self.detector.notify_batch(items, txn_id=txn_id)
 
     def advance_time(self, delta: float) -> None:
         self.detector.advance_time(delta)
@@ -478,66 +508,55 @@ class Sentinel:
     # =====================================================================
 
     def _run_detached(self, activation: RuleActivation) -> None:
-        """Run a DETACHED-coupled rule in its own top-level transaction.
+        """Hand a DETACHED-coupled activation to the bounded queue.
 
         The paper left detached mode as future work; we provide the
-        natural semantics: a separate thread, a separate transaction
+        natural semantics: a worker thread, a separate transaction
         tree, no causal dependence on the triggering transaction.
+        During ``close()`` the queue is draining, so the rule runs
+        inline on the triggering thread instead (same fresh top-level
+        transaction, just synchronous).
         """
-
-        def body() -> None:
-            self.activate()
-            root = self.txns.begin_top(label=f"detached:{activation.rule.name}")
-            activation.parent_txn = root
-            previous = self.detector.current_transaction()
-            self.detector.set_current_transaction(root)
-            try:
-                self.detector.scheduler.run_one(activation)
-                root.commit()
-            except Exception:
-                if root.state.value == "active":
-                    root.abort()
-                raise
-            finally:
-                self.detector.set_current_transaction(previous)
-
-        thread = threading.Thread(
-            target=body, name=f"detached-{activation.rule.name}", daemon=True
-        )
         with self._detached_lock:
-            if self._closing:
-                # close() is draining detached threads; starting a new
-                # one would race the join loop. Run the rule inline —
-                # same fresh top-level transaction, just synchronous.
-                thread = None
-            else:
-                self._detached_threads.append(thread)
-        if thread is None:
-            body()
+            closing = self._closing
+        if closing:
+            self._execute_detached(activation)
         else:
-            thread.start()
+            self.detached.submit(activation)
 
-    def wait_detached(self, timeout: float = 10.0) -> None:
-        """Join all detached-rule threads (tests and orderly shutdown).
+    def _execute_detached(self, activation: RuleActivation) -> None:
+        """Run one detached activation under a fresh top-level transaction."""
+        self.activate()
+        root = self.txns.begin_top(label=f"detached:{activation.rule.name}")
+        activation.parent_txn = root
+        previous = self.detector.current_transaction()
+        self.detector.set_current_transaction(root)
+        try:
+            self.detector.scheduler.run_one(activation)
+            root.commit()
+        except Exception:
+            if root.state.value == "active":
+                root.abort()
+            raise
+        finally:
+            self.detector.set_current_transaction(previous)
 
-        Loops until no detached thread is alive (a detached rule may
-        itself trigger further detached rules) or ``timeout`` seconds
-        have elapsed; finished threads are pruned under the lock.
+    def wait_detached(self, timeout: Optional[float] = 10.0) -> None:
+        """Wait for the detached-rule backlog to drain (tests, shutdown).
+
+        ``timeout`` is in seconds; pass ``None`` to wait forever (a
+        detached rule may itself trigger further detached rules, so the
+        wait covers the transitive backlog). If the timeout elapses
+        first, raises :class:`TimeoutError` naming the number of
+        activations still pending.
         """
-        deadline = time.monotonic() + timeout
-        while True:
-            with self._detached_lock:
-                self._detached_threads = [
-                    t for t in self._detached_threads if t.is_alive()
-                ]
-                pending = list(self._detached_threads)
-            if not pending:
-                return
-            for thread in pending:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    return
-                thread.join(remaining)
+        if self.detached.join(timeout):
+            return
+        backlog = self.detached.backlog()
+        raise TimeoutError(
+            f"detached rules did not drain within {timeout}s; "
+            f"{backlog} activation(s) still pending"
+        )
 
     # =====================================================================
     # Persistent specifications (rules stored in the database)
@@ -691,36 +710,13 @@ class Sentinel:
 
         ``healthy`` flips to False the moment ``close()`` begins, so a
         scraper (or load balancer) sees the instance drain before the
-        endpoint itself goes away.
+        endpoint itself goes away. The payload shape is defined in
+        :mod:`repro.reporting`, the single schema module shared with
+        ``LocalEventDetector.health()`` and ``SystemReport.to_dict()``.
         """
-        if self._closed:
-            status = "closed"
-        elif self._closing:
-            status = "closing"
-        else:
-            status = "ok"
-        with self._detached_lock:
-            backlog = sum(
-                1 for t in self._detached_threads if t.is_alive()
-            )
-        data = {
-            "healthy": status == "ok",
-            "status": status,
-            "name": self.name,
-            "detached_backlog": backlog,
-            "detector": self.detector.health(),
-        }
-        if self.db is not None:
-            wal = self.db.storage.wal
-            stats = self.db.storage.buffer_pool.stats
-            data["storage"] = {
-                # records appended but not yet forced to disk
-                "wal_flush_lag": max(0, wal.next_lsn - wal.flushed_lsn - 1),
-                "wal_flushed_lsn": wal.flushed_lsn,
-                "buffer_hit_rate": round(stats.hit_rate(), 4),
-                "buffer_evictions": stats.evictions,
-            }
-        return data
+        from repro.reporting import system_health
+
+        return system_health(self)
 
     # =====================================================================
     # Live monitoring
@@ -770,6 +766,8 @@ class Sentinel:
                 FlightRecorder(recorder_dir, hub=self.telemetry)
             )
             self._monitor_processors.append(recorder)
+        from repro.reporting import runtime_metric_lines
+
         self._monitor = MonitorServer(
             registry=self.metrics.registry if self.metrics else None,
             health=self.health,
@@ -778,6 +776,7 @@ class Sentinel:
             profiler=profiler,
             host=host,
             port=port,
+            extra_metrics=lambda: runtime_metric_lines(self),
         ).start()
         return self._monitor
 
@@ -795,10 +794,14 @@ class Sentinel:
             return
         with self._detached_lock:
             # From here on, detached dispatches run inline on their
-            # triggering thread instead of spawning (see _run_detached),
-            # so the drain below cannot race new thread creation.
+            # triggering thread instead of enqueuing (see _run_detached),
+            # so the drain below cannot race new submissions.
             self._closing = True
-        self.wait_detached()
+        try:
+            self.wait_detached()
+        except TimeoutError:
+            pass  # shutdown proceeds; the queue close below re-drains
+        self.detached.close()
         current = self.current()
         if current is not None and not current.finished:
             self.abort(current)

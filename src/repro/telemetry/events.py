@@ -105,6 +105,41 @@ class DetachedDispatch(TraceEvent):
     rule_name: str
 
 
+@dataclass(frozen=True, kw_only=True)
+class BatchIngested(TraceEvent):
+    """A ``notify_batch`` / ``raise_events`` call entered the detector.
+
+    One span per batch, in place of one ``NotificationReceived`` span
+    per item — amortizing the tracing cost the same way the batch path
+    amortizes shard-lock acquisition. ``size`` is the number of items
+    ingested; ``matched`` counts the primitive occurrences generated.
+    """
+
+    stage: ClassVar[str] = "batch"
+    is_span: ClassVar[bool] = True
+
+    size: int
+    source: str = "method"
+    matched: int = 0
+
+
+@dataclass(frozen=True, kw_only=True)
+class DetachedOverflow(TraceEvent):
+    """The bounded detached-rule queue hit capacity.
+
+    ``policy`` names the overflow discipline that resolved it:
+    ``drop_oldest`` (the oldest activation was discarded), ``spill``
+    (the oldest activation was written to the spill sink), or
+    ``block`` (the producer waited for room).
+    """
+
+    stage: ClassVar[str] = "detached.overflow"
+
+    rule_name: str
+    policy: str
+    backlog: int = 0
+
+
 # =========================================================================
 # Event graph stages
 # =========================================================================
@@ -292,6 +327,8 @@ ALL_EVENT_TYPES: tuple[type[TraceEvent], ...] = (
     NotificationSuppressed,
     RuleTriggered,
     DetachedDispatch,
+    BatchIngested,
+    DetachedOverflow,
     GraphPropagation,
     Detection,
     ConditionEvaluated,

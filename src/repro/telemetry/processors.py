@@ -19,10 +19,12 @@ from collections import deque
 from typing import Callable, Iterable, Optional
 
 from repro.telemetry.events import (
+    BatchIngested,
     BufferEviction,
     ChannelMessage,
     ConditionEvaluated,
     DetachedDispatch,
+    DetachedOverflow,
     Detection,
     GlobalDetectionDelivered,
     GlobalEventReceived,
@@ -166,6 +168,8 @@ class CounterProcessor(TelemetryProcessor):
             NotificationSuppressed: self._on_suppressed,
             RuleTriggered: self._on_trigger,
             DetachedDispatch: self._on_detached,
+            DetachedOverflow: self._on_detached_overflow,
+            BatchIngested: self._on_batch,
             Detection: self._on_detection,
             ConditionEvaluated: self._on_condition,
             RuleExecution: self._on_rule,
@@ -197,6 +201,20 @@ class CounterProcessor(TelemetryProcessor):
 
     def _on_detached(self, event: DetachedDispatch) -> None:
         self.registry.counter("detector.detached_dispatches").inc()
+
+    def _on_detached_overflow(self, event: DetachedOverflow) -> None:
+        self.registry.counter("detached.overflows").inc()
+        self.registry.counter(f"detached.overflows.{event.policy}").inc()
+
+    def _on_batch(self, event: BatchIngested) -> None:
+        # A batch is N notifications ingested under one span; mirror the
+        # per-item counters DetectorStats keeps, plus the batch count.
+        self.registry.counter("detector.batches").inc()
+        if event.source == "explicit":
+            self.registry.counter("detector.raises").inc(event.size)
+        else:
+            self.registry.counter("detector.notifications").inc(event.size)
+        self.registry.counter("detector.matched").inc(event.matched)
 
     def _on_detection(self, event: Detection) -> None:
         self.registry.counter("graph.detections").inc()

@@ -14,21 +14,21 @@ def ab(det):
 
 class TestAndRecent:
     def test_detects_in_either_order(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="recent")
         ab.raise_event("a")
         ab.raise_event("b")
         assert len(fired) == 1
         assert names(fired[0]) == ["a", "b"]
 
     def test_b_then_a(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="recent")
         ab.raise_event("b")
         ab.raise_event("a")
         assert len(fired) == 1
         assert names(fired[0]) == ["b", "a"]
 
     def test_most_recent_occurrence_pairs(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="recent")
         ab.raise_event("a", n=1)
         ab.raise_event("a", n=2)  # replaces n=1
         ab.raise_event("b")
@@ -37,14 +37,14 @@ class TestAndRecent:
 
     def test_initiator_not_consumed(self, ab):
         """In recent context a stored occurrence pairs repeatedly."""
-        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="recent")
         ab.raise_event("a")
         ab.raise_event("b")
         ab.raise_event("b")  # pairs again with the same (latest) a
         assert len(fired) == 2
 
     def test_single_side_never_fires(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="recent")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="recent")
         for __ in range(5):
             ab.raise_event("a")
         assert fired == []
@@ -52,7 +52,7 @@ class TestAndRecent:
 
 class TestAndChronicle:
     def test_fifo_pairing(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="chronicle")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="chronicle")
         ab.raise_event("a", n=1)
         ab.raise_event("a", n=2)
         ab.raise_event("b", m=10)
@@ -64,7 +64,7 @@ class TestAndChronicle:
         assert fired[1].params.value("m") == 20
 
     def test_occurrences_consumed(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="chronicle")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="chronicle")
         ab.raise_event("a")
         ab.raise_event("b")
         ab.raise_event("b")  # no a left to pair with
@@ -73,7 +73,7 @@ class TestAndChronicle:
 
 class TestAndContinuous:
     def test_terminator_completes_all_initiators(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="continuous")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="continuous")
         ab.raise_event("a", n=1)
         ab.raise_event("a", n=2)
         ab.raise_event("b")
@@ -81,7 +81,7 @@ class TestAndContinuous:
         assert sorted(f.params.value("n") for f in fired) == [1, 2]
 
     def test_initiators_consumed_by_detection(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="continuous")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="continuous")
         ab.raise_event("a")
         ab.raise_event("b")
         ab.raise_event("b")  # nothing pending -> stored as initiator itself
@@ -92,7 +92,7 @@ class TestAndContinuous:
 
 class TestAndCumulative:
     def test_all_occurrences_folded_into_one(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="cumulative")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="cumulative")
         ab.raise_event("a", n=1)
         ab.raise_event("a", n=2)
         ab.raise_event("a", n=3)
@@ -102,7 +102,7 @@ class TestAndCumulative:
         assert len(fired[0].params) == 4
 
     def test_state_flushed_after_detection(self, ab):
-        fired = collect(ab, ab.and_("a", "b"), context="cumulative")
+        fired = collect(ab, (ab.event('a') & ab.event('b')), context="cumulative")
         ab.raise_event("a")
         ab.raise_event("b")
         ab.raise_event("b")  # accumulates alone; no a yet
@@ -117,7 +117,7 @@ class TestOr:
         "context", ["recent", "chronicle", "continuous", "cumulative"]
     )
     def test_either_side_fires_in_every_context(self, ab, context):
-        fired = collect(ab, ab.or_("a", "b"), context=context)
+        fired = collect(ab, (ab.event('a') | ab.event('b')), context=context)
         ab.raise_event("a")
         ab.raise_event("b")
         ab.raise_event("a")
@@ -125,7 +125,7 @@ class TestOr:
         assert [names(f)[0] for f in fired] == ["a", "b", "a"]
 
     def test_occurrence_carries_single_constituent(self, ab):
-        fired = collect(ab, ab.or_("a", "b"))
+        fired = collect(ab, (ab.event('a') | ab.event('b')))
         ab.raise_event("a", n=7)
         assert len(fired[0].params) == 1
         assert fired[0].params.value("n") == 7
@@ -134,7 +134,7 @@ class TestOr:
 class TestComposition:
     def test_nested_and_of_or(self, ab):
         ab.explicit_event("c")
-        expr = ab.and_(ab.or_("a", "b"), "c")
+        expr = ((ab.event('a') | ab.event('b')) & ab.event('c'))
         fired = collect(ab, expr)
         ab.raise_event("b")
         ab.raise_event("c")
@@ -143,8 +143,8 @@ class TestComposition:
 
     def test_shared_subexpression_detected_once(self, ab):
         """Two rules over the same expression share one node."""
-        expr1 = ab.and_("a", "b")
-        expr2 = ab.and_("a", "b")
+        expr1 = (ab.event('a') & ab.event('b'))
+        expr2 = (ab.event('a') & ab.event('b'))
         assert expr1 is expr2
         fired1 = collect(ab, expr1)
         fired2 = collect(ab, expr2)

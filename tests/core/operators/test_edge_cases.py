@@ -16,7 +16,7 @@ def evs(det):
 class TestCompositeChildren:
     def test_not_with_composite_window_bounds(self, evs):
         """NOT(c)[(a ^ b), d]: the window opens at the AND completion."""
-        expr = evs.not_(evs.and_("a", "b"), "c", "d")
+        expr = evs.not_((evs.event('a') & evs.event('b')), "c", "d")
         fired = collect(evs, expr)
         evs.raise_event("a")
         evs.raise_event("b")  # AND completes: window open
@@ -24,7 +24,7 @@ class TestCompositeChildren:
         assert len(fired) == 1
 
     def test_not_spoiled_by_composite_forbidden(self, evs):
-        expr = evs.not_("a", evs.seq("b", "c"), "d")
+        expr = evs.not_("a", (evs.event('b') >> evs.event('c')), "d")
         fired = collect(evs, expr)
         evs.raise_event("a")
         evs.raise_event("b")
@@ -33,7 +33,7 @@ class TestCompositeChildren:
         assert fired == []
 
     def test_aperiodic_with_composite_middle(self, evs):
-        expr = evs.aperiodic("a", evs.and_("b", "c"), "d")
+        expr = evs.aperiodic("a", (evs.event('b') & evs.event('c')), "d")
         fired = collect(evs, expr)
         evs.raise_event("a")
         evs.raise_event("b")
@@ -42,7 +42,7 @@ class TestCompositeChildren:
         assert names(fired[0]) == ["a", "b", "c"]
 
     def test_and_of_two_composites(self, evs):
-        expr = evs.and_(evs.seq("a", "b"), evs.seq("c", "d"))
+        expr = ((evs.event('a') >> evs.event('b')) & (evs.event('c') >> evs.event('d')))
         fired = collect(evs, expr)
         evs.raise_event("a")
         evs.raise_event("c")
@@ -78,8 +78,8 @@ class TestWindowEdges:
     def test_seq_same_timestamp_not_sequence(self, evs):
         """Simultaneous occurrences cannot form a sequence: SEQ needs
         strictly increasing time (chronicle context: FIFO pairing)."""
-        both = evs.or_("a", "a")  # same node twice: one occurrence each
-        expr = evs.seq(both, both)
+        both = (evs.event('a') | evs.event('a'))  # same node twice: one occurrence each
+        expr = (both >> both)
         fired = collect(evs, expr, context="chronicle")
         evs.raise_event("a")
         assert fired == []  # a single instant cannot follow itself
@@ -89,7 +89,7 @@ class TestWindowEdges:
 
 class TestPerContextFlush:
     def test_flush_single_context_leaves_other(self, evs):
-        node = evs.and_("a", "b")
+        node = (evs.event('a') & evs.event('b'))
         recent = collect(evs, node, context="recent")
         chronicle = collect(evs, node, context="chronicle")
         evs.raise_event("a")
@@ -101,8 +101,11 @@ class TestPerContextFlush:
 
 class TestDegenerateStreams:
     def test_empty_stream_detects_nothing(self, evs):
-        for operator in ("and_", "or_", "seq"):
-            fired = collect(evs, getattr(evs, operator)("a", "b"))
+        import operator as op
+
+        a, b = evs.event("a"), evs.event("b")
+        for combine in (op.and_, op.or_, op.rshift):
+            fired = collect(evs, combine(a, b))
             assert fired == []
 
     def test_rule_on_primitive_directly(self, evs):
@@ -114,7 +117,7 @@ class TestDegenerateStreams:
     def test_self_and_requires_two_occurrences(self, evs):
         """a ^ a pairs two *occurrences* of the same event type."""
         node = evs.event("a")
-        expr = evs.and_(node, node)
+        expr = (node & node)
         fired = collect(evs, expr, context="chronicle")
         evs.raise_event("a")
         assert len(fired) in (0, 1)  # port0/port1 delivery of one occ
@@ -129,7 +132,7 @@ class TestDeepTrees:
         stream = []
         for i in range(10):
             leaf = evs.explicit_event(f"s{i}")
-            expr = evs.seq(expr, leaf)
+            expr = (expr >> leaf)
             stream.append(f"s{i}")
         fired = collect(evs, expr)
         evs.raise_event("a")
@@ -142,7 +145,7 @@ class TestDeepTrees:
         leaves = [evs.explicit_event(f"w{i}") for i in range(16)]
         expr = leaves[0]
         for leaf in leaves[1:]:
-            expr = evs.or_(expr, leaf)
+            expr = (expr | leaf)
         fired = collect(evs, expr)
         for i in range(16):
             evs.raise_event(f"w{i}")

@@ -140,7 +140,7 @@ class TestTemporalEvents:
     def test_temporal_composes_with_operators(self, tdet):
         tdet.explicit_event("update")
         hb = tdet.temporal_event("tick", every=10.0)
-        expr = tdet.seq("update", hb)
+        expr = (tdet.event('update') >> hb)
         fired = collect(tdet, expr)
         tdet.raise_event("update")
         tdet.advance_time(10.0)

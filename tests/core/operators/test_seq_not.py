@@ -14,7 +14,7 @@ def abc(det):
 
 class TestSeqRecent:
     def test_order_matters(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="recent")
         abc.raise_event("b")
         abc.raise_event("a")
         assert fired == []  # b before a does not satisfy a;b
@@ -23,7 +23,7 @@ class TestSeqRecent:
         assert names(fired[0]) == ["a", "b"]
 
     def test_latest_initiator_pairs(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="recent")
         abc.raise_event("a", n=1)
         abc.raise_event("a", n=2)
         abc.raise_event("b")
@@ -31,7 +31,7 @@ class TestSeqRecent:
         assert fired[0].params.value("n") == 2
 
     def test_initiator_survives_detection(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="recent")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="recent")
         abc.raise_event("a")
         abc.raise_event("b")
         abc.raise_event("b")
@@ -40,7 +40,7 @@ class TestSeqRecent:
 
 class TestSeqChronicle:
     def test_fifo_consumption(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="chronicle")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="chronicle")
         abc.raise_event("a", n=1)
         abc.raise_event("a", n=2)
         abc.raise_event("b")
@@ -53,7 +53,7 @@ class TestSeqChronicle:
 
 class TestSeqContinuous:
     def test_one_terminator_closes_all(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="continuous")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="continuous")
         abc.raise_event("a", n=1)
         abc.raise_event("a", n=2)
         abc.raise_event("b")
@@ -64,7 +64,7 @@ class TestSeqContinuous:
 
 class TestSeqCumulative:
     def test_initiators_folded(self, abc):
-        fired = collect(abc, abc.seq("a", "b"), context="cumulative")
+        fired = collect(abc, (abc.event('a') >> abc.event('b')), context="cumulative")
         abc.raise_event("a", n=1)
         abc.raise_event("a", n=2)
         abc.raise_event("b")
@@ -75,7 +75,7 @@ class TestSeqCumulative:
 
 class TestSeqComposition:
     def test_three_step_sequence(self, abc):
-        expr = abc.seq(abc.seq("a", "b"), "c")
+        expr = ((abc.event('a') >> abc.event('b')) >> abc.event('c'))
         fired = collect(abc, expr)
         abc.raise_event("a")
         abc.raise_event("b")
@@ -84,7 +84,7 @@ class TestSeqComposition:
         assert names(fired[0]) == ["a", "b", "c"]
 
     def test_wrong_internal_order_rejected(self, abc):
-        expr = abc.seq(abc.seq("a", "b"), "c")
+        expr = ((abc.event('a') >> abc.event('b')) >> abc.event('c'))
         fired = collect(abc, expr)
         abc.raise_event("b")
         abc.raise_event("a")
@@ -93,7 +93,7 @@ class TestSeqComposition:
 
     def test_interval_semantics_of_composite_initiator(self, abc):
         """(a;b);c requires the *whole* a;b interval before c."""
-        expr = abc.seq(abc.seq("a", "b"), "c")
+        expr = ((abc.event('a') >> abc.event('b')) >> abc.event('c'))
         fired = collect(abc, expr)
         abc.raise_event("a")
         abc.raise_event("b")

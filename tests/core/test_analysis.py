@@ -55,24 +55,24 @@ class TestNotChecks:
 class TestOrChecks:
     def test_or_of_identical(self, evs):
         a = evs.event("a")
-        node = evs.or_(a, a)
+        node = (a | a)
         assert codes(analyze(node)) == ["or-of-identical"]
 
     def test_or_of_distinct_clean(self, evs):
-        assert analyze(evs.or_("a", "b")) == []
+        assert analyze((evs.event('a') | evs.event('b'))) == []
 
 
 class TestNested:
     def test_warning_found_deep_in_tree(self, evs):
         a = evs.event("a")
-        suspicious = evs.or_(a, a)
-        tree = evs.seq(evs.and_(suspicious, "b"), "c")
+        suspicious = (a | a)
+        tree = ((suspicious & evs.event('b')) >> evs.event('c'))
         assert "or-of-identical" in codes(analyze(tree))
 
     def test_analyze_graph_deduplicates(self, evs):
         a = evs.event("a")
-        evs.or_(a, a)
-        evs.or_(a, a)  # shared: same node
+        (a | a)
+        (a | a)  # shared: same node
         warnings = analyze_graph(evs.graph)
         assert codes(warnings) == ["or-of-identical"]
 
@@ -97,7 +97,7 @@ class TestDotExport:
     def test_render_dot_structure(self, evs):
         from repro.debugger import render_dot
 
-        expr = evs.seq(evs.and_("a", "b"), "c", name="watched")
+        expr = evs.define("watched", ((evs.event('a') & evs.event('b')) >> evs.event('c')))
         evs.rule("R", expr, condition=lambda o: True, action=lambda o: None)
         dot = render_dot(evs.graph)
         assert dot.startswith("digraph sentinel_events {")

@@ -48,7 +48,7 @@ class TestParamPredicates:
 
     def test_total_above_with_cumulative(self, evs):
         ran = []
-        evs.rule("r", evs.and_("a", "b"), condition=when.total_above("n", 10),
+        evs.rule("r", (evs.event('a') & evs.event('b')), condition=when.total_above("n", 10),
                  action=ran.append, context="cumulative")
         evs.raise_event("a", n=4)
         evs.raise_event("a", n=5)
@@ -75,7 +75,7 @@ class TestCorrelation:
         deposit = det.primitive_event("dep", "Acct", "end", "deposit")
         withdraw = det.primitive_event("wd", "Acct", "end", "withdraw")
         ran = []
-        det.rule("r", det.seq(deposit, withdraw),
+        det.rule("r", (deposit >> withdraw),
                  condition=when.same_instance(), action=ran.append, context="chronicle")
         det.notify("acct-1", "Acct", "deposit", "end")
         det.notify("acct-2", "Acct", "withdraw", "end")  # different object
@@ -86,7 +86,7 @@ class TestCorrelation:
 
     def test_same_param_join(self, evs):
         ran = []
-        evs.rule("r", evs.seq("a", "b"), condition=when.same_param("sku", "a", "b"),
+        evs.rule("r", (evs.event('a') >> evs.event('b')), condition=when.same_param("sku", "a", "b"),
                  action=ran.append, context="chronicle")
         evs.raise_event("a", sku="X")
         evs.raise_event("b", sku="Y")
@@ -126,7 +126,7 @@ class TestComposition:
 class TestTimePredicates:
     def test_within_window(self, evs):
         ran = []
-        evs.rule("fast", evs.seq("a", "b"), condition=when.within(2.0), action=ran.append,
+        evs.rule("fast", (evs.event('a') >> evs.event('b')), condition=when.within(2.0), action=ran.append,
                  context="chronicle")
         evs.raise_event("a")
         evs.raise_event("b")  # 1 tick apart: within 2

@@ -125,7 +125,7 @@ class TestTransactionBoundaryFlush:
         """Events from a committed txn cannot pair in the next one."""
         system.explicit_event("f")
         fired = []
-        system.rule("pair", system.detector.and_("e", "f"),
+        system.rule("pair", (system.detector.event('e') & system.detector.event('f')),
                     condition=lambda o: True, action=fired.append)
         with system.transaction():
             system.raise_event("e")
@@ -136,7 +136,7 @@ class TestTransactionBoundaryFlush:
     def test_composite_does_not_span_aborts(self, system):
         system.explicit_event("f")
         fired = []
-        system.rule("pair", system.detector.and_("e", "f"),
+        system.rule("pair", (system.detector.event('e') & system.detector.event('f')),
                     condition=lambda o: True, action=fired.append)
         txn = system.begin()
         system.raise_event("e")
@@ -150,7 +150,7 @@ class TestTransactionBoundaryFlush:
         system.rules.disable(FLUSH_ON_COMMIT_RULE)
         system.explicit_event("f")
         fired = []
-        system.rule("pair", system.detector.and_("e", "f"),
+        system.rule("pair", (system.detector.event('e') & system.detector.event('f')),
                     condition=lambda o: True, action=fired.append)
         with system.transaction():
             system.raise_event("e")

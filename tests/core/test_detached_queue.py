@@ -1,0 +1,244 @@
+"""Bounded detached-rule queue: backpressure policies and drain sync.
+
+Determinism recipe: the runner (or rule action) blocks on a ``gate``
+Event and signals ``started`` — the test waits for ``started`` so
+exactly one activation is in flight, then overflows the queue with the
+workers pinned.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.scheduler import DetachedRuleQueue, RuleActivation, eventlog_spill
+from repro.eventlog.log import EventLog
+from repro.eventlog.replay import replay
+from repro.sentinel import Sentinel
+
+
+class FakeRule:
+    def __init__(self, name):
+        self.name = name
+
+
+def activation(name):
+    return RuleActivation(rule=FakeRule(name), occurrence=None)
+
+
+class GatedRunner:
+    """Blocks every execution until ``gate`` is set; records rule names."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.ran = []
+        self.lock = threading.Lock()
+
+    def __call__(self, act):
+        self.started.set()
+        assert self.gate.wait(timeout=30)
+        with self.lock:
+            self.ran.append(act.rule.name)
+
+
+def test_validation():
+    runner = lambda act: None
+    with pytest.raises(ValueError):
+        DetachedRuleQueue(runner, capacity=0)
+    with pytest.raises(ValueError):
+        DetachedRuleQueue(runner, policy="bogus")
+    with pytest.raises(ValueError):
+        DetachedRuleQueue(runner, workers=0)
+
+
+def test_drop_oldest_discards_from_the_front():
+    runner = GatedRunner()
+    queue = DetachedRuleQueue(runner, capacity=2, policy="drop_oldest",
+                              workers=1)
+    try:
+        queue.submit(activation("inflight"))
+        assert runner.started.wait(timeout=10)  # worker holds it
+        for name in ("old1", "old2", "new1", "new2"):
+            queue.submit(activation(name))
+        assert queue.stats.dropped == 2
+        runner.gate.set()
+        assert queue.join(timeout=10)
+        assert runner.ran == ["inflight", "new1", "new2"]
+        snap = queue.snapshot()
+        assert snap["submitted"] == 5
+        assert snap["executed"] == 3
+        assert snap["dropped"] == 2
+        assert snap["depth"] == 0 and snap["active"] == 0
+    finally:
+        runner.gate.set()
+        queue.close(timeout=5)
+
+
+def test_block_policy_applies_backpressure():
+    runner = GatedRunner()
+    queue = DetachedRuleQueue(runner, capacity=1, policy="block", workers=1)
+    try:
+        queue.submit(activation("inflight"))
+        assert runner.started.wait(timeout=10)
+        queue.submit(activation("queued"))  # fills the queue
+        unblocked = threading.Event()
+
+        def producer():
+            queue.submit(activation("waited"))
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert not unblocked.is_set()  # producer is being held back
+        assert queue.stats.blocked >= 1
+        runner.gate.set()
+        assert unblocked.wait(timeout=10)
+        assert queue.join(timeout=10)
+        assert runner.ran == ["inflight", "queued", "waited"]
+        assert queue.stats.dropped == 0
+    finally:
+        runner.gate.set()
+        queue.close(timeout=5)
+
+
+def test_spill_defaults_to_the_spill_log():
+    runner = GatedRunner()
+    queue = DetachedRuleQueue(runner, capacity=1, policy="spill", workers=1)
+    try:
+        queue.submit(activation("inflight"))
+        assert runner.started.wait(timeout=10)
+        for name in ("victim", "survivor"):
+            queue.submit(activation(name))
+        assert queue.stats.spilled == 1
+        assert [act.rule.name for act in queue.spill_log] == ["victim"]
+        runner.gate.set()
+        assert queue.join(timeout=10)
+        assert runner.ran == ["inflight", "survivor"]
+    finally:
+        runner.gate.set()
+        queue.close(timeout=5)
+
+
+def test_worker_errors_are_recorded_not_fatal():
+    def runner(act):
+        if act.rule.name == "bad":
+            raise RuntimeError("boom")
+
+    queue = DetachedRuleQueue(runner, capacity=8, workers=1)
+    try:
+        queue.submit(activation("bad"))
+        queue.submit(activation("good"))
+        assert queue.join(timeout=10)
+        assert queue.stats.errors == 1
+        assert queue.stats.executed == 2
+        assert [name for name, __ in queue.errors] == ["bad"]
+    finally:
+        queue.close(timeout=5)
+
+
+# =========================================================================
+# Facade integration
+# =========================================================================
+
+def test_wait_detached_timeout_reports_backlog():
+    gate = threading.Event()
+    started = threading.Event()
+
+    def slow(occ):
+        started.set()
+        assert gate.wait(timeout=30)
+
+    system = Sentinel(name="app", detached_workers=1)
+    try:
+        system.explicit_event("ev")
+        system.rule("slow", "ev", coupling="detached", action=slow)
+        system.raise_event("ev")
+        assert started.wait(timeout=10)
+        with pytest.raises(TimeoutError) as excinfo:
+            system.wait_detached(timeout=0.05)
+        assert "pending" in str(excinfo.value)
+        gate.set()
+        system.wait_detached(timeout=10)  # drains cleanly now
+        assert system.detached.backlog() == 0
+    finally:
+        gate.set()
+        system.close()
+
+
+def test_facade_overflow_counts_in_metrics():
+    gate = threading.Event()
+    started = threading.Event()
+
+    def slow(occ):
+        started.set()
+        assert gate.wait(timeout=30)
+
+    system = Sentinel(
+        name="app", detached_capacity=1, detached_policy="drop_oldest",
+        detached_workers=1,
+    )
+    try:
+        system.explicit_event("ev")
+        system.rule("slow", "ev", coupling="detached", action=slow)
+        system.raise_event("ev")
+        assert started.wait(timeout=10)
+        for __ in range(3):  # 1 fills the queue, 2 overflow
+            system.raise_event("ev")
+        assert system.detached.stats.dropped == 2
+        registry = system.metrics.registry
+        assert registry.value("detached.overflows") == 2
+        assert registry.value("detached.overflows.drop_oldest") == 2
+        gate.set()
+        system.wait_detached(timeout=10)
+    finally:
+        gate.set()
+        system.close()
+
+
+def test_spilled_activations_replay_from_the_event_log():
+    """A spilled trigger is not lost: its primitive constituents land in
+    an event log, and replaying that log re-fires the rule."""
+    gate = threading.Event()
+    started = threading.Event()
+    spill = EventLog()
+    executed = []
+
+    def slow(occ):
+        started.set()
+        assert gate.wait(timeout=30)
+        executed.append(occ.params.values("n"))
+
+    system = Sentinel(
+        name="app", detached_capacity=1, detached_policy="spill",
+        detached_workers=1, detached_spill=eventlog_spill(spill),
+    )
+    try:
+        system.explicit_event("ev")
+        system.rule("slow", "ev", coupling="detached", action=slow)
+        system.raise_event("ev", n=0)
+        assert started.wait(timeout=10)
+        system.raise_event("ev", n=1)  # fills the queue
+        system.raise_event("ev", n=2)  # spills n=1
+        assert system.detached.stats.spilled == 1
+        assert len(spill) == 1
+        gate.set()
+        system.wait_detached(timeout=10)
+        assert sorted(executed) == [[0], [2]]
+    finally:
+        gate.set()
+        system.close()
+
+    # Batch-replay the spill log on a fresh system: the victim re-fires.
+    replayed = []
+    fresh = Sentinel(name="replay")
+    try:
+        fresh.explicit_event("ev")
+        fresh.rule("slow", "ev",
+                   action=lambda occ: replayed.append(occ.params.values("n")))
+        report = replay(spill, fresh.detector, mode="execute")
+        assert report.events_replayed == 1
+        assert replayed == [[1]]
+    finally:
+        fresh.close()

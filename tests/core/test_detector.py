@@ -118,7 +118,7 @@ class TestFlush:
     def test_flush_clears_pending_state(self, det):
         det.explicit_event("a")
         det.explicit_event("b")
-        fired = collect(det, det.and_("a", "b"))
+        fired = collect(det, (det.event('a') & det.event('b')))
         det.raise_event("a")
         det.flush()
         det.raise_event("b")
@@ -127,8 +127,8 @@ class TestFlush:
     def test_selective_flush_of_one_expression(self, det):
         for name in ("a", "b", "c", "d"):
             det.explicit_event(name)
-        ab = det.and_("a", "b", name="ab")
-        cd = det.and_("c", "d", name="cd")
+        ab = det.define("ab", (det.event('a') & det.event('b')))
+        cd = det.define("cd", (det.event('c') & det.event('d')))
         fired_ab = collect(det, ab)
         fired_cd = collect(det, cd)
         det.raise_event("a")
@@ -144,7 +144,7 @@ class TestContextCounters:
     def test_detection_disabled_without_rules(self, det):
         det.explicit_event("a")
         det.explicit_event("b")
-        node = det.and_("a", "b")
+        node = (det.event('a') & det.event('b'))
         det.raise_event("a")
         det.raise_event("b")
         # No rule ever subscribed: no contexts active, no detections.
@@ -153,7 +153,7 @@ class TestContextCounters:
     def test_counter_decrement_stops_detection(self, det):
         det.explicit_event("a")
         det.explicit_event("b")
-        node = det.and_("a", "b")
+        node = (det.event('a') & det.event('b'))
         fired = collect(det, node)
         det.raise_event("a")
         # Disabling the only rule resets the counter to zero.
@@ -166,7 +166,7 @@ class TestContextCounters:
     def test_two_rules_same_context_share_counter(self, det):
         det.explicit_event("a")
         det.explicit_event("b")
-        node = det.and_("a", "b")
+        node = (det.event('a') & det.event('b'))
         fired1 = collect(det, node)
         fired2 = collect(det, node)
         det.rules.disable(node.rule_subscribers[0].name)
@@ -179,7 +179,7 @@ class TestContextCounters:
         """The same node detects in several contexts simultaneously."""
         det.explicit_event("a")
         det.explicit_event("b")
-        node = det.and_("a", "b")
+        node = (det.event('a') & det.event('b'))
         recent = collect(det, node, context="recent")
         cumulative = collect(det, node, context="cumulative")
         det.raise_event("a", n=1)

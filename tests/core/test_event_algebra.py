@@ -1,0 +1,215 @@
+"""The Snoop operator algebra: ``a & b`` / ``a | b`` / ``a >> b``.
+
+The acceptance bar: operator expressions must build the *same* shared
+graph nodes as the old builder calls, and the deprecated builders must
+warn exactly once per call site.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.detector import LocalEventDetector
+from repro.core.events import E
+from repro.core.events.operators import (
+    AndNode,
+    AperiodicNode,
+    AperiodicStarNode,
+    NotNode,
+    OrNode,
+    PeriodicNode,
+    PeriodicStarNode,
+    PlusNode,
+    SeqNode,
+)
+from repro.errors import EventError
+
+
+@pytest.fixture
+def det():
+    detector = LocalEventDetector()
+    yield detector
+    detector.shutdown()
+
+
+def _events(det, *names):
+    return tuple(det.explicit_event(n) for n in names)
+
+
+# -- structural equality with the old builders --------------------------------------
+
+
+def test_and_operator_builds_shared_node(det):
+    a, b = _events(det, "a", "b")
+    expr = a & b
+    assert isinstance(expr, AndNode)
+    assert expr is det.graph.and_(a, b)
+    assert expr.children == (a, b)
+
+
+def test_or_operator_builds_shared_node(det):
+    a, b = _events(det, "a", "b")
+    expr = a | b
+    assert isinstance(expr, OrNode)
+    assert expr is det.graph.or_(a, b)
+
+
+def test_seq_operator_builds_shared_node(det):
+    a, b = _events(det, "a", "b")
+    expr = a >> b
+    assert isinstance(expr, SeqNode)
+    assert expr is det.graph.seq(a, b)
+
+
+def test_operator_and_deprecated_builder_share_one_node(det):
+    a, b = _events(det, "a", "b")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        old = det.and_(a, b)
+    assert (a & b) is old
+    assert len([n for n in det.graph.nodes() if isinstance(n, AndNode)]) == 1
+
+
+def test_nested_expressions_share_subtrees(det):
+    a, b, c = _events(det, "a", "b", "c")
+    first = (a & b) | c
+    second = (a & b) | c
+    assert first is second
+    assert first.children[0] is (a & b)
+
+
+def test_operator_results_detect(det):
+    a, b = _events(det, "a", "b")
+    seen = []
+    det.rule("r", a >> b, action=seen.append)
+    det.raise_event("a")
+    det.raise_event("b")
+    assert len(seen) == 1
+    assert seen[0].operator == "SEQ"
+
+
+def test_string_operands_resolve_through_graph(det):
+    a, b = _events(det, "a", "b")
+    assert (a & "b") is (a & b)
+    assert ("a" & b) is (a & b)
+    assert (a >> "b") is (a >> b)
+
+
+def test_non_event_operand_is_type_error(det):
+    (a,) = _events(det, "a")
+    with pytest.raises(TypeError):
+        a & 3
+
+
+def test_cross_graph_composition_rejected():
+    d1, d2 = LocalEventDetector(), LocalEventDetector()
+    try:
+        a = d1.explicit_event("a")
+        b = d2.explicit_event("b")
+        with pytest.raises(EventError):
+            a & b
+    finally:
+        d1.shutdown()
+        d2.shutdown()
+
+
+# -- the E namespace -----------------------------------------------------------------
+
+
+def test_e_namespace_covers_every_operator(det):
+    a, b, c = _events(det, "a", "b", "c")
+    assert E.and_(a, b) is (a & b)
+    assert E.or_(a, b) is (a | b)
+    assert E.seq(a, b) is (a >> b)
+    assert isinstance(E.not_(a, b, c), NotNode)
+    assert E.not_(a, b, c) is det.graph.not_(a, b, c)
+    assert isinstance(E.A(a, b, c), AperiodicNode)
+    assert E.A(a, b, c) is det.graph.aperiodic(a, b, c)
+    assert isinstance(E.A_star(a, b, c), AperiodicStarNode)
+    assert isinstance(E.P(a, 5.0, c), PeriodicNode)
+    assert E.P(a, 5.0, c) is det.graph.periodic(a, 5.0, c)
+    assert isinstance(E.P_star(a, 5.0, c), PeriodicStarNode)
+    assert isinstance(E.plus(a, 2.0), PlusNode)
+    assert E.plus(a, 2.0) is det.graph.plus(a, 2.0)
+
+
+def test_e_namespace_resolves_string_operands(det):
+    a, b, c = _events(det, "a", "b", "c")
+    assert E.not_("a", b, "c") is E.not_(a, b, c)
+
+
+def test_e_namespace_needs_a_node_operand(det):
+    _events(det, "a", "b")
+    with pytest.raises(EventError):
+        E.and_("a", "b")
+
+
+def test_e_namespace_naming(det):
+    a, b = _events(det, "a", "b")
+    node = E.and_(a, b, "both")
+    assert det.event("both") is node
+
+
+# -- deprecation behavior -----------------------------------------------------------
+
+
+def test_deprecated_builders_warn(det):
+    a, b = _events(det, "a", "b")
+    for method, expected in (
+        (det.and_, AndNode),
+        (det.or_, OrNode),
+        (det.seq, SeqNode),
+    ):
+        with pytest.warns(DeprecationWarning, match="operator expression"):
+            node = method(a, b)
+        assert isinstance(node, expected)
+
+
+def test_deprecated_builder_warns_once_per_call_site(det):
+    a, b = _events(det, "a", "b")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(5):
+            det.and_(a, b)  # one call site, looped
+    assert len(caught) == 1
+    assert caught[0].category is DeprecationWarning
+
+
+def test_distinct_call_sites_each_warn(det):
+    a, b = _events(det, "a", "b")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        det.and_(a, b)
+        det.and_(a, b)
+    assert len(caught) == 2
+
+
+def test_global_detector_builders_warn():
+    from repro.globaldet import GlobalEventDetector
+
+    gd = GlobalEventDetector()
+    try:
+        a = gd.detector.explicit_event("a")
+        b = gd.detector.explicit_event("b")
+        with pytest.warns(DeprecationWarning):
+            node = gd.and_(a, b)
+        assert node is (a & b)
+    finally:
+        gd.shutdown()
+
+
+def test_operator_spelling_does_not_warn(det):
+    a, b = _events(det, "a", "b")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        a & b
+        a | b
+        a >> b
+        E.not_(a, b, a | b)
+
+
+def test_precedence_matches_documentation(det):
+    a, b, c = _events(det, "a", "b", "c")
+    # >> binds tighter than &, which binds tighter than |.
+    assert (a >> b & c) is ((a >> b) & c)
+    assert (a & b | c) is ((a & b) | c)

@@ -16,39 +16,39 @@ def g(det):
 
 class TestNaming:
     def test_define_binds_alias(self, g):
-        node = g.and_("a", "b")
+        node = (g.event('a') & g.event('b'))
         g.define("my_event", node)
         assert g.event("my_event") is node
 
     def test_multiple_names_one_node(self, g):
-        node = g.and_("a", "b", name="first")
+        node = g.define("first", (g.event('a') & g.event('b')))
         g.define("second", node)
         assert g.event("first") is g.event("second")
 
     def test_rebinding_name_rejected(self, g):
-        g.and_("a", "b", name="x")
+        g.define("x", (g.event('a') & g.event('b')))
         with pytest.raises(DuplicateEvent):
-            g.seq("a", "b", name="x")
+            g.define("x", (g.event('a') >> g.event('b')))
 
     def test_unknown_lookup_raises(self, g):
         with pytest.raises(UnknownEvent):
             g.event("nope")
 
     def test_names_listing(self, g):
-        g.and_("a", "b", name="pair")
+        g.define("pair", (g.event('a') & g.event('b')))
         assert {"a", "b", "c", "pair"} <= set(g.graph.names())
 
 
 class TestSharing:
     def test_same_children_same_operator_shared(self, g):
-        assert g.and_("a", "b") is g.and_("a", "b")
-        assert g.seq("a", "b") is g.seq("a", "b")
+        assert (g.event('a') & g.event('b')) is (g.event('a') & g.event('b'))
+        assert (g.event('a') >> g.event('b')) is (g.event('a') >> g.event('b'))
 
     def test_different_operator_not_shared(self, g):
-        assert g.and_("a", "b") is not g.seq("a", "b")
+        assert (g.event('a') & g.event('b')) is not (g.event('a') >> g.event('b'))
 
     def test_operand_order_matters(self, g):
-        assert g.seq("a", "b") is not g.seq("b", "a")
+        assert (g.event('a') >> g.event('b')) is not (g.event('b') >> g.event('a'))
 
     def test_periodic_period_part_of_key(self, g):
         p1 = g.periodic("a", 5.0, "b")
@@ -59,22 +59,22 @@ class TestSharing:
 
     def test_shared_hit_counter(self, g):
         before = g.graph.stats.shared_hits
-        g.and_("a", "b")
-        g.and_("a", "b")
-        g.and_("a", "b")
+        (g.event('a') & g.event('b'))
+        (g.event('a') & g.event('b'))
+        (g.event('a') & g.event('b'))
         assert g.graph.stats.shared_hits == before + 2
 
     def test_nested_sharing(self, g):
-        inner1 = g.and_("a", "b")
-        tree1 = g.seq(inner1, "c")
-        tree2 = g.seq(g.and_("a", "b"), "c")
+        inner1 = (g.event('a') & g.event('b'))
+        tree1 = (inner1 >> g.event('c'))
+        tree2 = ((g.event('a') & g.event('b')) >> g.event('c'))
         assert tree1 is tree2
 
 
 class TestSubtreeFlush:
     def test_flush_named_expression_only(self, g):
-        ab = g.and_("a", "b", name="ab")
-        ac = g.and_("a", "c", name="ac")
+        ab = g.define("ab", (g.event('a') & g.event('b')))
+        ac = g.define("ac", (g.event('a') & g.event('c')))
         fired_ab = collect(g, ab)
         fired_ac = collect(g, ac)
         g.raise_event("a")
@@ -86,17 +86,17 @@ class TestSubtreeFlush:
 
     def test_flush_shared_leaf_affects_subtree_walk_once(self, g):
         """Flushing an expression containing a shared node terminates."""
-        shared = g.and_("a", "b")
-        tree = g.seq(shared, g.or_(shared, "c"), name="diamond")
+        shared = (g.event('a') & g.event('b'))
+        tree = g.define("diamond", (shared >> (shared | g.event('c'))))
         collect(g, tree)
         g.flush("diamond")  # must not loop on the diamond shape
 
 
 class TestLabels:
     def test_expression_labels_read_like_snoop(self, g):
-        assert g.and_("a", "b").label == "(a ^ b)"
-        assert g.seq("a", "b").label == "(a ; b)"
-        assert g.or_("a", "b").label == "(a | b)"
+        assert (g.event('a') & g.event('b')).label == "(a ^ b)"
+        assert (g.event('a') >> g.event('b')).label == "(a ; b)"
+        assert (g.event('a') | g.event('b')).label == "(a | b)"
         assert g.not_("a", "b", "c").label == "NOT(b)[a, c]"
         assert g.aperiodic("a", "b", "c").label == "A(a, b, c)"
         assert g.aperiodic_star("a", "b", "c").label == "A*(a, b, c)"
@@ -104,7 +104,7 @@ class TestLabels:
         assert g.plus("a", 3).label == "(a + 3)"
 
     def test_named_node_uses_its_name(self, g):
-        node = g.and_("a", "b", name="pair")
+        node = g.define("pair", (g.event('a') & g.event('b')))
         assert node.label == "pair"
 
 

@@ -59,10 +59,7 @@ class TestRuleExecutionEvents:
         e.explicit_event("f")
         e.rule("first", "e", condition=lambda o: True, action=lambda o: None)
         e.rule("second", "f", condition=lambda o: True, action=lambda o: None)
-        seq = e.seq(
-            e.rule_execution_event("first_done", "first"),
-            e.rule_execution_event("second_done", "second"),
-        )
+        seq = (e.rule_execution_event("first_done", "first") >> e.rule_execution_event("second_done", "second"))
         hits = []
         e.rule("meta", seq, condition=lambda o: True, action=hits.append)
         e.raise_event("f")  # wrong order: second before first

@@ -35,7 +35,7 @@ class TestOrProperties:
     @given(ab_streams)
     def test_or_fires_once_per_occurrence(self, stream):
         fired = run_stream(
-            stream, lambda d: d.or_("a", "b"), context="recent"
+            stream, lambda d: (d.event('a') | d.event('b')), context="recent"
         )
         assert len(fired) == len(stream)
 
@@ -43,7 +43,7 @@ class TestOrProperties:
     @given(ab_streams)
     def test_or_preserves_order_and_payload(self, stream):
         fired = run_stream(
-            stream, lambda d: d.or_("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') | d.event('b')), context="chronicle"
         )
         assert [f.params[0].event_name for f in fired] == list(stream)
         assert [f.params.value("n") for f in fired] == list(range(len(stream)))
@@ -54,7 +54,7 @@ class TestAndChronicleProperties:
     @given(ab_streams)
     def test_detection_count_is_min_of_sides(self, stream):
         fired = run_stream(
-            stream, lambda d: d.and_("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') & d.event('b')), context="chronicle"
         )
         assert len(fired) == min(stream.count("a"), stream.count("b"))
 
@@ -62,7 +62,7 @@ class TestAndChronicleProperties:
     @given(ab_streams)
     def test_fifo_pairing_is_order_preserving(self, stream):
         fired = run_stream(
-            stream, lambda d: d.and_("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') & d.event('b')), context="chronicle"
         )
         a_positions = [i for i, ch in enumerate(stream) if ch == "a"]
         b_positions = [i for i, ch in enumerate(stream) if ch == "b"]
@@ -74,7 +74,7 @@ class TestAndChronicleProperties:
     @given(ab_streams)
     def test_each_occurrence_used_at_most_once(self, stream):
         fired = run_stream(
-            stream, lambda d: d.and_("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') & d.event('b')), context="chronicle"
         )
         used = [p.seq for occ in fired for p in occ.params]
         assert len(used) == len(set(used))
@@ -97,7 +97,7 @@ class TestSeqChronicleProperties:
     @given(ab_streams)
     def test_matches_bracket_model(self, stream):
         fired = run_stream(
-            stream, lambda d: d.seq("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') >> d.event('b')), context="chronicle"
         )
         expected = self.reference_pairs(stream)
         got = [
@@ -113,7 +113,7 @@ class TestSeqChronicleProperties:
         """In every detection the initiator strictly precedes the
         terminator."""
         fired = run_stream(
-            stream, lambda d: d.seq("a", "b"), context="chronicle"
+            stream, lambda d: (d.event('a') >> d.event('b')), context="chronicle"
         )
         for occ in fired:
             left, right = occ.constituents
@@ -128,7 +128,7 @@ class TestCumulativeProperties:
         the composites' constituents are disjoint and complete up to
         the last detection."""
         fired = run_stream(
-            stream, lambda d: d.and_("a", "b"), context="cumulative"
+            stream, lambda d: (d.event('a') & d.event('b')), context="cumulative"
         )
         seen = [p.seq for occ in fired for p in occ.params]
         assert len(seen) == len(set(seen))
@@ -144,7 +144,7 @@ class TestCumulativeProperties:
         """In recent context the 'a' inside any detection is the latest
         'a' so far."""
         fired = run_stream(
-            stream, lambda d: d.and_("a", "b"), context="recent"
+            stream, lambda d: (d.event('a') & d.event('b')), context="recent"
         )
         latest_by_prefix = {}
         last = -1
@@ -180,8 +180,7 @@ class TestDetectionInvariants:
     def test_composite_intervals_well_formed(self, stream, context):
         fired = run_stream(
             stream,
-            lambda d: d.and_(d.graph.get("a"),
-                             d.seq("b", "c")),
+            lambda d: (d.graph.get("a") & (d.event('b') >> d.event('c'))),
             context=context,
         )
         for occ in fired:
@@ -200,7 +199,7 @@ class TestDetectionInvariants:
 
         def signature():
             fired = run_stream(
-                stream, lambda d: d.and_("a", "b"), context=context
+                stream, lambda d: (d.event('a') & d.event('b')), context=context
             )
             return [
                 tuple((p.event_name, p["n"]) for p in occ.params)
@@ -218,8 +217,8 @@ class TestDetectionInvariants:
             det = LocalEventDetector(sharing=sharing)
             det.explicit_event("a")
             det.explicit_event("b")
-            fired1 = collect(det, det.and_("a", "b"))
-            fired2 = collect(det, det.and_("a", "b"))
+            fired1 = collect(det, (det.event('a') & det.event('b')))
+            fired2 = collect(det, (det.event('a') & det.event('b')))
             for i, ch in enumerate(stream):
                 det.raise_event(ch, n=i)
             det.shutdown()
@@ -242,7 +241,7 @@ class TestDetectionInvariants:
         det = LocalEventDetector()
         det.explicit_event("a")
         det.explicit_event("b")
-        fired = collect(det, det.and_("a", "b"), context="chronicle")
+        fired = collect(det, (det.event('a') & det.event('b')), context="chronicle")
         for i, ch in enumerate(stream[: len(stream) // 2]):
             det.raise_event(ch, n=i)
         det.flush()
@@ -255,7 +254,7 @@ class TestDetectionInvariants:
         det.shutdown()
 
         fresh = run_stream(
-            suffix, lambda d: d.and_("a", "b"), context="chronicle"
+            suffix, lambda d: (d.event('a') & d.event('b')), context="chronicle"
         )
         fresh_sig = [tuple(p["n"] for p in occ.params) for occ in fresh]
         assert after_flush == fresh_sig

@@ -120,7 +120,7 @@ class TestTriggerModes:
     def test_now_ignores_pre_subscription_constituents(self, e):
         """A NOW rule must not fire from occurrences that precede it."""
         e.explicit_event("f")
-        node = e.and_("e", "f")
+        node = (e.event('e') & e.event('f'))
         # First rule activates detection in the recent context.
         early = collect(e, node, context="recent")
         e.raise_event("e")  # stored in node state
@@ -132,7 +132,7 @@ class TestTriggerModes:
 
     def test_previous_accepts_older_constituents(self, e):
         e.explicit_event("f")
-        node = e.and_("e", "f")
+        node = (e.event('e') & e.event('f'))
         collect(e, node, context="recent")
         e.raise_event("e")
         late = collect(e, node, context="recent", trigger_mode="previous")

@@ -49,17 +49,17 @@ CANONICAL = [("e1", 1), ("e1", 2), ("e2", 1)]
 
 class TestCanonicalSequenceTable:
     def test_recent(self, evs):
-        fired = collect(evs, evs.seq("e1", "e2"), context="recent")
+        fired = collect(evs, (evs.event('e1') >> evs.event('e2')), context="recent")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 2), ("e2", 1))]
 
     def test_chronicle(self, evs):
-        fired = collect(evs, evs.seq("e1", "e2"), context="chronicle")
+        fired = collect(evs, (evs.event('e1') >> evs.event('e2')), context="chronicle")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 1), ("e2", 1))]
 
     def test_continuous(self, evs):
-        fired = collect(evs, evs.seq("e1", "e2"), context="continuous")
+        fired = collect(evs, (evs.event('e1') >> evs.event('e2')), context="continuous")
         play(evs, *CANONICAL)
         assert pairs(fired) == [
             (("e1", 1), ("e2", 1)),
@@ -67,7 +67,7 @@ class TestCanonicalSequenceTable:
         ]
 
     def test_cumulative(self, evs):
-        fired = collect(evs, evs.seq("e1", "e2"), context="cumulative")
+        fired = collect(evs, (evs.event('e1') >> evs.event('e2')), context="cumulative")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 1), ("e1", 2), ("e2", 1))]
 
@@ -77,17 +77,17 @@ class TestCanonicalAndTable:
     (here E2 terminates because it arrives last)."""
 
     def test_recent(self, evs):
-        fired = collect(evs, evs.and_("e1", "e2"), context="recent")
+        fired = collect(evs, (evs.event('e1') & evs.event('e2')), context="recent")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 2), ("e2", 1))]
 
     def test_chronicle(self, evs):
-        fired = collect(evs, evs.and_("e1", "e2"), context="chronicle")
+        fired = collect(evs, (evs.event('e1') & evs.event('e2')), context="chronicle")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 1), ("e2", 1))]
 
     def test_continuous(self, evs):
-        fired = collect(evs, evs.and_("e1", "e2"), context="continuous")
+        fired = collect(evs, (evs.event('e1') & evs.event('e2')), context="continuous")
         play(evs, *CANONICAL)
         assert pairs(fired) == [
             (("e1", 1), ("e2", 1)),
@@ -95,7 +95,7 @@ class TestCanonicalAndTable:
         ]
 
     def test_cumulative(self, evs):
-        fired = collect(evs, evs.and_("e1", "e2"), context="cumulative")
+        fired = collect(evs, (evs.event('e1') & evs.event('e2')), context="cumulative")
         play(evs, *CANONICAL)
         assert pairs(fired) == [(("e1", 1), ("e1", 2), ("e2", 1))]
 

@@ -56,7 +56,7 @@ class TestSnapshotCapture:
         wd = det.primitive_event("wd", "Account", "end", "withdraw",
                                  snapshot_state=True)
         fired = []
-        det.rule("r", det.seq(dep, wd), condition=lambda o: True, action=fired.append)
+        det.rule("r", (dep >> wd), condition=lambda o: True, action=fired.append)
         acct = Account("dave", 100.0)
         det.notify(acct, "Account", "deposit", "end")
         acct.balance = 70.0
@@ -72,7 +72,7 @@ class TestSnapshotCapture:
                                    snapshot_state=True)
         close = det.explicit_event("close")
         fired = []
-        det.rule("r", det.seq(node, close), condition=lambda o: True, action=fired.append,
+        det.rule("r", (node >> close), condition=lambda o: True, action=fired.append,
                  context="cumulative")
         acct = Account("erin", 10.0)
         det.notify(acct, "Account", "deposit", "end")

@@ -40,7 +40,7 @@ class TestTraceRecorder:
         det, recorder = traced
         det.explicit_event("a")
         det.explicit_event("b")
-        det.rule("r", det.and_("a", "b"), condition=lambda o: True, action=lambda o: None,
+        det.rule("r", (det.event('a') & det.event('b')), condition=lambda o: True, action=lambda o: None,
                  context="chronicle")
         det.raise_event("a")
         det.raise_event("b")
@@ -112,7 +112,7 @@ class TestRenderers:
         det.explicit_event("a")
         det.explicit_event("b")
         det.explicit_event("c")
-        expr = det.seq(det.and_("a", "b"), "c", name="watched")
+        expr = det.define("watched", ((det.event('a') & det.event('b')) >> det.event('c')))
         det.rule("r", expr, condition=lambda o: True, action=lambda o: None)
         text = render_event_graph(det.graph)
         assert "SEQ: watched" in text
@@ -123,9 +123,9 @@ class TestRenderers:
     def test_shared_nodes_marked(self, det):
         det.explicit_event("a")
         det.explicit_event("b")
-        shared = det.and_("a", "b")
+        shared = (det.event('a') & det.event('b'))
         det.rule("r1", shared, condition=lambda o: True, action=lambda o: None)
-        det.rule("r2", det.or_(shared, "a"), condition=lambda o: True, action=lambda o: None)
+        det.rule("r2", (shared | det.event('a')), condition=lambda o: True, action=lambda o: None)
         text = render_event_graph(det.graph)
         assert "(shared)" in text
 

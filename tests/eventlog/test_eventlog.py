@@ -19,7 +19,7 @@ def build_app(det):
     det.primitive_event("deposit", "Account", "end", "deposit")
     det.primitive_event("withdraw", "Account", "end", "withdraw")
     fired = []
-    det.rule("both", det.and_("deposit", "withdraw"),
+    det.rule("both", (det.event('deposit') & det.event('withdraw')),
              condition=lambda o: True, action=fired.append)
     return fired
 
@@ -114,7 +114,7 @@ class TestReplay:
         det.primitive_event("withdraw", "Account", "end", "withdraw")
         fired = []
         det.rule("cumulative_view",
-                 det.and_("deposit", "withdraw"),
+                 (det.event('deposit') & det.event('withdraw')),
                  condition=lambda o: True, action=fired.append, context="cumulative")
         replay(EventLog(path), det, mode="execute")
         assert len(fired) == 1

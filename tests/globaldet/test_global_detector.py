@@ -57,7 +57,8 @@ class TestGlobalComposites:
         assert g1 == "app1.order_placed"
         detected = []
         ged.detector.rule(
-            "watch", ged.and_(g1, g2), condition=lambda o: True, action=detected.append
+            "watch", (ged.event(g1) & ged.event(g2)), condition=lambda o: True,
+            action=detected.append
         )
         s1.raise_event("order_placed", sku="X1")
         s2.raise_event("stock_updated", sku="X1")
@@ -72,7 +73,7 @@ class TestGlobalComposites:
         g1 = app1.export_event("a")
         g2 = app2.export_event("b")
         detected = []
-        ged.detector.rule("w", ged.seq(g1, g2), condition=lambda o: True,
+        ged.detector.rule("w", (ged.event(g1) >> ged.event(g2)), condition=lambda o: True,
                           action=detected.append)
         # Raise in the wrong order: no detection.
         s2.raise_event("b")
@@ -102,7 +103,7 @@ class TestDelivery:
         s2.explicit_event("e2")
         g1 = app1.export_event("e1")
         g2 = app2.export_event("e2")
-        both = ged.and_(g1, g2, name="both")
+        both = ged.define("both", (ged.event(g1) & ged.event(g2)))
         app2.subscribe_global(both, "global_alert")
         ran = []
         s2.rule("react", "global_alert", condition=lambda o: True, action=ran.append)

@@ -23,7 +23,8 @@ def trio():
 class TestThreeApplications:
     def test_three_way_conjunction(self, trio):
         ged, systems, __, globals_ = trio
-        expr = ged.and_(ged.and_(globals_[0], globals_[1]), globals_[2])
+        g = [ged.event(name) for name in globals_]
+        expr = ((g[0] & g[1]) & g[2])
         hits = []
         ged.detector.rule("all3", expr, condition=lambda o: True, action=hits.append)
         for s in systems:
@@ -68,7 +69,7 @@ class TestThreeApplications:
 class TestGlobalContexts:
     def test_cumulative_global_rule(self, trio):
         ged, systems, __, globals_ = trio
-        expr = ged.and_(globals_[0], globals_[1])
+        expr = (ged.event(globals_[0]) & ged.event(globals_[1]))
         hits = []
         ged.detector.rule("cum", expr, condition=lambda o: True, action=hits.append,
                           context="cumulative")
@@ -112,7 +113,7 @@ class TestRobustness:
 
     def test_flatten_name_collision_last_wins(self, trio):
         ged, systems, endpoints, globals_ = trio
-        expr = ged.seq(globals_[0], globals_[1])
+        expr = (ged.event(globals_[0]) >> ged.event(globals_[1]))
         endpoints[2].subscribe_global(expr, "merged")
         got = []
         systems[2].rule("r", "merged", condition=lambda o: True, action=got.append)

@@ -64,7 +64,9 @@ def test_capstone_two_applications(tmp_path):
     house_ep = ged.register(house_sys)
     g_trade = desk_ep.export_event("Desk_trade_booked")
     g_margin = house_ep.export_event("House_margin_posted")
-    cleared = ged.and_(g_trade, g_margin, name="cleared")
+    cleared = ged.define(
+            "cleared", (ged.event(g_trade) & ged.event(g_margin))
+        )
     # Correlate on the symbol: in chronicle context with a same_param
     # condition, margin for ACME settles the ACME trade, not whichever
     # trade happened to arrive last.

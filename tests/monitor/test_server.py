@@ -35,8 +35,7 @@ def system():
                 condition=lambda occ: occ.params.value("price") > 100,
                 action=lambda occ: fired.append("spike"))
     system.rule("PanicSale",
-                system.detector.seq(events["price_set"], events["sold"],
-                                    name="drop_then_sell"),
+                system.detector.define("drop_then_sell", (events["price_set"] >> events["sold"])),
                 condition=lambda occ: True,
                 action=lambda occ: fired.append("panic"),
                 context="chronicle")
@@ -186,7 +185,7 @@ class TestGraphEndpoint:
         system = Sentinel(name="depth")
         system.explicit_event("a")
         system.explicit_event("b")
-        node = system.detector.and_("a", "b", name="ab")
+        node = system.detector.define("ab", (system.detector.event('a') & system.detector.event('b')))
         system.rule("pair", node, condition=lambda o: True,
                     action=lambda o: None)
         system.raise_event("a")  # left side queued, waiting for b

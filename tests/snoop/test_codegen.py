@@ -98,6 +98,5 @@ def test_operator_coverage_in_codegen():
     source = generate(
         "event x = not(b)[a, c] | A*(a, b, c) ; P(a, 5, c) ^ plus(a, 2)"
     )
-    for fragment in ("detector.not_", "detector.aperiodic_star",
-                     "detector.periodic", "detector.plus"):
+    for fragment in ("E.not_", "E.A_star", "E.P(", "E.plus"):
         assert fragment in source

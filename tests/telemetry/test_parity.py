@@ -36,7 +36,7 @@ def stats_value(system, owner, fieldname):
 def run_workload(system):
     system.explicit_event("e")
     system.explicit_event("f")
-    seq = system.detector.seq("e", "f", name="ef")
+    seq = system.detector.define("ef", (system.detector.event('e') >> system.detector.event('f')))
     system.rule("pass", "e",
                 condition=lambda o: o.params.value("n", 0) > 0,
                 action=lambda o: None)

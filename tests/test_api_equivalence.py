@@ -62,7 +62,7 @@ def build_via_decorators(detector, fired):
             return amount
 
     Till.register_events(detector, prefix="Till")
-    churn = detector.seq("Till_sale", "Till_refund", name="Till_churn")
+    churn = detector.define("Till_churn", (detector.event('Till_sale') >> detector.event('Till_refund')))
     detector.rule(
         "Flag", churn,
         condition=lambda occ: occ.params.value("amount", "Till_sale") >= 100,

@@ -1,0 +1,93 @@
+"""The builder -> operator-algebra migration tool."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+from migrate_event_algebra import migrate  # noqa: E402
+
+
+@pytest.mark.parametrize("before,after", [
+    ("x = det.and_(a, b)", "x = (a & b)"),
+    ("x = det.or_(a, b)", "x = (a | b)"),
+    ("x = det.seq(a, b)", "x = (a >> b)"),
+])
+def test_binary_builders_become_operators(before, after):
+    assert migrate(before) == after
+
+
+def test_string_operands_resolve_through_receiver():
+    assert migrate("x = det.and_('a', b)") == "x = (det.event('a') & b)"
+    assert (migrate("x = system.detector.seq(a, 'b')")
+            == "x = (a >> system.detector.event('b'))")
+
+
+def test_name_argument_becomes_define():
+    assert (migrate("x = det.and_(a, b, 'both')")
+            == "x = det.define('both', (a & b))")
+    assert (migrate("x = det.seq(a, b, name='ab')")
+            == "x = det.define('ab', (a >> b))")
+
+
+def test_nested_builders_rewrite_recursively():
+    assert (migrate("x = det.or_(det.and_(a, b), det.seq(c, 'd'))")
+            == "x = ((a & b) | (c >> det.event('d')))")
+
+
+def test_graph_factories_are_left_alone():
+    for src in (
+        "x = det.graph.and_(a, b)",
+        "x = self._graph.seq(a, b)",
+        "x = E.and_(a, b)",
+    ):
+        assert migrate(src) == src
+
+
+def test_unrelated_calls_and_unknown_signatures_untouched():
+    for src in (
+        "x = det.rule('r', e, action=f)",
+        "x = det.and_(a)",              # wrong arity: leave for a human
+        "x = det.and_(*pair)",
+        "x = operator.and_(a, b, c, d)",
+    ):
+        assert migrate(src) == src
+
+
+def test_multiline_call_collapses():
+    src = "x = det.and_(\n    a,\n    b,\n)\n"
+    assert migrate(src) == "x = (a & b)\n"
+
+
+def test_idempotent():
+    src = "x = (a & b)\ny = det.define('n', (a >> b))\n"
+    assert migrate(src) == src
+
+
+def test_check_mode_exits_nonzero_on_pending_rewrites(tmp_path):
+    target = tmp_path / "sample.py"
+    target.write_text("x = det.and_(a, b)\n")
+    tool = ROOT / "tools" / "migrate_event_algebra.py"
+    check = subprocess.run(
+        [sys.executable, str(tool), "--check", str(target)],
+        capture_output=True, text=True,
+    )
+    assert check.returncode == 1
+    assert "would rewrite" in check.stdout
+    assert target.read_text() == "x = det.and_(a, b)\n"  # check = dry run
+
+    rewrite = subprocess.run(
+        [sys.executable, str(tool), str(target)],
+        capture_output=True, text=True,
+    )
+    assert rewrite.returncode == 0
+    assert target.read_text() == "x = (a & b)\n"
+    clean = subprocess.run(
+        [sys.executable, str(tool), "--check", str(target)],
+        capture_output=True, text=True,
+    )
+    assert clean.returncode == 0

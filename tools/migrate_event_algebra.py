@@ -1,0 +1,153 @@
+"""One-shot migration of binary event builders to operator expressions.
+
+Rewrites the deprecated binary builder calls::
+
+    det.and_(a, b)               ->  (a & b)
+    det.or_(a, "b")              ->  (a | det.event('b'))
+    det.seq(a, b, "name")        ->  det.define('name', (a >> b))
+    det.seq(a, b, name="name")   ->  det.define('name', (a >> b))
+
+Receivers spelled ``...graph`` are left alone (the graph factories are
+the non-deprecated internal API), as is the ``E`` namespace. Nested
+builder calls are rewritten recursively; calls an outer rewrite missed
+(e.g. buried inside an untouched operand) are caught by the fixpoint
+loop in :func:`migrate`. Idempotent: a file with no builder calls is
+returned unchanged.
+
+Usage::
+
+    python tools/migrate_event_algebra.py [--check] FILES...
+
+``--check`` prints the files that would change and exits non-zero if
+any would.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: builder method -> operator spelling
+BINARY_BUILDERS = {"and_": "&", "or_": "|", "seq": ">>"}
+
+#: operand node types safe to embed next to an infix operator unwrapped
+_ATOMIC = (ast.Name, ast.Attribute, ast.Call, ast.Subscript)
+
+
+def _segment(source: str, node: ast.AST) -> str | None:
+    return ast.get_source_segment(source, node)
+
+
+def _convert_call(source: str, node: ast.Call) -> str | None:
+    """The operator-expression rewrite of a builder call, or None."""
+    func = node.func
+    if not (isinstance(func, ast.Attribute)
+            and func.attr in BINARY_BUILDERS):
+        return None
+    receiver = _segment(source, func.value)
+    if receiver is None or receiver == "E" or receiver.endswith("graph"):
+        return None
+    if any(isinstance(a, ast.Starred) for a in node.args):
+        return None
+    name_node = None
+    if len(node.args) == 3:
+        name_node = node.args[2]
+    elif len(node.args) != 2:
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "name" and name_node is None:
+            name_node = keyword.value
+        else:
+            return None
+    left = _operand(source, node.args[0], receiver)
+    right = _operand(source, node.args[1], receiver)
+    if left is None or right is None:
+        return None
+    expression = f"({left} {BINARY_BUILDERS[func.attr]} {right})"
+    if name_node is not None:
+        name_text = _segment(source, name_node)
+        if name_text is None:
+            return None
+        return f"{receiver}.define({name_text}, {expression})"
+    return expression
+
+
+def _operand(source: str, node: ast.AST, receiver: str) -> str | None:
+    if isinstance(node, ast.Call):
+        nested = _convert_call(source, node)
+        if nested is not None:
+            return nested
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return f"{receiver}.event({node.value!r})"
+    text = _segment(source, node)
+    if text is None:
+        return None
+    if not isinstance(node, _ATOMIC):
+        text = f"({text})"
+    return text
+
+
+class _Collector(ast.NodeVisitor):
+    """Collects (start, end, replacement) edits; outermost call wins."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.offsets = _line_offsets(source)
+        self.edits: list[tuple[int, int, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        replacement = _convert_call(self.source, node)
+        if replacement is not None:
+            start = self.offsets[node.lineno - 1] + node.col_offset
+            end = self.offsets[node.end_lineno - 1] + node.end_col_offset
+            self.edits.append((start, end, replacement))
+            return  # operands were handled recursively
+        self.generic_visit(node)
+
+
+def _line_offsets(source: str) -> list[int]:
+    offsets, total = [], 0
+    for line in source.splitlines(keepends=True):
+        offsets.append(total)
+        total += len(line)
+    return offsets
+
+
+def migrate_once(source: str) -> str:
+    collector = _Collector(source)
+    collector.visit(ast.parse(source))
+    for start, end, replacement in sorted(collector.edits, reverse=True):
+        source = source[:start] + replacement + source[end:]
+    return source
+
+
+def migrate(source: str, max_passes: int = 10) -> str:
+    """Rewrite to a fixpoint (nested calls may need a second pass)."""
+    for __ in range(max_passes):
+        rewritten = migrate_once(source)
+        if rewritten == source:
+            return source
+        source = rewritten
+    return source
+
+
+def main(argv: list[str]) -> int:
+    check = "--check" in argv
+    paths = [Path(a) for a in argv if not a.startswith("--")]
+    changed = 0
+    for path in paths:
+        source = path.read_text()
+        migrated = migrate(source)
+        if migrated != source:
+            changed += 1
+            if check:
+                print(f"would rewrite {path}")
+            else:
+                path.write_text(migrated)
+                print(f"rewrote {path}")
+    return 1 if (check and changed) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
