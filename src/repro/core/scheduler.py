@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.core.params import Occurrence
 from repro.core.rules import Rule
 from repro.errors import RuleExecutionError
+from repro.faults import registry as faults
+from repro.faults.retry import DETERMINISTIC_POLICY, call_with_retry
 from repro.telemetry.events import ConditionEvaluated, RuleExecution
 from repro.telemetry.hub import TelemetrySpan
 from repro.transactions.nested import NestedTransaction, NestedTransactionManager
@@ -39,6 +41,8 @@ if TYPE_CHECKING:
 #: pseudo-class under which rule executions signal primitive events
 #: (method name = rule name), enabling rules over rule executions.
 RULE_CLASS = "$RULE"
+
+faults.declare("detached.submit.pre", "detached.run.pre", group="scheduler")
 
 
 @dataclass
@@ -392,6 +396,8 @@ class DetachedRuleQueue:
 
     def submit(self, activation: RuleActivation) -> None:
         """Enqueue one activation, applying the overflow policy."""
+        if faults.ENABLED:
+            faults.fault_point("detached.submit.pre")
         spill_out: list[RuleActivation] = []
         with self._lock:
             if self._closed:
@@ -447,7 +453,22 @@ class DetachedRuleQueue:
                 self._active += 1
                 self._not_full.notify()
             try:
-                self._runner(activation)
+                # Transient injected faults at the run site are retried
+                # so one flaky delivery does not burn an activation; an
+                # InjectedCrash is a BaseException and sails through the
+                # Exception handler below, killing the worker like a
+                # real crash would.
+                if faults.ENABLED:
+                    def run_once() -> None:
+                        faults.fault_point("detached.run.pre")
+                        self._runner(activation)
+
+                    call_with_retry(
+                        run_once,
+                        site="detached.run", policy=DETERMINISTIC_POLICY,
+                    )
+                else:
+                    self._runner(activation)
             except Exception as exc:
                 self.errors.append((activation.rule.name, exc))
                 self.stats.errors += 1

@@ -1,0 +1,64 @@
+"""Deterministic fault injection and crash-recovery torture tooling.
+
+Three pieces:
+
+* :mod:`repro.faults.registry` — named fault points wired through the
+  storage stack, the nested-transaction commit/abort path, the
+  detached-rule queue and globaldet channels, with deterministic
+  trigger policies (nth-hit, every-kth, probability-with-seed);
+* :mod:`repro.faults.retry` — bounded exponential-backoff retry used
+  where transient injected faults must degrade gracefully;
+* :mod:`repro.faults.harness` — the canonical workload, shadow-state
+  oracle and crash-point sweep driven by ``tools/crash_sweep.py`` and
+  ``tests/faults/``.
+
+Instrumented call sites gate on ``registry.ENABLED`` (a module flag,
+same pattern as the telemetry zero-processor guard), so the whole
+subsystem is a near-noop unless a test or operator arms a point.
+"""
+
+from repro.faults.registry import (
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    arm,
+    armed,
+    declare,
+    disarm,
+    fault_point,
+    hit_counts,
+    injected_counts,
+    registered,
+    reset,
+    rules,
+)
+from repro.faults.retry import (
+    DEFAULT_POLICY,
+    DETERMINISTIC_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    reset_counters,
+    retry_counters,
+)
+
+__all__ = [
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "arm",
+    "armed",
+    "declare",
+    "disarm",
+    "fault_point",
+    "hit_counts",
+    "injected_counts",
+    "registered",
+    "reset",
+    "rules",
+    "DEFAULT_POLICY",
+    "DETERMINISTIC_POLICY",
+    "RetryPolicy",
+    "call_with_retry",
+    "reset_counters",
+    "retry_counters",
+]

@@ -1,0 +1,284 @@
+"""Crash-point sweep harness: one workload, every fault point, one oracle.
+
+For each registered storage fault point the sweep runs a canonical
+multi-transaction workload against a fresh :class:`StorageManager`,
+crashes at the armed point (an :class:`InjectedCrash` at its first
+hit), abandons the manager exactly as ``kill -9`` would, reopens the
+directory so recovery runs — re-crashing if the point lives inside
+recovery itself — and then checks the invariant oracle:
+
+* **atomicity** — the visible state equals the shadow oracle's acked
+  state, or acked state plus the one commit that was in flight at the
+  crash (either outcome is correct; a torn transaction is not);
+* **page-LSN sanity** — no page claims an LSN the durable log has
+  never issued;
+* **recovery idempotence** — closing cleanly and recovering again is a
+  no-op: zero records undone, zero losers, identical state.
+
+The workload is deliberately shaped to reach every storage point:
+inserts, updates and deletes across several transactions; an explicit
+abort (undo CLRs); a checkpoint (page flush + redo cut); enough padded
+inserts to force buffer evictions through a 4-frame pool; and a loser
+transaction whose mutations are WAL-durable but uncommitted, so every
+reopen exercises analysis, redo and undo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SentinelError
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedCrash
+from repro.storage.manager import StorageManager
+
+#: pool small enough that the padded inserts force evictions
+POOL_SIZE = 4
+_PAD = "x" * 700
+
+
+class SweepViolation(SentinelError):
+    """An invariant the crash sweep found broken after recovery."""
+
+
+@dataclass
+class SweepResult:
+    """Outcome of sweeping one fault point."""
+
+    point: str
+    #: the armed point actually injected its crash
+    fired: bool
+    #: where the crash landed: "workload", "reopen" (i.e. during
+    #: recovery), or "none" if the workload never hit the point
+    crash_phase: str
+    #: committed state visible after recovery
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+class ShadowOracle:
+    """In-memory mirror of what the database *must* show after a crash.
+
+    Mutations are staged per transaction and applied to ``expected``
+    only when the commit is acknowledged. While a commit is in flight
+    (``begin_commit`` called, ack not yet recorded) the crash may land
+    on either side of the durability point, so :meth:`candidates`
+    returns both legal states; anything else is a torn transaction.
+    """
+
+    def __init__(self) -> None:
+        self.expected: dict[str, Any] = {}
+        self._staged: dict[int, list[tuple[str, str, Any]]] = {}
+        self.inflight: Optional[int] = None
+
+    def begin(self, txn_id: int) -> None:
+        self._staged[txn_id] = []
+
+    def stage(self, txn_id: int, op: str, key: str,
+              value: Any = None) -> None:
+        self._staged[txn_id].append((op, key, value))
+
+    def begin_commit(self, txn_id: int) -> None:
+        self.inflight = txn_id
+
+    def ack_commit(self, txn_id: int) -> None:
+        for op, key, value in self._staged.pop(txn_id, []):
+            if op == "delete":
+                self.expected.pop(key, None)
+            else:
+                self.expected[key] = value
+        self.inflight = None
+
+    def drop(self, txn_id: int) -> None:
+        """The transaction aborted; its staged work never applies."""
+        self._staged.pop(txn_id, None)
+
+    def candidates(self) -> list[dict[str, Any]]:
+        """Every state recovery is allowed to leave behind."""
+        states = [dict(self.expected)]
+        if self.inflight is not None and self.inflight in self._staged:
+            alt = dict(self.expected)
+            for op, key, value in self._staged[self.inflight]:
+                if op == "delete":
+                    alt.pop(key, None)
+                else:
+                    alt[key] = value
+            states.append(alt)
+        return states
+
+
+def canonical_workload(manager: StorageManager,
+                       oracle: ShadowOracle) -> None:
+    """The fixed multi-transaction script every sweep point replays.
+
+    Oracle staging always happens *after* the storage call returns, so
+    a crash inside the call leaves the oracle reflecting only what was
+    acknowledged — exactly the caller's view at a real crash.
+    """
+    rids: dict[str, Any] = {}
+
+    def record(key: str, value: Any, pad: str = "") -> dict[str, Any]:
+        return {"k": key, "v": value, "pad": pad}
+
+    t1 = manager.begin()
+    oracle.begin(t1.txn_id)
+    for i in range(3):
+        rids[f"a{i}"] = manager.insert(t1, record(f"a{i}", i))
+        oracle.stage(t1.txn_id, "insert", f"a{i}", i)
+    oracle.begin_commit(t1.txn_id)
+    manager.commit(t1)
+    oracle.ack_commit(t1.txn_id)
+
+    t2 = manager.begin()
+    oracle.begin(t2.txn_id)
+    manager.update(t2, rids["a1"], record("a1", 10))
+    oracle.stage(t2.txn_id, "update", "a1", 10)
+    manager.delete(t2, rids["a2"])
+    oracle.stage(t2.txn_id, "delete", "a2")
+    rids["b0"] = manager.insert(t2, record("b0", 5))
+    oracle.stage(t2.txn_id, "insert", "b0", 5)
+    oracle.begin_commit(t2.txn_id)
+    manager.commit(t2)
+    oracle.ack_commit(t2.txn_id)
+
+    # An aborted transaction: exercises the undo path and its CLRs.
+    t3 = manager.begin()
+    oracle.begin(t3.txn_id)
+    manager.update(t3, rids["a0"], record("a0", 99))
+    manager.insert(t3, record("c0", 1))
+    manager.abort(t3)
+    oracle.drop(t3.txn_id)
+
+    manager.checkpoint()
+
+    # Padded inserts overflow the 4-frame pool: ~5 records fit a 4 KiB
+    # page, so 32 of them spread over 6+ pages and force evictions.
+    t4 = manager.begin()
+    oracle.begin(t4.txn_id)
+    for i in range(32):
+        rids[f"d{i}"] = manager.insert(t4, record(f"d{i}", i, pad=_PAD))
+        oracle.stage(t4.txn_id, "insert", f"d{i}", i)
+    oracle.begin_commit(t4.txn_id)
+    manager.commit(t4)
+    oracle.ack_commit(t4.txn_id)
+
+    # The loser: WAL-durable mutations, never committed. Guarantees
+    # every reopen has analysis, redo and undo work to do.
+    t5 = manager.begin()
+    oracle.begin(t5.txn_id)
+    manager.update(t5, rids["a0"], record("a0", 777))
+    manager.insert(t5, record("e0", 0))
+    manager.wal.flush()
+
+
+def abandon(manager: StorageManager) -> None:
+    """Drop the manager the way ``kill -9`` would: nothing flushed."""
+    manager.simulate_crash()
+
+
+def snapshot_state(manager: StorageManager) -> dict[str, Any]:
+    """The committed key->value view a fresh reader sees."""
+    txn = manager.begin()
+    state: dict[str, Any] = {}
+    try:
+        for _rid, value in manager.scan(txn):
+            state[value["k"]] = value["v"]
+    finally:
+        manager.abort(txn)
+    return state
+
+
+def verify_invariants(directory, oracle: ShadowOracle,
+                      durability: str = "fsync") -> dict[str, Any]:
+    """Reopen ``directory`` and check the post-recovery invariants.
+
+    Returns the recovered state. Raises :class:`SweepViolation` on any
+    broken invariant. Injection must already be disarmed.
+    """
+    manager = StorageManager(directory, pool_size=POOL_SIZE,
+                             durability=durability)
+    try:
+        state = snapshot_state(manager)
+        legal = oracle.candidates()
+        if state not in legal:
+            raise SweepViolation(
+                f"recovered state {state!r} matches none of the legal "
+                f"outcomes {legal!r}"
+            )
+        next_lsn = manager.wal.next_lsn
+        for page_id in manager._heap.pages:  # noqa: SLF001 - oracle access
+            lsn = manager._heap.page_lsn(page_id)  # noqa: SLF001
+            if lsn >= next_lsn:
+                raise SweepViolation(
+                    f"page {page_id} carries lsn {lsn} but the durable "
+                    f"log only reaches {next_lsn - 1}"
+                )
+    finally:
+        manager.close()
+
+    # Recovery idempotence: a clean close leaves nothing to redo or
+    # undo, and running recovery again must not change the state.
+    again = StorageManager(directory, pool_size=POOL_SIZE,
+                           durability=durability)
+    try:
+        report = again.last_recovery
+        if report.undone != 0 or report.losers:
+            raise SweepViolation(
+                f"recovery is not idempotent: second pass undid "
+                f"{report.undone} records, losers={report.losers}"
+            )
+        second = snapshot_state(again)
+        if second != state:
+            raise SweepViolation(
+                f"second recovery changed the state: {state!r} -> "
+                f"{second!r}"
+            )
+    finally:
+        again.close()
+    return state
+
+
+def sweep_point(point: str, directory,
+                durability: str = "fsync") -> SweepResult:
+    """Crash at ``point``, recover, verify. ``directory`` must be fresh."""
+    faults.reset()
+    faults.arm(point, action="crash", nth=1)
+    oracle = ShadowOracle()
+    crash_phase = "none"
+    try:
+        try:
+            manager = StorageManager(directory, pool_size=POOL_SIZE,
+                                     durability=durability)
+        except InjectedCrash:
+            manager = None
+            crash_phase = "open"
+        if manager is not None:
+            try:
+                canonical_workload(manager, oracle)
+            except InjectedCrash:
+                crash_phase = "workload"
+            abandon(manager)
+
+        # Reopen until recovery gets through — a point inside recovery
+        # crashes the first reopen (sometimes several, with richer
+        # policies than nth=1), which is exactly the crash-during-
+        # recovery case the CLR chain exists for.
+        for _ in range(8):
+            try:
+                reopened = StorageManager(directory, pool_size=POOL_SIZE,
+                                          durability=durability)
+                break
+            except InjectedCrash:
+                crash_phase = "reopen"
+        else:
+            raise SweepViolation(
+                f"recovery never completed while {point!r} was armed"
+            )
+        fired = faults.injected_counts().get(point, 0) > 0
+        abandon(reopened)
+    finally:
+        faults.reset()
+
+    state = verify_invariants(directory, oracle, durability=durability)
+    return SweepResult(point=point, fired=fired, crash_phase=crash_phase,
+                       state=state)

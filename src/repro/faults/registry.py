@@ -1,0 +1,244 @@
+"""Process-wide deterministic fault-point registry.
+
+Instrumented code declares named *fault points* (``wal.fsync.pre``,
+``recovery.undo.clr``, ...) at import time and hits them at runtime.
+Tests and the crash-sweep harness *arm* a point with a trigger policy —
+nth-hit, every-kth, probability-with-seed — and an action:
+
+* ``"fault"`` — raise :class:`InjectedFault`, a transient, retryable
+  error (the kind :mod:`repro.faults.retry` absorbs);
+* ``"crash"`` — raise :class:`InjectedCrash`, simulating process death
+  (a ``BaseException`` so generic error handling cannot swallow it);
+* any callable — invoked with the point name (e.g. to truncate a file
+  before raising, simulating power loss of un-fsynced writes).
+
+Zero overhead when disabled: instrumented call sites are gated on the
+module-level :data:`ENABLED` flag (the same pattern as the telemetry
+hub's ``active`` gate), so the disabled hot path costs one module
+attribute read and a branch. ``ENABLED`` flips to true only while at
+least one rule is armed.
+
+All trigger policies are deterministic: hit counters are per armed
+rule, and ``probability`` draws from a private ``random.Random(seed)``,
+so a seeded run injects at exactly the same hits every time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Union
+
+from repro.errors import SentinelError
+
+#: Module-level gate read by instrumented call sites
+#: (``if registry.ENABLED: registry.fault_point(...)``). True iff at
+#: least one rule is armed.
+ENABLED = False
+
+
+class InjectedFault(SentinelError):
+    """A transient, retryable failure raised at an armed fault point."""
+
+    def __init__(self, point: str):
+        super().__init__(f"injected fault at {point!r}")
+        self.point = point
+
+
+class InjectedCrash(BaseException):
+    """Simulated process death at a fault point.
+
+    Deliberately *not* an :class:`Exception`: ``except Exception``
+    error handling (rule schedulers, queue drain loops, telemetry
+    dispatch) must not swallow a simulated crash — it has to unwind
+    the whole stack exactly like ``kill -9`` would take the process.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultRule:
+    """One armed trigger policy + action at one point.
+
+    Exactly one of ``nth`` (fire on that hit only), ``every`` (fire on
+    every kth hit) or ``probability`` (seeded coin flip per hit) may be
+    set; with none set the rule fires on every hit. ``times`` bounds
+    the total number of injections (``None`` = unbounded).
+    """
+
+    point: str
+    action: Union[str, Callable[[str], None]] = "fault"
+    nth: Optional[int] = None
+    every: Optional[int] = None
+    probability: Optional[float] = None
+    seed: int = 0
+    times: Optional[int] = None
+    exc: Optional[Callable[[str], BaseException]] = None
+    hits: int = 0
+    fired: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        chosen = [p for p in (self.nth, self.every, self.probability)
+                  if p is not None]
+        if len(chosen) > 1:
+            raise ValueError(
+                "arm one trigger policy: nth, every or probability"
+            )
+        if self.nth is not None and self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if isinstance(self.action, str) and self.action not in (
+            "fault", "crash"
+        ):
+            raise ValueError(
+                f"action must be 'fault', 'crash' or a callable, "
+                f"got {self.action!r}"
+            )
+        self._rng = random.Random(self.seed)
+
+    def decide(self) -> bool:
+        """Count a hit; True iff the rule fires on it."""
+        self.hits += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.nth is not None:
+            fire = self.hits == self.nth
+        elif self.every is not None:
+            fire = self.hits % self.every == 0
+        elif self.probability is not None:
+            fire = self._rng.random() < self.probability
+        else:
+            fire = True
+        if fire:
+            self.fired += 1
+        return fire
+
+
+_lock = threading.RLock()
+_declared: dict[str, str] = {}  # point name -> group
+_rules: dict[str, FaultRule] = {}
+_hits: dict[str, int] = {}  # hits observed while injection was enabled
+_injected: dict[str, int] = {}  # injections raised, per point
+
+
+def declare(*names: str, group: str = "general") -> None:
+    """Register fault-point site names (idempotent, import-time)."""
+    with _lock:
+        for name in names:
+            _declared.setdefault(name, group)
+
+
+def registered(group: Optional[str] = None) -> list[str]:
+    """All declared point names, optionally filtered by group."""
+    with _lock:
+        if group is None:
+            return sorted(_declared)
+        return sorted(n for n, g in _declared.items() if g == group)
+
+
+def _refresh_gate() -> None:
+    global ENABLED
+    ENABLED = bool(_rules)
+
+
+def arm(
+    point: str,
+    *,
+    action: Union[str, Callable[[str], None]] = "fault",
+    nth: Optional[int] = None,
+    every: Optional[int] = None,
+    probability: Optional[float] = None,
+    seed: int = 0,
+    times: Optional[int] = None,
+    exc: Optional[Callable[[str], BaseException]] = None,
+) -> FaultRule:
+    """Arm ``point`` with a trigger policy; enables the global gate."""
+    rule = FaultRule(
+        point=point, action=action, nth=nth, every=every,
+        probability=probability, seed=seed, times=times, exc=exc,
+    )
+    with _lock:
+        _declared.setdefault(point, "general")
+        _rules[point] = rule
+        _refresh_gate()
+    return rule
+
+
+def disarm(point: Optional[str] = None) -> None:
+    """Remove one armed rule (or all of them); may disable the gate."""
+    with _lock:
+        if point is None:
+            _rules.clear()
+        else:
+            _rules.pop(point, None)
+        _refresh_gate()
+
+
+def reset() -> None:
+    """Disarm everything and zero all counters (test/harness hygiene)."""
+    with _lock:
+        _rules.clear()
+        _hits.clear()
+        _injected.clear()
+        _refresh_gate()
+
+
+def rules() -> dict[str, FaultRule]:
+    with _lock:
+        return dict(_rules)
+
+
+def hit_counts() -> dict[str, int]:
+    """Hits per point observed while the gate was enabled."""
+    with _lock:
+        return dict(_hits)
+
+
+def injected_counts() -> dict[str, int]:
+    """Injections (faults, crashes, callables) raised per point."""
+    with _lock:
+        return dict(_injected)
+
+
+def fault_point(name: str) -> None:
+    """An instrumented site: count the hit, apply any armed rule.
+
+    Near-noop when nothing is armed; call sites additionally gate on
+    :data:`ENABLED` so the disabled path never pays the function call.
+    """
+    if not ENABLED:
+        return
+    with _lock:
+        _hits[name] = _hits.get(name, 0) + 1
+        rule = _rules.get(name)
+        if rule is None or not rule.decide():
+            return
+        _injected[name] = _injected.get(name, 0) + 1
+        action = rule.action
+        exc_factory = rule.exc
+    if action == "crash":
+        raise InjectedCrash(name)
+    if action == "fault":
+        raise exc_factory(name) if exc_factory else InjectedFault(name)
+    action(name)
+
+
+@contextmanager
+def armed(point: str, **kwargs) -> Iterator[FaultRule]:
+    """``with armed("wal.fsync.pre", action="crash"):`` — scoped arm."""
+    rule = arm(point, **kwargs)
+    try:
+        yield rule
+    finally:
+        disarm(point)

@@ -1,0 +1,114 @@
+"""Bounded retry with exponential backoff.
+
+Adopted by the paths where a *transient* failure should degrade
+gracefully instead of killing a scheduler worker or dropping a
+message: nested-lock acquisition, channel delivery, and the detached
+rule queue's drain loop. By default only
+:class:`~repro.faults.registry.InjectedFault` is retryable — real
+errors (deadlocks, timeouts, application exceptions) propagate on the
+first attempt.
+
+``RetryPolicy.deterministic`` gives a jitter-free schedule (exact
+exponential delays) so fault-injection tests replay identically;
+production-style policies add ±``jitter`` fraction of uniform noise to
+avoid thundering-herd wakeups.
+
+Per-site counters feed the ``repro_retries_total`` metric family.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Tuple, Type, TypeVar
+
+from repro.faults.registry import InjectedFault
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry a transient failure."""
+
+    attempts: int = 3  # total tries, including the first
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    jitter: float = 0.25  # ± fraction of the delay
+    deterministic: bool = False  # jitter-free exponential schedule
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        raw = min(
+            self.max_delay,
+            self.base_delay * self.multiplier ** (attempt - 1),
+        )
+        if self.deterministic or self.jitter <= 0:
+            return raw
+        spread = raw * self.jitter
+        return max(0.0, raw + random.uniform(-spread, spread))
+
+
+DEFAULT_POLICY = RetryPolicy()
+#: used by instrumented runtime paths: fast, deterministic, bounded
+DETERMINISTIC_POLICY = RetryPolicy(
+    attempts=4, base_delay=0.001, max_delay=0.05, deterministic=True
+)
+
+_lock = threading.Lock()
+_counters: dict[str, dict[str, int]] = {}
+
+
+def _bump(site: str, key: str) -> None:
+    with _lock:
+        row = _counters.setdefault(
+            site, {"calls": 0, "retries": 0, "giveups": 0}
+        )
+        row[key] += 1
+
+
+def retry_counters() -> dict[str, dict[str, int]]:
+    """Per-site calls/retries/giveups (``repro_retries_total`` source)."""
+    with _lock:
+        return {site: dict(row) for site, row in _counters.items()}
+
+
+def reset_counters() -> None:
+    with _lock:
+        _counters.clear()
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    *,
+    site: str = "default",
+    policy: RetryPolicy = DEFAULT_POLICY,
+    retry_on: Tuple[Type[BaseException], ...] = (InjectedFault,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``; back off and re-try on a retryable failure.
+
+    Exceptions outside ``retry_on`` propagate immediately; the last
+    retryable failure propagates after ``policy.attempts`` tries.
+    """
+    _bump(site, "calls")
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except retry_on:
+            if attempt >= policy.attempts:
+                _bump(site, "giveups")
+                raise
+            _bump(site, "retries")
+            sleep(policy.delay(attempt))
+            attempt += 1

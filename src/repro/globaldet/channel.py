@@ -22,8 +22,12 @@ import threading
 from collections import deque
 from typing import Any, Callable, Optional
 
+from repro.faults import registry as faults
+from repro.faults.retry import DETERMINISTIC_POLICY, call_with_retry
 from repro.telemetry.events import ChannelMessage
 from repro.telemetry.hub import TelemetryHub
+
+faults.declare("channel.send.pre", "channel.deliver.pre", group="globaldet")
 
 
 class Channel:
@@ -52,7 +56,28 @@ class Channel:
                 pending=pending,
             )
 
+    def _deliver(self, message: Any) -> None:
+        """Invoke the sink, retrying transient injected delivery faults.
+
+        Models the lossy inter-process hop of the original deployment:
+        a flaky delivery is retried a bounded number of times before
+        the failure propagates to the sender/drainer.
+        """
+        if faults.ENABLED:
+            def deliver_once() -> None:
+                faults.fault_point("channel.deliver.pre")
+                self._sink(message)
+
+            call_with_retry(
+                deliver_once,
+                site=f"channel.{self.name}", policy=DETERMINISTIC_POLICY,
+            )
+        else:
+            self._sink(message)
+
     def send(self, message: Any) -> None:
+        if faults.ENABLED:
+            faults.fault_point("channel.send.pre")
         with self._lock:
             self.sent += 1
             if self._direct and self._sink is not None:
@@ -64,7 +89,7 @@ class Channel:
                 pending = len(self._queue)
         self._trace("send", pending)
         if deliver_now:
-            self._sink(message)
+            self._deliver(message)
             with self._lock:
                 self.delivered += 1
             self._trace("deliver", pending)
@@ -80,7 +105,7 @@ class Channel:
                     break
                 message = self._queue.popleft()
                 pending = len(self._queue)
-            self._sink(message)
+            self._deliver(message)
             with self._lock:
                 self.delivered += 1
             self._trace("deliver", pending)

@@ -51,6 +51,22 @@ def telemetry_health(telemetry) -> dict[str, Any]:
     }
 
 
+def faults_health() -> dict[str, Any]:
+    """The fault-injection slice: armed state and injection totals."""
+    from repro.faults import registry as faults
+    from repro.faults.retry import retry_counters
+
+    injected = faults.injected_counts()
+    counters = retry_counters()
+    return {
+        "enabled": faults.ENABLED,
+        "injected": sum(injected.values()),
+        "points_fired": len(injected),
+        "retries": sum(c["retries"] for c in counters.values()),
+        "giveups": sum(c["giveups"] for c in counters.values()),
+    }
+
+
 # =========================================================================
 # The three public payloads
 # =========================================================================
@@ -82,6 +98,7 @@ def system_health(system: "Sentinel") -> dict[str, Any]:
         "detached_backlog": system.detached.backlog(),
         "detached_queue": detached_queue_health(system.detached),
         "detector": detector_health(system.detector),
+        "faults": faults_health(),
     }
     if system.db is not None:
         wal = system.db.storage.wal
@@ -154,4 +171,29 @@ def runtime_metric_lines(system: "Sentinel",
         family = f"{prefix}_detached_queue_{counter}_total"
         lines.append(f"# TYPE {family} counter")
         lines.append(f"{family} {queue[counter]}")
+    lines.extend(fault_metric_lines())
+    return lines
+
+
+def fault_metric_lines(prefix: str = "repro") -> list[str]:
+    """Exposition lines for the fault-injection and retry families.
+
+    ``repro_faults_injected_total{point=...}`` counts faults/crashes
+    actually raised per site; ``repro_retries_total{site=...}`` counts
+    retry attempts the bounded-backoff wrapper absorbed. Both families
+    are empty (headers only) when injection has never been armed, so
+    production scrapes carry two constant lines of overhead.
+    """
+    from repro.faults import registry as faults
+    from repro.faults.retry import retry_counters
+
+    lines: list[str] = []
+    family = f"{prefix}_faults_injected_total"
+    lines.append(f"# TYPE {family} counter")
+    for point, count in sorted(faults.injected_counts().items()):
+        lines.append(f'{family}{{point="{point}"}} {count}')
+    family = f"{prefix}_retries_total"
+    lines.append(f"# TYPE {family} counter")
+    for site, counters in sorted(retry_counters().items()):
+        lines.append(f'{family}{{site="{site}"}} {counters["retries"]}')
     return lines

@@ -15,11 +15,14 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import BufferError_
+from repro.faults import registry as faults
 from repro.storage.disk import DiskManager
 from repro.storage.page import SlottedPage
 from repro.storage.wal import WriteAheadLog
 from repro.telemetry.events import BufferEviction
 from repro.telemetry.hub import TelemetryHub
+
+faults.declare("buffer.writeback.pre", "buffer.evict.pre", group="storage")
 
 
 @dataclass
@@ -125,6 +128,8 @@ class BufferPool:
     def _write_back(self, page_id: int, frame: _Frame) -> None:
         if not frame.dirty:
             return
+        if faults.ENABLED:
+            faults.fault_point("buffer.writeback.pre")
         if self._wal is not None:
             self._wal.flush(frame.page.lsn)
         self._disk.write_page(page_id, frame.page.data)
@@ -137,6 +142,8 @@ class BufferPool:
             return
         for page_id, frame in self._frames.items():
             if frame.pin_count == 0:
+                if faults.ENABLED:
+                    faults.fault_point("buffer.evict.pre")
                 was_dirty = frame.dirty
                 self._write_back(page_id, frame)
                 del self._frames[page_id]

@@ -13,7 +13,13 @@ import threading
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.faults import registry as faults
 from repro.storage.page import PAGE_SIZE
+
+faults.declare(
+    "disk.allocate.pre", "disk.read.pre", "disk.write.pre", "disk.sync.pre",
+    group="storage",
+)
 
 
 class DiskManager:
@@ -46,6 +52,8 @@ class DiskManager:
 
     def allocate_page(self) -> int:
         """Extend the file by one zeroed page and return its id."""
+        if faults.ENABLED:
+            faults.fault_point("disk.allocate.pre")
         with self._lock:
             self._check_open()
             page_id = self._num_pages
@@ -55,6 +63,8 @@ class DiskManager:
             return page_id
 
     def read_page(self, page_id: int) -> bytearray:
+        if faults.ENABLED:
+            faults.fault_point("disk.read.pre")
         with self._lock:
             self._check_open()
             self._check_page(page_id)
@@ -69,6 +79,8 @@ class DiskManager:
             raise StorageError(
                 f"page write must be {PAGE_SIZE} bytes, got {len(data)}"
             )
+        if faults.ENABLED:
+            faults.fault_point("disk.write.pre")
         with self._lock:
             self._check_open()
             self._check_page(page_id)
@@ -77,6 +89,8 @@ class DiskManager:
 
     def sync(self) -> None:
         """Force written pages to stable storage."""
+        if faults.ENABLED:
+            faults.fault_point("disk.sync.pre")
         with self._lock:
             self._check_open()
             self._file.flush()

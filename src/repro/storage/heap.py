@@ -13,7 +13,13 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.errors import PageError, RecordNotFound
+from repro.faults import registry as faults
 from repro.storage.buffer import BufferPool
+
+faults.declare(
+    "heap.insert.pre", "heap.update.pre", "heap.delete.pre",
+    group="storage",
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -51,6 +57,8 @@ class HeapFile:
 
     def insert(self, record: bytes) -> RecordId:
         """Store ``record``; returns its new :class:`RecordId`."""
+        if faults.ENABLED:
+            faults.fault_point("heap.insert.pre")
         with self._lock:
             # Try the most recently used pages first: inserts cluster there.
             for page_id in reversed(self._pages):
@@ -85,14 +93,11 @@ class HeapFile:
                 if page.is_slot_live(rid.slot):
                     page.update(rid.slot, record)
                     return
-                slot = page.insert(record)
-                if slot != rid.slot:
-                    # Redo replays history in order, so the slot numbers
-                    # regenerate identically; a mismatch means the log
-                    # and data file disagree.
-                    raise PageError(
-                        f"redo insert landed in slot {slot}, expected {rid.slot}"
-                    )
+                # Replay must hit the exact slot: picking the lowest
+                # free one (plain insert) diverges the moment a CLR
+                # re-creates a deleted record while lower slots are
+                # free — found by the crash sweep, not hypothetical.
+                page.insert_into(rid.slot, record)
 
     def read(self, rid: RecordId) -> bytes:
         with self._lock:
@@ -104,6 +109,8 @@ class HeapFile:
                     raise RecordNotFound(str(rid)) from exc
 
     def update(self, rid: RecordId, record: bytes) -> None:
+        if faults.ENABLED:
+            faults.fault_point("heap.update.pre")
         with self._lock:
             self._check(rid)
             with self._pool.page(rid.page_id, dirty=True) as page:
@@ -115,6 +122,8 @@ class HeapFile:
                     raise
 
     def delete(self, rid: RecordId) -> None:
+        if faults.ENABLED:
+            faults.fault_point("heap.delete.pre")
         with self._lock:
             self._check(rid)
             with self._pool.page(rid.page_id, dirty=True) as page:

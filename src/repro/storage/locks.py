@@ -22,6 +22,9 @@ from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
 from repro.errors import DeadlockError, LockTimeout
+from repro.faults import registry as faults
+
+faults.declare("locks.acquire.pre", group="storage")
 
 
 class LockMode(enum.Enum):
@@ -62,9 +65,14 @@ class LockManager:
 
         Raises :class:`DeadlockError` if this request closes a cycle in
         the waits-for graph and the requester is picked as the victim,
-        or :class:`LockTimeout` after ``timeout`` seconds.
+        or :class:`LockTimeout` after ``timeout`` seconds. The wait
+        deadline is monotonic-clock based, and the waits-for graph is
+        re-checked after every wake so an expiring timeout can never
+        mask a detectable deadlock.
         """
-        deadline_budget = self._timeout if timeout is None else timeout
+        if faults.ENABLED:
+            faults.fault_point("locks.acquire.pre")
+        budget = self._timeout if timeout is None else timeout
         with self._condition:
             state = self._resources[resource]
             if self._grantable(state, txn_id, mode):
@@ -72,18 +80,8 @@ class LockManager:
                 return
             entry = (txn_id, mode)
             state.waiters.append(entry)
-            self._waits_for[txn_id] = self._blockers(state, txn_id, mode)
+            deadline = _now() + budget
             try:
-                victim = self._find_deadlock_victim(txn_id)
-                if victim is not None:
-                    if victim == txn_id:
-                        raise DeadlockError(
-                            f"txn {txn_id} chosen as deadlock victim on "
-                            f"{resource!r}"
-                        )
-                    self._victims.add(victim)
-                    self._condition.notify_all()
-                remaining = deadline_budget
                 while True:
                     if txn_id in self._victims:
                         self._victims.discard(txn_id)
@@ -94,14 +92,26 @@ class LockManager:
                     if self._grantable(state, txn_id, mode, waiting_as=entry):
                         self._grant(state, txn_id, resource, mode)
                         return
+                    # Refresh our waits-for edges and re-run cycle
+                    # detection on every pass — including the one where
+                    # the deadline expires — so a deadlock formed while
+                    # we slept is reported as such, not as a timeout.
                     self._waits_for[txn_id] = self._blockers(state, txn_id, mode)
+                    victim = self._find_deadlock_victim(txn_id)
+                    if victim is not None:
+                        if victim == txn_id:
+                            raise DeadlockError(
+                                f"txn {txn_id} chosen as deadlock victim on "
+                                f"{resource!r}"
+                            )
+                        self._victims.add(victim)
+                        self._condition.notify_all()
+                    remaining = deadline - _now()
                     if remaining <= 0:
                         raise LockTimeout(
                             f"txn {txn_id} timed out waiting for {resource!r}"
                         )
-                    before = _now()
                     self._condition.wait(min(remaining, 0.05))
-                    remaining -= _now() - before
             finally:
                 if entry in state.waiters:
                     state.waiters.remove(entry)

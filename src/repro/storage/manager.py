@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Iterator, Optional
 
 from repro.errors import InvalidTransactionState
+from repro.faults import registry as faults
 from repro.storage import serializer
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskManager
@@ -29,6 +30,13 @@ from repro.storage.locks import LockManager, LockMode
 from repro.storage.recovery import RecoveryReport, recover
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
 from repro.telemetry.hub import TelemetryHub
+
+faults.declare(
+    "txn.begin.pre", "txn.commit.pre", "txn.commit.wal", "txn.commit.post",
+    "txn.abort.pre", "txn.undo.record",
+    "checkpoint.pre", "checkpoint.append.pre", "checkpoint.post",
+    group="storage",
+)
 
 
 class TxnStatus(enum.Enum):
@@ -68,11 +76,13 @@ class StorageManager:
         pool_size: int = 128,
         lock_timeout: float = 10.0,
         telemetry: Optional[TelemetryHub] = None,
+        durability: str = "fsync",
     ):
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._disk = DiskManager(self._dir / self.DATA_FILE)
-        self._wal = WriteAheadLog(self._dir / self.LOG_FILE, telemetry=telemetry)
+        self._wal = WriteAheadLog(self._dir / self.LOG_FILE, telemetry=telemetry,
+                                  durability=durability)
         self._pool = BufferPool(self._disk, capacity=pool_size, wal=self._wal,
                                 telemetry=telemetry)
         self._locks = LockManager(timeout=lock_timeout)
@@ -104,6 +114,8 @@ class StorageManager:
     # -- transactions -------------------------------------------------------------
 
     def begin(self) -> StorageTransaction:
+        if faults.ENABLED:
+            faults.fault_point("txn.begin.pre")
         with self._mutex:
             txn = StorageTransaction(txn_id=next(self._txn_ids))
             self._txns[txn.txn_id] = txn
@@ -114,6 +126,8 @@ class StorageManager:
 
     def commit(self, txn: StorageTransaction) -> None:
         txn.require_active()
+        if faults.ENABLED:
+            faults.fault_point("txn.commit.pre")
         self._wal.append(
             LogRecord(
                 lsn=-1,
@@ -122,7 +136,15 @@ class StorageManager:
                 prev_lsn=txn.last_lsn,
             )
         )
+        if faults.ENABLED:
+            # A crash here loses the COMMIT record: the transaction
+            # must come back as a loser.
+            faults.fault_point("txn.commit.wal")
         self._wal.flush()  # durability point
+        if faults.ENABLED:
+            # A crash here is after the durability point: the
+            # transaction must come back committed.
+            faults.fault_point("txn.commit.post")
         txn.status = TxnStatus.COMMITTED
         self._locks.release_all(txn.txn_id)
         with self._mutex:
@@ -130,6 +152,8 @@ class StorageManager:
 
     def abort(self, txn: StorageTransaction) -> None:
         txn.require_active()
+        if faults.ENABLED:
+            faults.fault_point("txn.abort.pre")
         self._undo(txn)
         self._wal.append(
             LogRecord(
@@ -148,6 +172,8 @@ class StorageManager:
     def _undo(self, txn: StorageTransaction) -> None:
         """Walk the txn's log chain backwards, reversing each update."""
         for record in reversed(txn._records):
+            if faults.ENABLED:
+                faults.fault_point("txn.undo.record")
             if record.type is LogRecordType.INSERT:
                 rid = RecordId(record.page_id, record.slot)
                 if self._heap.exists(rid):
@@ -255,13 +281,38 @@ class StorageManager:
     # -- maintenance -----------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Flush everything; bounds recovery work after a clean period."""
+        """Flush everything; bounds recovery work after a clean period.
+
+        The CHECKPOINT record carries an explicit redo cut
+        (``extra["redo_below"]``): the highest LSN whose page effects
+        are guaranteed durable by the page flush below. The cut is
+        captured *before* ``flush_all`` — a record appended while the
+        pages are being written may race the flush of its page, so it
+        must stay eligible for redo even though its LSN precedes the
+        CHECKPOINT record's. Recovery only skips redo at or below the
+        cut, never merely below the CHECKPOINT record itself.
+        """
+        if faults.ENABLED:
+            faults.fault_point("checkpoint.pre")
         self._wal.flush()
-        self._pool.flush_all()
+        # Every record at or below this LSN mutated its page before the
+        # append (operation order: heap change, then log append), so the
+        # flush_all below lands those effects on disk.
+        redo_cut = self._wal.next_lsn - 1
+        self._pool.flush_all()  # writes dirty pages and fsyncs the data file
+        if faults.ENABLED:
+            # A crash here leaves flushed pages but no CHECKPOINT
+            # record: recovery must simply not skip any redo.
+            faults.fault_point("checkpoint.append.pre")
         self._wal.append(
-            LogRecord(lsn=-1, txn_id=0, type=LogRecordType.CHECKPOINT)
+            LogRecord(
+                lsn=-1, txn_id=0, type=LogRecordType.CHECKPOINT,
+                extra={"redo_below": redo_cut},
+            )
         )
         self._wal.flush()
+        if faults.ENABLED:
+            faults.fault_point("checkpoint.post")
 
     def close(self) -> None:
         if self._closed:

@@ -130,6 +130,45 @@ class SlottedPage:
         self._set_slot(slot, new_end, len(record))
         return slot
 
+    def insert_into(self, slot: int, record: bytes) -> None:
+        """Place ``record`` in a *specific* slot (recovery replay).
+
+        Unlike :meth:`insert`, which reuses the lowest tombstoned slot,
+        replay must land a record exactly where the log says it lived —
+        undoing a DELETE re-creates the record at its original slot
+        even when lower-numbered slots happen to be free. Grows the
+        slot directory (tombstoning any gap) when ``slot`` does not
+        exist yet.
+        """
+        if not record:
+            raise PageError("cannot insert an empty record")
+        if slot < 0:
+            raise PageError(f"slot {slot} out of range")
+        if slot < self.slot_count:
+            offset, __ = self._slot(slot)
+            if offset != _TOMBSTONE:
+                raise PageError(f"slot {slot} is live")
+            new_slots = 0
+        else:
+            new_slots = slot + 1 - self.slot_count
+        directory_end = _HEADER_SIZE + (self.slot_count + new_slots) * _SLOT_SIZE
+        if self.free_space_end - directory_end < len(record):
+            self.compact()
+            if self.free_space_end - directory_end < len(record):
+                raise PageError(
+                    f"record of {len(record)} bytes does not fit in slot "
+                    f"{slot} (free={self.free_space_end - directory_end})"
+                )
+        if new_slots:
+            count = self.slot_count
+            self._write_header(self.lsn, slot + 1, self.free_space_end)
+            for gap in range(count, slot + 1):
+                self._set_slot(gap, _TOMBSTONE, 0)
+        new_end = self.free_space_end - len(record)
+        self._data[new_end : new_end + len(record)] = record
+        self._write_header(self.lsn, self.slot_count, new_end)
+        self._set_slot(slot, new_end, len(record))
+
     def read(self, slot: int) -> bytes:
         """Return the record stored in ``slot``."""
         offset, length = self._slot(slot)

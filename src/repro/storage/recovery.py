@@ -18,8 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import RecoveryError
+from repro.faults import registry as faults
 from repro.storage.heap import HeapFile, RecordId
 from repro.storage.wal import LogRecord, LogRecordType, WriteAheadLog
+
+faults.declare(
+    "recovery.analysis.post", "recovery.redo.record", "recovery.undo.clr",
+    "recovery.undo.abort", "recovery.flush.pre",
+    group="storage",
+)
 
 
 @dataclass
@@ -31,6 +38,8 @@ class RecoveryReport:
     undone: int = 0
     redo_skipped_by_checkpoint: int = 0
     checkpoint_lsn: int = -1
+    #: highest LSN whose page effects the checkpoint guaranteed on disk
+    redo_cut: int = -1
     losers: list[int] = field(default_factory=list)
     committed: list[int] = field(default_factory=list)
 
@@ -49,6 +58,7 @@ def recover(wal: WriteAheadLog, heap: HeapFile) -> RecoveryReport:
     finished: set[int] = set()
     committed: set[int] = set()
     checkpoint_lsn = -1
+    redo_cut = -1
     for record in records:
         if record.type is LogRecordType.BEGIN:
             active[record.txn_id] = record.lsn
@@ -58,14 +68,21 @@ def recover(wal: WriteAheadLog, heap: HeapFile) -> RecoveryReport:
             if record.type is LogRecordType.COMMIT:
                 committed.add(record.txn_id)
         elif record.type is LogRecordType.CHECKPOINT:
-            # A checkpoint flushed every page: data records at or below
-            # this LSN are guaranteed on disk and need no redo.
+            # The checkpoint's page flush only guarantees durability up
+            # to the redo cut it recorded — a record appended while the
+            # pages were being flushed has an LSN below the CHECKPOINT
+            # record's but may have missed the flush. Logs from before
+            # the cut existed carry no guarantee at all: redo everything.
             checkpoint_lsn = record.lsn
+            redo_cut = record.extra.get("redo_below", -1)
         elif record.txn_id in active:
             active[record.txn_id] = record.lsn
     report.losers = sorted(active)
     report.committed = sorted(committed)
     report.checkpoint_lsn = checkpoint_lsn
+    report.redo_cut = redo_cut
+    if faults.ENABLED:
+        faults.fault_point("recovery.analysis.post")
 
     # ---- redo: repeat history ------------------------------------------------
     data_types = (
@@ -77,12 +94,14 @@ def recover(wal: WriteAheadLog, heap: HeapFile) -> RecoveryReport:
     for record in records:
         if record.type not in data_types or record.page_id < 0:
             continue
-        if record.lsn <= checkpoint_lsn:
+        if record.lsn <= redo_cut:
             report.redo_skipped_by_checkpoint += 1
             continue
         rid = RecordId(record.page_id, record.slot)
         if _page_is_current(heap, record):
             continue
+        if faults.ENABLED:
+            faults.fault_point("recovery.redo.record")
         _apply_redo(heap, record, rid)
         heap.set_page_lsn(record.page_id, record.lsn)
         report.redone += 1
@@ -90,6 +109,11 @@ def recover(wal: WriteAheadLog, heap: HeapFile) -> RecoveryReport:
     # ---- undo: roll back losers ------------------------------------------------
     for txn_id in report.losers:
         lsn = active[txn_id]
+        # The loser's ABORT record must chain to the last record of its
+        # undo history (the final CLR we write, or — if this pass wrote
+        # none — its last surviving record), so a crash before the
+        # flush lands never leaves an ABORT pointing outside the chain.
+        last_lsn = active[txn_id]
         while lsn >= 0:
             record = by_lsn.get(lsn)
             if record is None:
@@ -112,14 +136,24 @@ def recover(wal: WriteAheadLog, heap: HeapFile) -> RecoveryReport:
                     undo_next_lsn=record.prev_lsn,
                     extra={"undo_of": record.type.value},
                 )
+                if faults.ENABLED:
+                    faults.fault_point("recovery.undo.clr")
                 clr_lsn = wal.append(clr)
+                last_lsn = clr_lsn
                 _apply_undo(heap, record, rid)
                 heap.set_page_lsn(record.page_id, clr_lsn)
                 report.undone += 1
             lsn = record.prev_lsn
+        if faults.ENABLED:
+            faults.fault_point("recovery.undo.abort")
         wal.append(
-            LogRecord(lsn=-1, txn_id=txn_id, type=LogRecordType.ABORT)
+            LogRecord(
+                lsn=-1, txn_id=txn_id, type=LogRecordType.ABORT,
+                prev_lsn=last_lsn,
+            )
         )
+    if faults.ENABLED:
+        faults.fault_point("recovery.flush.pre")
     wal.flush()
     return report
 

@@ -22,11 +22,17 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.errors import WALError
+from repro.faults import registry as faults
 from repro.storage import serializer
 from repro.telemetry.events import WalFlush
 from repro.telemetry.hub import TelemetryHub
 
 _FRAME = struct.Struct("<II")  # length, crc
+
+faults.declare(
+    "wal.append.pre", "wal.flush.pre", "wal.fsync.pre", "wal.flush.post",
+    group="storage",
+)
 
 
 class LogRecordType(enum.Enum):
@@ -104,12 +110,27 @@ class WriteAheadLog:
     everything up to a target LSN to disk. The buffer pool calls
     ``flush(page_lsn)`` before writing a dirty page (WAL protocol) and
     commit calls ``flush()`` for durability.
+
+    ``durability`` controls what "forces to disk" means: ``"fsync"``
+    (the default) fsyncs after every flush so COMMIT records survive
+    power loss; ``"buffered"`` stops at the OS page cache — faster,
+    but a machine crash can lose acknowledged commits. Anything that
+    claims durability should leave this on ``"fsync"``.
     """
 
+    DURABILITY_MODES = ("fsync", "buffered")
+
     def __init__(self, path: str | os.PathLike,
-                 telemetry: Optional[TelemetryHub] = None):
+                 telemetry: Optional[TelemetryHub] = None,
+                 durability: str = "fsync"):
+        if durability not in self.DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {self.DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        self.durability = durability
         self.telemetry = telemetry if telemetry is not None else TelemetryHub()
         self._lock = threading.Lock()
         self._buffer: list[bytes] = []
@@ -162,6 +183,8 @@ class WriteAheadLog:
 
     def append(self, record: LogRecord) -> int:
         """Assign the next LSN to ``record``, buffer it, return the LSN."""
+        if faults.ENABLED:
+            faults.fault_point("wal.append.pre")
         with self._lock:
             self._check_open()
             record.lsn = self._next_lsn
@@ -189,12 +212,21 @@ class WriteAheadLog:
                 span.set(flushed_lsn=self._flushed_lsn)
 
     def _write_out(self) -> None:
-        """Write and fsync the buffered frames (lock held)."""
+        """Write and (durability permitting) fsync the frames (lock held)."""
+        if faults.ENABLED:
+            faults.fault_point("wal.flush.pre")
         self._file.write(b"".join(self._buffer))
         self._file.flush()
-        os.fsync(self._file.fileno())
+        if self.durability == "fsync":
+            # Crash-only fault point: a crash between write and fsync
+            # models power loss with the tail still in the OS cache.
+            if faults.ENABLED:
+                faults.fault_point("wal.fsync.pre")
+            os.fsync(self._file.fileno())
         self._flushed_lsn = self._next_lsn - 1
         self._buffer.clear()
+        if faults.ENABLED:
+            faults.fault_point("wal.flush.post")
 
     def records(self) -> Iterator[LogRecord]:
         """Iterate over all durable records, oldest first."""
@@ -217,11 +249,7 @@ class WriteAheadLog:
         with self._lock:
             if not self._closed:
                 if self._buffer:
-                    self._file.write(b"".join(self._buffer))
-                    self._file.flush()
-                    os.fsync(self._file.fileno())
-                    self._flushed_lsn = self._next_lsn - 1
-                    self._buffer.clear()
+                    self._write_out()
                 self._file.close()
                 self._closed = True
 

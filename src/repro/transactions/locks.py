@@ -22,10 +22,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Hashable, Optional
 
 from repro.errors import DeadlockError, LockTimeout
+from repro.faults import registry as faults
 from repro.storage.locks import LockMode
 
 if TYPE_CHECKING:
     from repro.transactions.nested import NestedTransaction
+
+faults.declare("nlocks.acquire.pre", group="transactions")
 
 
 def _compatible(held: LockMode, requested: LockMode) -> bool:
@@ -58,9 +61,17 @@ class NestedLockManager:
         mode: LockMode,
         timeout: Optional[float] = None,
     ) -> None:
-        remaining = self._timeout if timeout is None else timeout
+        if faults.ENABLED:
+            faults.fault_point("nlocks.acquire.pre")
+        budget = self._timeout if timeout is None else timeout
         with self._condition:
             state = self._resources[resource]
+            # Monotonic deadline (never wall-clock): a clock step must
+            # not stretch or shrink the wait, and the waits-for graph
+            # is re-checked after every wake — including the final one
+            # — so an expiring timeout cannot mask a detectable
+            # deadlock.
+            deadline = time.monotonic() + budget
             while True:
                 if txn in self._victims:
                     self._victims.discard(txn)
@@ -83,14 +94,13 @@ class NestedLockManager:
                         )
                     self._victims.add(victim)
                     self._condition.notify_all()
+                remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     self._waits_for.pop(txn, None)
                     raise LockTimeout(
                         f"{txn} timed out waiting for {resource!r}"
                     )
-                before = time.monotonic()
                 self._condition.wait(min(remaining, 0.05))
-                remaining -= time.monotonic() - before
 
     def _blockers(
         self, state: _ResourceState, txn: "NestedTransaction", mode: LockMode

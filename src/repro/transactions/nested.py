@@ -23,10 +23,14 @@ import threading
 from typing import Any, Callable, Hashable, Iterator, Optional
 
 from repro.errors import InvalidTransactionState
+from repro.faults import registry as faults
+from repro.faults.retry import DETERMINISTIC_POLICY, call_with_retry
 from repro.storage.locks import LockMode
 from repro.telemetry.events import SubtransactionBoundary
 from repro.telemetry.hub import TelemetryHub
 from repro.transactions.locks import NestedLockManager
+
+faults.declare("ntxn.commit.pre", "ntxn.abort.pre", group="transactions")
 
 
 class TxnState(enum.Enum):
@@ -91,11 +95,25 @@ class NestedTransaction:
 
     def lock_shared(self, resource: Hashable) -> None:
         self.require_active()
-        self.manager.locks.acquire(self, resource, LockMode.SHARED)
+        self._acquire(resource, LockMode.SHARED)
 
     def lock_exclusive(self, resource: Hashable) -> None:
         self.require_active()
-        self.manager.locks.acquire(self, resource, LockMode.EXCLUSIVE)
+        self._acquire(resource, LockMode.EXCLUSIVE)
+
+    def _acquire(self, resource: Hashable, mode: LockMode) -> None:
+        # Transient injected faults at the lock site are absorbed by a
+        # bounded deterministic retry instead of killing the rule's
+        # scheduler worker; real failures (deadlock, timeout) still
+        # propagate on the first attempt. With injection disabled this
+        # is the plain acquisition path — no wrapper, no closure.
+        if faults.ENABLED:
+            call_with_retry(
+                lambda: self.manager.locks.acquire(self, resource, mode),
+                site="nested.lock", policy=DETERMINISTIC_POLICY,
+            )
+        else:
+            self.manager.locks.acquire(self, resource, mode)
 
     # -- undo ---------------------------------------------------------------------
 
@@ -221,6 +239,8 @@ class NestedTransactionManager:
 
     def commit(self, txn: NestedTransaction) -> None:
         txn.require_active()
+        if faults.ENABLED:
+            faults.fault_point("ntxn.commit.pre")
         live = txn.live_children()
         if live:
             raise InvalidTransactionState(
@@ -237,6 +257,8 @@ class NestedTransactionManager:
 
     def abort(self, txn: NestedTransaction) -> None:
         txn.require_active()
+        if faults.ENABLED:
+            faults.fault_point("ntxn.abort.pre")
         # Abort cascades down: live children go first, deepest first.
         for child in txn.live_children():
             self.abort(child)

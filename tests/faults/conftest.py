@@ -1,0 +1,16 @@
+"""Fault-injection test hygiene: the registry is process-global."""
+
+import pytest
+
+from repro.faults import registry as faults
+from repro.faults import retry
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """Every test starts and ends with injection disarmed and zeroed."""
+    faults.reset()
+    retry.reset_counters()
+    yield
+    faults.reset()
+    retry.reset_counters()

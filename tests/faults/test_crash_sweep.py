@@ -1,0 +1,105 @@
+"""The crash-point sweep: every storage fault point, one oracle.
+
+Parametrized over the registry itself, so a newly instrumented storage
+point is swept automatically — and the sweep *fails* if the canonical
+workload never reaches it (an unreachable point is dead
+instrumentation or a workload gap, both worth failing loudly).
+"""
+
+import pytest
+
+import repro.storage.manager  # noqa: F401 - declares the storage points
+from repro.faults import registry as faults
+from repro.faults.harness import (
+    ShadowOracle,
+    abandon,
+    canonical_workload,
+    snapshot_state,
+    sweep_point,
+    verify_invariants,
+)
+from repro.faults.registry import InjectedCrash
+from repro.storage.manager import StorageManager
+
+STORAGE_POINTS = faults.registered(group="storage")
+
+
+@pytest.mark.parametrize("point", STORAGE_POINTS)
+def test_crash_at_point_recovers_consistently(point, tmp_path):
+    result = sweep_point(point, tmp_path)
+    assert result.fired, (
+        f"the canonical workload never reached {point!r}; either the "
+        f"instrumentation is dead or the workload needs extending"
+    )
+
+
+def test_sweep_in_buffered_mode(tmp_path):
+    # Buffered mode never fsyncs, so wal.fsync.pre is unreachable by
+    # design; everything else must still recover consistently.
+    result = sweep_point("txn.commit.wal", tmp_path, durability="buffered")
+    assert result.fired
+
+
+def test_second_crash_during_undo(tmp_path):
+    """Crash once mid-commit, then again while recovery writes CLRs.
+
+    The CLR chain exists precisely so recovery can itself be killed
+    and restarted; repeating history plus idempotent undo must converge
+    to the same state a single clean recovery reaches.
+    """
+    # Hit 3 of txn.commit.wal is the big t4 commit: its inserts are
+    # already WAL-durable (evictions flushed the log), but the COMMIT
+    # record dies in the buffer — a loser recovery must undo via CLRs.
+    oracle = ShadowOracle()
+    faults.arm("txn.commit.wal", action="crash", nth=3)
+    mgr = StorageManager(tmp_path, pool_size=4)
+    with pytest.raises(InjectedCrash):
+        canonical_workload(mgr, oracle)
+    abandon(mgr)
+    faults.reset()
+
+    # Recovery attempt #1 dies while compensating the loser.
+    faults.arm("recovery.undo.clr", action="crash", nth=1)
+    with pytest.raises(InjectedCrash):
+        StorageManager(tmp_path, pool_size=4)
+    faults.reset()
+
+    # Recovery attempt #2 (inside verify) must finish the job.
+    state = verify_invariants(tmp_path, oracle)
+    assert state == oracle.expected  # t4's COMMIT never became durable
+    assert not any(k.startswith("d") for k in state)
+
+
+def test_crash_during_every_undo_write(tmp_path):
+    """Harsher variant: die at *each* CLR until none are left."""
+    oracle = ShadowOracle()
+    faults.arm("txn.commit.wal", action="crash", nth=3)
+    mgr = StorageManager(tmp_path, pool_size=4)
+    with pytest.raises(InjectedCrash):
+        canonical_workload(mgr, oracle)
+    abandon(mgr)
+    faults.reset()
+
+    faults.arm("recovery.undo.clr", action="crash", every=1, times=10)
+    recovered = None
+    for _ in range(12):
+        try:
+            recovered = StorageManager(tmp_path, pool_size=4)
+            break
+        except InjectedCrash:
+            continue
+    faults.reset()
+    assert recovered is not None, "recovery never converged"
+    assert snapshot_state(recovered) in oracle.candidates()
+    recovered.close()
+
+
+def test_completed_workload_survives_plain_crash(tmp_path):
+    """No injection at all: the loser txn alone exercises recovery."""
+    oracle = ShadowOracle()
+    mgr = StorageManager(tmp_path, pool_size=4)
+    canonical_workload(mgr, oracle)
+    abandon(mgr)
+    state = verify_invariants(tmp_path, oracle)
+    assert state == oracle.expected
+    assert state["a0"] == 0 and "e0" not in state  # loser rolled back

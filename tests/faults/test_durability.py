@@ -1,0 +1,118 @@
+"""The WAL durability knob: fsync by default, buffered opt-out.
+
+The load-bearing test is the power-loss one: arming ``wal.fsync.pre``
+with a callable that *discards the un-fsynced tail* before crashing
+shows that an acknowledged commit only survives because of the fsync —
+i.e. the fsync call is the durability point, not the file write.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import registry as faults
+from repro.faults.registry import InjectedCrash
+from repro.storage.manager import StorageManager
+from repro.storage.wal import WriteAheadLog
+
+
+def visible(manager):
+    txn = manager.begin()
+    try:
+        return {v["k"]: v["v"] for _rid, v in manager.scan(txn)}
+    finally:
+        manager.abort(txn)
+
+
+def count_fsyncs(monkeypatch):
+    calls = []
+    real = os.fsync
+
+    def spy(fd):
+        calls.append(fd)
+        return real(fd)
+
+    monkeypatch.setattr(os, "fsync", spy)
+    return calls
+
+
+def test_fsync_is_the_default_mode(tmp_path):
+    with WriteAheadLog(tmp_path / "wal") as wal:
+        assert wal.durability == "fsync"
+    with StorageManager(tmp_path / "db") as mgr:
+        assert mgr.wal.durability == "fsync"
+
+
+def test_invalid_mode_is_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        WriteAheadLog(tmp_path / "wal", durability="yolo")
+
+
+def test_fsync_mode_syncs_on_every_flush(tmp_path, monkeypatch):
+    calls = count_fsyncs(monkeypatch)
+    with StorageManager(tmp_path, durability="fsync") as mgr:
+        txn = mgr.begin()
+        mgr.insert(txn, {"k": "a", "v": 1})
+        before = len(calls)
+        mgr.commit(txn)
+        assert len(calls) > before
+
+
+def test_buffered_mode_never_syncs_the_log(tmp_path, monkeypatch):
+    calls = count_fsyncs(monkeypatch)
+    mgr = StorageManager(tmp_path, durability="buffered")
+    wal_fd = mgr.wal._file.fileno()
+    txn = mgr.begin()
+    mgr.insert(txn, {"k": "a", "v": 1})
+    mgr.commit(txn)
+    assert wal_fd not in calls
+    # commits are still readable after a same-OS restart (page cache)
+    mgr.simulate_crash()
+    with StorageManager(tmp_path, durability="buffered") as again:
+        assert visible(again) == {"a": 1}
+
+
+def test_power_loss_before_fsync_loses_the_commit(tmp_path):
+    """Truncating the written-but-unsynced tail models power loss."""
+    mgr = StorageManager(tmp_path, durability="fsync")
+    txn = mgr.begin()
+    mgr.insert(txn, {"k": "a", "v": 1})
+    mgr.commit(txn)  # fully durable
+    wal_path = mgr.wal.path
+    durable_size = wal_path.stat().st_size
+
+    def power_loss(point):
+        # The flush wrote the tail into the OS cache (the file), but
+        # the power died before fsync: the tail never reaches the
+        # platter. Drop it, then die.
+        os.truncate(wal_path, durable_size)
+        raise InjectedCrash(point)
+
+    txn2 = mgr.begin()
+    mgr.insert(txn2, {"k": "b", "v": 2})
+    faults.arm("wal.fsync.pre", action=power_loss, nth=1)
+    with pytest.raises(InjectedCrash):
+        mgr.commit(txn2)
+    faults.reset()
+    mgr.simulate_crash()
+
+    with StorageManager(tmp_path) as recovered:
+        state = visible(recovered)
+    assert state == {"a": 1}, (
+        "the unsynced commit must vanish with the power; its txn is a loser"
+    )
+
+
+def test_crash_after_fsync_keeps_the_commit(tmp_path):
+    """The mirror image: past the fsync, the commit must survive."""
+    mgr = StorageManager(tmp_path, durability="fsync")
+    txn = mgr.begin()
+    mgr.insert(txn, {"k": "a", "v": 1})
+    faults.arm("txn.commit.post", action="crash", nth=1)
+    with pytest.raises(InjectedCrash):
+        mgr.commit(txn)
+    faults.reset()
+    mgr.simulate_crash()
+
+    with StorageManager(tmp_path) as recovered:
+        assert visible(recovered) == {"a": 1}

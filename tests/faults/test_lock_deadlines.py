@@ -1,0 +1,138 @@
+"""Lock wait deadlines: monotonic clocks, deadlock beats timeout.
+
+Both lock managers re-run waits-for cycle detection on every wake —
+including the pass on which the deadline expires — so a deadlock that
+is *detectable* is always reported as :class:`DeadlockError`, never
+misdiagnosed as :class:`LockTimeout` just because the budget was tiny.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeout
+from repro.storage.locks import LockManager, LockMode
+from repro.transactions.nested import NestedTransactionManager
+
+
+def wait_until(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+# -- flat (storage) lock manager ---------------------------------------------
+
+def test_flat_timeout_uses_monotonic_budget(tmp_path):
+    lm = LockManager(timeout=0.05)
+    lm.acquire(1, "r", LockMode.EXCLUSIVE)
+    started = time.monotonic()
+    with pytest.raises(LockTimeout):
+        lm.acquire(2, "r", LockMode.EXCLUSIVE)
+    elapsed = time.monotonic() - started
+    assert 0.04 <= elapsed < 2.0
+
+
+def test_flat_tiny_timeout_still_reports_deadlock():
+    """With the cycle already in the graph, even a microscopic budget
+    must come back as DeadlockError, not LockTimeout."""
+    lm = LockManager(timeout=10.0)
+    lm.acquire(1, "A", LockMode.EXCLUSIVE)
+    lm.acquire(2, "B", LockMode.EXCLUSIVE)
+    results = {}
+
+    def t1_wants_b():
+        try:
+            lm.acquire(1, "B", LockMode.EXCLUSIVE, timeout=5.0)
+            results[1] = "granted"
+        except (DeadlockError, LockTimeout) as exc:
+            results[1] = type(exc).__name__
+
+    thread = threading.Thread(target=t1_wants_b)
+    thread.start()
+    assert wait_until(lambda: 1 in lm._waits_for)
+
+    # txn 2 closes the cycle with a budget that expires immediately:
+    # the first loop pass must detect the cycle before the deadline
+    # check. Victim is the youngest txn on the cycle (txn 2 itself).
+    with pytest.raises(DeadlockError):
+        lm.acquire(2, "A", LockMode.EXCLUSIVE, timeout=0.0)
+    lm.release_all(2)
+    thread.join(timeout=5.0)
+    assert results[1] == "granted"
+    lm.release_all(1)
+
+
+def test_flat_victim_in_waiting_thread_wakes_as_deadlock():
+    """A sleeping waiter marked as victim raises DeadlockError on wake;
+    the victim flag is checked before the grant and deadline checks."""
+    lm = LockManager(timeout=10.0)
+    lm.acquire(1, "A", LockMode.EXCLUSIVE)
+    lm.acquire(2, "B", LockMode.EXCLUSIVE)
+    results = {}
+
+    def t2_wants_a():
+        try:
+            lm.acquire(2, "A", LockMode.EXCLUSIVE, timeout=5.0)
+            results[2] = "granted"
+        except (DeadlockError, LockTimeout) as exc:
+            results[2] = type(exc).__name__
+            lm.release_all(2)  # a victim aborts: its locks go away
+
+    thread = threading.Thread(target=t2_wants_a)
+    thread.start()
+    assert wait_until(lambda: 2 in lm._waits_for)
+    try:
+        lm.acquire(1, "B", LockMode.EXCLUSIVE, timeout=5.0)
+        results[1] = "granted"
+    except DeadlockError:
+        results[1] = "DeadlockError"
+        lm.release_all(1)
+    thread.join(timeout=10.0)
+    assert results[2] == "DeadlockError"  # the sleeping victim
+    assert results[1] == "granted"
+    assert "LockTimeout" not in results.values()
+
+
+# -- nested (Moss) lock manager ----------------------------------------------
+
+def test_nested_timeout_is_monotonic_and_bounded():
+    manager = NestedTransactionManager(lock_timeout=0.05)
+    a = manager.begin_top("a")
+    b = manager.begin_top("b")
+    a.lock_exclusive("r")
+    started = time.monotonic()
+    with pytest.raises(LockTimeout):
+        b.lock_exclusive("r")
+    assert 0.04 <= time.monotonic() - started < 2.0
+
+
+def test_nested_tiny_timeout_still_reports_deadlock():
+    manager = NestedTransactionManager(lock_timeout=10.0)
+    locks = manager.locks
+    t1 = manager.begin_top("t1")
+    t2 = manager.begin_top("t2")
+    t1.lock_exclusive("A")
+    t2.lock_exclusive("B")
+    results = {}
+
+    def t1_wants_b():
+        try:
+            locks.acquire(t1, "B", LockMode.EXCLUSIVE, timeout=5.0)
+            results["t1"] = "granted"
+        except (DeadlockError, LockTimeout) as exc:
+            results["t1"] = type(exc).__name__
+
+    thread = threading.Thread(target=t1_wants_b)
+    thread.start()
+    assert wait_until(lambda: t1 in locks._waits_for)
+    # Deepest-equal tie breaks on txn_id: t2 is the victim either way.
+    with pytest.raises(DeadlockError):
+        locks.acquire(t2, "A", LockMode.EXCLUSIVE, timeout=0.0)
+    locks.release_all(t2)
+    thread.join(timeout=5.0)
+    assert results["t1"] == "granted"

@@ -1,0 +1,131 @@
+"""Unit tests for the fault-point registry and trigger policies."""
+
+import pytest
+
+from repro.faults import registry as faults
+from repro.faults.registry import FaultRule, InjectedCrash, InjectedFault
+
+
+def hit_n(point, n):
+    """Hit ``point`` n times, returning exceptions raised per hit."""
+    outcomes = []
+    for _ in range(n):
+        try:
+            faults.fault_point(point)
+            outcomes.append(None)
+        except (InjectedFault, InjectedCrash) as exc:
+            outcomes.append(type(exc))
+    return outcomes
+
+
+def test_disabled_by_default():
+    assert faults.ENABLED is False
+    faults.fault_point("anything")  # no-op, no error, no counting
+    assert faults.hit_counts() == {}
+
+
+def test_arm_enables_and_disarm_disables_the_gate():
+    faults.arm("p", nth=99)
+    assert faults.ENABLED is True
+    faults.disarm("p")
+    assert faults.ENABLED is False
+
+
+def test_nth_policy_fires_exactly_once_on_that_hit():
+    faults.arm("p", action="fault", nth=3)
+    assert hit_n("p", 5) == [None, None, InjectedFault, None, None]
+    assert faults.injected_counts() == {"p": 1}
+    assert faults.hit_counts()["p"] == 5
+
+
+def test_every_policy_fires_on_every_kth_hit():
+    faults.arm("p", action="fault", every=2)
+    assert hit_n("p", 6) == [
+        None, InjectedFault, None, InjectedFault, None, InjectedFault,
+    ]
+
+
+def test_times_bounds_total_injections():
+    faults.arm("p", action="fault", every=1, times=2)
+    assert hit_n("p", 5) == [InjectedFault, InjectedFault, None, None, None]
+
+
+def test_probability_policy_is_deterministic_per_seed():
+    decisions_a = [FaultRule("p", probability=0.5, seed=7).decide()
+                   for _ in range(1)]
+    rule_a = FaultRule("p", probability=0.5, seed=7)
+    rule_b = FaultRule("p", probability=0.5, seed=7)
+    decisions_a = [rule_a.decide() for _ in range(50)]
+    decisions_b = [rule_b.decide() for _ in range(50)]
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_crash_is_a_base_exception_not_an_exception():
+    faults.arm("p", action="crash", nth=1)
+    with pytest.raises(InjectedCrash) as info:
+        try:
+            faults.fault_point("p")
+        except Exception:  # the handler a real crash must sail through
+            pytest.fail("InjectedCrash was swallowed by `except Exception`")
+    assert info.value.point == "p"
+
+
+def test_callable_action_is_invoked_with_the_point_name():
+    seen = []
+    faults.arm("p", action=seen.append, nth=1)
+    faults.fault_point("p")
+    assert seen == ["p"]
+    assert faults.injected_counts() == {"p": 1}
+
+
+def test_custom_exception_factory():
+    faults.arm("p", action="fault", nth=1, exc=lambda pt: OSError(pt))
+    with pytest.raises(OSError):
+        faults.fault_point("p")
+
+
+def test_armed_context_manager_disarms_on_exit():
+    with faults.armed("p", action="fault", nth=1):
+        assert faults.ENABLED is True
+        with pytest.raises(InjectedFault):
+            faults.fault_point("p")
+    assert faults.ENABLED is False
+
+
+def test_only_one_trigger_policy_may_be_set():
+    with pytest.raises(ValueError):
+        faults.arm("p", nth=1, every=2)
+    with pytest.raises(ValueError):
+        FaultRule("p", nth=0)
+    with pytest.raises(ValueError):
+        FaultRule("p", probability=1.5)
+    with pytest.raises(ValueError):
+        FaultRule("p", action="explode")
+
+
+def test_declared_points_are_grouped():
+    faults.declare("x.one", "x.two", group="xgroup")
+    assert set(faults.registered(group="xgroup")) >= {"x.one", "x.two"}
+    assert "x.one" in faults.registered()
+
+
+def test_storage_stack_declares_its_points_at_import():
+    import repro.storage.manager  # noqa: F401 - declaration side effect
+
+    points = faults.registered(group="storage")
+    for expected in ("wal.fsync.pre", "txn.commit.wal", "recovery.undo.clr",
+                     "checkpoint.append.pre", "buffer.evict.pre",
+                     "locks.acquire.pre"):
+        assert expected in points
+
+
+def test_reset_clears_rules_and_counters():
+    faults.arm("p", every=1)
+    with pytest.raises(InjectedFault):
+        faults.fault_point("p")
+    faults.reset()
+    assert faults.ENABLED is False
+    assert faults.hit_counts() == {}
+    assert faults.injected_counts() == {}
+    assert faults.rules() == {}

@@ -1,0 +1,105 @@
+"""Unit tests for bounded retry with exponential backoff."""
+
+import pytest
+
+from repro.faults.registry import InjectedFault
+from repro.faults.retry import (
+    DETERMINISTIC_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    reset_counters,
+    retry_counters,
+)
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", exc=None):
+        self.failures = failures
+        self.value = value
+        self.exc = exc or (lambda: InjectedFault("flaky"))
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc()
+        return self.value
+
+
+def no_sleep(_delay):
+    pass
+
+
+def test_succeeds_after_transient_failures():
+    fn = Flaky(failures=2)
+    result = call_with_retry(fn, site="t", policy=RetryPolicy(attempts=3),
+                             sleep=no_sleep)
+    assert result == "ok"
+    assert fn.calls == 3
+    assert retry_counters()["t"] == {"calls": 1, "retries": 2, "giveups": 0}
+
+
+def test_gives_up_after_attempts_and_reraises():
+    fn = Flaky(failures=10)
+    with pytest.raises(InjectedFault):
+        call_with_retry(fn, site="t", policy=RetryPolicy(attempts=3),
+                        sleep=no_sleep)
+    assert fn.calls == 3
+    assert retry_counters()["t"]["giveups"] == 1
+
+
+def test_non_retryable_errors_propagate_on_first_attempt():
+    fn = Flaky(failures=10, exc=lambda: ValueError("real bug"))
+    with pytest.raises(ValueError):
+        call_with_retry(fn, site="t", sleep=no_sleep)
+    assert fn.calls == 1
+    assert retry_counters()["t"]["retries"] == 0
+
+
+def test_retry_on_extends_the_retryable_set():
+    fn = Flaky(failures=1, exc=lambda: OSError("transient io"))
+    result = call_with_retry(fn, site="t", retry_on=(OSError,),
+                             sleep=no_sleep)
+    assert result == "ok"
+
+
+def test_deterministic_schedule_is_exact_exponential():
+    policy = RetryPolicy(attempts=5, base_delay=0.001, multiplier=2.0,
+                         max_delay=0.005, deterministic=True)
+    assert [policy.delay(a) for a in range(1, 5)] == [
+        0.001, 0.002, 0.004, 0.005,  # capped at max_delay
+    ]
+    # the same schedule twice: no jitter
+    assert policy.delay(2) == policy.delay(2)
+
+
+def test_jittered_delay_stays_within_spread():
+    policy = RetryPolicy(base_delay=0.1, multiplier=1.0, max_delay=0.1,
+                         jitter=0.5)
+    for attempt in range(1, 20):
+        delay = policy.delay(attempt)
+        assert 0.05 <= delay <= 0.15
+
+
+def test_deterministic_policy_sleeps_are_recorded():
+    slept = []
+    fn = Flaky(failures=3)
+    call_with_retry(fn, site="t", policy=DETERMINISTIC_POLICY,
+                    sleep=slept.append)
+    assert slept == [0.001, 0.002, 0.004]
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1)
+
+
+def test_counters_reset():
+    call_with_retry(lambda: None, site="t", sleep=no_sleep)
+    assert "t" in retry_counters()
+    reset_counters()
+    assert retry_counters() == {}

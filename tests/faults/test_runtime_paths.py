@@ -1,0 +1,114 @@
+"""Retry adoption on the runtime paths, and the faults observability.
+
+Covers the wiring, not the primitives: nested-lock acquisition,
+detached-queue drain and channel delivery absorb *transient* injected
+faults via bounded retry, while an :class:`InjectedCrash` sails
+through every ``except Exception`` handler exactly like process death.
+"""
+
+import pytest
+
+from repro.faults import registry as faults
+from repro.faults.retry import retry_counters
+from repro.globaldet.channel import Channel
+from repro.reporting import fault_metric_lines, faults_health
+from repro.transactions.nested import NestedTransactionManager
+
+
+def test_nested_lock_acquisition_retries_transient_faults():
+    faults.arm("nlocks.acquire.pre", action="fault", nth=1)
+    manager = NestedTransactionManager(lock_timeout=1.0)
+    top = manager.begin_top("t")
+    top.lock_exclusive("obj")  # first attempt faults, retry succeeds
+    assert manager.locks.holds(top, "obj") is not None
+    assert retry_counters()["nested.lock"]["retries"] >= 1
+
+
+def test_nested_lock_gives_up_after_policy_attempts():
+    faults.arm("nlocks.acquire.pre", action="fault", every=1)
+    manager = NestedTransactionManager(lock_timeout=1.0)
+    top = manager.begin_top("t")
+    from repro.faults.registry import InjectedFault
+
+    with pytest.raises(InjectedFault):
+        top.lock_exclusive("obj")
+    assert retry_counters()["nested.lock"]["giveups"] == 1
+
+
+def test_channel_direct_delivery_retries_transient_faults():
+    delivered = []
+    channel = Channel(sink=delivered.append, direct=True, name="test")
+    faults.arm("channel.deliver.pre", action="fault", nth=1)
+    channel.send("m1")
+    assert delivered == ["m1"]
+    assert channel.delivered == 1
+    assert retry_counters()["channel.test"]["retries"] >= 1
+
+
+def test_channel_drain_retries_transient_faults():
+    delivered = []
+    channel = Channel(sink=delivered.append, name="test")
+    channel.send("m1")
+    channel.send("m2")
+    faults.arm("channel.deliver.pre", action="fault", nth=1)
+    assert channel.drain() == 2
+    assert delivered == ["m1", "m2"]
+
+
+def make_queue(runner, **kwargs):
+    from repro.core.scheduler import DetachedRuleQueue
+
+    return DetachedRuleQueue(runner, capacity=8, workers=1, **kwargs)
+
+
+class FakeRule:
+    def __init__(self, name="r"):
+        self.name = name
+
+
+def make_activation():
+    from repro.core.scheduler import RuleActivation
+
+    return RuleActivation(rule=FakeRule(), occurrence=None)
+
+
+def test_detached_drain_retries_transient_faults():
+    ran = []
+    queue = make_queue(ran.append)
+    faults.arm("detached.run.pre", action="fault", nth=1)
+    queue.submit(make_activation())
+    assert queue.join(timeout=5.0)
+    queue.close()
+    assert len(ran) == 1
+    assert queue.stats.errors == 0
+    assert retry_counters()["detached.run"]["retries"] >= 1
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+def test_injected_crash_kills_the_detached_worker():
+    """A crash is not an error to record: the worker dies with it."""
+    ran = []
+    queue = make_queue(ran.append)
+    faults.arm("detached.run.pre", action="crash", nth=1)
+    queue.submit(make_activation())
+    assert queue.join(timeout=5.0)
+    worker = queue._workers[0]
+    worker.join(timeout=5.0)
+    assert not worker.is_alive()
+    assert ran == []  # the activation never ran
+    assert queue.stats.errors == 0  # and was not swallowed as an error
+
+
+def test_faults_health_slice_and_metric_families():
+    faults.arm("some.point", action="fault", every=1)
+    with pytest.raises(Exception):
+        faults.fault_point("some.point")
+    health = faults_health()
+    assert health["enabled"] is True
+    assert health["injected"] == 1
+    lines = fault_metric_lines()
+    assert "# TYPE repro_faults_injected_total counter" in lines
+    assert 'repro_faults_injected_total{point="some.point"} 1' in lines
+    assert "# TYPE repro_retries_total counter" in lines
