@@ -1,0 +1,115 @@
+"""SERVE-THROUGHPUT — events/sec over the loopback wire protocol.
+
+One server, one client, one watched rule. Measures ingestion
+throughput for ``raise_event`` (one round-trip per event) against
+``notify_batch`` at batch sizes 1/32/256 (one round-trip per batch —
+the wire protocol's unit of amortization), and appends one trajectory
+entry to ``BENCH_serving.json`` at the repo root so successive runs
+chart the curve over time.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_serving_throughput.py -q -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sentinel import Sentinel
+from repro.serving import SentinelClient, SentinelServer
+from repro.serving.tenancy import Tenant
+
+BATCH_SIZES = (1, 32, 256)
+#: events per measured sample, tuned so the whole module stays < ~30 s
+SINGLE_EVENTS = 400
+BATCH_EVENTS = 2048
+
+TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module")
+def served():
+    system = Sentinel(
+        name="bench-serve", detections_capacity=BATCH_EVENTS * 2
+    )
+    server = SentinelServer(
+        system, tenants=[Tenant("bench", token="bench-tok")]
+    ).start()
+    client = SentinelClient(
+        "127.0.0.1", server.port, tenant="bench", token="bench-tok",
+        timeout=60.0,
+    )
+    client.primitive_event("op_done", "Account", "end", "op")
+    client.watch("audit", "op_done")
+    yield client
+    client.close()
+    server.close()
+    system.close()
+
+
+@pytest.fixture(scope="module")
+def results():
+    collected: dict = {}
+    yield collected
+    # Module teardown: append one trajectory entry with every sample.
+    if len(collected) < 1 + len(BATCH_SIZES):
+        return  # a test failed; don't record a partial point
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append({
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmark": "serving_loopback_throughput",
+        "unit": "events_per_sec",
+        "samples": collected,
+    })
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\nBENCH_serving.json: appended entry #{len(trajectory)}")
+    for name, eps in collected.items():
+        print(f"  {name}: {eps:,.0f} events/s")
+
+
+def drain(client):
+    client.detections("audit", clear=True)
+
+
+def test_single_event_roundtrips(served, results):
+    drain(served)
+    start = time.perf_counter()
+    for i in range(SINGLE_EVENTS):
+        served.notify_batch([(None, "Account", "op", "end", {"i": i})])
+    elapsed = time.perf_counter() - start
+    assert len(served.detections("audit", clear=True)) == SINGLE_EVENTS
+    results["single"] = SINGLE_EVENTS / elapsed
+    print(f"\nsingle: {results['single']:,.0f} events/s "
+          f"({SINGLE_EVENTS} round-trips in {elapsed:.2f}s)")
+
+
+@pytest.mark.parametrize("size", BATCH_SIZES)
+def test_notify_batch_throughput(served, results, size):
+    drain(served)
+    batches, remainder = divmod(BATCH_EVENTS, size)
+    assert remainder == 0
+    payloads = [
+        [(None, "Account", "op", "end", {"i": i}) for i in range(size)]
+        for _ in range(batches)
+    ]
+    start = time.perf_counter()
+    for batch in payloads:
+        served.notify_batch(batch)
+    elapsed = time.perf_counter() - start
+    assert len(served.detections("audit", clear=True)) == BATCH_EVENTS
+    results[f"batch_{size}"] = BATCH_EVENTS / elapsed
+    print(f"batch_{size}: {results[f'batch_{size}']:,.0f} events/s "
+          f"({batches} round-trips in {elapsed:.2f}s)")
+
+
+def test_batching_amortizes_the_wire(results):
+    """The point of notify_batch as the wire unit: one round-trip per
+    batch must beat one round-trip per event by a wide margin."""
+    assert set(results) >= {"single", "batch_32", "batch_256"}
+    assert results["batch_32"] > results["single"] * 2
+    assert results["batch_256"] > results["single"] * 2

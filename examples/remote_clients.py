@@ -1,0 +1,106 @@
+"""Many client processes, one shared active system.
+
+The original Sentinel ran inside one Exodus client process; the
+serving layer lifts that limit: ``repro serve`` (or
+``Sentinel.serve()``) puts one shared detector behind a TCP wire
+protocol, and any number of client processes define rules, raise
+events, and receive detections through :class:`SentinelClient` — the
+same :class:`SentinelAPI` surface a local ``Sentinel`` offers, down to
+the exception types.
+
+This example boots an in-process server with two tenants and shows:
+
+* the unified API — the same pipeline function runs against a local
+  system and against a remote client, returning identical detections;
+* tenant isolation — both tenants use the same event and rule names
+  without collision, and neither can touch the other's definitions;
+* quotas — a rate-limited tenant gets a structured ``QuotaExceeded``
+  while the other tenant keeps ingesting, undisturbed.
+
+Run:  python examples/remote_clients.py
+"""
+
+from repro import Sentinel
+from repro.errors import QuotaExceeded, UnknownEvent
+from repro.serving import SentinelClient
+from repro.serving.tenancy import Tenant, TenantQuota
+
+
+def alarm_pipeline(api):
+    """Written once against SentinelAPI; runs locally or remotely."""
+    api.explicit_event("deposit")
+    api.explicit_event("audit_flag")
+    api.define("suspicious", "deposit >> audit_flag")
+    api.watch("investigate", "suspicious")
+    api.raise_event("deposit", account="ACC-1", amount=950_000)
+    api.raise_event("audit_flag", by="compliance")
+    return api.detections("investigate")
+
+
+def main():
+    # -- the same pipeline, local and remote ------------------------------
+    local = Sentinel(name="local")
+    local_hits = alarm_pipeline(local)
+
+    shared = Sentinel(name="shared")
+    server = shared.serve(tenants=[
+        Tenant("bank_a", token="secret-a",
+               quota=TenantQuota(events_per_sec=25, burst=25)),
+        Tenant("bank_b", token="secret-b"),
+    ])
+    print(f"serving shared system on {server.address}")
+
+    bank_a = SentinelClient(server.address, tenant="bank_a",
+                            token="secret-a")
+    remote_hits = alarm_pipeline(bank_a)
+
+    assert len(local_hits) == len(remote_hits) == 1
+    assert (remote_hits[0]["constituents"][0]["args"]
+            == local_hits[0]["constituents"][0]["args"])
+    print("unified API: local and remote pipelines detected the same "
+          f"sequence ({remote_hits[0]['constituents'][0]['args']})")
+
+    # -- tenant isolation --------------------------------------------------
+    bank_b = SentinelClient(server.address, tenant="bank_b",
+                            token="secret-b")
+    bank_b_hits = alarm_pipeline(bank_b)  # same names, zero collision
+    assert len(bank_b_hits) == 1
+    try:
+        bank_b.raise_event("only_bank_a_would_know")
+    except UnknownEvent:
+        pass
+    # bank_a's one detection is still its own:
+    assert len(bank_a.detections("investigate")) == 1
+    print("isolation: both tenants defined 'suspicious'/'investigate' "
+          "without collision")
+
+    # -- quotas ------------------------------------------------------------
+    throttled_after = None
+    for i in range(200):
+        try:
+            bank_a.raise_event("deposit", account="ACC-2", amount=1)
+        except QuotaExceeded as error:
+            throttled_after = i
+            print(f"quota: bank_a throttled after {i} rapid events "
+                  f"({error})")
+            break
+    assert throttled_after is not None
+    for i in range(50):  # bank_b is untouched by bank_a's throttling
+        bank_b.raise_event("deposit", account="B-1", amount=i)
+    assert bank_b.stats()["quota_rejections"] == 0
+    print("quota: bank_b ingested 50 events while bank_a was throttled")
+
+    per_tenant = {t.name: t.snapshot()["events"]
+                  for t in server.tenants.all()}
+    print(f"per-tenant event counters: {per_tenant}")
+
+    bank_a.close()
+    bank_b.close()
+    server.close()
+    shared.close()
+    local.close()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ sources; this CLI exposes the same pipeline:
 * ``monitor`` — build a spec, replay a log through it, and serve the
   live introspection endpoints (``/metrics``, ``/health``, ``/spans``,
   ``/graph``, ``/profile``) over HTTP.
+* ``serve``   — boot a shared multi-tenant Sentinel system and serve
+  the wire protocol (see :mod:`repro.serving`) on TCP, optionally with
+  the HTTP monitor alongside.
 
 Conditions and actions referenced by the spec are stubbed (always-true
 conditions, counting actions), so specs can be validated without the
@@ -30,6 +33,11 @@ Usage::
     python -m repro trace myspec.sentinel events.jsonl
     python -m repro trace --spans exported.jsonl
     python -m repro monitor myspec.sentinel events.jsonl --port 9464
+    python -m repro serve --port 7070 --tenant alpha:s3cret:eps=500
+
+Exit codes are stable: 0 success, 1 a Sentinel error (stderr carries
+``error: <message> [E<code>]`` with the wire-protocol error code from
+:mod:`repro.errors`), 2 usage/file errors.
 """
 
 from __future__ import annotations
@@ -43,7 +51,7 @@ from typing import Optional
 
 from repro.core.detector import LocalEventDetector
 from repro.debugger.visualize import render_event_graph
-from repro.errors import SentinelError
+from repro.errors import SentinelError, cli_exit_code, error_code
 from repro.eventlog import EventLog, replay as replay_log
 from repro.snoop import ast as snoop_ast
 from repro.snoop.builder import SpecBuilder
@@ -233,6 +241,54 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a shared multi-tenant system over the wire protocol.
+
+    Runs until SIGTERM/SIGINT (or ``--duration``), then drains: the
+    listener closes, in-flight requests finish and respond, and the
+    system shuts down cleanly — exit code 0.
+    """
+    import signal
+    import threading
+
+    from repro.sentinel import Sentinel
+    from repro.serving.server import SentinelServer
+    from repro.serving.tenancy import Tenant
+
+    tenants = [Tenant.parse_spec(spec) for spec in args.tenant or []]
+    system = Sentinel(
+        directory=args.directory, name=args.name, shards=args.shards,
+    )
+    server = SentinelServer(
+        system, args.host, args.port,
+        tenants=tenants, max_frame=args.max_frame,
+    ).start()
+    monitor = None
+    if args.monitor_port is not None:
+        monitor = system.monitor(port=args.monitor_port, host=args.host)
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.host} {server.port}\n")
+    tenant_names = ", ".join(t.name for t in server.tenants.all())
+    print(f"serving {system.name!r} on {server.address} "
+          f"(tenants: {tenant_names})", flush=True)
+    if monitor is not None:
+        print(f"monitor on {monitor.url}", flush=True)
+
+    stop = threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    print("draining...", flush=True)
+    server.close()
+    system.close()
+    print("stopped", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -294,6 +350,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: until interrupted)")
     monitor.set_defaults(func=cmd_monitor)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a shared multi-tenant Sentinel system over TCP "
+             "(length-prefixed JSON wire protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 = OS-assigned (printed on startup)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write 'host port' to FILE once bound "
+                            "(for scripts wrapping --port 0)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="NAME:TOKEN[:rules=N][:eps=R][:burst=B]",
+                       help="add a tenant (repeatable); empty TOKEN means "
+                            "no auth; default: one open 'default' tenant")
+    serve.add_argument("--max-frame", type=int, default=1 << 20,
+                       help="per-frame byte limit (default 1 MiB)")
+    serve.add_argument("--monitor-port", type=int, default=None,
+                       help="also serve the HTTP monitor on this port")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then exit "
+                            "(default: until SIGTERM/SIGINT)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="detection shards for the shared system")
+    serve.add_argument("--directory", default=None,
+                       help="database directory (default: in-memory)")
+    serve.add_argument("--name", default="served",
+                       help="system name (shown in ping/health)")
+    serve.set_defaults(func=cmd_serve)
+
     return parser
 
 
@@ -303,12 +389,19 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except FileNotFoundError as error:
+    except (FileNotFoundError, IsADirectoryError, NotADirectoryError,
+            PermissionError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return cli_exit_code(error)
+    except ValueError as error:
+        # e.g. a malformed --tenant spec
+        print(f"error: {error}", file=sys.stderr)
+        return cli_exit_code(error)
     except SentinelError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+        # One registry maps exception types to codes for the wire
+        # protocol and this suffix alike (see repro.errors).
+        print(f"error: {error} [E{error_code(error)}]", file=sys.stderr)
+        return cli_exit_code(error)
 
 
 if __name__ == "__main__":

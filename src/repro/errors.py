@@ -171,3 +171,152 @@ class GlobalDetectorError(SentinelError):
 
 class UnknownApplication(GlobalDetectorError):
     """A message referenced an application id that is not registered."""
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer errors (the multi-tenant Sentinel server and client).
+# ---------------------------------------------------------------------------
+
+
+class ServingError(SentinelError):
+    """Base class for wire-protocol serving failures."""
+
+
+class ProtocolError(ServingError):
+    """A frame or request violated the wire protocol."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame declared a length above the negotiated maximum."""
+
+
+class ConnectionClosed(ServingError):
+    """The peer closed the connection (possibly mid-frame)."""
+
+
+class AuthenticationError(ServingError):
+    """A hello carried an unknown tenant or a bad bearer token."""
+
+
+class QuotaExceeded(ServingError):
+    """A tenant exceeded its rule count or event-rate quota."""
+
+
+class RemoteError(ServingError):
+    """The server reported an error code this client does not know."""
+
+
+# =========================================================================
+# The error-code registry
+# =========================================================================
+#
+# One stable numeric code per exception class, shared by the wire
+# protocol (``repro.serving``) and the CLI. Codes are grouped by layer
+# in blocks of ten and are append-only: a published code never changes
+# meaning, so old clients can always map a code back to the nearest
+# exception type they know.
+
+ERROR_CODE_REGISTRY: dict[int, type[SentinelError]] = {
+    1: SentinelError,
+    # storage (1x)
+    10: StorageError,
+    11: PageError,
+    12: BufferError_,
+    13: WALError,
+    14: RecoveryError,
+    15: RecordNotFound,
+    # transactions (2x)
+    20: TransactionError,
+    21: TransactionAborted,
+    22: DeadlockError,
+    23: LockTimeout,
+    24: InvalidTransactionState,
+    # OODB (3x)
+    30: OODBError,
+    31: ObjectNotFound,
+    32: NameConflict,
+    33: TranslationError,
+    # events (4x)
+    40: EventError,
+    41: UnknownEvent,
+    42: DuplicateEvent,
+    43: InvalidEventExpression,
+    # rules (5x)
+    50: RuleError,
+    51: UnknownRule,
+    52: DuplicateRule,
+    53: RuleExecutionError,
+    # Snoop language (6x)
+    60: SnoopError,
+    61: SnoopSyntaxError,
+    62: SnoopSemanticError,
+    # global detection (7x)
+    70: GlobalDetectorError,
+    71: UnknownApplication,
+    # serving (8x)
+    80: ServingError,
+    81: ProtocolError,
+    82: FrameTooLarge,
+    83: ConnectionClosed,
+    84: AuthenticationError,
+    85: QuotaExceeded,
+    86: RemoteError,
+}
+
+_CODE_BY_CLASS: dict[type[BaseException], int] = {
+    cls: code for code, cls in ERROR_CODE_REGISTRY.items()
+}
+
+
+def error_code(error: BaseException | type[BaseException]) -> int:
+    """The stable numeric code of an exception (most-derived match).
+
+    Unregistered :class:`SentinelError` subclasses inherit the code of
+    their nearest registered ancestor, so adding a new exception type
+    never breaks old peers — it just arrives as its parent until the
+    registry entry ships.
+    """
+    cls = error if isinstance(error, type) else type(error)
+    for ancestor in cls.__mro__:
+        code = _CODE_BY_CLASS.get(ancestor)
+        if code is not None:
+            return code
+    return _CODE_BY_CLASS[SentinelError]
+
+
+def exception_for(code: int, message: str) -> SentinelError:
+    """Rebuild the exception a wire error code names.
+
+    Unknown codes come back as :class:`RemoteError` (the server is
+    newer than this client). Classes with structured constructors
+    (e.g. :class:`RuleExecutionError`) are rebuilt carrying only the
+    rendered message — the *type* survives the wire, the wrapped cause
+    object does not.
+    """
+    cls = ERROR_CODE_REGISTRY.get(code, RemoteError)
+    try:
+        return cls(message)
+    except TypeError:
+        error = cls.__new__(cls)
+        Exception.__init__(error, message)
+        return error
+
+
+#: process exit codes (sysexits-style, kept coarse on purpose)
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+
+
+def cli_exit_code(error: BaseException) -> int:
+    """The process exit code for an error that escaped a CLI command.
+
+    The *fine-grained* identity travels as the ``E<code>`` suffix the
+    CLI prints (from :func:`error_code`); the exit code itself stays
+    coarse so shell callers keep the stable 1 = library error,
+    2 = usage/file error contract.
+    """
+    if isinstance(error, (FileNotFoundError, IsADirectoryError,
+                          PermissionError, NotADirectoryError)):
+        return EXIT_USAGE
+    return EXIT_ERROR

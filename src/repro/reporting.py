@@ -172,6 +172,49 @@ def runtime_metric_lines(system: "Sentinel",
         lines.append(f"# TYPE {family} counter")
         lines.append(f"{family} {queue[counter]}")
     lines.extend(fault_metric_lines())
+    for provider in tuple(getattr(system, "extra_metric_providers", ())):
+        # e.g. an attached SentinelServer's per-tenant families; a
+        # broken provider must not take down the whole scrape.
+        try:
+            lines.extend(provider())
+        except Exception:  # noqa: BLE001
+            continue
+    return lines
+
+
+def serving_metric_lines(server, prefix: str = "sentinel") -> list[str]:
+    """Exposition lines for a :class:`SentinelServer`'s tenant families.
+
+    Per-tenant counters labelled ``{tenant="..."}``:
+    ``<prefix>_tenant_events_total``, ``_batches_total``,
+    ``_detections_total``, ``_quota_rejections_total``,
+    ``_errors_total``; gauges ``<prefix>_tenant_rules`` /
+    ``_connections``; plus the server-wide
+    ``<prefix>_serving_connections`` gauge.
+    """
+    from repro.monitor.prometheus import escape_label, render_gauge
+
+    lines: list[str] = []
+    snapshots = [tenant.snapshot() for tenant in server.tenants.all()]
+    counter_keys = (
+        "events", "batches", "detections", "quota_rejections", "errors",
+    )
+    for key in counter_keys:
+        family = f"{prefix}_tenant_{key}_total"
+        lines.append(f"# TYPE {family} counter")
+        for snapshot in snapshots:
+            tenant = escape_label(snapshot["tenant"])
+            lines.append(f'{family}{{tenant="{tenant}"}} {snapshot[key]}')
+    for key in ("rules", "connections"):
+        family = f"{prefix}_tenant_{key}"
+        lines.append(f"# TYPE {family} gauge")
+        for snapshot in snapshots:
+            tenant = escape_label(snapshot["tenant"])
+            lines.append(f'{family}{{tenant="{tenant}"}} {snapshot[key]}')
+    lines.extend(render_gauge(
+        f"{prefix}_serving_connections", server.connections(),
+        help_text="Live client connections on the serving endpoint",
+    ))
     return lines
 
 

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 from repro.clock import Clock
 from repro.core.deferred import (
@@ -58,6 +59,11 @@ from repro.core.scheduler import (
 )
 from repro.errors import InvalidTransactionState
 from repro.oodb.database import OODBTransaction, OpenOODB
+from repro.serving.api import (
+    DetectionListener,
+    SentinelAPI,
+    detection_summary,
+)
 from repro.oodb.object_model import Persistent
 from repro.telemetry.events import TransactionSpan
 from repro.telemetry.hub import TelemetryHub, TelemetrySpan
@@ -178,8 +184,26 @@ class SentinelTransaction:
         self._system.abort(self)
 
 
-class Sentinel:
-    """An active OODBMS instance (one application / Exodus client)."""
+#: transaction-boundary events signaled by the system class — part of
+#: the machinery, not of the user's event vocabulary (event_names()
+#: hides them for local/remote listing parity)
+_SYSTEM_EVENT_NAMES = frozenset({
+    BEGIN_TRANSACTION,
+    PRE_COMMIT_TRANSACTION,
+    COMMIT_TRANSACTION,
+    ABORT_TRANSACTION,
+})
+
+
+class Sentinel(SentinelAPI):
+    """An active OODBMS instance (one application / Exodus client).
+
+    Implements :class:`~repro.serving.api.SentinelAPI` — the portable
+    event/rule/ingestion surface shared with
+    :class:`~repro.serving.client.SentinelClient` — plus everything
+    only an in-process system can offer (transactions, persistence,
+    callable rule conditions/actions, telemetry).
+    """
 
     def __init__(
         self,
@@ -198,6 +222,7 @@ class Sentinel:
         detached_policy: str = "block",
         detached_workers: int = 2,
         detached_spill=None,
+        detections_capacity: int = 1024,
     ):
         self.name = name
         #: one telemetry hub shared by every layer (detector, event
@@ -240,6 +265,15 @@ class Sentinel:
         self._closing = False
         self._local = threading.local()
         self._closed = False
+        #: detection summaries recorded by watched rules, newest last
+        self._detections: deque = deque(maxlen=detections_capacity)
+        self._detections_lock = threading.Lock()
+        self._detection_listeners: list[DetectionListener] = []
+        #: extra Prometheus line providers consulted by
+        #: :func:`repro.reporting.runtime_metric_lines` — an attached
+        #: :class:`~repro.serving.server.SentinelServer` registers its
+        #: per-tenant families here so any monitor picks them up.
+        self.extra_metric_providers: list[Callable[[], list[str]]] = []
         #: the live monitor server, if one was started (see ``monitor``)
         self._monitor: Optional["MonitorServer"] = None
         #: processors the monitor attached; detached again on close
@@ -327,8 +361,31 @@ class Sentinel:
         return self.detector.event(name)
 
     def define(self, name: str, node):
-        """Name an event expression for reuse (see ``detector.define``)."""
-        return self.detector.define(name, node)
+        """Name an event expression for reuse (see ``detector.define``).
+
+        ``node`` may be an :class:`EventNode` or an expression string
+        in the operator algebra (``"a >> (b & c)"``,
+        ``"NOT(a, b, c)"`` — see :mod:`repro.serving.expr`), the form
+        remote clients use.
+        """
+        return self.detector.define(name, self._resolve_event(node))
+
+    def _resolve_event(self, event: Any):
+        """An event reference (node, name, or expression string) as a node."""
+        if not isinstance(event, str):
+            return event
+        from repro.serving.expr import parse_event_expr
+
+        return parse_event_expr(event, self.detector.graph.get)
+
+    def event_names(self) -> list[str]:
+        """User-defined event names (system transaction events and
+        internal ``$`` names excluded — matches the remote listing)."""
+        return sorted(
+            name
+            for name in self.detector.graph.names()
+            if name not in _SYSTEM_EVENT_NAMES and not name.startswith("$")
+        )
 
     def rule(
         self,
@@ -377,6 +434,112 @@ class Sentinel:
 
     def advance_time(self, delta: float) -> None:
         self.detector.advance_time(delta)
+
+    # =====================================================================
+    # Watched rules and recorded detections (the SentinelAPI surface)
+    # =====================================================================
+
+    def watch(self, name: str, event: Any, *, context: str = "recent",
+              coupling: str = "immediate", priority: int | str = 1) -> str:
+        """Define a rule that *records* detections instead of acting.
+
+        Each detection appends one JSON-safe summary dict (see
+        :func:`repro.serving.api.detection_summary`) to a bounded log
+        read back by :meth:`detections` and fanned out to
+        :meth:`add_detection_listener` callbacks. ``event`` may be an
+        event name, an expression string, or an :class:`EventNode`.
+        This is the whole rule surface available to remote clients —
+        conditions and actions are code and stay in-process.
+        """
+        node = self._resolve_event(event)
+
+        def record(occurrence, _name=name) -> None:
+            self._record_detection(detection_summary(_name, occurrence))
+
+        self.detector.rule(
+            name, node, action=record, context=context,
+            coupling=coupling, priority=priority,
+        )
+        return name
+
+    def unwatch(self, name: str) -> None:
+        """Delete a watched rule (any rule, in fact) by name."""
+        self.rules.delete(name)
+
+    def enable_rule(self, name: str) -> None:
+        self.rules.enable(name)
+
+    def disable_rule(self, name: str) -> None:
+        self.rules.disable(name)
+
+    def rule_names(self) -> list[str]:
+        """User-defined rule names (internal ``$`` rules excluded)."""
+        return sorted(
+            name for name in self.rules.names() if not name.startswith("$")
+        )
+
+    def _record_detection(self, summary: dict) -> None:
+        with self._detections_lock:
+            self._detections.append(summary)
+        for listener in list(self._detection_listeners):
+            try:
+                listener(summary)
+            except Exception:  # noqa: BLE001 — observer bugs stay observers'
+                pass
+
+    def detections(self, rule: Optional[str] = None, *,
+                   match: Optional[Callable[[str], bool]] = None,
+                   clear: bool = False) -> list[dict]:
+        """Recorded detection summaries, oldest first.
+
+        ``rule`` filters to one rule name; ``match`` (local-only, used
+        by the server for tenant scoping) filters by predicate on the
+        rule name; ``clear=True`` consumes the returned entries,
+        leaving non-matching ones in place.
+        """
+        if rule is not None:
+            predicate = lambda s: s.get("rule") == rule  # noqa: E731
+        elif match is not None:
+            predicate = lambda s: match(s.get("rule", ""))  # noqa: E731
+        else:
+            predicate = lambda s: True  # noqa: E731
+        with self._detections_lock:
+            selected = [dict(s) for s in self._detections if predicate(s)]
+            if clear and selected:
+                kept = [s for s in self._detections if not predicate(s)]
+                self._detections.clear()
+                self._detections.extend(kept)
+        return selected
+
+    def add_detection_listener(self, listener: DetectionListener) -> None:
+        """Observe watched-rule detections live (summary dict per hit)."""
+        self._detection_listeners.append(listener)
+
+    def remove_detection_listener(self, listener: DetectionListener) -> None:
+        try:
+            self._detection_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def ping(self) -> dict:
+        """Cheap liveness probe (the remote client's round-trip)."""
+        return {"name": self.name, "healthy": not self._closed}
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0, *,
+              tenants=None, max_frame: Optional[int] = None):
+        """Put this system behind a multi-tenant TCP server.
+
+        Returns a started :class:`~repro.serving.server.SentinelServer`
+        (``port=0`` picks a free port — read ``server.port``). Close it
+        before closing the system.
+        """
+        from repro.serving.protocol import DEFAULT_MAX_FRAME
+        from repro.serving.server import SentinelServer
+
+        return SentinelServer(
+            self, host, port, tenants=tenants,
+            max_frame=max_frame if max_frame is not None else DEFAULT_MAX_FRAME,
+        ).start()
 
     # =====================================================================
     # Transactions

@@ -1,0 +1,62 @@
+"""The serving layer: a multi-tenant Sentinel server over TCP.
+
+The package turns the in-process active system into a shared service:
+
+* :mod:`repro.serving.api` — the :class:`SentinelAPI` protocol, the
+  event/rule/ingestion subset of the ``Sentinel`` facade that both the
+  local facade and the remote client implement, so remote is a drop-in
+  replacement for local;
+* :mod:`repro.serving.protocol` — length-prefixed JSON (msgpack
+  optional) framing over sockets;
+* :mod:`repro.serving.tenancy` — tenants, bearer tokens, per-tenant
+  namespaces and quotas (rule counts, token-bucket event rates);
+* :mod:`repro.serving.server` — :class:`SentinelServer`, a threaded
+  accept loop multiplexing many client processes onto one shared
+  detector;
+* :mod:`repro.serving.client` — :class:`SentinelClient`, the thin
+  blocking client with detection push notifications.
+
+``SentinelServer``/``SentinelClient`` are re-exported lazily so that
+importing :mod:`repro.sentinel` (which pulls :mod:`repro.serving.api`
+for the protocol base class) never recurses back into the facade.
+"""
+
+from __future__ import annotations
+
+from repro.serving.api import SentinelAPI, detection_summary, occurrence_summary
+from repro.serving.expr import parse_event_expr
+from repro.serving.protocol import (
+    DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    available_transports,
+)
+from repro.serving.tenancy import Tenant, TenantQuota, TokenBucket
+
+__all__ = [
+    "SentinelAPI",
+    "SentinelClient",
+    "SentinelServer",
+    "Tenant",
+    "TenantQuota",
+    "TokenBucket",
+    "DEFAULT_MAX_FRAME",
+    "PROTOCOL_VERSION",
+    "available_transports",
+    "detection_summary",
+    "occurrence_summary",
+    "parse_event_expr",
+]
+
+_LAZY = {
+    "SentinelServer": "repro.serving.server",
+    "SentinelClient": "repro.serving.client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

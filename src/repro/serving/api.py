@@ -1,0 +1,188 @@
+"""The unified Sentinel API: one surface for local and remote use.
+
+:class:`SentinelAPI` is the event/rule/ingestion subset of the
+``Sentinel`` facade, extracted so that a program written against it
+runs unchanged whether ``api`` is a local in-process
+:class:`~repro.sentinel.Sentinel` or a
+:class:`~repro.serving.client.SentinelClient` talking to a shared
+server::
+
+    def alarm_pipeline(api: SentinelAPI):
+        api.explicit_event("deposit")
+        api.explicit_event("audit")
+        api.define("suspicious", "deposit >> audit")
+        api.watch("flag_account", "suspicious")
+        api.raise_event("deposit", amount=900_000)
+        api.raise_event("audit")
+        return api.detections("flag_account")
+
+The contract the two implementations share:
+
+* **Names, not objects.** Every method accepts and returns plain
+  names, expression strings, and JSON-safe dicts — nothing that cannot
+  cross a socket. (The local facade *additionally* returns richer
+  objects where it always has — ``explicit_event`` returns the event
+  node — but the protocol only promises what serializes.)
+* **Detections are data.** A watched rule records one summary dict per
+  detection (see :func:`detection_summary`); ``detections()`` reads
+  them back and listeners/subscriptions observe them live.
+* **Errors are types.** Both implementations raise the same
+  :mod:`repro.errors` exception types for the same misuse; the wire
+  protocol carries the registry code (:func:`repro.errors.error_code`)
+  so the client re-raises the exact class the server raised. The
+  conformance suite (``tests/serving/test_conformance.py``) holds both
+  sides to this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+from repro.core.params import Occurrence, PrimitiveOccurrence
+
+#: detection listeners receive one summary dict per detection
+DetectionListener = Callable[[dict], None]
+
+
+def occurrence_summary(occurrence: Occurrence) -> dict:
+    """A primitive or composite occurrence as a JSON-safe dict.
+
+    Argument values are already atomic (see
+    :func:`repro.core.params.atomic`), so the dict round-trips through
+    JSON without loss.
+    """
+    if isinstance(occurrence, PrimitiveOccurrence):
+        return {
+            "event": occurrence.event_name,
+            "at": occurrence.at,
+            "class": occurrence.class_name,
+            "method": occurrence.method_name,
+            "modifier": (
+                occurrence.modifier.value
+                if occurrence.modifier is not None else None
+            ),
+            "args": {key: value for key, value in occurrence.arguments},
+            "txn_id": occurrence.txn_id,
+        }
+    return {
+        "event": occurrence.event_name,
+        "operator": getattr(occurrence, "operator", "composite"),
+        "start": occurrence.start,
+        "end": occurrence.end,
+        "constituents": [
+            occurrence_summary(p) for p in occurrence.primitives()
+        ],
+    }
+
+
+def detection_summary(rule_name: str, occurrence: Occurrence) -> dict:
+    """The record a watched rule appends per detection.
+
+    ``constituents`` flattens the occurrence to its primitive
+    parameters in chronological order — the wire form of the paper's
+    PARA_LIST — so remote subscribers see exactly what a local
+    condition/action would read from ``occ.params``.
+    """
+    return {
+        "rule": rule_name,
+        "event": occurrence.event_name,
+        "operator": getattr(occurrence, "operator", "primitive"),
+        "start": occurrence.start,
+        "end": occurrence.end,
+        "constituents": [
+            occurrence_summary(p) for p in occurrence.primitives()
+        ],
+    }
+
+
+class SentinelAPI(ABC):
+    """The unified local/remote active-system interface (see module doc)."""
+
+    # -- event definition --------------------------------------------------
+
+    @abstractmethod
+    def explicit_event(self, name: str):
+        """Define (idempotently) an explicit event that can be raised."""
+
+    @abstractmethod
+    def primitive_event(self, name: str, class_or_instance: Any,
+                        modifier: str, method_name: str,
+                        snapshot_state: bool = False):
+        """Define a primitive (method) event. Remotely,
+        ``class_or_instance`` must be a class *name* string."""
+
+    @abstractmethod
+    def define(self, name: str, event: Any):
+        """Name a composite event. ``event`` may be an expression
+        string in the operator algebra (``"a >> (b & c)"``,
+        ``"NOT(a, b, c)"`` — see :mod:`repro.serving.expr`); the local
+        facade also accepts an :class:`EventNode`."""
+
+    @abstractmethod
+    def event_names(self) -> list[str]:
+        """Names of the user-defined events visible to this caller
+        (system transaction events and internal ``$`` names excluded)."""
+
+    # -- watched rules -----------------------------------------------------
+
+    @abstractmethod
+    def watch(self, name: str, event: Any, *, context: str = "recent",
+              coupling: str = "immediate", priority: int = 1) -> str:
+        """Define a rule whose action records a detection summary.
+
+        ``event`` is an event name, an expression string, or (locally)
+        an :class:`EventNode`. Returns the rule name.
+        """
+
+    @abstractmethod
+    def unwatch(self, name: str) -> None:
+        """Delete a watched rule."""
+
+    @abstractmethod
+    def enable_rule(self, name: str) -> None: ...
+
+    @abstractmethod
+    def disable_rule(self, name: str) -> None: ...
+
+    @abstractmethod
+    def rule_names(self) -> list[str]:
+        """Names of the user-defined rules visible to this caller."""
+
+    # -- ingestion ---------------------------------------------------------
+
+    @abstractmethod
+    def raise_event(self, name: str, **params: Any):
+        """Raise one explicit event."""
+
+    @abstractmethod
+    def raise_events(self, events) -> list:
+        """Raise many explicit events under one batched dispatch.
+        ``events`` is an iterable of names or ``(name, params)`` pairs."""
+
+    @abstractmethod
+    def notify_batch(self, items) -> list:
+        """Ingest many method-event Notify items under one dispatch.
+        Items are ``(instance, class_name, method_name, modifier
+        [, arguments])`` tuples; remotely ``instance`` must be None."""
+
+    # -- detections --------------------------------------------------------
+
+    @abstractmethod
+    def detections(self, rule: Optional[str] = None, *,
+                   clear: bool = False) -> list[dict]:
+        """Recorded detection summaries, newest last, optionally
+        filtered to one rule and/or consumed (``clear=True``)."""
+
+    @abstractmethod
+    def add_detection_listener(self, listener: DetectionListener) -> None:
+        """Observe detections live (local callback / remote push)."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @abstractmethod
+    def ping(self) -> dict:
+        """Cheap liveness probe; returns at least ``{"name", "healthy"}``."""
+
+    @abstractmethod
+    def close(self) -> None: ...

@@ -1,0 +1,211 @@
+"""Event expressions as *strings*, for API surfaces that cross a wire.
+
+The operator algebra (:mod:`repro.core.events.algebra`) gives Python
+programs ``a >> (b & c)``; a remote client cannot ship node objects, so
+the unified API accepts the same algebra as text::
+
+    parse_event_expr("a >> (b & c)", graph.get)
+    parse_event_expr("NOT(open, audit, close)", graph.get)
+    parse_event_expr("P(open, 5.0, close)", graph.get)
+
+Grammar (binary precedence matches the Python algebra — ``>>`` binds
+tighter than ``&``, which binds tighter than ``|``)::
+
+    expr    := or
+    or      := and  ("|"  and)*
+    and     := seq  ("&"  seq)*
+    seq     := prim (">>" prim)*
+    prim    := NAME | call | "(" expr ")"
+    call    := OP "(" arg ("," arg)* ")"
+    OP      := NOT | A | A* | P | P* | PLUS      (case-insensitive)
+    arg     := expr | NUMBER                     (numbers: period/delay)
+
+Names are resolved through the caller-supplied ``resolve`` callable, so
+the same parser serves the local facade (``graph.get``) and the server
+(which prefixes names with the calling tenant's namespace first).
+Syntax errors raise :class:`repro.errors.InvalidEventExpression`;
+unknown names propagate whatever ``resolve`` raises (normally
+:class:`repro.errors.UnknownEvent`), preserving error-type parity
+between local and remote use.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.events.algebra import E
+from repro.errors import InvalidEventExpression
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<seq>>>)"
+    r"|(?P<op>[&|(),*])"
+    r"|(?P<number>\d+(?:\.\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)"
+    r")"
+)
+
+#: call-style operator keywords → (arity, builder)
+_CALLS = {
+    "NOT": (3, lambda a: E.not_(*a)),
+    "A": (3, lambda a: E.A(*a)),
+    "A*": (3, lambda a: E.A_star(*a)),
+    "P": (3, lambda a: E.P(a[0], _number(a[1], "P"), a[2])),
+    "P*": (3, lambda a: E.P_star(a[0], _number(a[1], "P*"), a[2])),
+    "PLUS": (2, lambda a: E.plus(a[0], _number(a[1], "PLUS"))),
+}
+
+
+def _number(value, op: str) -> float:
+    if not isinstance(value, float):
+        raise InvalidEventExpression(
+            f"{op}(...) needs a numeric period/delay, got an event operand"
+        )
+    return value
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.end() == match.start():
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise InvalidEventExpression(
+                f"unexpected character {remainder[0]!r} in event "
+                f"expression {text!r}"
+            )
+        pos = match.end()
+        for kind in ("seq", "op", "number", "name"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _ExprParser:
+    def __init__(self, text: str, resolve: Callable[[str], object]):
+        self._text = text
+        self._resolve = resolve
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def parse(self):
+        node = self._or()
+        kind, value = self._peek()
+        if kind != "end":
+            raise InvalidEventExpression(
+                f"trailing {value!r} in event expression {self._text!r}"
+            )
+        if isinstance(node, float):
+            raise InvalidEventExpression(
+                f"a bare number is not an event expression: {self._text!r}"
+            )
+        return node
+
+    # -- precedence ladder -------------------------------------------------
+
+    def _or(self):
+        node = self._and()
+        while self._accept("op", "|"):
+            node = E.or_(node, self._and())
+        return node
+
+    def _and(self):
+        node = self._seq()
+        while self._accept("op", "&"):
+            node = E.and_(node, self._seq())
+        return node
+
+    def _seq(self):
+        node = self._primary()
+        while self._accept("seq", ">>"):
+            node = E.seq(node, self._primary())
+        return node
+
+    def _primary(self):
+        kind, value = self._peek()
+        if kind == "number":
+            self._advance()
+            return float(value)
+        if kind == "op" and value == "(":
+            self._advance()
+            node = self._or()
+            self._expect("op", ")")
+            return node
+        if kind == "name":
+            self._advance()
+            keyword = value.upper()
+            if self._accept("op", "*"):
+                keyword += "*"
+                if keyword not in _CALLS:
+                    raise InvalidEventExpression(
+                        f"unknown operator {keyword!r} in {self._text!r}"
+                    )
+                return self._call(keyword)
+            if keyword in _CALLS and self._check("op", "("):
+                return self._call(keyword)
+            return self._resolve(value)
+        raise InvalidEventExpression(
+            f"expected an event name, operator call, or '(' in "
+            f"{self._text!r}, found {value!r}" if value else
+            f"event expression {self._text!r} ended unexpectedly"
+        )
+
+    def _call(self, keyword: str):
+        arity, build = _CALLS[keyword]
+        self._expect("op", "(")
+        args = [self._or()]
+        while self._accept("op", ","):
+            args.append(self._or())
+        self._expect("op", ")")
+        if len(args) != arity:
+            raise InvalidEventExpression(
+                f"{keyword}(...) takes {arity} arguments, got {len(args)} "
+                f"in {self._text!r}"
+            )
+        return build(args)
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Tuple[str, str]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[str] = None) -> bool:
+        actual_kind, actual_value = self._peek()
+        return actual_kind == kind and (value is None or actual_value == value)
+
+    def _accept(self, kind: str, value: str) -> bool:
+        if self._check(kind, value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, value: str) -> None:
+        if not self._accept(kind, value):
+            __, found = self._peek()
+            raise InvalidEventExpression(
+                f"expected {value!r} in event expression {self._text!r}"
+                + (f", found {found!r}" if found else "")
+            )
+
+
+def parse_event_expr(text: str, resolve: Callable[[str], object]):
+    """Parse an event expression string into an :class:`EventNode`.
+
+    ``resolve`` maps each event *name* in the text to its node (and
+    defines the namespace the expression is evaluated in).
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise InvalidEventExpression("empty event expression")
+    return _ExprParser(text, resolve).parse()

@@ -1,0 +1,166 @@
+"""Length-prefixed framing for the Sentinel wire protocol.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of encoded payload (a JSON object by default; msgpack when both
+sides negotiated it and the library is installed — the dependency is
+optional and soft-gated, never imported at module load).
+
+Frame shapes (all JSON-safe dicts):
+
+* request:  ``{"id": n, "op": "raise_event", "args": {...}}``
+* response: ``{"id": n, "ok": true, "result": ...}``
+* error:    ``{"id": n, "ok": false, "code": 41, "type": "UnknownEvent",
+  "error": "..."}`` — ``code`` is the stable registry code from
+  :func:`repro.errors.error_code`, so the client re-raises the exact
+  exception class the server raised.
+* push:     ``{"push": "detection", "detection": {...}}`` (no id; may
+  arrive between any response frames once subscribed).
+
+Robustness contract: readers always either return one complete decoded
+frame or raise — :class:`~repro.errors.ConnectionClosed` on EOF (even
+mid-frame), :class:`~repro.errors.FrameTooLarge` when a header declares
+more than ``max_frame`` bytes (the stream is then unrecoverable: the
+body was never read), :class:`~repro.errors.ProtocolError` when a
+complete body fails to decode (the stream *is* still framed — callers
+may keep serving).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from repro.errors import ConnectionClosed, FrameTooLarge, ProtocolError
+
+#: wire protocol version; bumped on incompatible frame-shape changes
+PROTOCOL_VERSION = 1
+
+#: default upper bound on one frame's payload (1 MiB)
+DEFAULT_MAX_FRAME = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+class JsonCodec:
+    """UTF-8 JSON payloads — the mandatory baseline transport."""
+
+    name = "json"
+
+    @staticmethod
+    def encode(payload: dict) -> bytes:
+        return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def decode(data: bytes) -> dict:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ProtocolError(f"malformed frame body: {error}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"frame body must be an object, got {type(payload).__name__}"
+            )
+        return payload
+
+
+class MsgpackCodec:
+    """msgpack payloads; available only when the library is installed."""
+
+    name = "msgpack"
+
+    def __init__(self):
+        import msgpack  # soft dependency; gated by available_transports()
+
+        self._msgpack = msgpack
+
+    def encode(self, payload: dict) -> bytes:
+        return self._msgpack.packb(payload, use_bin_type=True)
+
+    def decode(self, data: bytes) -> dict:
+        try:
+            payload = self._msgpack.unpackb(data, raw=False)
+        except Exception as error:
+            raise ProtocolError(f"malformed frame body: {error}") from None
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                f"frame body must be a map, got {type(payload).__name__}"
+            )
+        return payload
+
+
+def _has_msgpack() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("msgpack") is not None
+
+
+def available_transports() -> list[str]:
+    """Transports this process can actually speak."""
+    transports = ["json"]
+    if _has_msgpack():
+        transports.append("msgpack")
+    return transports
+
+
+def get_codec(name: str):
+    if name == "json":
+        return JsonCodec()
+    if name == "msgpack":
+        if not _has_msgpack():
+            raise ProtocolError(
+                "transport 'msgpack' requested but the msgpack library is "
+                "not installed; available: " + ", ".join(available_transports())
+            )
+        return MsgpackCodec()
+    raise ProtocolError(
+        f"unknown transport {name!r}; available: "
+        + ", ".join(available_transports())
+    )
+
+
+def recv_exact(sock, size: int) -> bytes:
+    """Read exactly ``size`` bytes, riding out partial recv() returns."""
+    chunks = bytearray()
+    while len(chunks) < size:
+        chunk = sock.recv(size - len(chunks))
+        if not chunk:
+            if chunks:
+                raise ConnectionClosed(
+                    f"peer closed mid-frame ({len(chunks)}/{size} bytes read)"
+                )
+            raise ConnectionClosed("peer closed the connection")
+        chunks += chunk
+    return bytes(chunks)
+
+
+def recv_frame(sock, codec, max_frame: int = DEFAULT_MAX_FRAME) -> dict:
+    """Read one complete frame; see the module doc for the error contract."""
+    (length,) = _HEADER.unpack(recv_exact(sock, _HEADER.size))
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_frame:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit"
+        )
+    return codec.decode(recv_exact(sock, length))
+
+
+def encode_frame(payload: dict, codec,
+                 max_frame: Optional[int] = None) -> bytes:
+    """One payload as header+body bytes, bounds-checked before sending."""
+    body = codec.encode(payload)
+    if max_frame is not None and len(body) > max_frame:
+        raise FrameTooLarge(
+            f"outgoing frame of {len(body)} bytes exceeds the "
+            f"{max_frame}-byte limit"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def send_frame(sock, payload: dict, codec,
+               max_frame: Optional[int] = None) -> None:
+    try:
+        sock.sendall(encode_frame(payload, codec, max_frame))
+    except OSError as error:
+        raise ConnectionClosed(f"send failed: {error}") from None

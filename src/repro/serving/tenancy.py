@@ -1,0 +1,270 @@
+"""Tenants: namespaces, bearer tokens, and quotas for the server.
+
+One shared :class:`~repro.sentinel.Sentinel` serves every tenant; what
+keeps tenants apart is pure *naming*: every event name, rule name, and
+reactive class name a client sends is prefixed with ``<tenant>::``
+before it touches the detector, and every name the server sends back is
+stripped again. Two tenants can therefore both define ``e1`` and rule
+``r1`` without collision, and neither can reference (or even observe)
+the other's definitions — an unknown qualified name simply raises
+:class:`~repro.errors.UnknownEvent`/:class:`~repro.errors.UnknownRule`
+like any other undefined name.
+
+Quotas are enforced per tenant at the wire boundary:
+
+* ``max_rules`` — watched rules concurrently defined;
+* ``events_per_sec`` — a token bucket charged one token per event
+  (batches charge their length), with ``burst`` tokens of headroom.
+
+Rejections raise :class:`~repro.errors.QuotaExceeded` *before* any
+event enters the detector, so one tenant exhausting its budget never
+perturbs another tenant's detection state.
+"""
+
+from __future__ import annotations
+
+import hmac
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import AuthenticationError, ProtocolError, QuotaExceeded
+
+#: separator between the tenant namespace and user-chosen names
+NAMESPACE_SEP = "::"
+
+
+def qualify(tenant: str, name: str) -> str:
+    """A client-supplied name, moved into the tenant's namespace."""
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("names must be non-empty strings")
+    if NAMESPACE_SEP in name:
+        raise ProtocolError(
+            f"names may not contain {NAMESPACE_SEP!r}: {name!r}"
+        )
+    return f"{tenant}{NAMESPACE_SEP}{name}"
+
+
+def unqualify(tenant: str, name: str) -> str:
+    """Strip the tenant prefix (names outside the namespace pass through)."""
+    prefix = f"{tenant}{NAMESPACE_SEP}"
+    return name[len(prefix):] if name.startswith(prefix) else name
+
+
+def owner_of(name: str) -> Optional[str]:
+    """The tenant a qualified name belongs to, if any."""
+    tenant, sep, rest = name.partition(NAMESPACE_SEP)
+    return tenant if sep and tenant and rest else None
+
+
+class TokenBucket:
+    """A thread-safe token bucket (tokens/second with burst headroom).
+
+    ``clock`` is injectable so quota tests are deterministic.
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError("token bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst,
+                self._tokens + (now - self._refilled_at) * self.rate,
+            )
+            self._refilled_at = now
+            if tokens > self._tokens:
+                return False
+            self._tokens -= tokens
+            return True
+
+    def available(self) -> float:
+        with self._lock:
+            now = self._clock()
+            return min(
+                self.burst,
+                self._tokens + (now - self._refilled_at) * self.rate,
+            )
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant limits; ``None`` means unlimited."""
+
+    max_rules: Optional[int] = 256
+    events_per_sec: Optional[float] = None
+    burst: Optional[float] = None
+
+
+@dataclass
+class TenantCounters:
+    """Monotonic per-tenant counters surfaced as Prometheus families."""
+
+    events: int = 0
+    batches: int = 0
+    detections: int = 0
+    quota_rejections: int = 0
+    errors: int = 0
+
+
+class Tenant:
+    """One namespace + credential + quota bundle on a server."""
+
+    def __init__(self, name: str, token: Optional[str] = None,
+                 quota: Optional[TenantQuota] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if not name or NAMESPACE_SEP in name:
+            raise ValueError(f"invalid tenant name {name!r}")
+        self.name = name
+        self.token = token
+        self.quota = quota if quota is not None else TenantQuota()
+        self.counters = TenantCounters()
+        self.rules = 0          # gauge: watched rules currently defined
+        self.connections = 0    # gauge: live authenticated connections
+        self.lock = threading.Lock()
+        self.bucket: Optional[TokenBucket] = (
+            TokenBucket(self.quota.events_per_sec, self.quota.burst,
+                        clock=clock)
+            if self.quota.events_per_sec is not None else None
+        )
+
+    # -- quota gates -------------------------------------------------------
+
+    def charge_events(self, count: int) -> None:
+        """Admit ``count`` events or raise :class:`QuotaExceeded`."""
+        if self.bucket is not None and not self.bucket.try_acquire(count):
+            with self.lock:
+                self.counters.quota_rejections += 1
+            raise QuotaExceeded(
+                f"tenant {self.name!r} exceeded its event rate "
+                f"({self.quota.events_per_sec:g}/s); retry later"
+            )
+        with self.lock:
+            self.counters.events += count
+
+    def charge_rule(self) -> None:
+        """Admit one more watched rule or raise :class:`QuotaExceeded`."""
+        with self.lock:
+            limit = self.quota.max_rules
+            if limit is not None and self.rules >= limit:
+                self.counters.quota_rejections += 1
+                raise QuotaExceeded(
+                    f"tenant {self.name!r} already has {self.rules} rules "
+                    f"(limit {limit})"
+                )
+            self.rules += 1
+
+    def release_rule(self) -> None:
+        with self.lock:
+            self.rules = max(0, self.rules - 1)
+
+    # -- names -------------------------------------------------------------
+
+    def qualify(self, name: str) -> str:
+        return qualify(self.name, name)
+
+    def unqualify(self, name: str) -> str:
+        return unqualify(self.name, name)
+
+    def owns(self, name: str) -> bool:
+        return name.startswith(self.name + NAMESPACE_SEP)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "tenant": self.name,
+                "events": self.counters.events,
+                "batches": self.counters.batches,
+                "detections": self.counters.detections,
+                "quota_rejections": self.counters.quota_rejections,
+                "errors": self.counters.errors,
+                "rules": self.rules,
+                "connections": self.connections,
+                "max_rules": self.quota.max_rules,
+                "events_per_sec": self.quota.events_per_sec,
+            }
+
+    @classmethod
+    def parse_spec(cls, spec: str,
+                   clock: Callable[[], float] = time.monotonic) -> "Tenant":
+        """Build a tenant from a CLI spec string.
+
+        ``name:token[:rules=N][:eps=R][:burst=B]`` — e.g.
+        ``alpha:s3cret:rules=64:eps=500``. An empty token
+        (``alpha:``) means no authentication for that tenant.
+        """
+        parts = spec.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                f"tenant spec {spec!r} must look like name:token[:k=v...]"
+            )
+        name, token = parts[0], parts[1] or None
+        max_rules: Optional[int] = TenantQuota.max_rules
+        eps: Optional[float] = None
+        burst: Optional[float] = None
+        for option in parts[2:]:
+            key, sep, value = option.partition("=")
+            if not sep:
+                raise ValueError(f"bad tenant option {option!r} in {spec!r}")
+            if key == "rules":
+                max_rules = int(value)
+            elif key == "eps":
+                eps = float(value)
+            elif key == "burst":
+                burst = float(value)
+            else:
+                raise ValueError(f"unknown tenant option {key!r} in {spec!r}")
+        quota = TenantQuota(max_rules=max_rules, events_per_sec=eps,
+                            burst=burst)
+        return cls(name, token=token, quota=quota, clock=clock)
+
+
+class TenantRegistry:
+    """The server's tenant directory and authenticator."""
+
+    def __init__(self, tenants: Iterable[Tenant]):
+        self._tenants: Dict[str, Tenant] = {}
+        for tenant in tenants:
+            if tenant.name in self._tenants:
+                raise ValueError(f"duplicate tenant {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+        if not self._tenants:
+            # Open single-tenant mode: no token required.
+            self._tenants["default"] = Tenant("default", token=None)
+
+    def authenticate(self, name: str, token: Optional[str]) -> Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise AuthenticationError(f"unknown tenant {name!r}")
+        if tenant.token is not None:
+            if not isinstance(token, str) or not hmac.compare_digest(
+                tenant.token, token
+            ):
+                raise AuthenticationError(
+                    f"bad token for tenant {name!r}"
+                )
+        return tenant
+
+    def get(self, name: str) -> Optional[Tenant]:
+        return self._tenants.get(name)
+
+    def owner_of(self, qualified_name: str) -> Optional[Tenant]:
+        owner = owner_of(qualified_name)
+        return self._tenants.get(owner) if owner else None
+
+    def all(self) -> list[Tenant]:
+        return sorted(self._tenants.values(), key=lambda t: t.name)
+
+    def __len__(self) -> int:
+        return len(self._tenants)

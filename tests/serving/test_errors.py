@@ -1,0 +1,112 @@
+"""The stable error-code registry: wire codes and CLI exit codes."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ERROR_CODE_REGISTRY,
+    EXIT_ERROR,
+    EXIT_OK,
+    EXIT_USAGE,
+    AuthenticationError,
+    DuplicateRule,
+    FrameTooLarge,
+    ProtocolError,
+    QuotaExceeded,
+    RemoteError,
+    RuleExecutionError,
+    SentinelError,
+    UnknownEvent,
+    UnknownRule,
+    cli_exit_code,
+    error_code,
+    exception_for,
+)
+
+# The wire protocol and scripts parse these numbers; changing one is a
+# protocol break. New codes may be added, existing ones never reused.
+PINNED_CODES = {
+    SentinelError: 1,
+    UnknownEvent: 41,
+    UnknownRule: 51,
+    DuplicateRule: 52,
+    RuleExecutionError: 53,
+    ProtocolError: 81,
+    FrameTooLarge: 82,
+    AuthenticationError: 84,
+    QuotaExceeded: 85,
+    RemoteError: 86,
+}
+
+
+def test_registry_codes_are_unique():
+    assert len(set(ERROR_CODE_REGISTRY)) == len(ERROR_CODE_REGISTRY)
+    classes = list(ERROR_CODE_REGISTRY.values())
+    assert len(set(classes)) == len(classes)
+
+
+def test_pinned_codes_never_move():
+    for cls, code in PINNED_CODES.items():
+        assert ERROR_CODE_REGISTRY[code] is cls
+        assert error_code(exception_for(code, "x")) == code
+
+
+def test_every_registered_class_is_a_sentinel_error():
+    for cls in ERROR_CODE_REGISTRY.values():
+        assert issubclass(cls, SentinelError)
+
+
+def test_error_code_walks_the_mro():
+    class Custom(UnknownEvent):
+        pass
+
+    # An unregistered subclass reports its nearest registered ancestor.
+    assert error_code(Custom("x")) == error_code(UnknownEvent("x"))
+
+
+def test_every_public_exception_has_a_code():
+    """Every concrete exception exported by repro.errors maps to a
+    registered code (its own or an ancestor's) — nothing falls back to
+    the 'unknown error' base implicitly."""
+    registered = set(ERROR_CODE_REGISTRY.values())
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if (isinstance(obj, type) and issubclass(obj, SentinelError)):
+            assert any(cls in registered for cls in obj.__mro__), name
+
+
+def test_exception_for_roundtrip():
+    for code, cls in ERROR_CODE_REGISTRY.items():
+        rebuilt = exception_for(code, "message text")
+        assert type(rebuilt) is cls
+        assert "message text" in str(rebuilt)
+
+
+def test_exception_for_unknown_code_degrades_to_remote_error():
+    rebuilt = exception_for(99999, "future server said so")
+    assert isinstance(rebuilt, RemoteError)
+    assert "future server said so" in str(rebuilt)
+
+
+def test_roundtrip_through_wire_shape():
+    """Encode like the server, decode like the client: same type."""
+    original = UnknownEvent("event 'x' is not defined")
+    frame = {"code": error_code(original), "error": str(original)}
+    rebuilt = exception_for(frame["code"], frame["error"])
+    assert type(rebuilt) is UnknownEvent
+    assert str(rebuilt) == str(original)
+
+
+def test_cli_exit_codes():
+    assert EXIT_OK == 0 and EXIT_ERROR == 1 and EXIT_USAGE == 2
+    assert cli_exit_code(UnknownEvent("x")) == EXIT_ERROR
+    assert cli_exit_code(QuotaExceeded("x")) == EXIT_ERROR
+    assert cli_exit_code(FileNotFoundError("x")) == EXIT_USAGE
+    assert cli_exit_code(IsADirectoryError("x")) == EXIT_USAGE
+    assert cli_exit_code(PermissionError("x")) == EXIT_USAGE
+
+
+@pytest.mark.parametrize("code", sorted(ERROR_CODE_REGISTRY))
+def test_rebuilt_exceptions_are_raisable(code):
+    with pytest.raises(SentinelError):
+        raise exception_for(code, "boom")

@@ -1,0 +1,172 @@
+"""Framing robustness: partial reads, oversized frames, malformed bodies."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ConnectionClosed, FrameTooLarge, ProtocolError
+from repro.serving.protocol import (
+    DEFAULT_MAX_FRAME,
+    JsonCodec,
+    available_transports,
+    encode_frame,
+    get_codec,
+    recv_exact,
+    recv_frame,
+    send_frame,
+)
+
+
+class DribbleSocket:
+    """A fake socket that returns at most ``chunk`` bytes per recv()."""
+
+    def __init__(self, data: bytes, chunk: int = 1):
+        self._data = data
+        self._chunk = chunk
+        self.sent = bytearray()
+
+    def recv(self, size: int) -> bytes:
+        take = min(size, self._chunk, len(self._data))
+        piece, self._data = self._data[:take], self._data[take:]
+        return piece
+
+    def sendall(self, data: bytes) -> None:
+        self.sent += data
+
+
+CODEC = JsonCodec()
+
+
+def frame_bytes(payload: dict) -> bytes:
+    return encode_frame(payload, CODEC)
+
+
+def test_roundtrip_over_partial_reads():
+    payload = {"id": 7, "op": "ping", "args": {"deep": [1, 2, {"a": "b"}]}}
+    sock = DribbleSocket(frame_bytes(payload), chunk=1)
+    assert recv_frame(sock, CODEC) == payload
+
+
+def test_recv_exact_reassembles_chunks():
+    sock = DribbleSocket(b"abcdefgh", chunk=3)
+    assert recv_exact(sock, 8) == b"abcdefgh"
+
+
+def test_two_frames_back_to_back():
+    first, second = {"id": 1}, {"id": 2, "op": "x"}
+    sock = DribbleSocket(frame_bytes(first) + frame_bytes(second), chunk=2)
+    assert recv_frame(sock, CODEC) == first
+    assert recv_frame(sock, CODEC) == second
+
+
+def test_eof_before_any_bytes_is_connection_closed():
+    with pytest.raises(ConnectionClosed):
+        recv_frame(DribbleSocket(b""), CODEC)
+
+
+def test_eof_mid_header_is_connection_closed():
+    with pytest.raises(ConnectionClosed):
+        recv_frame(DribbleSocket(b"\x00\x00"), CODEC)
+
+
+def test_eof_mid_body_is_connection_closed():
+    data = frame_bytes({"id": 1})[:-3]  # drop the body's tail
+    with pytest.raises(ConnectionClosed, match="mid-frame"):
+        recv_frame(DribbleSocket(data), CODEC)
+
+
+def test_zero_length_frame_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="zero-length"):
+        recv_frame(DribbleSocket(struct.pack(">I", 0)), CODEC)
+
+
+def test_oversized_frame_is_rejected_by_the_bound():
+    huge_header = struct.pack(">I", 512 + 1)
+    with pytest.raises(FrameTooLarge, match="512"):
+        recv_frame(DribbleSocket(huge_header), CODEC, max_frame=512)
+
+
+def test_default_bound_is_one_mib():
+    assert DEFAULT_MAX_FRAME == 1 << 20
+    header = struct.pack(">I", DEFAULT_MAX_FRAME + 1)
+    with pytest.raises(FrameTooLarge):
+        recv_frame(DribbleSocket(header), CODEC)
+
+
+def test_outgoing_frames_are_bounds_checked_too():
+    payload = {"blob": "x" * 1024}
+    with pytest.raises(FrameTooLarge):
+        encode_frame(payload, CODEC, max_frame=128)
+
+
+def test_malformed_json_is_a_protocol_error():
+    body = b"{not json"
+    data = struct.pack(">I", len(body)) + body
+    with pytest.raises(ProtocolError, match="malformed"):
+        recv_frame(DribbleSocket(data), CODEC)
+
+
+def test_non_object_body_is_a_protocol_error():
+    body = b"[1,2,3]"
+    data = struct.pack(">I", len(body)) + body
+    with pytest.raises(ProtocolError, match="must be an object"):
+        recv_frame(DribbleSocket(data), CODEC)
+
+
+def test_malformed_body_leaves_the_stream_framed():
+    """After a decode failure the next frame is still readable — the
+    error contract that lets the server keep serving the connection."""
+    bad_body = b"!!!!"
+    good = {"id": 2}
+    data = struct.pack(">I", len(bad_body)) + bad_body + frame_bytes(good)
+    sock = DribbleSocket(data, chunk=3)
+    with pytest.raises(ProtocolError):
+        recv_frame(sock, CODEC)
+    assert recv_frame(sock, CODEC) == good
+
+
+def test_send_frame_wraps_socket_errors():
+    class DeadSocket:
+        def sendall(self, data):
+            raise BrokenPipeError("gone")
+
+    with pytest.raises(ConnectionClosed, match="send failed"):
+        send_frame(DeadSocket(), {"id": 1}, CODEC)
+
+
+def test_json_transport_is_always_available():
+    assert "json" in available_transports()
+    assert get_codec("json").decode(b'{"a": 1}') == {"a": 1}
+
+
+def test_unknown_transport_is_a_protocol_error():
+    with pytest.raises(ProtocolError, match="unknown transport"):
+        get_codec("carrier-pigeon")
+
+
+@pytest.mark.skipif(
+    "msgpack" not in available_transports(),
+    reason="msgpack not installed",
+)
+def test_msgpack_roundtrip():
+    codec = get_codec("msgpack")
+    payload = {"id": 1, "args": {"x": [1, 2, 3]}}
+    assert codec.decode(codec.encode(payload)) == payload
+
+
+def test_real_socket_pair_roundtrip():
+    left, right = socket.socketpair()
+    try:
+        payload = {"id": 42, "op": "ping", "args": {}}
+        send_frame(left, payload, CODEC)
+        assert recv_frame(right, CODEC) == payload
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right, CODEC)
+    finally:
+        for sock in (left, right):
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -1,10 +1,17 @@
 """Tests for the command-line tools."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+import repro
+from repro.cli import build_parser, main
 
 SPEC = """
 class STOCK : public REACTIVE {
@@ -131,3 +138,79 @@ class TestTrace:
         out = capsys.readouterr().out
         # only the last event survives the 1-slot ring buffer
         assert out.count("#") <= 2
+
+
+class TestExitCodes:
+    """Errors carry the registry code: ``error: <msg> [E<code>]``."""
+
+    def test_sentinel_errors_append_the_wire_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sentinel"
+        bad.write_text("rule R(")
+        assert main(["check", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "[E61]" in err  # SnoopSyntaxError's registry code
+
+    def test_bad_tenant_spec_is_a_value_error(self, capsys):
+        assert main(["serve", "--tenant", "missing-colon",
+                     "--duration", "0"]) == 1
+        assert "tenant spec" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_parser_has_serve_command(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--tenant", "a:t:eps=5",
+            "--duration", "0.1",
+        ])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.tenant == ["a:t:eps=5"]
+
+    def test_serve_duration_runs_and_exits_cleanly(self, tmp_path, capsys):
+        port_file = tmp_path / "port.txt"
+        assert main(["serve", "--port", "0",
+                     "--port-file", str(port_file),
+                     "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving" in out and "stopped" in out
+        host, port = port_file.read_text().split()
+        assert host == "127.0.0.1" and int(port) > 0
+
+    def test_serve_subprocess_drains_on_sigterm(self, tmp_path):
+        """The acceptance path: boot, serve a client, SIGTERM, exit 0."""
+        port_file = tmp_path / "port.txt"
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = {**os.environ, "PYTHONPATH": src}
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--port-file", str(port_file),
+             "--tenant", "alpha:tok:eps=1000"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 20
+            while not port_file.exists() and time.time() < deadline:
+                if process.poll() is not None:
+                    break
+                time.sleep(0.05)
+            assert port_file.exists(), process.communicate()[1]
+            host, port = port_file.read_text().split()
+
+            from repro.serving import SentinelClient
+
+            with SentinelClient(host, int(port), tenant="alpha",
+                                token="tok") as client:
+                client.explicit_event("e")
+                client.watch("r", "e")
+                client.raise_event("e")
+                assert len(client.detections("r")) == 1
+
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=20)
+            assert process.returncode == 0, err
+            assert "draining" in out and "stopped" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
