@@ -118,6 +118,20 @@ def test_zero_processor_emit_is_near_noop():
     # always-on tracing, which costs multiples, not percents).
     assert toggled < baseline * 1.5
 
+    # Same budget for the stage-latency histograms and trace-id
+    # stamping added for lifecycle tracing: attached-then-detached must
+    # leave no residual per-dispatch cost (no histogram observes, no
+    # occurrence stamping) on the dormant path.
+    from repro.telemetry import StageLatencyProcessor
+
+    latency_det = LocalEventDetector()
+    processor = latency_det.telemetry.attach(StageLatencyProcessor())
+    latency_det.telemetry.detach(processor)
+    assert not latency_det.telemetry.active
+    latency_off = run(latency_det)
+    latency_det.shutdown()
+    assert latency_off < baseline * 1.5
+
 
 def test_metrics_rendering_is_off_the_hot_path(benchmark):
     """/metrics rendering cost falls on the scraper, not rule dispatch.

@@ -12,12 +12,12 @@ Run with::
     PYTHONPATH=src python -m pytest benchmarks/test_serving_throughput.py -q -s
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.bench.record import record
 from repro.sentinel import Sentinel
 from repro.serving import SentinelClient, SentinelServer
 from repro.serving.tenancy import Tenant
@@ -54,20 +54,15 @@ def served():
 def results():
     collected: dict = {}
     yield collected
-    # Module teardown: append one trajectory entry with every sample.
+    # Module teardown: append one trajectory entry with every sample
+    # through the shared writer (git SHA / host provenance included).
     if len(collected) < 1 + len(BATCH_SIZES):
         return  # a test failed; don't record a partial point
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append({
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "benchmark": "serving_loopback_throughput",
-        "unit": "events_per_sec",
-        "samples": collected,
-    })
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
-    print(f"\nBENCH_serving.json: appended entry #{len(trajectory)}")
+    record(
+        TRAJECTORY, "serving_loopback_throughput", "events_per_sec",
+        collected,
+    )
+    print(f"\n{TRAJECTORY.name}: appended trajectory entry")
     for name, eps in collected.items():
         print(f"  {name}: {eps:,.0f} events/s")
 

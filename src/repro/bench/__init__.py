@@ -7,6 +7,7 @@ streams, and rule populations with controllable shape. Everything here
 is seeded and deterministic.
 """
 
+from repro.bench.record import load, provenance, record
 from repro.bench.workload import (
     EventStream,
     ReactiveSchema,
@@ -19,4 +20,7 @@ __all__ = [
     "EventStream",
     "RulePopulation",
     "make_expression",
+    "record",
+    "load",
+    "provenance",
 ]

@@ -1,0 +1,102 @@
+"""The shared benchmark-result writer.
+
+Every benchmark that persists numbers appends schema-versioned entries
+to a ``BENCH_*.json`` file at the repo root through :func:`record`, so
+all trajectory files carry the same shape and the same provenance —
+git SHA, UTC timestamp, Python version, host — and the regression gate
+(:mod:`repro.bench.trajectory`) can read any of them.
+
+An entry::
+
+    {
+      "schema": 1,
+      "recorded_at": "2026-08-08T12:00:00Z",
+      "benchmark": "serving_loopback_throughput",
+      "unit": "events_per_sec",
+      "samples": {"single": 5876.3, "batch_32": 13012.1},
+      "provenance": {"git_sha": "...", "python": "3.12.1",
+                     "platform": "Linux-...", "host": "..."}
+    }
+
+Files written before the writer existed (schema-less entries) load
+fine; :func:`load` returns them as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+#: bumped when the entry shape changes incompatibly
+SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: Optional[Union[str, os.PathLike]] = None) -> Optional[str]:
+    """The current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance(cwd: Optional[Union[str, os.PathLike]] = None) -> dict:
+    """Where/when/what produced a benchmark point."""
+    return {
+        "git_sha": git_sha(cwd),
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "host": platform.node(),
+    }
+
+
+def load(path: Union[str, os.PathLike]) -> list[dict]:
+    """Every entry in a trajectory file (empty list when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON list of entries")
+    return data
+
+
+def record(
+    path: Union[str, os.PathLike],
+    benchmark: str,
+    unit: str,
+    samples: Mapping[str, Any],
+    extra: Optional[Mapping[str, Any]] = None,
+) -> dict:
+    """Append one point to a trajectory file; returns the entry.
+
+    ``samples`` maps sample names to numbers, all in ``unit``.
+    ``extra`` merges additional top-level keys into the entry
+    (e.g. workload parameters).
+    """
+    path = Path(path)
+    entry: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "benchmark": benchmark,
+        "unit": unit,
+        "samples": dict(samples),
+        "provenance": provenance(cwd=path.parent if path.parent.name else None),
+    }
+    if extra:
+        entry.update(extra)
+    trajectory = load(path)
+    trajectory.append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry

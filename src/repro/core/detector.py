@@ -431,6 +431,7 @@ class LocalEventDetector:
                 candidates = mro_names
         telemetry = self.telemetry
         traced = telemetry.active
+        trace = telemetry.current_trace_id() if traced else None
         runtime = self.runtime
         sharded = runtime.active
         nodes = [
@@ -453,6 +454,7 @@ class LocalEventDetector:
                 arguments=arguments,
                 txn_id=txn_id,
                 state_snapshot=self._snapshot(node, instance),
+                trace_id=trace,
             )
             occurrences.append(occurrence)
             for listener in self.occurrence_listeners:
@@ -484,13 +486,17 @@ class LocalEventDetector:
         if txn_id is None:
             current = self.current_transaction()
             txn_id = current.top_level_id if current is not None else None
-        occurrence = PrimitiveOccurrence(
-            event_name=name,
-            at=at,
-            class_name="$EXPLICIT",
-            arguments=tuple((k, atomic(v)) for k, v in params.items()),
-            txn_id=txn_id,
-        )
+
+        def make(trace: Optional[str]) -> PrimitiveOccurrence:
+            return PrimitiveOccurrence(
+                event_name=name,
+                at=at,
+                class_name="$EXPLICIT",
+                arguments=tuple((k, atomic(v)) for k, v in params.items()),
+                txn_id=txn_id,
+                trace_id=trace,
+            )
+
         telemetry = self.telemetry
         if telemetry.active:
             with telemetry.span(
@@ -498,8 +504,12 @@ class LocalEventDetector:
                 class_name="$EXPLICIT", method_name=name, modifier="raise",
                 source="explicit", matched=1,
             ):
+                # Constructed inside the span so the occurrence carries
+                # the trace the span minted (or inherited).
+                occurrence = make(telemetry.current_trace_id())
                 self._dispatch(lambda: self._raise(node, occurrence))
         else:
+            occurrence = make(None)
             self._dispatch(lambda: self._raise(node, occurrence))
         return occurrence
 
@@ -538,6 +548,8 @@ class LocalEventDetector:
         occurrences: list[PrimitiveOccurrence] = []
 
         def propagate() -> None:
+            telemetry = self.telemetry
+            trace = telemetry.current_trace_id() if telemetry.active else None
             for node, (name, params) in zip(nodes, items):
                 at = self.clock.tick()
                 if txn_id is None:
@@ -555,6 +567,7 @@ class LocalEventDetector:
                         (k, atomic(v)) for k, v in params.items()
                     ),
                     txn_id=tid,
+                    trace_id=trace,
                 )
                 occurrences.append(occurrence)
                 self._raise(node, occurrence)
@@ -673,10 +686,12 @@ class LocalEventDetector:
             listener(rule, occurrence)
         telemetry = self.telemetry
         parent_span_id = None
+        trace_id = None
         if telemetry.active:
             # Capture the triggering scope so the rule span links to it
             # even when it runs on another thread (threaded/detached).
             parent_span_id = telemetry.current_span_id()
+            trace_id = telemetry.current_trace_id()
             telemetry.point(
                 RuleTriggered,
                 rule_name=rule.name,
@@ -684,7 +699,7 @@ class LocalEventDetector:
             )
         activation = RuleActivation(
             rule, occurrence, parent_txn=self.current_transaction(),
-            parent_span_id=parent_span_id,
+            parent_span_id=parent_span_id, trace_id=trace_id,
         )
         frames = self._frames()
         if frames:

@@ -91,6 +91,10 @@ class PrimitiveOccurrence(Occurrence):
     #: require versioning of objects"; snapshot-enabled primitive
     #: events approximate that versioning for rule parameters.
     state_snapshot: Optional[tuple[tuple[str, Any], ...]] = None
+    #: end-to-end lifecycle id stamped at ingest when telemetry is on;
+    #: rides the occurrence through shard channels, composite operators
+    #: and the serving wire so spans anywhere join the same trace tree.
+    trace_id: Optional[str] = None
     seq: int = field(default_factory=lambda: next(_SEQ))
 
     @property

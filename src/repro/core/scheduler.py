@@ -57,6 +57,11 @@ class RuleActivation:
     #: telemetry scope open when the trigger happened; the rule span
     #: links here even when it executes on another thread (detached)
     parent_span_id: Optional[int] = None
+    #: end-to-end trace open when the trigger happened; detached worker
+    #: threads adopt it so the rule span joins the originating trace
+    trace_id: Optional[str] = None
+    #: ``perf_counter`` at detached-queue submit (wait-time accounting)
+    enqueued_at: Optional[float] = None
     depth: int = 0
 
     @property
@@ -184,6 +189,7 @@ class RuleScheduler:
         with telemetry.span(
             RuleExecution,
             parent_id=activation.parent_span_id,
+            trace_id=activation.trace_id,
             rule_name=rule.name,
             coupling=rule.coupling.value,
             depth=self._depth() + 1,
@@ -377,6 +383,10 @@ class DetachedRuleQueue:
         self.stats = DetachedQueueStats()
         self.errors: list[tuple[str, Exception]] = []
         self._queue: deque[RuleActivation] = deque()
+        #: queue-residency (wait) accounting, updated under the lock
+        self._wait_count = 0
+        self._wait_total_ms = 0.0
+        self._wait_max_ms = 0.0
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -415,6 +425,7 @@ class DetachedRuleQueue:
                 else:  # spill
                     spill_out.append(self._queue.popleft())
                     self.stats.spilled += 1
+            activation.enqueued_at = perf_counter()
             self._queue.append(activation)
             self.stats.submitted += 1
             self._not_empty.notify()
@@ -452,6 +463,26 @@ class DetachedRuleQueue:
                 activation = self._queue.popleft()
                 self._active += 1
                 self._not_full.notify()
+                if activation.enqueued_at is not None:
+                    wait_ms = (
+                        perf_counter() - activation.enqueued_at
+                    ) * 1000.0
+                    self._wait_count += 1
+                    self._wait_total_ms += wait_ms
+                    if wait_ms > self._wait_max_ms:
+                        self._wait_max_ms = wait_ms
+                else:
+                    wait_ms = None
+            if wait_ms is not None and self.telemetry.active:
+                from repro.telemetry.events import DetachedQueueWait
+
+                self.telemetry.point(
+                    DetachedQueueWait,
+                    parent_id=activation.parent_span_id,
+                    trace_id=activation.trace_id,
+                    rule_name=activation.rule.name,
+                    wait_ms=wait_ms,
+                )
             try:
                 # Transient injected faults at the run site are retried
                 # so one flaky delivery does not burn an activation; an
@@ -520,6 +551,9 @@ class DetachedRuleQueue:
         with self._lock:
             depth = len(self._queue)
             active = self._active
+            wait_count = self._wait_count
+            wait_total = self._wait_total_ms
+            wait_max = self._wait_max_ms
         return {
             "capacity": self.capacity,
             "policy": self.policy,
@@ -531,6 +565,11 @@ class DetachedRuleQueue:
             "spilled": self.stats.spilled,
             "blocked": self.stats.blocked,
             "errors": self.stats.errors,
+            "wait_count": wait_count,
+            "wait_ms_avg": round(
+                wait_total / wait_count, 4
+            ) if wait_count else 0.0,
+            "wait_ms_max": round(wait_max, 4),
         }
 
 

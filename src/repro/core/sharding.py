@@ -46,9 +46,10 @@ import threading
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
-from repro.telemetry.events import GraphPropagation
+from repro.telemetry.events import GraphPropagation, ShardHop
 
 if TYPE_CHECKING:
     from repro.core.detector import LocalEventDetector
@@ -57,7 +58,7 @@ if TYPE_CHECKING:
 
 # Driver entry kinds (index 0 of each entry tuple).
 _OCCUR = 0   # (kind, shard, node, occurrence)          — root primitive
-_EDGE = 1    # (kind, shard, parent, port, occ, ctx)    — parent delivery
+_EDGE = 1    # (kind, shard, parent, port, occ, ctx[, sent_at]) — delivery
 _EMIT = 2    # (kind, shard, rule, occurrence)          — rule trigger
 _POLL = 3    # (kind, shard, node, now)                 — temporal poll
 
@@ -196,18 +197,28 @@ class ShardedRuntime:
         stats.detections += 1
         graph = self.graph
         buffer = self._buffer()
+        traced = self.telemetry.active
         for parent, port in node.event_subscribers:
             if parent.context_active(ctx):
                 graph.stats.propagations += 1
-                entry = (_EDGE, parent.shard, parent, port, occurrence, ctx)
                 if parent.shard != shard:
                     # Route through the owner shard's pending channel:
                     # the hand-off is counted and traced, and the sink
-                    # lands the entry back in this thread's buffer.
+                    # lands the entry back in this thread's buffer. When
+                    # tracing, stamp the send time so the driver can
+                    # report the shard-hop wait on delivery.
                     stats.cross_shard_out += 1
+                    if traced:
+                        entry = (_EDGE, parent.shard, parent, port,
+                                 occurrence, ctx, perf_counter())
+                    else:
+                        entry = (_EDGE, parent.shard, parent, port,
+                                 occurrence, ctx)
                     self.channels[parent.shard].send(entry)
                 else:
-                    buffer.append(entry)
+                    buffer.append(
+                        (_EDGE, parent.shard, parent, port, occurrence, ctx)
+                    )
         for rule in list(node.rule_subscribers):
             if rule.wants(ctx, occurrence):
                 buffer.append((_EMIT, shard, rule, occurrence))
@@ -246,7 +257,18 @@ class ShardedRuntime:
                         held = shard
                         stats[shard].lock_acquisitions += 1
                     if kind == _EDGE:
-                        __, __, parent, port, occurrence, ctx = entry
+                        parent, port, occurrence, ctx = entry[2:6]
+                        if len(entry) == 7 and telemetry.active:
+                            telemetry.point(
+                                ShardHop,
+                                shard=shard,
+                                wait_ms=(
+                                    perf_counter() - entry[6]
+                                ) * 1000.0,
+                                trace_id=getattr(
+                                    occurrence, "trace_id", None
+                                ),
+                            )
                         parent.on_child(port, occurrence, ctx)
                     else:  # _OCCUR or _POLL: a cascade root
                         node = entry[2]

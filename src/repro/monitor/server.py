@@ -11,7 +11,10 @@ system, each backed by state the telemetry layer already maintains:
   rendered ASCII form ``repro trace`` prints alongside;
 * ``/graph``   — the event-graph snapshot (per-node occurrence counts
   per parameter context, subscriber lists, queue depths);
-* ``/profile`` — the rule profiler's per-rule/per-node attribution.
+* ``/profile`` — the rule profiler's per-rule/per-node attribution;
+* ``/trace/<trace_id>`` — one event's lifecycle reconstructed from the
+  span ring: every span/point stamped with that trace id, as trees and
+  rendered text.
 
 The server is a ``ThreadingHTTPServer`` on a daemon thread: scrapes
 never block rule execution, and an abandoned server cannot keep the
@@ -133,6 +136,9 @@ class MonitorServer:
                 self._send_json(request, status, data)
             elif path == "/spans":
                 self._send_json(request, 200, self._spans())
+            elif path.startswith("/trace/"):
+                status, data = self._trace_view(path[len("/trace/"):])
+                self._send_json(request, status, data)
             elif path == "/graph":
                 if self.graph is None:
                     self._send_json(request, 404,
@@ -148,6 +154,7 @@ class MonitorServer:
             elif path == "/":
                 self._send_json(request, 200, {"endpoints": [
                     "/metrics", "/health", "/spans", "/graph", "/profile",
+                    "/trace/<trace_id>",
                 ]})
             else:
                 self._send_json(request, 404, {"error": f"unknown {path}"})
@@ -176,6 +183,21 @@ class MonitorServer:
             "rendered": self.trace.render(events),
             "buffered": len(events),
             "capacity": self.trace.capacity,
+        }
+
+    def _trace_view(self, trace_id: str) -> tuple[int, dict]:
+        """One trace's lifecycle from the span ring (or 404)."""
+        if self.trace is None:
+            return 404, {"error": "no trace processor wired"}
+        events = self.trace.for_trace(trace_id)
+        if not events:
+            return 404, {"error": f"no spans for trace {trace_id!r} "
+                                  "(evicted from the ring, or never seen)"}
+        return 200, {
+            "trace_id": trace_id,
+            "events": len(events),
+            "trees": self.trace.trees(events),
+            "rendered": self.trace.render(events),
         }
 
     # -- plumbing ----------------------------------------------------------

@@ -67,6 +67,7 @@ from repro.serving.api import (
 from repro.oodb.object_model import Persistent
 from repro.telemetry.events import TransactionSpan
 from repro.telemetry.hub import TelemetryHub, TelemetrySpan
+from repro.telemetry.latency import StageLatencyProcessor
 from repro.telemetry.processors import (
     CounterProcessor,
     TelemetryProcessor,
@@ -232,6 +233,12 @@ class Sentinel(SentinelAPI):
         self.metrics: Optional[CounterProcessor] = (
             self.telemetry.attach(CounterProcessor()) if metrics else None
         )
+        #: log-bucketed stage-latency histograms (ingest, detect,
+        #: condition, action, commit, shard hops, detached waits, wire);
+        #: rides the same ``metrics`` switch as the counter registry.
+        self.stage_latency: Optional[StageLatencyProcessor] = (
+            self.telemetry.attach(StageLatencyProcessor()) if metrics else None
+        )
         self.db: Optional[OpenOODB] = (
             OpenOODB(directory, pool_size=pool_size, telemetry=self.telemetry)
             if directory is not None
@@ -274,6 +281,10 @@ class Sentinel(SentinelAPI):
         #: :class:`~repro.serving.server.SentinelServer` registers its
         #: per-tenant families here so any monitor picks them up.
         self.extra_metric_providers: list[Callable[[], list[str]]] = []
+        #: extra ``health()`` slice providers (each returns a dict merged
+        #: into the health payload) — an attached server contributes its
+        #: address/connection/drain state here.
+        self.extra_health_providers: list[Callable[[], dict]] = []
         #: the live monitor server, if one was started (see ``monitor``)
         self._monitor: Optional["MonitorServer"] = None
         #: processors the monitor attached; detached again on close
@@ -849,13 +860,16 @@ class Sentinel(SentinelAPI):
                 "buffer_hit_rate": round(stats.hit_rate(), 3),
                 "wal_flushed_lsn": self.db.storage.wal.flushed_lsn,
             }
+        metrics = registry.to_dict() if registry is not None else {}
+        if self.stage_latency is not None:
+            metrics["stage_latency"] = self.stage_latency.percentiles()
         return SystemReport(
             name=self.name,
             events=events,
             notifications=notifications,
             rules=rules,
             storage=storage,
-            metrics=registry.to_dict() if registry is not None else {},
+            metrics=metrics,
         )
 
     def report_text(self) -> str:

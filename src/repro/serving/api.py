@@ -53,7 +53,7 @@ def occurrence_summary(occurrence: Occurrence) -> dict:
     JSON without loss.
     """
     if isinstance(occurrence, PrimitiveOccurrence):
-        return {
+        out = {
             "event": occurrence.event_name,
             "at": occurrence.at,
             "class": occurrence.class_name,
@@ -65,7 +65,10 @@ def occurrence_summary(occurrence: Occurrence) -> dict:
             "args": {key: value for key, value in occurrence.arguments},
             "txn_id": occurrence.txn_id,
         }
-    return {
+        if occurrence.trace_id is not None:
+            out["trace"] = occurrence.trace_id
+        return out
+    out = {
         "event": occurrence.event_name,
         "operator": getattr(occurrence, "operator", "composite"),
         "start": occurrence.start,
@@ -74,6 +77,19 @@ def occurrence_summary(occurrence: Occurrence) -> dict:
             occurrence_summary(p) for p in occurrence.primitives()
         ],
     }
+    trace = _trace_of(occurrence)
+    if trace is not None:
+        out["trace"] = trace
+    return out
+
+
+def _trace_of(occurrence: Occurrence) -> Optional[str]:
+    """The originating trace id: the first traced primitive's."""
+    for primitive in occurrence.primitives():
+        trace = getattr(primitive, "trace_id", None)
+        if trace is not None:
+            return trace
+    return None
 
 
 def detection_summary(rule_name: str, occurrence: Occurrence) -> dict:
@@ -84,7 +100,7 @@ def detection_summary(rule_name: str, occurrence: Occurrence) -> dict:
     PARA_LIST — so remote subscribers see exactly what a local
     condition/action would read from ``occ.params``.
     """
-    return {
+    out = {
         "rule": rule_name,
         "event": occurrence.event_name,
         "operator": getattr(occurrence, "operator", "primitive"),
@@ -94,6 +110,10 @@ def detection_summary(rule_name: str, occurrence: Occurrence) -> dict:
             occurrence_summary(p) for p in occurrence.primitives()
         ],
     }
+    trace = _trace_of(occurrence)
+    if trace is not None:
+        out["trace"] = trace
+    return out
 
 
 class SentinelAPI(ABC):

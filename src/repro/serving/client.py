@@ -8,6 +8,13 @@ waiting on that request id, push frames (detection notifications after
 :meth:`subscribe`) go to the ``notifications`` deque and any registered
 listeners.
 
+Pass a :class:`~repro.telemetry.hub.TelemetryHub` via ``telemetry=``
+and every call becomes a ``WireRequest`` span whose trace/span ids ride
+the request frame's ``ctx`` field; a trace-aware server adopts them, so
+server-side detection spans parent into the client's wire span and the
+detection summaries (and push frames) carry the originating trace id
+back in their ``"trace"`` key.
+
 Error parity is the point: a server-side failure comes back as a
 registry code and the client re-raises the *same* exception class a
 local :class:`~repro.sentinel.Sentinel` would have raised —
@@ -20,7 +27,7 @@ from __future__ import annotations
 import socket
 import threading
 from collections import deque
-from typing import Any, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional
 
 from repro.errors import (
     ConnectionClosed,
@@ -35,6 +42,9 @@ from repro.serving.protocol import (
     recv_frame,
     send_frame,
 )
+
+if TYPE_CHECKING:
+    from repro.telemetry.hub import TelemetryHub
 
 
 class _Waiter:
@@ -61,6 +71,7 @@ class SentinelClient(SentinelAPI):
         timeout: float = 10.0,
         transport: str = "json",
         max_frame: int = DEFAULT_MAX_FRAME,
+        telemetry: Optional["TelemetryHub"] = None,
     ):
         if port is None:
             host, _, port_text = host.rpartition(":")
@@ -72,6 +83,9 @@ class SentinelClient(SentinelAPI):
         self.tenant = tenant
         self.timeout = timeout
         self.max_frame = max_frame
+        #: optional hub: when active, calls open WireRequest spans and
+        #: request frames carry the trace context (see module docs)
+        self.telemetry = telemetry
         #: push notifications received after subscribe(), oldest first
         self.notifications: deque = deque(maxlen=4096)
         self._listeners: List[DetectionListener] = []
@@ -161,6 +175,20 @@ class SentinelClient(SentinelAPI):
                 pass
 
     def _call(self, op: str, **args: Any):
+        hub = self.telemetry
+        if hub is None or not hub.active:
+            return self._exchange(op, args, None)
+        from repro.telemetry.events import WireRequest
+
+        with hub.span(WireRequest, op=op) as span:
+            try:
+                result = self._exchange(op, args, span)
+            except BaseException:
+                span.set(ok=False)
+                raise
+            return result
+
+    def _exchange(self, op: str, args: dict, span) -> Any:
         with self._state_lock:
             if self._closed:
                 raise ConnectionClosed("client is closed")
@@ -169,6 +197,8 @@ class SentinelClient(SentinelAPI):
             waiter = _Waiter()
             self._pending[request_id] = waiter
         request = {"id": request_id, "op": op, "args": args}
+        if span is not None:
+            request["ctx"] = {"trace": span.trace_id, "span": span.span_id}
         try:
             with self._send_lock:
                 send_frame(self._sock, request, self._codec, self.max_frame)

@@ -178,7 +178,8 @@ class _Session:
                 handler = self.server._OPS.get(op)
                 if handler is None:
                     raise ProtocolError(f"unknown op {op!r}")
-                result = handler(self.server, self, args)
+                with self.server._adopt_trace(frame.get("ctx")):
+                    result = handler(self.server, self, args)
             if op == "bye":
                 keep_going = False
             self.send({"id": request_id, "ok": True, "result": result})
@@ -233,6 +234,7 @@ class SentinelServer:
         self._accept_thread: Optional[threading.Thread] = None
         system.add_detection_listener(self._on_detection)
         system.extra_metric_providers.append(self.metric_lines)
+        system.extra_health_providers.append(self.health_slice)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -289,6 +291,10 @@ class SentinelServer:
         self.system.remove_detection_listener(self._on_detection)
         try:
             self.system.extra_metric_providers.remove(self.metric_lines)
+        except ValueError:
+            pass
+        try:
+            self.system.extra_health_providers.remove(self.health_slice)
         except ValueError:
             pass
 
@@ -629,6 +635,42 @@ class SentinelServer:
         return session.tenant.snapshot()
 
     # -- shared helpers ----------------------------------------------------
+
+    def _adopt_trace(self, ctx):
+        """Adopt a request frame's trace context, defensively.
+
+        ``ctx`` is peer-supplied: anything other than an object with a
+        non-empty string ``trace`` (and optionally an integer ``span``)
+        is ignored — a missing or malformed context degrades to a
+        server-local trace, never to an error. With no processor on the
+        system hub the whole thing is a no-op.
+        """
+        import contextlib
+
+        telemetry = self.system.telemetry
+        if not telemetry.active or not isinstance(ctx, dict):
+            return contextlib.nullcontext()
+        trace = ctx.get("trace")
+        if not isinstance(trace, str) or not trace:
+            return contextlib.nullcontext()
+        span = ctx.get("span")
+        if not isinstance(span, int) or isinstance(span, bool):
+            span = None
+        return telemetry.trace_scope(trace, parent_span_id=span)
+
+    def health_slice(self) -> dict:
+        """The serving section of ``health()`` (drain state included)."""
+        try:
+            address = self.address
+        except OSError:  # listener already closed mid-drain
+            address = None
+        return {
+            "serving": {
+                "address": address,
+                "connections": self.connections(),
+                "draining": self._closing.is_set(),
+            },
+        }
 
     def _definitions(self):
         """Definition critical section: server lock + all shard locks."""

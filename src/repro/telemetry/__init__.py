@@ -29,6 +29,7 @@ from repro.telemetry.events import (
     ChannelMessage,
     ConditionEvaluated,
     DetachedDispatch,
+    DetachedQueueWait,
     Detection,
     GlobalDetectionDelivered,
     GlobalEventReceived,
@@ -38,12 +39,24 @@ from repro.telemetry.events import (
     NotificationSuppressed,
     RuleExecution,
     RuleTriggered,
+    ShardHop,
     SubtransactionBoundary,
     TraceEvent,
     TransactionSpan,
     WalFlush,
+    WireRequest,
 )
-from repro.telemetry.hub import INHERIT, TelemetryHub, TelemetrySpan
+from repro.telemetry.hub import (
+    INHERIT,
+    TelemetryHub,
+    TelemetrySpan,
+    new_trace_id,
+)
+from repro.telemetry.latency import (
+    STAGES,
+    LogHistogram,
+    StageLatencyProcessor,
+)
 from repro.telemetry.processors import (
     Counter,
     CounterProcessor,
@@ -64,14 +77,21 @@ __all__ = [
     "MetricsRegistry",
     "Counter",
     "Histogram",
+    "LogHistogram",
+    "StageLatencyProcessor",
+    "STAGES",
+    "new_trace_id",
     "TraceEvent",
     "ALL_EVENT_TYPES",
     "NotificationReceived",
     "NotificationSuppressed",
     "RuleTriggered",
     "DetachedDispatch",
+    "DetachedQueueWait",
     "GraphPropagation",
     "Detection",
+    "ShardHop",
+    "WireRequest",
     "ConditionEvaluated",
     "RuleExecution",
     "SubtransactionBoundary",

@@ -10,6 +10,9 @@ immutable event carrying tracing context:
 * ``parent_span_id`` links it into the enclosing scope (``None`` for
   roots), which is how detached rules stay attached to the trace tree
   of the transaction that triggered them,
+* ``trace_id`` names the end-to-end lifecycle the scope belongs to —
+  one trace covers a notification's whole journey, including across
+  the serving wire and onto detached-rule worker threads,
 * ``at`` is the ``perf_counter`` timestamp at scope *entry*,
 * ``duration_ms`` is the scope's wall-clock duration (``0.0`` for
   instantaneous point events).
@@ -40,10 +43,11 @@ class TraceEvent:
     parent_span_id: Optional[int]
     at: float
     duration_ms: float = 0.0
+    trace_id: Optional[str] = None
 
     def summary(self) -> str:
         """The stage-specific fields as ``key=value`` text."""
-        base = {"span_id", "parent_span_id", "at", "duration_ms"}
+        base = {"span_id", "parent_span_id", "at", "duration_ms", "trace_id"}
         parts = [
             f"{f.name}={getattr(self, f.name)!r}"
             for f in dataclasses.fields(self)
@@ -124,6 +128,21 @@ class BatchIngested(TraceEvent):
 
 
 @dataclass(frozen=True, kw_only=True)
+class DetachedQueueWait(TraceEvent):
+    """A detached activation left the queue after waiting ``wait_ms``.
+
+    Emitted on the worker thread just before the rule runs, parented
+    (and trace-linked) back to the triggering notification so detached
+    latency shows up inside the originating trace.
+    """
+
+    stage: ClassVar[str] = "detached.wait"
+
+    rule_name: str
+    wait_ms: float = 0.0
+
+
+@dataclass(frozen=True, kw_only=True)
 class DetachedOverflow(TraceEvent):
     """The bounded detached-rule queue hit capacity.
 
@@ -168,6 +187,21 @@ class Detection(TraceEvent):
     event_name: str
     operator: str
     context: str
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardHop(TraceEvent):
+    """A cross-shard edge delivery was drained from a shard channel.
+
+    ``wait_ms`` is the time the entry spent buffered between the
+    sending shard's ``fanout`` and the driver draining it on the
+    receiving shard — the shard-hop stage of the lifecycle.
+    """
+
+    stage: ClassVar[str] = "shard.hop"
+
+    shard: int
+    wait_ms: float = 0.0
 
 
 # =========================================================================
@@ -298,6 +332,28 @@ class ChannelMessage(TraceEvent):
 
 
 # =========================================================================
+# Serving stages
+# =========================================================================
+
+@dataclass(frozen=True, kw_only=True)
+class WireRequest(TraceEvent):
+    """One client request/response round-trip over the serving wire.
+
+    Opened by :class:`~repro.serving.client.SentinelClient` around a
+    call when the client carries a telemetry hub; the span's trace and
+    span ids travel in the frame's ``ctx`` field, so server-side spans
+    parent into this one and the whole detection renders as a single
+    client→server→shard→action tree.
+    """
+
+    stage: ClassVar[str] = "wire"
+    is_span: ClassVar[bool] = True
+
+    op: str
+    ok: bool = True
+
+
+# =========================================================================
 # Storage stages
 # =========================================================================
 
@@ -328,9 +384,11 @@ ALL_EVENT_TYPES: tuple[type[TraceEvent], ...] = (
     RuleTriggered,
     DetachedDispatch,
     BatchIngested,
+    DetachedQueueWait,
     DetachedOverflow,
     GraphPropagation,
     Detection,
+    ShardHop,
     ConditionEvaluated,
     RuleExecution,
     SubtransactionBoundary,
@@ -339,6 +397,7 @@ ALL_EVENT_TYPES: tuple[type[TraceEvent], ...] = (
     GlobalEventReceived,
     GlobalDetectionDelivered,
     ChannelMessage,
+    WireRequest,
     WalFlush,
     BufferEviction,
 )

@@ -15,14 +15,28 @@ Span parentage is tracked with a per-thread stack. Opening a span
 pushes its id; closing pops it and emits the frozen event. Work handed
 to another thread (detached rules, threaded executors) carries its
 parent span id explicitly via the ``parent_id`` argument.
+
+Trace context rides alongside: each thread has a current *trace id* —
+an opaque hex string naming one end-to-end event lifecycle. A root
+span (no trace current on its thread) mints a fresh trace id and owns
+it for its duration; nested spans and points inherit it. Context can
+be adopted explicitly — :meth:`TelemetryHub.trace_scope` for foreign
+contexts arriving over the serving wire, or the ``trace_id`` argument
+to :meth:`TelemetryHub.span` for activations replayed on detached
+worker threads — so one detection renders as a single connected tree
+no matter how many threads or processes it crossed. Span ids draw from
+a process-global counter, so spans from different hubs (a client's and
+a server's in the same process) never collide within a trace.
 """
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import os
 import threading
 from time import perf_counter
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.telemetry.events import TraceEvent
 
@@ -32,6 +46,14 @@ if TYPE_CHECKING:
 #: sentinel distinguishing "inherit parent from this thread's stack"
 #: from an explicit parent (including an explicit ``None`` root).
 INHERIT: Any = object()
+
+#: process-global span-id source shared by every hub (see module docs).
+_SPAN_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 hex chars."""
+    return os.urandom(8).hex()
 
 
 class TelemetrySpan:
@@ -45,11 +67,11 @@ class TelemetrySpan:
 
     __slots__ = (
         "_hub", "_cls", "_fields", "span_id", "parent_span_id",
-        "started", "_open",
+        "trace_id", "started", "_open", "_owns_trace", "_trace_restore",
     )
 
     def __init__(self, hub: "TelemetryHub", cls: type[TraceEvent],
-                 parent_id: Any, fields: dict):
+                 parent_id: Any, fields: dict, trace_id: Any = INHERIT):
         self._hub = hub
         self._cls = cls
         self._fields = fields
@@ -59,6 +81,26 @@ class TelemetrySpan:
             self.parent_span_id = stack[-1] if stack else None
         else:
             self.parent_span_id = parent_id
+        local = hub._local
+        current = getattr(local, "trace", None)
+        if trace_id is INHERIT or trace_id is None:
+            if current is None:
+                # Root of a new lifecycle: mint a trace and own it.
+                self.trace_id = new_trace_id()
+                local.trace = self.trace_id
+                self._owns_trace = True
+                self._trace_restore = None
+            else:
+                self.trace_id = current
+                self._owns_trace = False
+                self._trace_restore = None
+        else:
+            # Explicit adoption (detached replay, cross-thread handoff).
+            self.trace_id = trace_id
+            self._owns_trace = trace_id != current
+            self._trace_restore = current
+            if self._owns_trace:
+                local.trace = trace_id
         stack.append(self.span_id)
         self._open = True
         self.started = perf_counter()
@@ -82,6 +124,8 @@ class TelemetrySpan:
                 stack.remove(self.span_id)
             except ValueError:
                 pass
+        if self._owns_trace:
+            self._hub._local.trace = self._trace_restore
         if fields:
             self._fields.update(fields)
         self._hub.dispatch(self._cls(
@@ -89,6 +133,7 @@ class TelemetrySpan:
             parent_span_id=self.parent_span_id,
             at=self.started,
             duration_ms=elapsed_ms,
+            trace_id=self.trace_id,
             **self._fields,
         ))
 
@@ -109,7 +154,7 @@ class TelemetryHub:
         self.dropped = 0
         self.last_error: Optional[BaseException] = None
         self._processors: list["TelemetryProcessor"] = []
-        self._ids = itertools.count(1)
+        self._ids = _SPAN_IDS
         self._local = threading.local()
 
     # -- processors ----------------------------------------------------------
@@ -146,29 +191,67 @@ class TelemetryHub:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_trace_id(self) -> Optional[str]:
+        """The trace this thread is currently inside, if any."""
+        return getattr(self._local, "trace", None)
+
+    @contextlib.contextmanager
+    def trace_scope(self, trace_id: str,
+                    parent_span_id: Optional[int] = None) -> Iterator[None]:
+        """Adopt a foreign trace context for the duration of a block.
+
+        Used by the serving layer when a request frame carries a
+        ``ctx`` field: every span opened inside the block joins
+        ``trace_id``, and — when ``parent_span_id`` is given — parents
+        into the peer's wire span, stitching the client and server
+        halves into one tree. Restores the prior context on exit.
+        """
+        local = self._local
+        prior = getattr(local, "trace", None)
+        local.trace = trace_id
+        stack = self._stack()
+        if parent_span_id is not None:
+            stack.append(parent_span_id)
+        try:
+            yield
+        finally:
+            if parent_span_id is not None:
+                if stack and stack[-1] == parent_span_id:
+                    stack.pop()
+                else:  # unbalanced inner close; drop our frame anyway
+                    try:
+                        stack.remove(parent_span_id)
+                    except ValueError:
+                        pass
+            local.trace = prior
+
     # -- emission ------------------------------------------------------------
 
     def span(self, cls: type[TraceEvent], *, parent_id: Any = INHERIT,
-             **fields: Any) -> TelemetrySpan:
+             trace_id: Any = INHERIT, **fields: Any) -> TelemetrySpan:
         """Open a scope; use as ``with hub.span(Cls, ...) as sp:``."""
-        return TelemetrySpan(self, cls, parent_id, fields)
+        return TelemetrySpan(self, cls, parent_id, fields, trace_id)
 
     # A long-lived scope (a transaction) opens here and closes later
     # with ``span.close(outcome=...)``.
     open_span = span
 
     def point(self, cls: type[TraceEvent], *, parent_id: Any = INHERIT,
+              trace_id: Optional[str] = None,
               **fields: Any) -> Optional[TraceEvent]:
         """Emit an instantaneous event parented to the current span."""
         if not self.active:
             return None
         if parent_id is INHERIT:
             parent_id = self.current_span_id()
+        if trace_id is None:
+            trace_id = self.current_trace_id()
         event = cls(
             span_id=next(self._ids),
             parent_span_id=parent_id,
             at=perf_counter(),
             duration_ms=0.0,
+            trace_id=trace_id,
             **fields,
         )
         self.dispatch(event)

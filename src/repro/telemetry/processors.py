@@ -334,6 +334,10 @@ class TraceLogProcessor(TelemetryProcessor):
         with self._lock:
             return list(self._buffer)
 
+    def for_trace(self, trace_id: str) -> list[TraceEvent]:
+        """The buffered events belonging to one end-to-end trace."""
+        return [e for e in self.events() if e.trace_id == trace_id]
+
     def clear(self) -> None:
         with self._lock:
             self._buffer.clear()

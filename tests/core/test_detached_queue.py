@@ -242,3 +242,37 @@ def test_spilled_activations_replay_from_the_event_log():
         assert replayed == [[1]]
     finally:
         fresh.close()
+
+
+def test_queue_wait_time_surfaces_in_snapshot_and_health():
+    """Satellite observability: how long activations sat in the queue
+    is part of the queue snapshot and therefore of /health."""
+    system = Sentinel(name="wait-metrics")
+    try:
+        system.explicit_event("ev")
+        system.rule("r", "ev", coupling="detached", action=lambda occ: None)
+        for i in range(3):
+            system.raise_event("ev", n=i)
+        system.wait_detached(timeout=10)
+        snap = system.detached.snapshot()
+        assert snap["wait_count"] == 3
+        assert snap["wait_ms_avg"] >= 0.0
+        assert snap["wait_ms_max"] >= snap["wait_ms_avg"]
+        health = system.health()
+        assert health["detached_queue"]["wait_count"] == 3
+        assert "wait_ms_max" in health["detached_queue"]
+        # The wait also lands in the detached_wait latency stage.
+        assert health["latency"]["detached_wait"]["count"] == 3
+    finally:
+        system.close()
+
+
+def test_wait_stats_zero_before_any_execution():
+    system = Sentinel(name="wait-zero")
+    try:
+        snap = system.detached.snapshot()
+        assert snap["wait_count"] == 0
+        assert snap["wait_ms_avg"] == 0.0
+        assert snap["wait_ms_max"] == 0.0
+    finally:
+        system.close()

@@ -34,7 +34,8 @@ from repro.serving import SentinelClient, SentinelServer
 from repro.serving.tenancy import Tenant
 
 #: summary keys that legitimately differ between two systems
-_VOLATILE_KEYS = {"at", "start", "end", "txn_id"}
+#: ("trace" because each system mints its own trace ids)
+_VOLATILE_KEYS = {"at", "start", "end", "txn_id", "trace"}
 
 
 def normalize(value):
