@@ -20,6 +20,7 @@ runs before the action continues (depth-first execution).
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -41,7 +42,7 @@ from repro.core.rules import (
     Rule,
     RuleManager,
     always,
-    resolve_positional_rule_args,
+    reject_positional_rule_args,
 )
 from repro.core.scheduler import (
     RuleActivation,
@@ -75,20 +76,20 @@ class DetectorStats:
     batches: int = 0
 
 
-def _warn_builder(method: str, replacement: str,
-                  stacklevel: int = 3) -> None:
-    """Deprecation notice for the binary builder methods.
+def _reject_builder(method: str, replacement: str) -> None:
+    """Hard stop for the removed binary builder methods.
 
-    The default warnings registry deduplicates on (message, category,
-    module, lineno), so each call *site* warns exactly once.
+    ``detector.and_/or_/seq`` went through a deprecation release and
+    are gone; the operator algebra is the only spelling. The error
+    names the migration tool that rewrites old call sites.
     """
-    import warnings
+    from repro.errors import RemovedAPIError
 
-    warnings.warn(
-        f"detector.{method}(left, right) is deprecated; "
-        f"use the operator expression {replacement} instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
+    raise RemovedAPIError(
+        f"detector.{method}(left, right) was removed; use the operator "
+        f"expression {replacement} instead — "
+        "`python tools/migrate_event_algebra.py FILES...` rewrites old "
+        "call sites automatically"
     )
 
 
@@ -105,8 +106,23 @@ class LocalEventDetector:
         name: str = "app",
         telemetry: Optional[TelemetryHub] = None,
         shards: int = 1,
+        dispatch: Optional[str] = None,
     ):
+        if dispatch is None:
+            # The env override lets whole suites (CI stress legs) run
+            # under the compiled engine without touching call sites.
+            dispatch = os.environ.get("REPRO_DISPATCH", "interpreted")
+        if dispatch not in ("interpreted", "compiled"):
+            raise ValueError(
+                f"dispatch must be 'interpreted' or 'compiled', "
+                f"got {dispatch!r}"
+            )
         self.name = name
+        #: which execution backend signals route through. "interpreted"
+        #: is the seed's recursive graph walk; "compiled" overlays the
+        #: specialized engine from :mod:`repro.snoop.compiler` (installed
+        #: at the end of __init__, once the scheduler exists).
+        self.dispatch = dispatch
         self.clock = clock if clock is not None else LogicalClock()
         #: shared telemetry hub — dormant (near-no-op emit paths) until
         #: a processor is attached.
@@ -152,6 +168,15 @@ class LocalEventDetector:
         ] = []
         #: called with (rule, occurrence) on every rule trigger (debugger)
         self.trigger_listeners: list[Callable[[Rule, Any], None]] = []
+        #: compiled dispatch engine; the instance-attribute overrides
+        #: keep interpreted-mode detectors at literal zero overhead
+        self.engine = None
+        if dispatch == "compiled":
+            from repro.snoop.compiler import CompiledDispatchEngine
+
+            self.engine = CompiledDispatchEngine(self)
+            self.notify = self.engine.notify  # type: ignore[method-assign]
+            self.raise_event = self.engine.raise_event  # type: ignore[method-assign]
 
     # =====================================================================
     # Event definition API
@@ -216,22 +241,19 @@ class LocalEventDetector:
         return self.graph.define(name, node)
 
     # Operator passthroughs so applications rarely need graph access.
-    # The binary builders are deprecated in favor of the operator
-    # algebra (``a & b`` / ``a | b`` / ``a >> b``, see
-    # repro.core.events.algebra); they still resolve through the same
-    # sharing-aware graph factories, so old and new spellings return
-    # the same nodes.
+    # The binary builders (``and_``/``or_``/``seq``) were removed after
+    # their deprecation release; the operator algebra (``a & b`` /
+    # ``a | b`` / ``a >> b``, see repro.core.events.algebra) is the only
+    # spelling. The stubs raise RemovedAPIError [E2] naming the
+    # migration tool.
     def and_(self, left, right, name=None):
-        _warn_builder("and_", "left & right")
-        return self.graph.and_(self._n(left), self._n(right), name)
+        _reject_builder("and_", "left & right")
 
     def or_(self, left, right, name=None):
-        _warn_builder("or_", "left | right")
-        return self.graph.or_(self._n(left), self._n(right), name)
+        _reject_builder("or_", "left | right")
 
     def seq(self, left, right, name=None):
-        _warn_builder("seq", "left >> right")
-        return self.graph.seq(self._n(left), self._n(right), name)
+        _reject_builder("seq", "left >> right")
 
     def not_(self, initiator, forbidden, terminator, name=None):
         return self.graph.not_(
@@ -272,7 +294,7 @@ class LocalEventDetector:
         self,
         name: str,
         event: "EventNode | str",
-        *deprecated_positional,
+        *legacy_positional,
         condition: Condition = always,
         action: Optional[Action] = None,
         context: str = "recent",
@@ -287,12 +309,15 @@ class LocalEventDetector:
 
         ``condition`` and ``action`` are keyword-only; ``condition``
         defaults to :func:`~repro.core.rules.always` (event-action
-        rules). Passing them positionally still works for one release
-        but emits a :class:`DeprecationWarning`.
+        rules). The deprecated positional condition/action convention
+        was removed — old call sites get a RemovedAPIError [E2] naming
+        ``tools/migrate_rule_calls.py``.
         """
-        condition, action = resolve_positional_rule_args(
-            deprecated_positional, condition, action
-        )
+        reject_positional_rule_args(legacy_positional)
+        if action is None:
+            from repro.errors import RuleError
+
+            raise RuleError("rule() requires an action= callable")
         return self.rules.create(
             name, event, condition, action,
             context=context, coupling=coupling, priority=priority,
@@ -767,6 +792,8 @@ class LocalEventDetector:
         """Forward occurrences of ``event_name`` to global listeners."""
         self.graph.get(event_name)  # must exist
         self._global_events.add(event_name)
+        # The compiled plan folds the global-forward flag per node.
+        self.graph.version += 1
 
     def add_global_listener(
         self, listener: Callable[[PrimitiveOccurrence], None]

@@ -59,7 +59,14 @@ class Occurrence:
     Every occurrence spans an interval ``[start, end]``; primitive
     occurrences are instantaneous (``start == end``) while a composite
     occurrence starts at its initiator and ends at its terminator.
+
+    ``__slots__`` is empty so the concrete occurrence dataclasses
+    (declared with ``slots=True``) really are dict-free: a per-event
+    ``__dict__`` would otherwise ride along via this base and defeat
+    the compiled dispatch path's no-dict-lookup layout.
     """
+
+    __slots__ = ()
 
     start: float
     end: float
@@ -72,7 +79,7 @@ class Occurrence:
         return ParamList(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrimitiveOccurrence(Occurrence):
     """One firing of a primitive event."""
 
@@ -119,7 +126,7 @@ class PrimitiveOccurrence(Occurrence):
         return f"<{self.event_name}@{self.at:g} ({args})>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompositeOccurrence(Occurrence):
     """One detection of a composite event.
 

@@ -130,49 +130,26 @@ def always(occurrence: Occurrence) -> bool:
     return True
 
 
-def resolve_positional_rule_args(
-    deprecated_positional: tuple,
-    condition: Condition,
-    action: Optional[Action],
-    stacklevel: int = 3,
-) -> tuple[Condition, Action]:
-    """One-release shim for the keyword-first ``rule()`` signature.
+def reject_positional_rule_args(legacy_positional: tuple) -> None:
+    """Hard stop for the pre-keyword ``rule()`` calling convention.
 
-    ``rule(name, event, condition, action)`` used to take the condition
-    and action positionally; they are keyword-only now. Positional
-    callers still work but get a :class:`DeprecationWarning` pointing at
-    their call site.
+    ``rule(name, event, condition, action)`` accepted the condition and
+    action positionally through one deprecation release; the shim is
+    gone and the keyword-first signature is the only one. The error
+    names the migration tool so old call sites can be rewritten
+    mechanically.
     """
-    if deprecated_positional:
-        import warnings
+    if legacy_positional:
+        from repro.errors import RemovedAPIError
 
-        if len(deprecated_positional) > 2:
-            raise TypeError(
-                "rule() takes at most 2 positional condition/action "
-                f"arguments (got {len(deprecated_positional)}); pass "
-                "context/coupling/priority/... as keywords"
-            )
-        warnings.warn(
-            "passing condition/action positionally to rule() is "
-            "deprecated; use rule(name, event, condition=..., action=...)",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+        raise RemovedAPIError(
+            f"rule() no longer accepts {len(legacy_positional)} positional "
+            "condition/action argument(s); the deprecated positional "
+            "signature was removed. Call "
+            "rule(name, event, condition=..., action=...) instead — "
+            "`python tools/migrate_rule_calls.py FILES...` rewrites old "
+            "call sites automatically"
         )
-        # Legacy order: rule(name, event, condition[, action]).
-        if condition is not always:
-            raise RuleError(
-                "rule() got condition both positionally and as a keyword"
-            )
-        condition = deprecated_positional[0]
-        if len(deprecated_positional) == 2:
-            if action is not None:
-                raise RuleError(
-                    "rule() got action both positionally and as a keyword"
-                )
-            action = deprecated_positional[1]
-    if action is None:
-        raise RuleError("rule() requires an action= callable")
-    return condition, action
 
 
 class Rule:
@@ -215,8 +192,9 @@ class Rule:
             return
         self.since = now
         self.event.rule_subscribers.append(self)
-        self.event.add_context(self.context)
+        self.event.add_context(self.context)  # bumps graph.version
         self.enabled = True
+        self.event.graph.version += 1
 
     def unsubscribe(self) -> None:
         """Detach from the event node, decrementing context counters."""
@@ -224,8 +202,9 @@ class Rule:
             return
         if self in self.event.rule_subscribers:
             self.event.rule_subscribers.remove(self)
-        self.event.remove_context(self.context)
+        self.event.remove_context(self.context)  # bumps graph.version
         self.enabled = False
+        self.event.graph.version += 1
 
     # -- triggering ---------------------------------------------------------------
 

@@ -13,6 +13,13 @@ class SentinelError(Exception):
     """Base class for all errors raised by this library."""
 
 
+class RemovedAPIError(SentinelError):
+    """A call used an API that has been removed after its deprecation
+    cycle (positional ``rule()`` arguments, the ``and_``/``or_``/``seq``
+    builder methods). The message names the migration tool that
+    rewrites old call sites."""
+
+
 # ---------------------------------------------------------------------------
 # Storage-layer errors (the Exodus-simulator substrate).
 # ---------------------------------------------------------------------------
@@ -218,6 +225,7 @@ class RemoteError(ServingError):
 
 ERROR_CODE_REGISTRY: dict[int, type[SentinelError]] = {
     1: SentinelError,
+    2: RemovedAPIError,
     # storage (1x)
     10: StorageError,
     11: PageError,

@@ -76,29 +76,24 @@ class GlobalEventDetector:
         """Name a global event expression for reuse."""
         return self.detector.define(name, node)
 
-    # The binary builders are deprecated: combine the imported global
-    # events with the operator algebra instead (``a & b`` / ``a | b`` /
-    # ``a >> b``). Both spellings share the same graph nodes.
+    # The binary builders were removed after their deprecation release:
+    # combine the imported global events with the operator algebra
+    # (``a & b`` / ``a | b`` / ``a >> b``). The stubs raise
+    # RemovedAPIError [E2] naming the migration tool.
     def and_(self, left, right, name=None):
-        from repro.core.detector import _warn_builder
+        from repro.core.detector import _reject_builder
 
-        _warn_builder("and_", "left & right")
-        g = self.detector
-        return g.graph.and_(g._n(left), g._n(right), name)
+        _reject_builder("and_", "left & right")
 
     def or_(self, left, right, name=None):
-        from repro.core.detector import _warn_builder
+        from repro.core.detector import _reject_builder
 
-        _warn_builder("or_", "left | right")
-        g = self.detector
-        return g.graph.or_(g._n(left), g._n(right), name)
+        _reject_builder("or_", "left | right")
 
     def seq(self, left, right, name=None):
-        from repro.core.detector import _warn_builder
+        from repro.core.detector import _reject_builder
 
-        _warn_builder("seq", "left >> right")
-        g = self.detector
-        return g.graph.seq(g._n(left), g._n(right), name)
+        _reject_builder("seq", "left >> right")
 
     def not_(self, initiator, forbidden, terminator, name=None):
         return self.detector.not_(initiator, forbidden, terminator, name)

@@ -49,7 +49,7 @@ from repro.core.rules import (
     Condition,
     Rule,
     always,
-    resolve_positional_rule_args,
+    reject_positional_rule_args,
 )
 from repro.core.scheduler import (
     DetachedRuleQueue,
@@ -219,6 +219,7 @@ class Sentinel(SentinelAPI):
         activate: bool = True,
         metrics: bool = True,
         shards: int = 1,
+        dispatch: Optional[str] = None,
         detached_capacity: int = 256,
         detached_policy: str = "block",
         detached_workers: int = 2,
@@ -254,6 +255,7 @@ class Sentinel(SentinelAPI):
             name=name,
             telemetry=self.telemetry,
             shards=shards,
+            dispatch=dispatch,
         )
         ensure_system_events(self.detector)
         self.detector.detached_handler = self._run_detached
@@ -298,6 +300,12 @@ class Sentinel(SentinelAPI):
             self.activate()
 
     # -- plumbing convenience ---------------------------------------------------
+
+    @property
+    def dispatch(self) -> str:
+        """Which detection backend signals route through
+        (``"interpreted"`` or ``"compiled"``)."""
+        return self.detector.dispatch
 
     @property
     def rules(self):
@@ -402,7 +410,7 @@ class Sentinel(SentinelAPI):
         self,
         name: str,
         event: Any,
-        *deprecated_positional,
+        *legacy_positional,
         condition: Condition = always,
         action: Optional[Action] = None,
         context: str = "recent",
@@ -414,12 +422,10 @@ class Sentinel(SentinelAPI):
         owner: Optional[str] = None,
     ) -> Rule:
         """Define a rule; ``condition``/``action`` are keyword-only
-        (``condition`` defaults to always-true). Positional
-        condition/action still work for one release with a
-        :class:`DeprecationWarning`."""
-        condition, action = resolve_positional_rule_args(
-            deprecated_positional, condition, action
-        )
+        (``condition`` defaults to always-true). The deprecated
+        positional convention was removed — old call sites get a
+        RemovedAPIError [E2] naming ``tools/migrate_rule_calls.py``."""
+        reject_positional_rule_args(legacy_positional)
         return self.detector.rule(
             name, event, condition=condition, action=action,
             context=context, coupling=coupling, priority=priority,
@@ -722,14 +728,18 @@ class Sentinel(SentinelAPI):
         detached rule may itself trigger further detached rules, so the
         wait covers the transitive backlog). If the timeout elapses
         first, raises :class:`TimeoutError` naming the number of
-        activations still pending.
+        activations still pending, with the per-queue breakdown (queued
+        depth vs activations on workers) from the queue snapshot.
         """
         if self.detached.join(timeout):
             return
         backlog = self.detached.backlog()
+        snapshot = self.detached.snapshot()
         raise TimeoutError(
             f"detached rules did not drain within {timeout}s; "
-            f"{backlog} activation(s) still pending"
+            f"{backlog} activation(s) still pending "
+            f"(queued={snapshot['depth']}, active={snapshot['active']}, "
+            f"capacity={snapshot['capacity']}, policy={snapshot['policy']})"
         )
 
     # =====================================================================

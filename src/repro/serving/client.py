@@ -221,6 +221,13 @@ class SentinelClient(SentinelAPI):
             frame.get("code", 1), frame.get("error", f"{op} failed")
         )
 
+    @property
+    def dispatch(self) -> str:
+        """The server system's detection engine, from the hello
+        exchange ("interpreted" or "compiled"); remote behavior is
+        identical under both."""
+        return self.server_info.get("dispatch", "interpreted")
+
     # -- SentinelAPI: event definition -------------------------------------
 
     def explicit_event(self, name: str) -> str:

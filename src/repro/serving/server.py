@@ -397,6 +397,10 @@ class SentinelServer:
             "protocol": PROTOCOL_VERSION,
             "transport": transport,
             "transports": available_transports(),
+            # which detection engine the backing system runs
+            # ("interpreted" or "compiled") — informational: remote
+            # semantics are identical either way
+            "dispatch": self.system.dispatch,
             "max_frame": self.max_frame,
             "quota": {
                 "max_rules": tenant.quota.max_rules,

@@ -158,7 +158,14 @@ def test_wait_detached_timeout_reports_backlog():
         assert started.wait(timeout=10)
         with pytest.raises(TimeoutError) as excinfo:
             system.wait_detached(timeout=0.05)
-        assert "pending" in str(excinfo.value)
+        message = str(excinfo.value)
+        assert "pending" in message
+        # the diagnostic carries the queue snapshot: depth, in-flight
+        # count, and the configured capacity/overflow policy
+        assert "queued=" in message
+        assert "active=" in message
+        assert "capacity=" in message
+        assert "policy=" in message
         gate.set()
         system.wait_detached(timeout=10)  # drains cleanly now
         assert system.detached.backlog() == 0

@@ -1,8 +1,9 @@
 """The Snoop operator algebra: ``a & b`` / ``a | b`` / ``a >> b``.
 
-The acceptance bar: operator expressions must build the *same* shared
-graph nodes as the old builder calls, and the deprecated builders must
-warn exactly once per call site.
+The acceptance bar: operator expressions build shared, hash-consed
+graph nodes, and the removed binary builders (``detector.and_`` and
+friends, deprecated for one release) now raise
+:class:`RemovedAPIError` [E2] naming the migration tool.
 """
 
 import warnings
@@ -22,7 +23,7 @@ from repro.core.events.operators import (
     PlusNode,
     SeqNode,
 )
-from repro.errors import EventError
+from repro.errors import EventError, RemovedAPIError
 
 
 @pytest.fixture
@@ -61,12 +62,10 @@ def test_seq_operator_builds_shared_node(det):
     assert expr is det.graph.seq(a, b)
 
 
-def test_operator_and_deprecated_builder_share_one_node(det):
+def test_repeated_operator_spelling_shares_one_node(det):
     a, b = _events(det, "a", "b")
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        old = det.and_(a, b)
-    assert (a & b) is old
+    first = a & b
+    assert (a & b) is first
     assert len([n for n in det.graph.nodes() if isinstance(n, AndNode)]) == 1
 
 
@@ -150,50 +149,40 @@ def test_e_namespace_naming(det):
     assert det.event("both") is node
 
 
-# -- deprecation behavior -----------------------------------------------------------
+# -- builder removal ----------------------------------------------------------------
 
 
-def test_deprecated_builders_warn(det):
+def test_removed_builders_raise(det):
     a, b = _events(det, "a", "b")
-    for method, expected in (
-        (det.and_, AndNode),
-        (det.or_, OrNode),
-        (det.seq, SeqNode),
+    for method, replacement in (
+        (det.and_, "left & right"),
+        (det.or_, "left | right"),
+        (det.seq, "left >> right"),
     ):
-        with pytest.warns(DeprecationWarning, match="operator expression"):
-            node = method(a, b)
-        assert isinstance(node, expected)
+        with pytest.raises(RemovedAPIError,
+                           match="migrate_event_algebra") as excinfo:
+            method(a, b)
+        assert replacement in str(excinfo.value)
 
 
-def test_deprecated_builder_warns_once_per_call_site(det):
+def test_removed_builder_creates_no_node(det):
     a, b = _events(det, "a", "b")
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("default")
-        for _ in range(5):
-            det.and_(a, b)  # one call site, looped
-    assert len(caught) == 1
-    assert caught[0].category is DeprecationWarning
-
-
-def test_distinct_call_sites_each_warn(det):
-    a, b = _events(det, "a", "b")
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("default")
+    before = len(list(det.graph.nodes()))
+    with pytest.raises(RemovedAPIError):
         det.and_(a, b)
-        det.and_(a, b)
-    assert len(caught) == 2
+    assert len(list(det.graph.nodes())) == before
 
 
-def test_global_detector_builders_warn():
+def test_global_detector_builders_removed():
     from repro.globaldet import GlobalEventDetector
 
     gd = GlobalEventDetector()
     try:
         a = gd.detector.explicit_event("a")
         b = gd.detector.explicit_event("b")
-        with pytest.warns(DeprecationWarning):
-            node = gd.and_(a, b)
-        assert node is (a & b)
+        with pytest.raises(RemovedAPIError, match="operator expression"):
+            gd.and_(a, b)
+        assert (a & b) is (a & b)  # the algebra spelling still works
     finally:
         gd.shutdown()
 

@@ -1,11 +1,17 @@
-"""The keyword-first rule() API and its one-release positional shim."""
+"""The keyword-first rule() API after the positional shim's removal.
+
+The deprecated ``rule(name, event, condition, action)`` positional
+signature warned for one release and is now gone: any positional
+condition/action argument raises :class:`RemovedAPIError` [E2] naming
+the migration tool, on both the detector and the Sentinel facade.
+"""
 
 import pytest
 
 from repro import Sentinel
 from repro.core.detector import LocalEventDetector
-from repro.core.rules import always, resolve_positional_rule_args
-from repro.errors import RuleError
+from repro.core.rules import reject_positional_rule_args
+from repro.errors import RemovedAPIError, RuleError, error_code
 
 
 @pytest.fixture
@@ -28,30 +34,31 @@ def test_condition_defaults_to_always(det):
     assert fired == [1]
 
 
-def test_positional_condition_action_warns_but_works(det):
-    fired = []
-    with pytest.warns(DeprecationWarning,
-                      match="condition/action positionally"):
-        det.rule("r", "e", lambda o: True, lambda o: fired.append(1))
-    det.raise_event("e")
-    assert fired == [1]
+def test_positional_condition_action_removed(det):
+    with pytest.raises(RemovedAPIError, match="migrate_rule_calls"):
+        det.rule("r", "e", lambda o: True, lambda o: None)
+    assert "r" not in det.rules
 
 
-def test_positional_condition_with_keyword_action(det):
-    fired = []
-    with pytest.warns(DeprecationWarning):
-        det.rule("r", "e", lambda o: True,
-                 action=lambda o: fired.append(1))
-    det.raise_event("e")
-    assert fired == [1]
+def test_positional_condition_with_keyword_action_removed(det):
+    with pytest.raises(RemovedAPIError, match="positional"):
+        det.rule("r", "e", lambda o: True, action=lambda o: None)
 
 
-def test_sentinel_facade_shim_warns():
+def test_sentinel_facade_rejects_positionals():
     system = Sentinel(name="shim")
-    system.explicit_event("e")
-    with pytest.warns(DeprecationWarning):
-        system.rule("r", "e", lambda o: True, lambda o: None)
-    system.close()
+    try:
+        system.explicit_event("e")
+        with pytest.raises(RemovedAPIError, match="migrate_rule_calls"):
+            system.rule("r", "e", lambda o: True, lambda o: None)
+    finally:
+        system.close()
+
+
+def test_removed_api_error_is_e2(det):
+    with pytest.raises(RemovedAPIError) as excinfo:
+        det.rule("r", "e", lambda o: True, lambda o: None)
+    assert error_code(excinfo.value) == 2
 
 
 def test_action_is_required(det):
@@ -59,25 +66,10 @@ def test_action_is_required(det):
         det.rule("r", "e", condition=lambda o: True)
 
 
-def test_condition_given_twice_rejected(det):
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(RuleError, match="condition both"):
-            det.rule("r", "e", lambda o: True,
-                     condition=lambda o: False, action=lambda o: None)
+def test_rejector_accepts_empty_positionals():
+    reject_positional_rule_args(())  # keyword-only calls pass through
 
 
-def test_action_given_twice_rejected(det):
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(RuleError, match="action both"):
-            det.rule("r", "e", lambda o: True, lambda o: None,
-                     action=lambda o: None)
-
-
-def test_too_many_positionals_rejected(det):
-    with pytest.raises(TypeError, match="at most 2 positional"):
-        det.rule("r", "e", lambda o: True, lambda o: None, "recent")
-
-
-def test_resolver_passthrough_for_keywords():
-    cond, act = resolve_positional_rule_args((), always, print)
-    assert cond is always and act is print
+def test_rejector_counts_offending_arguments():
+    with pytest.raises(RemovedAPIError, match="2 positional"):
+        reject_positional_rule_args((print, print))

@@ -14,6 +14,13 @@ Set ``REPRO_SERVE_ADDR`` (plus optional ``REPRO_SERVE_TENANT`` /
 booted ``python -m repro serve`` instead of the in-process server —
 the CI serving job does exactly that. Scenario names are uniqued per
 test, so a long-lived shared server works.
+
+The local side runs under both detection engines (the ``local``
+fixture is parameterized over ``dispatch=``), so every scenario also
+pins compiled-dispatch parity against the served system.
+``REPRO_SERVE_DISPATCH`` selects the in-process server's engine; when
+the remote side is external it should match the booted server's
+``--dispatch``.
 """
 
 import os
@@ -74,7 +81,10 @@ def served():
             os.environ.get("REPRO_SERVE_TOKEN") or None,
         )
         return
-    system = Sentinel(name="conformance", shards=2)
+    system = Sentinel(
+        name="conformance", shards=2,
+        dispatch=os.environ.get("REPRO_SERVE_DISPATCH", "interpreted"),
+    )
     server = SentinelServer(
         system, tenants=[Tenant("conf", token="conf-token")]
     ).start()
@@ -85,9 +95,9 @@ def served():
         system.close()
 
 
-@pytest.fixture()
-def local():
-    system = Sentinel(name="local")
+@pytest.fixture(params=("interpreted", "compiled"))
+def local(request):
+    system = Sentinel(name="local", dispatch=request.param)
     try:
         yield system
     finally:
@@ -303,6 +313,17 @@ def test_ping_reports_healthy(local, remote):
         health = api.ping()
         assert health["healthy"] is True
         assert isinstance(health["name"], str)
+
+
+def test_hello_advertises_dispatch(local, remote):
+    """Both API implementations expose which engine runs detection;
+    the remote value comes from the wire hello."""
+    assert local.dispatch in ("interpreted", "compiled")
+    assert remote.dispatch in ("interpreted", "compiled")
+    assert remote.server_info["dispatch"] == remote.dispatch
+    expected = os.environ.get("REPRO_SERVE_DISPATCH")
+    if expected:
+        assert remote.dispatch == expected
 
 
 # =========================================================================
