@@ -186,6 +186,50 @@ def run_serving_loopback(events: int = 1024,
         system.close()
 
 
+def run_async_actions(events: int = 64,
+                      delay_s: float = 0.004) -> dict[str, float]:
+    """Async-lane scaling: IO-bound actions, events/sec per lane.
+
+    One raised event triggers ``events`` rules of one priority class
+    whose actions each wait ``delay_s`` (a stand-in for a webhook or
+    downstream write). The thread pool is capped at 8 concurrent
+    sleeps; the asyncio lane overlaps all of them on one loop thread —
+    the recorded pair documents the ceiling and the lane's headroom
+    over it.
+    """
+    import asyncio
+
+    from repro.core.detector import LocalEventDetector
+    from repro.core.scheduler import ThreadedExecutor
+
+    samples: dict[str, float] = {}
+
+    det = LocalEventDetector(
+        name="async-bench-threaded", executor=ThreadedExecutor(max_workers=8)
+    )
+    det.explicit_event("go")
+    for i in range(events):
+        det.rule(f"t{i}", "go", action=lambda occ: time.sleep(delay_s))
+    start = time.perf_counter()
+    det.raise_event("go")
+    samples["threaded_8"] = events / (time.perf_counter() - start)
+    det.shutdown()
+
+    det = LocalEventDetector(name="async-bench-lane")
+    det.explicit_event("go")
+
+    async def io_action(occ):
+        await asyncio.sleep(delay_s)
+
+    for i in range(events):
+        det.rule(f"a{i}", "go", action=io_action)
+    start = time.perf_counter()
+    det.raise_event("go")
+    samples["async_lane"] = events / (time.perf_counter() - start)
+    det.shutdown()
+    return samples
+
+
 #: name -> (unit, runner); the set the core trajectory tracks.
 #: The ``-compiled`` entries rerun the same workloads under
 #: ``dispatch="compiled"`` so both engines leave a gated trajectory.
@@ -203,6 +247,7 @@ QUICK_BENCHMARKS: dict[str, tuple[str, Callable[[], dict[str, float]]]] = {
         "us_per_event", partial(run_rm1, dispatch="compiled")
     ),
     "serving_loopback": ("events_per_sec", run_serving_loopback),
+    "async-actions": ("events_per_sec", run_async_actions),
 }
 
 

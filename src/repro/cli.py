@@ -271,7 +271,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.port_file).write_text(f"{server.host} {server.port}\n")
     tenant_names = ", ".join(t.name for t in server.tenants.all())
     print(f"serving {system.name!r} on {server.address} "
-          f"(tenants: {tenant_names}; dispatch: {system.dispatch})",
+          f"(tenants: {tenant_names}; dispatch: {system.dispatch}; "
+          f"async lane: on)",
           flush=True)
     if monitor is not None:
         print(f"monitor on {monitor.url}", flush=True)

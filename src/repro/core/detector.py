@@ -304,6 +304,7 @@ class LocalEventDetector:
         enabled: bool = True,
         scope: str = "public",
         owner: Optional[str] = None,
+        executor: Optional[str] = None,
     ) -> Rule:
         """Define a rule (paper §3.1 ``rule_spec``).
 
@@ -312,6 +313,10 @@ class LocalEventDetector:
         rules). The deprecated positional condition/action convention
         was removed — old call sites get a RemovedAPIError [E2] naming
         ``tools/migrate_rule_calls.py``.
+
+        ``executor`` selects the execution lane: ``"sync"`` (thread
+        lanes), ``"async"`` (the asyncio lane; required for coroutine
+        actions) or ``None`` to auto-detect from the action.
         """
         reject_positional_rule_args(legacy_positional)
         if action is None:
@@ -322,7 +327,7 @@ class LocalEventDetector:
             name, event, condition, action,
             context=context, coupling=coupling, priority=priority,
             trigger_mode=trigger_mode, enabled=enabled,
-            scope=scope, owner=owner,
+            scope=scope, owner=owner, executor=executor,
         )
 
     # =====================================================================

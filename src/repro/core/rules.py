@@ -106,6 +106,38 @@ class RuleScope(enum.Enum):
 
 DEFAULT_PRIORITY = 1
 
+#: execution lanes a rule may select (``None`` at creation means
+#: auto-detect from the action: ``async def`` actions go async)
+EXECUTOR_LANES = ("sync", "async")
+
+
+def resolve_executor(executor: Optional[str], condition: Callable,
+                     action: Callable, name: str) -> str:
+    """Validate/auto-detect the execution lane for a rule.
+
+    Runs on the *raw* callables, before :func:`_adapt` wraps them (the
+    zero-arg lambda wrapper would hide ``iscoroutinefunction``).
+    """
+    if inspect.iscoroutinefunction(condition):
+        raise RuleError(
+            f"rule {name!r} condition must be synchronous (conditions "
+            f"are side-effect-free and evaluated inline); only the "
+            f"action may be a coroutine"
+        )
+    action_is_coro = inspect.iscoroutinefunction(action)
+    if executor is None:
+        return "async" if action_is_coro else "sync"
+    if executor not in EXECUTOR_LANES:
+        raise RuleError(
+            f"executor must be one of {EXECUTOR_LANES}, got {executor!r}"
+        )
+    if executor == "sync" and action_is_coro:
+        raise RuleError(
+            f"rule {name!r} has a coroutine action; pass "
+            f"executor='async' (or leave executor unset to auto-detect)"
+        )
+    return executor
+
 
 def _adapt(fn: Callable, what: str) -> Callable[[Occurrence], Any]:
     """Wrap a user callable so it can be invoked with the occurrence.
@@ -167,6 +199,7 @@ class Rule:
         trigger_mode: TriggerMode = TriggerMode.NOW,
         scope: RuleScope = RuleScope.PUBLIC,
         owner: Optional[str] = None,
+        executor: str = "sync",
     ):
         self.name = name
         self.event = event
@@ -178,6 +211,9 @@ class Rule:
         self.trigger_mode = trigger_mode
         self.scope = scope
         self.owner = owner
+        #: execution lane — "sync" rules ride the configured executor,
+        #: "async" rules run as tasks on the scheduler's asyncio lane
+        self.executor = executor
         self.enabled = False
         self.since: float = 0.0  # set at subscription for NOW filtering
         # Statistics, maintained by the scheduler.
@@ -252,9 +288,17 @@ class RuleManager:
         enabled: bool = True,
         scope: RuleScope | str = RuleScope.PUBLIC,
         owner: Optional[str] = None,
+        executor: Optional[str] = None,
     ) -> Rule:
         """Create and (by default) enable a rule; deferred-coupled rules
-        are rewritten onto ``A*(begin_txn, E, pre_commit_txn)`` here."""
+        are rewritten onto ``A*(begin_txn, E, pre_commit_txn)`` here.
+
+        ``executor`` selects the execution lane ("sync" or "async");
+        ``None`` auto-detects — ``async def`` actions go to the asyncio
+        lane, everything else to the configured sync executor.
+        """
+        # Before _adapt: the wrapper would hide iscoroutinefunction.
+        executor = resolve_executor(executor, condition, action, name)
         if isinstance(event, str):
             event = self._detector.graph.get(event)
         # Named priority classes must exist when the rule is defined
@@ -290,6 +334,7 @@ class RuleManager:
                 trigger_mode=trigger_mode,
                 scope=scope,
                 owner=owner,
+                executor=executor,
             )
             self._rules[name] = rule
         if enabled:

@@ -18,6 +18,7 @@ the triggering action returns from its ``notify``.
 
 from __future__ import annotations
 
+import inspect
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor, wait
@@ -142,6 +143,10 @@ class RuleScheduler:
         self.error_policy = error_policy
         self.stats = SchedulerStats()
         self._local = threading.local()
+        #: asyncio lane for executor="async" rules, created on first use
+        #: (a detector with no async rules never starts the loop thread)
+        self._async_lane = None
+        self._async_lane_lock = threading.Lock()
         self.errors: list[RuleExecutionError] = []
         #: called with (phase, rule, occurrence, info) where phase is one
         #: of "start", "condition", "done", "failed" — debugger hook.
@@ -171,7 +176,7 @@ class RuleScheduler:
         if len(activations) == 1:
             # One trigger is by far the common case on the hot path;
             # sorting and grouping a singleton costs more than the
-            # dispatch itself.
+            # dispatch itself. (run_one routes async rules itself.)
             self.executor.execute(activations, self.run_one)
             return
         # Resolve named priority classes through the detector's scheme
@@ -184,10 +189,94 @@ class RuleScheduler:
         for __, group in groupby(
             ordered, key=lambda a: rank(a.rule.priority)
         ):
-            self.executor.execute(list(group), self.run_one)
+            self._run_class(list(group))
+
+    def _run_class(self, group: list[RuleActivation]) -> None:
+        """One priority class, split across lanes.
+
+        Async activations are gathered concurrently on the asyncio lane
+        while sync ones ride the configured executor on this thread;
+        the class is a barrier — both legs finish before the caller
+        sees the next class (the paper's serial-across-classes,
+        concurrent-within-a-class discipline).
+        """
+        async_batch = [a for a in group if a.rule.executor == "async"]
+        if not async_batch:
+            self.executor.execute(group, self.run_one)
+            return
+        sync_batch = [a for a in group if a.rule.executor != "async"]
+        lane = self.async_lane.route()
+        future = lane.submit_gather(
+            [self._isolated(a) for a in async_batch]
+        )
+        first_error: Optional[BaseException] = None
+        try:
+            if sync_batch:
+                self.executor.execute(sync_batch, self.run_one)
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            first_error = exc
+        # The barrier runs even when the sync leg failed: every async
+        # task completes (gather with return_exceptions), matching the
+        # ThreadedExecutor's all-run-then-raise-first discipline.
+        results = future.result()
+        if first_error is None:
+            for result in results:
+                if isinstance(result, BaseException):
+                    first_error = result
+                    break
+        if first_error is not None:
+            raise first_error
+
+    @property
+    def async_lane(self):
+        """The asyncio execution lane, started on first use."""
+        lane = self._async_lane
+        if lane is None:
+            with self._async_lane_lock:
+                lane = self._async_lane
+                if lane is None:
+                    from repro.core.async_executor import AsyncExecutor
+
+                    lane = AsyncExecutor(
+                        name=f"sentinel-async:{self._detector.name}"
+                    )
+                    self._async_lane = lane
+        return lane
+
+    def _isolated(self, activation: RuleActivation):
+        """The lane-ready coroutine for one async activation.
+
+        The rule coroutine is wrapped by :func:`isolate` so each task
+        owns private copies of the per-thread execution state the
+        sync path keeps in thread locals — current transaction, nesting
+        depth, current rule, telemetry span stack/trace. Depth and rule
+        are seeded from the *calling* thread so nested cascades keep
+        counting toward MAX_DEPTH across lane hops.
+        """
+        from repro.core.async_executor import isolate
+
+        hub_local = self._detector.telemetry._local
+        return isolate(
+            self._run_one_async(activation),
+            [
+                (self._detector._local, "txn", None),
+                (self._local, "depth", self._depth()),
+                (self._local, "rule", self.current_rule()),
+                (hub_local, "stack", []),
+                (hub_local, "trace", None),
+            ],
+        )
 
     def run_one(self, activation: RuleActivation) -> None:
         """Fig. 3's ``cond_action``: condition+action in a subtransaction."""
+        if activation.rule.executor == "async":
+            # Route singleton/detached async activations to the lane,
+            # blocking this thread until the coroutine completes so the
+            # cascade stays depth-first (notify returns only after the
+            # rule finished). route() keeps the lane's own loop thread
+            # from blocking on itself.
+            lane = self.async_lane.route()
+            return lane.run(self._isolated(activation))
         telemetry = self._detector.telemetry
         if not telemetry.active:
             return self._run_one(activation, None)
@@ -266,6 +355,163 @@ class RuleScheduler:
             self._local.rule = previous_rule
             self._detector.set_current_transaction(previous_txn)
 
+    # -- the async lane's coroutine twins ---------------------------------
+    #
+    # _run_one_async/_evaluate_async mirror run_one/_run_one/_evaluate
+    # statement for statement (keep them in lockstep when editing!):
+    # same subtransaction bracketing, depth bookkeeping, error policy,
+    # $RULE meta-events and telemetry, with exactly one difference —
+    # the action's awaitable is awaited, so the tasks of one priority
+    # class interleave on the lane's loop while each individual rule
+    # still runs its setup/commit synchronously within a step.
+
+    async def _run_one_async(self, activation: RuleActivation) -> None:
+        rule = activation.rule
+        telemetry = self._detector.telemetry
+        span = None
+        if telemetry.active:
+            span = telemetry.span(
+                RuleExecution,
+                parent_id=activation.parent_span_id,
+                trace_id=activation.trace_id,
+                rule_name=rule.name,
+                coupling=rule.coupling.value,
+                depth=self._depth() + 1,
+                lane="async",
+            )
+        try:
+            depth = self._depth() + 1
+            if depth > self.MAX_DEPTH:
+                if span is not None:
+                    span.set(outcome="depth_exceeded")
+                raise RuleExecutionError(
+                    rule.name,
+                    "nesting",
+                    RecursionError(
+                        f"rule nesting exceeded {self.MAX_DEPTH}"
+                    ),
+                )
+            self.stats.max_depth_seen = max(
+                self.stats.max_depth_seen, depth
+            )
+            sub = None
+            if (
+                self.txn_manager is not None
+                and activation.parent_txn is not None
+            ):
+                sub = self.txn_manager.begin_sub(
+                    activation.parent_txn, label=f"rule:{rule.name}"
+                )
+            previous_txn = self._detector.current_transaction()
+            previous_rule = self.current_rule()
+            self._detector.set_current_transaction(
+                sub or activation.parent_txn
+            )
+            self._local.depth = depth
+            self._local.rule = rule
+            self._notify("start", rule, activation.occurrence, depth=depth)
+            try:
+                self._signal_rule_event(rule, "begin")
+                executed = await self._evaluate_async(
+                    rule, activation.occurrence, span
+                )
+                self._signal_rule_event(rule, "end")
+                if sub is not None:
+                    if span is not None:
+                        commit_start = perf_counter()
+                        sub.commit()
+                        span.set(
+                            commit_ms=(
+                                perf_counter() - commit_start
+                            ) * 1000.0
+                        )
+                    else:
+                        sub.commit()
+                if span is not None:
+                    span.set(
+                        outcome="completed" if executed else "rejected"
+                    )
+                self._notify(
+                    "done", rule, activation.occurrence, depth=depth
+                )
+            except Exception as exc:
+                if sub is not None:
+                    sub.abort()
+                error = exc if isinstance(exc, RuleExecutionError) else (
+                    RuleExecutionError(rule.name, "execution", exc)
+                )
+                self.stats.failures += 1
+                self.errors.append(error)
+                if span is not None:
+                    span.set(outcome="failed")
+                self._notify("failed", rule, activation.occurrence,
+                             depth=depth, error=error)
+                if self.error_policy == "raise":
+                    raise error from exc
+            finally:
+                self._local.depth = depth - 1
+                self._local.rule = previous_rule
+                self._detector.set_current_transaction(previous_txn)
+        finally:
+            if span is not None:
+                span.close()
+
+    async def _evaluate_async(self, rule: Rule, occurrence: Occurrence,
+                              span: Optional[TelemetrySpan] = None) -> bool:
+        """Coroutine twin of :meth:`_evaluate`.
+
+        The condition stays strictly synchronous (side-effect-free and
+        evaluated inline, so the suppression flag — a plain loop-thread
+        local, deliberately *not* task-swapped — cannot leak across an
+        await). Only the action's awaitable is awaited.
+        """
+        condition_span = None
+        if span is not None:
+            condition_span = self._detector.telemetry.span(
+                ConditionEvaluated, rule_name=rule.name
+            )
+        satisfied = False
+        try:
+            detector_local = self._detector._local
+            previous_suppressed = getattr(
+                detector_local, "suppressed", False
+            )
+            detector_local.suppressed = True
+            try:
+                satisfied = bool(rule.condition(occurrence))
+            except Exception as exc:
+                raise RuleExecutionError(
+                    rule.name, "condition", exc
+                ) from exc
+            finally:
+                detector_local.suppressed = previous_suppressed
+        finally:
+            if condition_span is not None:
+                condition_span.close(satisfied=satisfied)
+                span.set(
+                    condition_ms=(
+                        perf_counter() - condition_span.started
+                    ) * 1000.0
+                )
+        self._notify("condition", rule, occurrence, satisfied=satisfied,
+                     depth=self._depth())
+        if not satisfied:
+            self.stats.condition_rejections += 1
+            return False
+        try:
+            result = rule.action(occurrence)
+            if inspect.isawaitable(result):
+                # Sync actions under executor="async" (and zero-arg
+                # coroutine functions _adapt wrapped) land here too.
+                await result
+        except RuleExecutionError:
+            raise  # a nested rule failed; keep the original report
+        except Exception as exc:
+            raise RuleExecutionError(rule.name, "action", exc) from exc
+        rule.executed_count += 1
+        self.stats.executions += 1
+        return True
+
     def _signal_rule_event(self, rule: Rule, modifier: str) -> None:
         detector = self._detector
         if not detector.graph.primitives_for(RULE_CLASS):
@@ -325,6 +571,10 @@ class RuleScheduler:
         return True
 
     def shutdown(self) -> None:
+        lane = self._async_lane
+        if lane is not None:
+            lane.shutdown()
+            self._async_lane = None
         self.executor.shutdown()
 
 
@@ -549,12 +799,22 @@ class DetachedRuleQueue:
             return True
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Drain outstanding work, then stop the workers."""
-        self.join(timeout)
+        """Stop accepting work, drain the backlog, stop the workers.
+
+        ``_closed`` is set *before* any waiting: a producer parked in
+        ``submit()`` under ``policy="block"`` is woken and raises
+        instead of hanging forever (closing used to join first, which
+        never returned while a producer held an activation it could not
+        enqueue). All three conditions are notified — waking blocked
+        producers (``_not_full``), idle workers (``_not_empty``) and
+        ``join()`` callers (``_idle``). Workers still drain everything
+        already queued before exiting.
+        """
         with self._lock:
             self._closed = True
             self._not_empty.notify_all()
             self._not_full.notify_all()
+            self._idle.notify_all()
         for worker in self._workers:
             worker.join(timeout if timeout is not None else None)
 

@@ -209,6 +209,12 @@ class QuotaExceeded(ServingError):
     """A tenant exceeded its rule count or event-rate quota."""
 
 
+class BatchTooLarge(QuotaExceeded):
+    """A single batch exceeds the token bucket's burst capacity, so it
+    can never be admitted no matter how long the client waits — the
+    batch must be split (retrying cannot help)."""
+
+
 class RemoteError(ServingError):
     """The server reported an error code this client does not know."""
 
@@ -269,6 +275,7 @@ ERROR_CODE_REGISTRY: dict[int, type[SentinelError]] = {
     84: AuthenticationError,
     85: QuotaExceeded,
     86: RemoteError,
+    87: BatchTooLarge,
 }
 
 _CODE_BY_CLASS: dict[type[BaseException], int] = {

@@ -148,11 +148,14 @@ class SentinelAPI(ABC):
 
     @abstractmethod
     def watch(self, name: str, event: Any, *, context: str = "recent",
-              coupling: str = "immediate", priority: int = 1) -> str:
+              coupling: str = "immediate", priority: int = 1,
+              executor: str = "sync") -> str:
         """Define a rule whose action records a detection summary.
 
         ``event`` is an event name, an expression string, or (locally)
-        an :class:`EventNode`. Returns the rule name.
+        an :class:`EventNode`. ``executor`` selects the execution lane
+        (``"sync"`` thread lanes / ``"async"`` the asyncio lane).
+        Returns the rule name.
         """
 
     @abstractmethod

@@ -95,6 +95,10 @@ class SentinelClient(SentinelAPI):
         self._state_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._closed = False
+        #: terminal connection error, set (under the state lock) when
+        #: the reader thread dies; exchanges registered *after* that
+        #: moment fail immediately instead of waiting out the timeout
+        self._conn_error: Optional[Exception] = None
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # The hello exchange runs synchronously before the reader thread
@@ -151,12 +155,17 @@ class SentinelClient(SentinelAPI):
             self._fail_pending(error)
 
     def _fail_pending(self, error: Exception) -> None:
-        with self._state_lock:
-            waiters = list(self._pending.values())
-            self._pending.clear()
         closed = error if isinstance(error, ConnectionClosed) else (
             ConnectionClosed(f"connection lost: {error}")
         )
+        with self._state_lock:
+            # Record the terminal error in the same critical section
+            # that drains the waiters: a waiter registering concurrently
+            # either lands in _pending (drained below) or observes
+            # _conn_error in _exchange — it can never slip between.
+            self._conn_error = closed
+            waiters = list(self._pending.values())
+            self._pending.clear()
         for waiter in waiters:
             waiter.error = closed
             waiter.ready.set()
@@ -192,6 +201,8 @@ class SentinelClient(SentinelAPI):
         with self._state_lock:
             if self._closed:
                 raise ConnectionClosed("client is closed")
+            if self._conn_error is not None:
+                raise self._conn_error
             request_id = self._next_id
             self._next_id += 1
             waiter = _Waiter()
@@ -202,9 +213,11 @@ class SentinelClient(SentinelAPI):
         try:
             with self._send_lock:
                 send_frame(self._sock, request, self._codec, self.max_frame)
-        except BaseException:
+        except BaseException as exc:
             with self._state_lock:
                 self._pending.pop(request_id, None)
+            if isinstance(exc, OSError):
+                raise ConnectionClosed(f"send failed: {exc}") from exc
             raise
         if not waiter.ready.wait(self.timeout):
             with self._state_lock:
@@ -227,6 +240,12 @@ class SentinelClient(SentinelAPI):
         exchange ("interpreted" or "compiled"); remote behavior is
         identical under both."""
         return self.server_info.get("dispatch", "interpreted")
+
+    @property
+    def async_lane(self) -> bool:
+        """Whether the server supports ``watch(executor="async")``
+        (advertised in the hello exchange; False for older servers)."""
+        return bool(self.server_info.get("async_lane", False))
 
     # -- SentinelAPI: event definition -------------------------------------
 
@@ -263,14 +282,15 @@ class SentinelClient(SentinelAPI):
     # -- SentinelAPI: watched rules ----------------------------------------
 
     def watch(self, name: str, event: Any, *, context: str = "recent",
-              coupling: str = "immediate", priority: int = 1) -> str:
+              coupling: str = "immediate", priority: int = 1,
+              executor: str = "sync") -> str:
         if not isinstance(event, str):
             raise ProtocolError(
                 "remote watch takes an event name or expression string"
             )
         return self._call(
             "watch", name=name, event=event, context=context,
-            coupling=coupling, priority=priority,
+            coupling=coupling, priority=priority, executor=executor,
         )
 
     def unwatch(self, name: str) -> None:
@@ -366,6 +386,11 @@ class SentinelClient(SentinelAPI):
             self._call_nowait_bye()
         finally:
             self._teardown()
+            # The shutdown socket wakes the reader, which drains the
+            # waiters itself — but drain here too so an in-flight
+            # request gets ConnectionClosed even if the reader was
+            # already gone when it registered.
+            self._fail_pending(ConnectionClosed("client is closed"))
             if self._reader is not None:
                 self._reader.join(timeout=2.0)
 
@@ -380,6 +405,13 @@ class SentinelClient(SentinelAPI):
             pass
 
     def _teardown(self) -> None:
+        # shutdown() before close(): closing the fd alone does not wake
+        # a reader thread blocked in recv() on Linux — the half-close
+        # does, so the reader exits promptly and fails its waiters.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:

@@ -401,6 +401,9 @@ class SentinelServer:
             # ("interpreted" or "compiled") — informational: remote
             # semantics are identical either way
             "dispatch": self.system.dispatch,
+            # capability flag: watch(executor="async") schedules the
+            # recording rule on the system's asyncio lane
+            "async_lane": True,
             "max_frame": self.max_frame,
             "quota": {
                 "max_rules": tenant.quota.max_rules,
@@ -497,6 +500,7 @@ class SentinelServer:
                     context=args.get("context", "recent"),
                     coupling=args.get("coupling", "immediate"),
                     priority=args.get("priority", 1),
+                    executor=args.get("executor", "sync"),
                 )
         except BaseException:
             tenant.release_rule()

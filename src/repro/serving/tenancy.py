@@ -29,7 +29,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional
 
-from repro.errors import AuthenticationError, ProtocolError, QuotaExceeded
+from repro.errors import (
+    AuthenticationError,
+    BatchTooLarge,
+    ProtocolError,
+    QuotaExceeded,
+)
 
 #: separator between the tenant namespace and user-chosen names
 NAMESPACE_SEP = "::"
@@ -143,13 +148,26 @@ class Tenant:
 
     def charge_events(self, count: int) -> None:
         """Admit ``count`` events or raise :class:`QuotaExceeded`."""
-        if self.bucket is not None and not self.bucket.try_acquire(count):
-            with self.lock:
-                self.counters.quota_rejections += 1
-            raise QuotaExceeded(
-                f"tenant {self.name!r} exceeded its event rate "
-                f"({self.quota.events_per_sec:g}/s); retry later"
-            )
+        bucket = self.bucket
+        if bucket is not None:
+            if count > bucket.burst:
+                # try_acquire caps the balance at burst, so an oversized
+                # batch can never be admitted: "retry later" would spin
+                # forever. Fail with the non-retryable variant instead.
+                with self.lock:
+                    self.counters.quota_rejections += 1
+                raise BatchTooLarge(
+                    f"tenant {self.name!r} batch of {count} events "
+                    f"exceeds burst capacity ({bucket.burst:g}): "
+                    f"split the batch"
+                )
+            if not bucket.try_acquire(count):
+                with self.lock:
+                    self.counters.quota_rejections += 1
+                raise QuotaExceeded(
+                    f"tenant {self.name!r} exceeded its event rate "
+                    f"({self.quota.events_per_sec:g}/s); retry later"
+                )
         with self.lock:
             self.counters.events += count
 

@@ -471,12 +471,17 @@ class CompiledDispatchEngine:
             return
         txn_manager = scheduler.txn_manager
         for activation in frame:
-            if activation.rule.coupling is CouplingMode.DETACHED or (
-                txn_manager is not None
-                and activation.parent_txn is not None
+            if (
+                activation.rule.coupling is CouplingMode.DETACHED
+                or activation.rule.executor == "async"
+                or (
+                    txn_manager is not None
+                    and activation.parent_txn is not None
+                )
             ):
-                # Detached queueing and rule subtransactions keep their
-                # interpreted machinery.
+                # Detached queueing, the asyncio lane (_run_rule_fast
+                # would leave the coroutine action un-awaited) and rule
+                # subtransactions keep their interpreted machinery.
                 det._run_frame(frame)
                 return
         stats = scheduler.stats

@@ -229,7 +229,9 @@ class RuleExecution(TraceEvent):
     triggering transaction's trace tree. ``condition_ms`` and
     ``commit_ms`` break the total duration into phases (the remainder
     is action time); the profiler attributes per-rule wall time from
-    them.
+    them. ``lane`` records the execution lane — ``"sync"`` (serial or
+    thread pool) or ``"async"`` (the asyncio lane), so action time can
+    be attributed to the right latency stage.
     """
 
     stage: ClassVar[str] = "rule"
@@ -241,6 +243,7 @@ class RuleExecution(TraceEvent):
     outcome: str = "completed"
     condition_ms: float = 0.0
     commit_ms: float = 0.0
+    lane: str = "sync"
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -21,6 +21,7 @@ shard_hop ``ShardHop`` channel-buffering wait
 detect   ``GraphPropagation`` span duration (operator DAG cascade)
 condition ``ConditionEvaluated`` span duration
 action   ``RuleExecution`` duration minus condition and commit phases
+action_async same, for rules on the asyncio lane (``lane == "async"``)
 commit   ``RuleExecution.commit_ms`` (subtransaction commit)
 detached_wait ``DetachedQueueWait`` queue-residency wait
 wire     ``WireRequest`` client round-trip duration
@@ -56,6 +57,7 @@ STAGES = (
     "detect",
     "condition",
     "action",
+    "action_async",
     "commit",
     "detached_wait",
     "wire",
@@ -160,7 +162,8 @@ class StageLatencyProcessor(TelemetryProcessor):
 
     def _on_rule(self, event: RuleExecution) -> None:
         action_ms = event.duration_ms - event.condition_ms - event.commit_ms
-        self.histograms["action"].observe(max(action_ms, 0.0))
+        stage = "action_async" if event.lane == "async" else "action"
+        self.histograms[stage].observe(max(action_ms, 0.0))
         if event.commit_ms > 0.0:
             self.histograms["commit"].observe(event.commit_ms)
 

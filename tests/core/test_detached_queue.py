@@ -103,6 +103,48 @@ def test_block_policy_applies_backpressure():
         queue.close(timeout=5)
 
 
+def test_close_wakes_blocked_producer():
+    """``close()`` must wake a producer parked in ``_not_full.wait()``
+    (policy="block") so it raises instead of hanging forever."""
+    runner = GatedRunner()
+    queue = DetachedRuleQueue(runner, capacity=1, policy="block", workers=1)
+    queue.submit(activation("inflight"))
+    assert runner.started.wait(timeout=10)
+    queue.submit(activation("queued"))  # fills the queue
+    outcome = []
+
+    def producer():
+        try:
+            queue.submit(activation("blocked"))
+            outcome.append("submitted")
+        except RuntimeError as exc:
+            outcome.append(str(exc))
+
+    producer_thread = threading.Thread(target=producer, daemon=True)
+    producer_thread.start()
+    deadline = time.monotonic() + 10
+    while queue.stats.blocked < 1 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    assert queue.stats.blocked >= 1  # producer is parked on the full queue
+
+    closer_done = threading.Event()
+
+    def closer():
+        queue.close(timeout=None)
+        closer_done.set()
+
+    threading.Thread(target=closer, daemon=True).start()
+    producer_thread.join(timeout=5)
+    assert not producer_thread.is_alive(), (
+        "close() left the producer parked in _not_full.wait()"
+    )
+    assert outcome == ["detached queue is closed"]
+    # The backlog accepted before close still drains once the gate opens.
+    runner.gate.set()
+    assert closer_done.wait(timeout=10)
+    assert runner.ran == ["inflight", "queued"]
+
+
 def test_spill_defaults_to_the_spill_log():
     runner = GatedRunner()
     queue = DetachedRuleQueue(runner, capacity=1, policy="spill", workers=1)

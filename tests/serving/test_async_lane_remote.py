@@ -1,0 +1,47 @@
+"""The async lane over the wire: capability flag and remote watches."""
+
+import pytest
+
+from repro.errors import RuleError
+from repro.sentinel import Sentinel
+from repro.serving import SentinelClient, SentinelServer
+
+
+@pytest.fixture()
+def served():
+    system = Sentinel(name="served-async")
+    server = SentinelServer(system, tenants=[]).start()
+    client = SentinelClient("127.0.0.1", server.port, timeout=10.0)
+    try:
+        yield system, client
+    finally:
+        client.close()
+        server.close()
+        system.close()
+
+
+def test_hello_advertises_the_async_lane(served):
+    _, client = served
+    assert client.async_lane is True
+    assert client.server_info["async_lane"] is True
+
+
+def test_remote_watch_can_pick_the_async_lane(served):
+    system, client = served
+    client.explicit_event("e")
+    client.watch("w", "e", executor="async")
+    client.raise_event("e", n=7)
+    detections = client.detections("w")
+    assert len(detections) == 1
+    assert detections[0]["rule"] == "w"
+    # the recording rule really runs on the asyncio lane
+    assert system.detector.rules.get("default::w").executor == "async"
+    assert system.detector.scheduler._async_lane is not None
+
+
+def test_remote_watch_rejects_unknown_lanes(served):
+    """The RuleError crosses the wire as itself (typed error codes)."""
+    _, client = served
+    client.explicit_event("e")
+    with pytest.raises(RuleError, match="executor must be one of"):
+        client.watch("w", "e", executor="fiber")

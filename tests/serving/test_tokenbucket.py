@@ -1,0 +1,134 @@
+"""TokenBucket and event-quota admission edge cases.
+
+The regression pinned here: ``try_acquire`` caps the balance at
+``burst``, so a single batch larger than ``burst`` can *never* be
+admitted no matter how long the client waits — it must fail with a
+distinct "split the batch" error instead of the retryable rate error.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import BatchTooLarge, QuotaExceeded, error_code
+from repro.serving.tenancy import Tenant, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic refills."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# =========================================================================
+# Oversized-batch admission (the bugfix)
+# =========================================================================
+
+def test_batch_larger_than_burst_raises_batch_too_large():
+    clock = FakeClock()
+    tenant = Tenant(
+        "alpha", quota=TenantQuota(events_per_sec=10.0, burst=5.0),
+        clock=clock,
+    )
+    with pytest.raises(BatchTooLarge) as excinfo:
+        tenant.charge_events(6)
+    message = str(excinfo.value)
+    assert "exceeds burst capacity" in message
+    assert "split the batch" in message
+    assert tenant.counters.quota_rejections == 1
+    assert tenant.counters.events == 0
+    # Waiting does not help: even with a full bucket the batch is
+    # oversized, and the error stays the non-retryable variant.
+    clock.advance(3600.0)
+    with pytest.raises(BatchTooLarge):
+        tenant.charge_events(6)
+    # A batch at exactly the burst is admitted from a full bucket.
+    tenant.charge_events(5)
+    assert tenant.counters.events == 5
+
+
+def test_batch_too_large_is_a_quota_exceeded_with_its_own_code():
+    # Old clients that only know code 85 still see a QuotaExceeded.
+    assert issubclass(BatchTooLarge, QuotaExceeded)
+    assert error_code(BatchTooLarge) == 87
+    assert error_code(QuotaExceeded) == 85
+
+
+def test_rate_exhaustion_still_raises_the_retryable_variant():
+    clock = FakeClock()
+    tenant = Tenant(
+        "alpha", quota=TenantQuota(events_per_sec=10.0, burst=5.0),
+        clock=clock,
+    )
+    tenant.charge_events(5)  # drain the bucket
+    with pytest.raises(QuotaExceeded) as excinfo:
+        tenant.charge_events(3)
+    assert not isinstance(excinfo.value, BatchTooLarge)
+    assert "retry later" in str(excinfo.value)
+    clock.advance(1.0)  # refills 10, capped at burst 5
+    tenant.charge_events(3)
+    assert tenant.counters.events == 8
+
+
+# =========================================================================
+# TokenBucket edge cases (satellite coverage)
+# =========================================================================
+
+def test_zero_elapsed_refill_adds_nothing():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+    assert bucket.try_acquire(5.0)
+    # The clock has not advanced: repeated refills must not create
+    # tokens out of thin air (or lose the fractional remainder).
+    for __ in range(100):
+        assert bucket.available() == 0.0
+        assert not bucket.try_acquire(0.001)
+
+
+def test_fractional_tokens_accumulate_exactly():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire(1.0)
+    clock.advance(0.25)  # 0.5 tokens back
+    assert bucket.available() == pytest.approx(0.5)
+    assert not bucket.try_acquire(0.75)
+    assert bucket.try_acquire(0.5)
+    assert bucket.available() == pytest.approx(0.0)
+    clock.advance(10.0)  # refill far past burst: capped
+    assert bucket.available() == pytest.approx(1.0)
+
+
+def test_available_agrees_with_try_acquire_under_concurrency():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1000.0, burst=100.0, clock=clock)
+    admitted = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        wins = 0
+        for __ in range(50):
+            before = bucket.available()
+            assert 0.0 <= before <= bucket.burst
+            if bucket.try_acquire(1.0):
+                wins += 1
+        admitted.append(wins)
+
+    threads = [threading.Thread(target=worker) for __ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+    # The clock never advanced, so exactly ``burst`` acquisitions can
+    # succeed across all callers — no double spends, no lost tokens.
+    assert sum(admitted) == 100
+    assert bucket.available() == pytest.approx(0.0)
+    assert not bucket.try_acquire(1.0)

@@ -91,7 +91,7 @@ class TestStageLatencyProcessor:
     def test_stage_names_are_the_public_contract(self):
         assert set(STAGES) == {
             "ingest", "shard_hop", "detect", "condition", "action",
-            "commit", "detached_wait", "wire",
+            "action_async", "commit", "detached_wait", "wire",
         }
 
     def test_prometheus_exposition_is_valid(self):
